@@ -1,0 +1,165 @@
+//! Memoization-free exhaustive reference optimizers.
+//!
+//! These recursively enumerate *every* plan shape (bushy or left-deep) and
+//! keep the cheapest, recomputing cardinalities from the closed form each
+//! time. Exponentially slower than the DP optimizers — `Ω(n!)`-ish — but
+//! their brutal simplicity makes them trustworthy oracles for correctness
+//! tests at small `n`.
+
+use blitz_core::{CostModel, JoinSpec, Plan, RelSet};
+
+/// Exhaustive search over all bushy plans (Cartesian products included)
+/// for the relations in `s`. Returns `(plan, cost)`.
+///
+/// # Panics
+/// Panics if `s` is empty.
+pub fn best_bushy<M: CostModel>(spec: &JoinSpec, model: &M, s: RelSet) -> (Plan, f32) {
+    assert!(!s.is_empty(), "cannot optimize the empty set");
+    if s.is_singleton() {
+        return (Plan::scan(s.min_rel().unwrap()), 0.0);
+    }
+    let out = spec.join_cardinality(s);
+    let mut best: Option<(Plan, f32)> = None;
+    for lhs in s.proper_subsets() {
+        let rhs = s - lhs;
+        let (lp, lc) = best_bushy(spec, model, lhs);
+        let (rp, rc) = best_bushy(spec, model, rhs);
+        let cost = lc
+            + rc
+            + model.kappa(out, spec.join_cardinality(lhs), spec.join_cardinality(rhs));
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            best = Some((Plan::join(lp, rp), cost));
+        }
+    }
+    best.expect("non-singleton sets have at least one split")
+}
+
+/// Exhaustive search over all *left-deep* plans for the relations in `s`:
+/// every join's right input is a base relation.
+///
+/// # Panics
+/// Panics if `s` is empty.
+pub fn best_left_deep<M: CostModel>(spec: &JoinSpec, model: &M, s: RelSet) -> (Plan, f32) {
+    assert!(!s.is_empty(), "cannot optimize the empty set");
+    if s.is_singleton() {
+        return (Plan::scan(s.min_rel().unwrap()), 0.0);
+    }
+    let out = spec.join_cardinality(s);
+    let mut best: Option<(Plan, f32)> = None;
+    for r in s.iter() {
+        let rest = s.without(r);
+        let (lp, lc) = best_left_deep(spec, model, rest);
+        let cost =
+            lc + model.kappa(out, spec.join_cardinality(rest), spec.card(r));
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            best = Some((Plan::join(lp, Plan::scan(r)), cost));
+        }
+    }
+    best.expect("non-singleton sets have at least one extension")
+}
+
+/// Count all bushy plan shapes over `n` relations (with both operand
+/// orders counted, as the optimizer sees them):
+/// `n! · C(n−1)` where `C` is the Catalan number — the textbook size of
+/// the unconstrained bushy space.
+pub fn bushy_plan_count(n: usize) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    // number of ordered binary trees with n labeled leaves:
+    // n! * catalan(n-1)
+    let mut fact = 1u128;
+    for i in 2..=n as u128 {
+        fact *= i;
+    }
+    fact * catalan((n - 1) as u32)
+}
+
+/// Count of left-deep plans over `n` relations: `n!`.
+pub fn left_deep_plan_count(n: usize) -> u128 {
+    (1..=n as u128).product()
+}
+
+fn catalan(k: u32) -> u128 {
+    // C_k = (2k)! / ((k+1)! k!) computed incrementally.
+    let mut c = 1u128;
+    for i in 0..k as u128 {
+        c = c * 2 * (2 * i + 1) / (i + 2);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blitz_core::{optimize_join, Kappa0, SortMerge};
+
+    fn fig3_spec() -> JoinSpec {
+        JoinSpec::new(
+            &[10.0, 20.0, 30.0, 40.0],
+            &[(0, 1, 0.1), (0, 2, 0.2), (1, 2, 0.3), (0, 3, 0.4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bushy_agrees_with_blitzsplit() {
+        let spec = fig3_spec();
+        let (plan, cost) = best_bushy(&spec, &Kappa0, spec.all_rels());
+        let opt = optimize_join(&spec, &Kappa0).unwrap();
+        assert!((cost - opt.cost).abs() <= cost.abs() * 1e-5 + 1e-5);
+        let (_, recost) = plan.cost(&spec, &Kappa0);
+        assert!((recost - cost).abs() <= cost.abs() * 1e-5 + 1e-5);
+    }
+
+    #[test]
+    fn left_deep_never_beats_bushy() {
+        let spec = fig3_spec();
+        for model_cost in [
+            {
+                let (_, b) = best_bushy(&spec, &Kappa0, spec.all_rels());
+                let (_, l) = best_left_deep(&spec, &Kappa0, spec.all_rels());
+                (b, l)
+            },
+            {
+                let (_, b) = best_bushy(&spec, &SortMerge, spec.all_rels());
+                let (_, l) = best_left_deep(&spec, &SortMerge, spec.all_rels());
+                (b, l)
+            },
+        ] {
+            let (bushy, leftdeep) = model_cost;
+            assert!(bushy <= leftdeep * (1.0 + 1e-5));
+        }
+    }
+
+    #[test]
+    fn left_deep_plans_are_left_deep() {
+        let spec = fig3_spec();
+        let (plan, _) = best_left_deep(&spec, &Kappa0, spec.all_rels());
+        assert!(plan.is_left_deep());
+        assert_eq!(plan.rel_set(), spec.all_rels());
+    }
+
+    #[test]
+    fn singleton_cases() {
+        let spec = JoinSpec::cartesian(&[7.0]).unwrap();
+        let (p, c) = best_bushy(&spec, &Kappa0, spec.all_rels());
+        assert_eq!(p, Plan::scan(0));
+        assert_eq!(c, 0.0);
+        let (p, c) = best_left_deep(&spec, &Kappa0, spec.all_rels());
+        assert_eq!(p, Plan::scan(0));
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn plan_space_sizes() {
+        // Catalan: 1, 1, 2, 5, 14...; bushy count n=4: 4!·C3 = 24·5 = 120.
+        assert_eq!(bushy_plan_count(1), 1);
+        assert_eq!(bushy_plan_count(2), 2);
+        assert_eq!(bushy_plan_count(3), 12);
+        assert_eq!(bushy_plan_count(4), 120);
+        assert_eq!(left_deep_plan_count(4), 24);
+        // IK91's famous growth: bushy space dwarfs left-deep.
+        assert!(bushy_plan_count(10) > 1000 * left_deep_plan_count(10));
+    }
+}

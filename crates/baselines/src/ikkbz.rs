@@ -1,0 +1,365 @@
+//! IKKBZ — polynomial-time optimal left-deep ordering for acyclic join
+//! graphs (Ibaraki & Kameda \[IK84\], as refined by Krishnamurthy, Boral
+//! and Zaniolo).
+//!
+//! The paper's related-work section leans on \[IK84\] twice: it is both the
+//! source of the NP-completeness result for general join ordering and the
+//! proof that *acyclic* graphs under ASI ("adjacent sequence interchange")
+//! cost functions are optimizable in polynomial time — and Cluet &
+//! Moerkotte \[CM95\] showed the problem turns NP-complete again once
+//! Cartesian products are allowed. This implementation makes those
+//! boundaries concrete:
+//!
+//! * it finds the optimal product-free left-deep plan for tree-shaped
+//!   queries in `O(n³)` under the `C_out` cost function (our `κ0`);
+//! * on cyclic graphs or product-optimal queries it is inapplicable /
+//!   suboptimal, which the tests demonstrate against blitzsplit.
+//!
+//! Algorithm sketch: for each choice of root, orient the query tree into
+//! a precedence graph; repeatedly normalize (merge any child whose *rank*
+//! `(T−1)/C` is smaller than its parent's into a compound node) and merge
+//! sibling chains by ascending rank, until the precedence graph is a
+//! single chain — the join order for that root. Return the cheapest root.
+
+use blitz_core::{CostModel, JoinSpec, Plan, RelSet};
+
+/// A compound node in the precedence graph: a fixed subsequence of
+/// relations with aggregated `T` and `C` values.
+#[derive(Clone, Debug)]
+struct Segment {
+    rels: Vec<usize>,
+    /// Multiplicative factor `T = Π sᵢ·nᵢ` of the subsequence.
+    t: f64,
+    /// Cost `C` of the subsequence under `C_out`.
+    c: f64,
+}
+
+impl Segment {
+    fn rank(&self) -> f64 {
+        if self.c == 0.0 {
+            // Rank of a zero-cost segment: by convention −∞ so it sorts
+            // first (it can only help to do free work earlier).
+            f64::NEG_INFINITY
+        } else {
+            (self.t - 1.0) / self.c
+        }
+    }
+
+    /// Sequence concatenation: `T(uv) = T(u)T(v)`, `C(uv) = C(u) + T(u)C(v)`.
+    fn concat(&self, other: &Segment) -> Segment {
+        let mut rels = self.rels.clone();
+        rels.extend_from_slice(&other.rels);
+        Segment { rels, t: self.t * other.t, c: self.c + self.t * other.c }
+    }
+}
+
+/// Tree node during normalization: a segment plus child subtrees.
+#[derive(Clone, Debug)]
+struct Node {
+    seg: Segment,
+    children: Vec<Node>,
+}
+
+/// Result of an IKKBZ run.
+#[derive(Clone, Debug)]
+pub struct IkkbzResult {
+    /// The optimal product-free left-deep plan.
+    pub plan: Plan,
+    /// Its cost under the supplied model.
+    pub cost: f32,
+    /// The root relation of the winning precedence tree.
+    pub root: usize,
+}
+
+/// Errors for [`optimize_ikkbz`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IkkbzError {
+    /// The join graph has a cycle — IKKBZ requires a tree.
+    CyclicGraph,
+    /// The join graph is disconnected — every product-free plan is
+    /// infeasible.
+    DisconnectedGraph,
+}
+
+impl std::fmt::Display for IkkbzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IkkbzError::CyclicGraph => write!(f, "IKKBZ requires an acyclic join graph"),
+            IkkbzError::DisconnectedGraph => write!(f, "IKKBZ requires a connected join graph"),
+        }
+    }
+}
+
+impl std::error::Error for IkkbzError {}
+
+/// Optimal product-free left-deep join order for an acyclic, connected
+/// join graph under the `C_out` cost semantics (sum of intermediate
+/// cardinalities — the `κ0` model). The returned cost is evaluated under
+/// the *supplied* model for comparability; optimality is guaranteed only
+/// when that model is `κ0`-like (ASI).
+pub fn optimize_ikkbz<M: CostModel>(spec: &JoinSpec, model: &M) -> Result<IkkbzResult, IkkbzError> {
+    let n = spec.n();
+    if n == 1 {
+        return Ok(IkkbzResult { plan: Plan::scan(0), cost: 0.0, root: 0 });
+    }
+    // Validate shape: connected + acyclic ⇔ exactly n−1 edges + connected.
+    if !spec.is_connected(spec.all_rels()) {
+        return Err(IkkbzError::DisconnectedGraph);
+    }
+    if spec.edge_count() != n - 1 {
+        return Err(IkkbzError::CyclicGraph);
+    }
+
+    let mut best: Option<(Vec<usize>, f64, usize)> = None;
+    for root in 0..n {
+        let order = solve_for_root(spec, root);
+        let cost = c_out(spec, &order);
+        if best.as_ref().is_none_or(|&(_, b, _)| cost < b) {
+            best = Some((order, cost, root));
+        }
+    }
+    let (order, _, root) = best.expect("n ≥ 2 has at least one root");
+    let mut plan = Plan::scan(order[0]);
+    for &r in &order[1..] {
+        plan = Plan::join(plan, Plan::scan(r));
+    }
+    let (_, cost) = plan.cost(spec, model);
+    Ok(IkkbzResult { plan, cost, root })
+}
+
+/// `C_out` of a left-deep order: the sum of all intermediate-result
+/// cardinalities (equals the `κ0` plan cost).
+fn c_out(spec: &JoinSpec, order: &[usize]) -> f64 {
+    let mut joined = RelSet::singleton(order[0]);
+    let mut card = spec.card(order[0]);
+    let mut total = 0.0;
+    for &r in &order[1..] {
+        card *= spec.card(r) * spec.pi_span(joined, RelSet::singleton(r));
+        joined = joined.with(r);
+        total += card;
+    }
+    total
+}
+
+fn solve_for_root(spec: &JoinSpec, root: usize) -> Vec<usize> {
+    let n = spec.n();
+    // Orient the tree: BFS from root, recording parents.
+    let mut parent = vec![usize::MAX; n];
+    let mut order_bfs = vec![root];
+    let mut seen = RelSet::singleton(root);
+    let mut head = 0;
+    while head < order_bfs.len() {
+        let u = order_bfs[head];
+        head += 1;
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..n {
+            if !seen.contains(v) && spec.has_predicate(u, v) {
+                parent[v] = u;
+                seen = seen.with(v);
+                order_bfs.push(v);
+            }
+        }
+    }
+    debug_assert_eq!(order_bfs.len(), n, "graph must be connected");
+
+    // Build the node tree bottom-up. T(i) = sᵢ·nᵢ for non-roots.
+    fn build(spec: &JoinSpec, parent: &[usize], u: usize, root: usize) -> Node {
+        let t = if u == root {
+            spec.card(u)
+        } else {
+            spec.selectivity(u, parent[u]) * spec.card(u)
+        };
+        // C: the root contributes no intermediate result by itself; a
+        // non-root appended to a prefix multiplies cardinality by T and
+        // the new intermediate costs T (relative to the prefix), so C = T.
+        let c = if u == root { 0.0 } else { t };
+        let children: Vec<Node> = (0..spec.n())
+            .filter(|&v| parent[v] == u)
+            .map(|v| build(spec, parent, v, root))
+            .collect();
+        Node { seg: Segment { rels: vec![u], t, c }, children }
+    }
+    let tree = build(spec, &parent, root, root);
+    let chain = linearize(tree);
+    chain.rels
+}
+
+/// Reduce a precedence (sub)tree to a single chain of segments, then fold
+/// the chain into one segment. Children are linearized recursively, their
+/// chains merged by ascending rank, and parent-child rank inversions are
+/// resolved by normalization (merging into compound segments).
+fn linearize(node: Node) -> Segment {
+    // Each child subtree becomes a rank-sorted list of segments.
+    let mut merged: Vec<Segment> = Vec::new();
+    let mut chains: Vec<Vec<Segment>> = node.children.into_iter().map(chain_of).collect();
+    // k-way merge by ascending rank.
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, ch) in chains.iter().enumerate() {
+            if let Some(seg) = ch.first() {
+                let r = seg.rank();
+                if best.is_none_or(|(_, b)| r < b) {
+                    best = Some((i, r));
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => merged.push(chains[i].remove(0)),
+            None => break,
+        }
+    }
+    // Normalize against the parent: while the first chain element ranks
+    // below the parent segment, it must be glued directly after it.
+    let mut head = node.seg;
+    let mut rest: Vec<Segment> = Vec::new();
+    for seg in merged {
+        if rest.is_empty() && seg.rank() < head.rank() {
+            head = head.concat(&seg);
+        } else {
+            rest.push(seg);
+        }
+    }
+    // Fold the remainder (already rank-sorted) onto the head.
+    for seg in rest {
+        head = head.concat(&seg);
+    }
+    head
+}
+
+/// Linearize a subtree into a rank-ascending chain of segments whose
+/// first segment carries the subtree root (normalized as needed).
+fn chain_of(node: Node) -> Vec<Segment> {
+    // Recursively linearize children and merge their chains by rank.
+    let mut chains: Vec<Vec<Segment>> = node.children.into_iter().map(chain_of).collect();
+    let mut merged: Vec<Segment> = Vec::new();
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, ch) in chains.iter().enumerate() {
+            if let Some(seg) = ch.first() {
+                let r = seg.rank();
+                if best.is_none_or(|(_, b)| r < b) {
+                    best = Some((i, r));
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => merged.push(chains[i].remove(0)),
+            None => break,
+        }
+    }
+    // Normalization: the subtree root must precede everything in its
+    // subtree; glue rank-inverted prefixes onto it.
+    let mut head = node.seg;
+    let mut out: Vec<Segment> = Vec::new();
+    let mut iter = merged.into_iter().peekable();
+    while let Some(seg) = iter.peek() {
+        if out.is_empty() && seg.rank() < head.rank() {
+            let seg = iter.next().unwrap();
+            head = head.concat(&seg);
+        } else {
+            break;
+        }
+    }
+    out.push(head);
+    out.extend(iter);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leftdeep::{optimize_left_deep, ProductPolicy};
+    use blitz_core::Kappa0;
+
+    fn chain_spec(n: usize) -> JoinSpec {
+        let cards: Vec<f64> = (0..n).map(|i| 10.0 * (i as f64 + 1.0) * 7.0 % 997.0 + 2.0).collect();
+        let preds: Vec<(usize, usize, f64)> =
+            (0..n - 1).map(|i| (i, i + 1, 0.01 + 0.02 * i as f64)).collect();
+        JoinSpec::new(&cards, &preds).unwrap()
+    }
+
+    fn star_spec(n: usize) -> JoinSpec {
+        let cards: Vec<f64> = (0..n).map(|i| 5.0 + 13.0 * i as f64).collect();
+        let preds: Vec<(usize, usize, f64)> =
+            (1..n).map(|i| (0, i, 0.5 / i as f64)).collect();
+        JoinSpec::new(&cards, &preds).unwrap()
+    }
+
+    /// Random tree-shaped specs.
+    fn tree_spec(n: usize, seed: u64) -> JoinSpec {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cards: Vec<f64> = (0..n).map(|_| rng.random_range(2.0..2000.0)).collect();
+        let preds: Vec<(usize, usize, f64)> = (1..n)
+            .map(|i| (rng.random_range(0..i), i, rng.random_range(0.001..0.9)))
+            .collect();
+        JoinSpec::new(&cards, &preds).unwrap()
+    }
+
+    #[test]
+    fn matches_left_deep_dp_on_trees_under_kappa0() {
+        // IKKBZ must equal the exhaustive product-free left-deep DP on
+        // acyclic graphs (both optimize C_out over the same space).
+        let mut specs = vec![chain_spec(5), chain_spec(8), star_spec(6)];
+        for seed in 0..20 {
+            specs.push(tree_spec(7, seed));
+        }
+        for spec in &specs {
+            let ik = optimize_ikkbz(spec, &Kappa0).unwrap();
+            let dp = optimize_left_deep(spec, &Kappa0, ProductPolicy::Excluded);
+            let tol = dp.cost.abs() * 1e-4 + 1e-3;
+            assert!(
+                (ik.cost - dp.cost).abs() <= tol,
+                "IKKBZ {} vs left-deep DP {} on {spec:?}",
+                ik.cost,
+                dp.cost
+            );
+            assert!(ik.plan.is_left_deep());
+            assert!(!ik.plan.contains_cartesian_product(spec));
+        }
+    }
+
+    #[test]
+    fn rejects_cyclic_graphs() {
+        let spec = JoinSpec::new(
+            &[10.0, 20.0, 30.0],
+            &[(0, 1, 0.1), (1, 2, 0.1), (0, 2, 0.1)],
+        )
+        .unwrap();
+        assert_eq!(optimize_ikkbz(&spec, &Kappa0).unwrap_err(), IkkbzError::CyclicGraph);
+    }
+
+    #[test]
+    fn rejects_disconnected_graphs() {
+        let spec = JoinSpec::new(&[10.0, 20.0, 30.0], &[(0, 1, 0.1)]).unwrap();
+        assert_eq!(optimize_ikkbz(&spec, &Kappa0).unwrap_err(), IkkbzError::DisconnectedGraph);
+    }
+
+    #[test]
+    fn single_relation() {
+        let spec = JoinSpec::cartesian(&[9.0]).unwrap();
+        let r = optimize_ikkbz(&spec, &Kappa0).unwrap();
+        assert_eq!(r.plan, Plan::scan(0));
+    }
+
+    #[test]
+    fn never_beats_the_bushy_optimum() {
+        for seed in 0..10 {
+            let spec = tree_spec(8, 100 + seed);
+            let ik = optimize_ikkbz(&spec, &Kappa0).unwrap();
+            let bushy = blitz_core::optimize_join(&spec, &Kappa0).unwrap().cost;
+            assert!(bushy <= ik.cost * (1.0 + 1e-4));
+        }
+    }
+
+    #[test]
+    fn plan_covers_all_relations() {
+        let spec = star_spec(9);
+        let r = optimize_ikkbz(&spec, &Kappa0).unwrap();
+        assert_eq!(r.plan.rel_set(), spec.all_rels());
+        let mut leaves = r.plan.leaves();
+        leaves.sort_unstable();
+        assert_eq!(leaves, (0..9).collect::<Vec<_>>());
+    }
+}

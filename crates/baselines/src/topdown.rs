@@ -1,0 +1,313 @@
+//! Top-down memoized search with cost bounding — a Volcano-style
+//! baseline \[GM93\].
+//!
+//! The paper's Section 2 describes Volcano: rule-based, top-down,
+//! memoizing; "in the worst case, Volcano optimizes joins in O(3^n) time
+//! and O(3^n) space". This module implements the search-strategy skeleton
+//! of that optimizer (goal-driven recursion over relation sets with a
+//! memo table and branch-and-bound *cost limits*), stripped of the rule
+//! engine: the only "rule" is the join split, which preserves the search
+//! space while exposing the structural differences from blitzsplit —
+//!
+//! * **demand-driven**: only subsets reachable from the root goal are
+//!   ever expanded (all of them, for a full bushy search, but the
+//!   traversal order is depth-first rather than by integer value);
+//! * **cost limits**: a goal inherits the best known cost of its parent
+//!   context minus the cost already committed, letting whole subtrees be
+//!   pruned — Volcano's signature optimization, and the top-down analogue
+//!   of the paper's plan-cost thresholds;
+//! * **memo**: results (including failures, with the limit that caused
+//!   them) are cached per subset.
+//!
+//! The `goals_expanded` / `splits_tried` counters let the benches compare
+//! pruning power against blitzsplit's bottom-up nested-`if` scheme.
+
+use blitz_core::{CostModel, JoinSpec, Plan, RelSet};
+
+/// Memo entry for one relation-set goal.
+#[derive(Copy, Clone, Debug)]
+enum MemoEntry {
+    /// Optimal plan known: (cost, best lhs).
+    Solved { cost: f32, lhs: RelSet },
+    /// Search failed under the recorded limit: no plan of cost < limit
+    /// exists (a tighter-or-equal limit will also fail).
+    FailedBelow { limit: f32 },
+}
+
+/// Result of a top-down optimization.
+#[derive(Clone, Debug)]
+pub struct TopDownResult {
+    /// The optimal bushy plan.
+    pub plan: Plan,
+    /// Its cost.
+    pub cost: f32,
+    /// Goals (subset expansions) actually performed.
+    pub goals_expanded: u64,
+    /// Splits examined across all goals.
+    pub splits_tried: u64,
+}
+
+struct Search<'a, M: CostModel> {
+    model: &'a M,
+    memo: Vec<Option<MemoEntry>>,
+    cards: Vec<f64>,
+    goals_expanded: u64,
+    splits_tried: u64,
+}
+
+impl<M: CostModel> Search<'_, M> {
+    /// Find the cheapest plan for `s` with cost strictly below `limit`;
+    /// returns its cost or `None` when no such plan exists.
+    fn solve(&mut self, s: RelSet, limit: f32) -> Option<f32> {
+        if s.is_singleton() {
+            // Base relations cost 0 (equation (1)); they satisfy any
+            // positive budget.
+            return (limit > 0.0).then_some(0.0);
+        }
+        match self.memo[s.index()] {
+            Some(MemoEntry::Solved { cost, .. }) => {
+                return (cost < limit).then_some(cost);
+            }
+            Some(MemoEntry::FailedBelow { limit: failed }) if limit <= failed => {
+                // Already failed under a looser-or-equal budget.
+                return None;
+            }
+            _ => {}
+        }
+
+        self.goals_expanded += 1;
+        let out = self.cards[s.index()];
+        let kappa_ind = self.model.kappa_ind(out);
+        let mut best: Option<(f32, RelSet)> = None;
+        // Current bound: improve on the caller's limit as plans are found.
+        let mut bound = limit;
+        if kappa_ind < bound {
+            let mut lhs = s.lowest_singleton();
+            while lhs != s {
+                self.splits_tried += 1;
+                let rhs = s - lhs;
+                // κ'' of this join (inputs' cardinalities are statistics,
+                // not plans — computable before solving the children).
+                let dep = self.model.kappa_dep(
+                    out,
+                    self.cards[lhs.index()],
+                    self.cards[rhs.index()],
+                    self.model.aux(self.cards[lhs.index()]),
+                    self.model.aux(self.cards[rhs.index()]),
+                );
+                let local = kappa_ind + dep;
+                if local < bound {
+                    // Children get the remaining budget.
+                    if let Some(lc) = self.solve(lhs, bound - local) {
+                        if let Some(rc) = self.solve(rhs, bound - local - lc) {
+                            let total = local + lc + rc;
+                            if total < bound {
+                                bound = total;
+                                best = Some((total, lhs));
+                            }
+                        }
+                    }
+                }
+                lhs = s.subset_successor(lhs);
+            }
+        }
+
+        match best {
+            Some((cost, lhs)) => {
+                self.memo[s.index()] = Some(MemoEntry::Solved { cost, lhs });
+                Some(cost)
+            }
+            None => {
+                // Record the failure with the loosest limit seen.
+                let prev = match self.memo[s.index()] {
+                    Some(MemoEntry::FailedBelow { limit }) => limit,
+                    _ => f32::NEG_INFINITY,
+                };
+                self.memo[s.index()] =
+                    Some(MemoEntry::FailedBelow { limit: limit.max(prev) });
+                None
+            }
+        }
+    }
+
+    fn extract(&self, s: RelSet) -> Plan {
+        if s.is_singleton() {
+            return Plan::scan(s.min_rel().unwrap());
+        }
+        match self.memo[s.index()] {
+            Some(MemoEntry::Solved { lhs, .. }) => {
+                Plan::join(self.extract(lhs), self.extract(s - lhs))
+            }
+            _ => panic!("no solved memo entry for {s:?}"),
+        }
+    }
+}
+
+/// Optimize `spec` by top-down memoized search over the full bushy space
+/// (Cartesian products included), with branch-and-bound cost limits
+/// seeded by `initial_limit` (use `f32::INFINITY` for an unbounded first
+/// descent; a finite seed from a heuristic plan prunes harder).
+///
+/// # Panics
+/// Panics if `spec` exceeds the table guard.
+pub fn optimize_topdown<M: CostModel>(
+    spec: &JoinSpec,
+    model: &M,
+    initial_limit: f32,
+) -> TopDownResult {
+    let n = spec.n();
+    assert!((1..=blitz_core::MAX_TABLE_RELS).contains(&n));
+    let size = 1usize << n;
+    let mut cards = vec![0.0f64; size];
+    for bits in 1u32..size as u32 {
+        cards[bits as usize] = spec.join_cardinality(RelSet::from_bits(bits));
+    }
+    let mut search = Search {
+        model,
+        memo: vec![None; size],
+        cards,
+        goals_expanded: 0,
+        splits_tried: 0,
+    };
+    let full = RelSet::full(n);
+    let mut limit = initial_limit;
+    let mut cost = search.solve(full, limit);
+    while cost.is_none() && limit.is_finite() {
+        // Seed limit proved too tight; escalate like a failed threshold
+        // pass (Section 6.4's re-optimization, top-down flavoured).
+        limit = if limit <= 0.0 { 1.0 } else { limit * 1e4 };
+        if limit > 1e30 {
+            limit = f32::INFINITY;
+        }
+        cost = search.solve(full, limit);
+    }
+    let cost = cost.unwrap_or(f32::INFINITY);
+    let plan = if cost.is_finite() {
+        search.extract(full)
+    } else {
+        // Everything overflowed; degenerate left-deep fallback.
+        let mut p = Plan::scan(0);
+        for r in 1..n {
+            p = Plan::join(p, Plan::scan(r));
+        }
+        p
+    };
+    TopDownResult {
+        plan,
+        cost,
+        goals_expanded: search.goals_expanded,
+        splits_tried: search.splits_tried,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::goo;
+    use blitz_core::{optimize_join, DiskNestedLoops, Kappa0, SortMerge};
+
+    fn fig3_spec() -> JoinSpec {
+        JoinSpec::new(
+            &[10.0, 20.0, 30.0, 40.0],
+            &[(0, 1, 0.1), (0, 2, 0.2), (1, 2, 0.3), (0, 3, 0.4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_blitzsplit_unbounded() {
+        let specs = [
+            fig3_spec(),
+            JoinSpec::cartesian(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap(),
+            JoinSpec::new(
+                &[1000.0, 5.0, 700.0, 3.0, 42.0, 60.0],
+                &[(0, 2, 0.001), (1, 3, 0.5), (0, 4, 0.01), (4, 5, 0.1)],
+            )
+            .unwrap(),
+        ];
+        for spec in &specs {
+            for m in 0..3 {
+                let (td, bz) = match m {
+                    0 => (
+                        optimize_topdown(spec, &Kappa0, f32::INFINITY).cost,
+                        optimize_join(spec, &Kappa0).unwrap().cost,
+                    ),
+                    1 => (
+                        optimize_topdown(spec, &SortMerge, f32::INFINITY).cost,
+                        optimize_join(spec, &SortMerge).unwrap().cost,
+                    ),
+                    _ => (
+                        optimize_topdown(spec, &DiskNestedLoops::default(), f32::INFINITY).cost,
+                        optimize_join(spec, &DiskNestedLoops::default()).unwrap().cost,
+                    ),
+                };
+                let tol = bz.abs() * 1e-4 + 1e-4;
+                assert!((td - bz).abs() <= tol, "top-down {td} vs blitzsplit {bz}");
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_seed_prunes_without_losing_optimality() {
+        let spec = JoinSpec::new(
+            &[100.0, 200.0, 50.0, 400.0, 25.0, 300.0, 80.0],
+            &[(0, 1, 0.01), (1, 2, 0.05), (2, 3, 0.01), (3, 4, 0.2), (4, 5, 0.02), (5, 6, 0.1)],
+        )
+        .unwrap();
+        let optimum = optimize_join(&spec, &Kappa0).unwrap().cost;
+        // Seed with a greedy plan's cost (+ε so the optimum itself passes
+        // the strict < test).
+        let (_, seed) = goo(&spec, &Kappa0);
+        let unbounded = optimize_topdown(&spec, &Kappa0, f32::INFINITY);
+        let seeded = optimize_topdown(&spec, &Kappa0, seed * (1.0 + 1e-5));
+        let tol = optimum.abs() * 1e-4 + 1e-4;
+        assert!((seeded.cost - optimum).abs() <= tol, "seeded {} vs {optimum}", seeded.cost);
+        assert!(
+            seeded.splits_tried <= unbounded.splits_tried,
+            "seeding should not increase work ({} vs {})",
+            seeded.splits_tried,
+            unbounded.splits_tried
+        );
+    }
+
+    #[test]
+    fn impossible_seed_escalates_and_still_finds_optimum() {
+        let spec = fig3_spec();
+        let optimum = optimize_join(&spec, &Kappa0).unwrap().cost;
+        let r = optimize_topdown(&spec, &Kappa0, 1e-3);
+        let tol = optimum.abs() * 1e-4 + 1e-4;
+        assert!((r.cost - optimum).abs() <= tol);
+    }
+
+    #[test]
+    fn memo_bounds_goal_expansions() {
+        // Each non-singleton subset is expanded at most a handful of
+        // times (re-expansion only on limit escalation); without a memo
+        // the count would be exponential in the recursion tree.
+        let spec = JoinSpec::cartesian(&[10.0; 9]).unwrap();
+        let r = optimize_topdown(&spec, &Kappa0, f32::INFINITY);
+        let subsets = (1u64 << 9) - 9 - 1;
+        assert!(
+            r.goals_expanded <= subsets * 3,
+            "{} expansions for {subsets} subsets",
+            r.goals_expanded
+        );
+    }
+
+    #[test]
+    fn plan_is_well_formed() {
+        let spec = fig3_spec();
+        let r = optimize_topdown(&spec, &Kappa0, f32::INFINITY);
+        assert_eq!(r.plan.rel_set(), spec.all_rels());
+        let (_, recost) = r.plan.cost(&spec, &Kappa0);
+        assert!((recost - r.cost).abs() <= r.cost.abs() * 1e-4 + 1e-4);
+    }
+
+    #[test]
+    fn single_relation() {
+        let spec = JoinSpec::cartesian(&[4.0]).unwrap();
+        let r = optimize_topdown(&spec, &Kappa0, f32::INFINITY);
+        assert_eq!(r.plan, Plan::scan(0));
+        assert_eq!(r.cost, 0.0);
+    }
+}

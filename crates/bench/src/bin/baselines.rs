@@ -1,0 +1,206 @@
+//! Cross-optimizer comparison (extension of the paper's Sections 2 and 7):
+//! optimization time and plan quality for blitzsplit against every
+//! baseline, across the four topologies.
+//!
+//! Reported per `(topology, optimizer)`:
+//!
+//! * average optimization time;
+//! * plan cost relative to the bushy-with-products optimum (1.00 = found
+//!   the optimum);
+//! * whether the chosen plan contains a Cartesian product.
+//!
+//! The qualitative expectations: the exhaustive enumerators agree on cost
+//! (blitzsplit fastest); left-deep search loses on star-like queries
+//! where bushy/product plans win; greedy/stochastic methods are fast but
+//! can stray above 1.00; DPsize inspects far more pairs than blitzsplit
+//! iterates.
+//!
+//! Environment knobs: `BLITZ_N` (default 12), `BLITZ_BENCH_MIN_MS`.
+
+use blitz_baselines::{
+    goo, iterated_improvement, min_selectivity_left_deep, optimize_dpsize, optimize_dpsub,
+    optimize_dpccp, optimize_ikkbz, optimize_left_deep, optimize_topdown, quickpick,
+    simulated_annealing, Connectivity,
+    CrossProducts, IiParams, ProductPolicy, SaParams,
+};
+use blitz_bench::render::fmt_secs;
+use blitz_bench::timing::env_usize;
+use blitz_bench::{time_avg, Table, TimingConfig};
+use blitz_catalog::{Topology, Workload};
+use blitz_core::{optimize_join, JoinSpec, Kappa0, Plan};
+
+type Runner = Box<dyn Fn(&JoinSpec) -> (Plan, f32)>;
+
+struct Entry {
+    name: &'static str,
+    run: Runner,
+}
+
+fn main() {
+    let n = env_usize("BLITZ_N", 12);
+    let cfg = TimingConfig::from_env();
+
+    println!("Optimizer comparison under kappa_0 (n = {n})\n");
+
+    let entries: Vec<Entry> = vec![
+        Entry {
+            name: "blitzsplit (bushy+products)",
+            run: Box::new(|s| {
+                let o = optimize_join(s, &Kappa0).unwrap();
+                (o.plan, o.cost)
+            }),
+        },
+        Entry {
+            name: "dpsub explicit (products)",
+            run: Box::new(|s| {
+                let r = optimize_dpsub(s, &Kappa0, Connectivity::ProductsAllowed);
+                (r.plan, r.cost)
+            }),
+        },
+        Entry {
+            name: "dpsub connected-only",
+            run: Box::new(|s| {
+                let r = optimize_dpsub(s, &Kappa0, Connectivity::ConnectedOnly);
+                (r.plan, r.cost)
+            }),
+        },
+        Entry {
+            name: "dpccp (connected pairs)",
+            run: Box::new(|s| {
+                let r = optimize_dpccp(s, &Kappa0);
+                (r.plan, r.cost)
+            }),
+        },
+        Entry {
+            name: "dpsize (products)",
+            run: Box::new(|s| {
+                let r = optimize_dpsize(s, &Kappa0, CrossProducts::Allowed);
+                (r.plan, r.cost)
+            }),
+        },
+        Entry {
+            name: "dpsize no-products",
+            run: Box::new(|s| {
+                let r = optimize_dpsize(s, &Kappa0, CrossProducts::Avoided);
+                (r.plan, r.cost)
+            }),
+        },
+        Entry {
+            name: "left-deep (products)",
+            run: Box::new(|s| {
+                let r = optimize_left_deep(s, &Kappa0, ProductPolicy::Allowed);
+                (r.plan, r.cost)
+            }),
+        },
+        Entry {
+            name: "left-deep no-products",
+            run: Box::new(|s| {
+                let r = optimize_left_deep(s, &Kappa0, ProductPolicy::Excluded);
+                (r.plan, r.cost)
+            }),
+        },
+        Entry {
+            name: "top-down memo (Volcano-style)",
+            run: Box::new(|s| {
+                let r = optimize_topdown(s, &Kappa0, f32::INFINITY);
+                (r.plan, r.cost)
+            }),
+        },
+        Entry {
+            name: "top-down memo, greedy seed",
+            run: Box::new(|s| {
+                let (_, seed) = goo(s, &Kappa0);
+                let r = optimize_topdown(s, &Kappa0, seed * (1.0 + 1e-5));
+                (r.plan, r.cost)
+            }),
+        },
+        Entry { name: "GOO greedy", run: Box::new(|s| goo(s, &Kappa0)) },
+        Entry {
+            name: "min-card left-deep greedy",
+            run: Box::new(|s| min_selectivity_left_deep(s, &Kappa0)),
+        },
+        Entry {
+            name: "quickpick (500 probes)",
+            run: Box::new(|s| quickpick(s, &Kappa0, 500, 17)),
+        },
+        Entry {
+            name: "iterated improvement",
+            run: Box::new(|s| iterated_improvement(s, &Kappa0, IiParams::default())),
+        },
+        Entry {
+            name: "simulated annealing",
+            run: Box::new(|s| simulated_annealing(s, &Kappa0, SaParams::default())),
+        },
+    ];
+
+    for topo in Topology::ALL {
+        let spec = Workload::new(n, topo, 100.0, 0.5).spec();
+        let optimum = optimize_join(&spec, &Kappa0).unwrap().cost;
+        println!("=== topology {} (optimum cost {:.4e}) ===", topo.name(), optimum);
+        let mut table = Table::new(["optimizer", "time", "cost/optimum", "product in plan"]);
+        for e in &entries {
+            let t = time_avg(
+                || {
+                    std::hint::black_box((e.run)(&spec));
+                },
+                cfg,
+            );
+            let (plan, cost) = (e.run)(&spec);
+            table.row([
+                e.name.to_string(),
+                fmt_secs(t.as_secs_f64()),
+                format!("{:.4}", cost / optimum),
+                plan.contains_cartesian_product(&spec).to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    // IKKBZ applies only to acyclic graphs: compare it on the two
+    // tree-shaped topologies (it must match the product-free left-deep
+    // optimum in polynomial time).
+    println!("=== IKKBZ (acyclic-only, polynomial) ===");
+    let mut table = Table::new(["topology", "time", "cost/optimum", "matches left-deep DP"]);
+    for topo in [Topology::Chain, Topology::Star] {
+        let spec = Workload::new(n, topo, 100.0, 0.5).spec();
+        let optimum = optimize_join(&spec, &Kappa0).unwrap().cost;
+        let t = time_avg(
+            || {
+                std::hint::black_box(optimize_ikkbz(&spec, &Kappa0).unwrap().cost);
+            },
+            cfg,
+        );
+        let ik = optimize_ikkbz(&spec, &Kappa0).unwrap();
+        let dp = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Excluded);
+        table.row([
+            topo.name().to_string(),
+            fmt_secs(t.as_secs_f64()),
+            format!("{:.4}", ik.cost / optimum),
+            ((ik.cost - dp.cost).abs() <= dp.cost.abs() * 1e-4).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The classic product-optimal star case (Section 7: "to exclude
+    // Cartesian products a priori would be redundant at best, and
+    // potentially harmful").
+    println!("=== product-optimal star query (hub 10^6, tiny satellites) ===");
+    let spec = JoinSpec::new(
+        &[1_000_000.0, 10.0, 10.0, 12.0],
+        &[(0, 1, 1e-3), (0, 2, 1e-3), (0, 3, 1e-3)],
+    )
+    .unwrap();
+    let optimum = optimize_join(&spec, &Kappa0).unwrap();
+    println!(
+        "blitzsplit: cost {:.1}, plan {} (contains product: {})",
+        optimum.cost,
+        optimum.plan,
+        optimum.plan.contains_cartesian_product(&spec)
+    );
+    let excl = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Excluded);
+    println!(
+        "left-deep, products excluded: cost {:.1} ({:.1}x worse)",
+        excl.cost,
+        excl.cost / optimum.cost
+    );
+}

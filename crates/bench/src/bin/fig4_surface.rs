@@ -1,0 +1,58 @@
+//! Reproduces **Figure 4**: the four-dimensional summary of performance
+//! sensitivities at n = 15 — a 3 (cost model) × 4 (topology) array of
+//! cells, each a surface over mean base-relation cardinality (long axis,
+//! logarithmic: 1, 4.64, 21.5, 100, 464, …) and cardinality variability
+//! (short axis, 0 → 1).
+//!
+//! Each cell prints a variability × mean-cardinality matrix of
+//! optimization times. The paper's qualitative claims to check:
+//!
+//! * times degrade sharply as mean cardinality approaches 1 and settle by
+//!   μ ≈ 4.64 (the "chaise-longue" shape);
+//! * cliques are the slowest topology, chains the fastest;
+//! * the cost-model effect (κ_dnl slowest) fades as μ grows;
+//! * κ0 at n = 15 sits in the same range as the Figure 2 product times.
+//!
+//! Environment knobs: `BLITZ_N` (default 15), `BLITZ_MU_POINTS`
+//! (default 8), `BLITZ_VAR_POINTS` (default 5), `BLITZ_BENCH_MIN_MS`.
+
+use blitz_bench::grid::Model;
+use blitz_bench::render::fmt_secs;
+use blitz_bench::timing::env_usize;
+use blitz_bench::{Table, TimingConfig};
+use blitz_catalog::{mean_cardinality_axis, variability_axis, Topology, Workload};
+
+fn main() {
+    let n = env_usize("BLITZ_N", 15);
+    let mu_points = env_usize("BLITZ_MU_POINTS", 8);
+    let var_points = env_usize("BLITZ_VAR_POINTS", 5);
+    let cfg = TimingConfig::from_env();
+
+    let mus = mean_cardinality_axis(mu_points);
+    let vars = variability_axis(var_points);
+
+    println!("Figure 4: 4-dimensional summary of performance sensitivities (n = {n})");
+    println!(
+        "rows: cost models; columns: topologies; cell: variability (down) x mean cardinality (across)\n"
+    );
+
+    for model in Model::ALL {
+        for topo in Topology::ALL {
+            println!("=== {} x {} ===", model.name(), topo.name());
+            let mut table = Table::new(
+                std::iter::once("var\\mu".to_string())
+                    .chain(mus.iter().map(|m| format!("{m:.3e}"))),
+            );
+            for &v in &vars {
+                let mut row = vec![format!("{v:.2}")];
+                for &mu in &mus {
+                    let spec = Workload::new(n, topo, mu, v).spec();
+                    let t = model.time(&spec, f32::INFINITY, cfg);
+                    row.push(fmt_secs(t.as_secs_f64()));
+                }
+                table.row(row);
+            }
+            println!("{}", table.render());
+        }
+    }
+}

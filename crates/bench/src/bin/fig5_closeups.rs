@@ -1,0 +1,69 @@
+//! Reproduces **Figure 5**: enlarged close-ups of two Figure 4 cells with
+//! labeled axes — (a) cost model κ0 on the *chain* topology and (b)
+//! κ_dnl on *cycle+3* (the same two cells Figure 6 later revisits with
+//! plan-cost thresholds).
+//!
+//! Prints the full timing surface of each cell at higher mean-cardinality
+//! resolution, plus per-cell summaries (min/max, and the μ → 1
+//! degradation factor the paper highlights).
+//!
+//! Environment knobs: `BLITZ_N` (default 15), `BLITZ_MU_POINTS`
+//! (default 10), `BLITZ_VAR_POINTS` (default 5), `BLITZ_BENCH_MIN_MS`.
+
+use blitz_bench::grid::Model;
+use blitz_bench::render::fmt_secs;
+use blitz_bench::timing::env_usize;
+use blitz_bench::{Table, TimingConfig};
+use blitz_catalog::{mean_cardinality_axis, variability_axis, Topology, Workload};
+
+fn closeup(label: &str, model: Model, topo: Topology, n: usize, cfg: TimingConfig) {
+    let mus = mean_cardinality_axis(env_usize("BLITZ_MU_POINTS", 10));
+    let vars = variability_axis(env_usize("BLITZ_VAR_POINTS", 5));
+
+    println!("Figure 5({label}): {} x {} (n = {n})", model.name(), topo.name());
+    let mut table = Table::new(
+        std::iter::once("variability".to_string())
+            .chain(mus.iter().map(|m| format!("mu={m:.3e}"))),
+    );
+    let mut all: Vec<f64> = Vec::new();
+    let mut at_mu1: Vec<f64> = Vec::new();
+    let mut at_large: Vec<f64> = Vec::new();
+    for &v in &vars {
+        let mut row = vec![format!("{v:.2}")];
+        for (i, &mu) in mus.iter().enumerate() {
+            let spec = Workload::new(n, topo, mu, v).spec();
+            let t = model.time(&spec, f32::INFINITY, cfg).as_secs_f64();
+            row.push(fmt_secs(t));
+            all.push(t);
+            if i == 0 {
+                at_mu1.push(t);
+            }
+            if i == mus.len() - 1 {
+                at_large.push(t);
+            }
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = all.iter().cloned().fold(0.0f64, f64::max);
+    let mu1 = at_mu1.iter().sum::<f64>() / at_mu1.len() as f64;
+    let big = at_large.iter().sum::<f64>() / at_large.len() as f64;
+    println!(
+        "  range {} .. {}; mean at mu=1: {}, at mu={:.0e}: {} ({}x degradation toward mu=1)\n",
+        fmt_secs(min),
+        fmt_secs(max),
+        fmt_secs(mu1),
+        mus.last().unwrap(),
+        fmt_secs(big),
+        (mu1 / big.max(1e-12)).round()
+    );
+}
+
+fn main() {
+    let n = env_usize("BLITZ_N", 15);
+    let cfg = TimingConfig::from_env();
+    println!("Figure 5: Optimization times (close-ups of Figure 4)\n");
+    closeup("a", Model::K0, Topology::Chain, n, cfg);
+    closeup("b", Model::Dnl, Topology::CyclePlus3, n, cfg);
+}

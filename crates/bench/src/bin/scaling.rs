@@ -1,0 +1,67 @@
+//! Join-optimization scaling study (extension): wall-clock and
+//! enumeration counters as `n` grows, per topology — the join-order
+//! analogue of Figure 2, plus a head-to-head against the conventional
+//! enumerators' work metrics.
+//!
+//! Checks, as `n` grows:
+//!
+//! * blitzsplit's time tracks `3^n` with a small constant, regardless of
+//!   topology (the enumeration is topology-blind);
+//! * DPsize's inspected-pair count grows like `4^n`-ish, far above the
+//!   `3^n` splits both subset-driven enumerators cost;
+//! * the top-down memo expands every subset but its cost limits discard
+//!   splits blitzsplit must at least glance at.
+//!
+//! Environment knobs: `BLITZ_MIN_N` (default 6), `BLITZ_MAX_N`
+//! (default 15), `BLITZ_BENCH_MIN_MS`.
+
+use blitz_baselines::{optimize_dpccp, optimize_dpsize, optimize_topdown, CrossProducts};
+use blitz_bench::grid::Model;
+use blitz_bench::render::fmt_secs;
+use blitz_bench::timing::env_usize;
+use blitz_bench::{Table, TimingConfig};
+use blitz_catalog::{Topology, Workload};
+use blitz_core::Kappa0;
+
+fn main() {
+    let min_n = env_usize("BLITZ_MIN_N", 6);
+    let max_n = env_usize("BLITZ_MAX_N", 15).min(20);
+    let cfg = TimingConfig::from_env();
+
+    println!("Join-optimization scaling (kappa_0, mean cardinality 100, variability 0.5)\n");
+
+    let mut table = Table::new([
+        "n",
+        "topology",
+        "blitzsplit time",
+        "3^n",
+        "loop iters",
+        "dpsize pairs",
+        "dpccp pairs",
+        "topdown splits (seeded)",
+    ]);
+    for n in min_n..=max_n {
+        for topo in [Topology::Chain, Topology::Clique] {
+            let spec = Workload::new(n, topo, 100.0, 0.5).spec();
+            let t = Model::K0.time(&spec, f32::INFINITY, cfg);
+            let (_, counters) = Model::K0.optimize_counted(&spec, f32::INFINITY);
+            let dpsize = optimize_dpsize(&spec, &Kappa0, CrossProducts::Allowed);
+            let dpccp = optimize_dpccp(&spec, &Kappa0);
+            let greedy_seed = blitz_baselines::goo(&spec, &Kappa0).1;
+            let td = optimize_topdown(&spec, &Kappa0, greedy_seed * (1.0 + 1e-5));
+            table.row([
+                n.to_string(),
+                topo.name().to_string(),
+                fmt_secs(t.as_secs_f64()),
+                format!("{:.2e}", 3f64.powi(n as i32)),
+                counters.loop_iters.to_string(),
+                dpsize.pairs_inspected.to_string(),
+                dpccp.ccp_count.to_string(),
+                td.splits_tried.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("(dpsize pairs / blitzsplit iters widens with n: the O(4^n) vs O(3^n) gap;");
+    println!(" seeded top-down splits can dip below 3^n thanks to cost-limit pruning)");
+}

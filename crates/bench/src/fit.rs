@@ -1,0 +1,178 @@
+//! Least-squares fitting of the Section 3.3 performance model.
+//!
+//! Formula (3) predicts the product optimizer's running time as
+//!
+//! ```text
+//! t(n) = 3^n · T_loop + (ln 2 / 2) · n · 2^n · T_cond + 2^n · T_subset
+//! ```
+//!
+//! Given measured `(n, seconds)` points, [`fit_formula3`] recovers the
+//! machine constants by ordinary least squares on the three basis
+//! functions (a 3×3 normal-equation solve), mirroring the paper's
+//! Figure 2 fit ("we infer T_loop is about 180 nsec. on the Sun, and
+//! about 50 nsec. on the HP").
+
+/// The recovered constants of formula (3), in seconds.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Formula3Fit {
+    /// Per-iteration cost of the split loop.
+    pub t_loop: f64,
+    /// Per-execution cost of the conditional body.
+    pub t_cond: f64,
+    /// Per-subset straight-line cost.
+    pub t_subset: f64,
+}
+
+impl Formula3Fit {
+    /// Predicted time for a given `n`, per formula (3).
+    pub fn predict(&self, n: usize) -> f64 {
+        let (b1, b2, b3) = basis(n);
+        self.t_loop * b1 + self.t_cond * b2 + self.t_subset * b3
+    }
+}
+
+/// The three basis functions of formula (3).
+pub fn basis(n: usize) -> (f64, f64, f64) {
+    let p2 = 2f64.powi(n as i32);
+    let p3 = 3f64.powi(n as i32);
+    (p3, (std::f64::consts::LN_2 / 2.0) * n as f64 * p2, p2)
+}
+
+/// *Relative* least squares over the formula-(3) basis: each point is
+/// weighted by `1/t`, so the fit minimizes relative rather than absolute
+/// residuals. Measured times span many orders of magnitude across `n`;
+/// unweighted least squares would fit only the largest points and track
+/// the small ones poorly. Negative fitted coefficients (possible when a
+/// term is statistically invisible at the measured sizes) are clamped to
+/// zero.
+///
+/// # Panics
+/// Panics if fewer than 3 points are supplied.
+pub fn fit_formula3(points: &[(usize, f64)]) -> Formula3Fit {
+    assert!(points.len() >= 3, "need at least 3 points to fit 3 constants");
+    // Weighted normal equations: (XᵀWX) β = XᵀWy with X rows = basis(n)
+    // and W = diag(1/t²) (i.e. each row and target scaled by 1/t).
+    let mut xtx = [[0.0f64; 3]; 3];
+    let mut xty = [0.0f64; 3];
+    for &(n, t) in points {
+        let w = if t > 0.0 { 1.0 / t } else { 1.0 };
+        let (b1, b2, b3) = basis(n);
+        let row = [b1 * w, b2 * w, b3 * w];
+        let y = t * w; // = 1 for positive t
+        for i in 0..3 {
+            for j in 0..3 {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xty[i] += row[i] * y;
+        }
+    }
+    let beta = solve3(xtx, xty);
+    Formula3Fit {
+        t_loop: beta[0].max(0.0),
+        t_cond: beta[1].max(0.0),
+        t_subset: beta[2].max(0.0),
+    }
+}
+
+/// Solve a 3×3 linear system by Gaussian elimination with partial
+/// pivoting. Singular systems return zeros (callers then report an
+/// unusable fit rather than crashing a benchmark run).
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
+    for col in 0..3 {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..3 {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        if a[piv][col].abs() < 1e-300 {
+            return [0.0; 3];
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        // Eliminate below.
+        for r in col + 1..3 {
+            let f = a[r][col] / a[col][col];
+            let pivot_row = a[col];
+            for (c, pv) in pivot_row.iter().enumerate().skip(col) {
+                a[r][c] -= f * pv;
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = [0.0f64; 3];
+    for col in (0..3).rev() {
+        let mut s = b[col];
+        for c in col + 1..3 {
+            s -= a[col][c] * x[c];
+        }
+        x[col] = s / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_synthetic_constants() {
+        let truth = Formula3Fit { t_loop: 180e-9, t_cond: 40e-9, t_subset: 25e-9 };
+        let points: Vec<(usize, f64)> = (6..=16).map(|n| (n, truth.predict(n))).collect();
+        let fit = fit_formula3(&points);
+        assert!((fit.t_loop - truth.t_loop).abs() / truth.t_loop < 1e-6);
+        assert!((fit.t_cond - truth.t_cond).abs() / truth.t_cond < 1e-6);
+        assert!((fit.t_subset - truth.t_subset).abs() / truth.t_subset < 1e-6);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let truth = Formula3Fit { t_loop: 100e-9, t_cond: 30e-9, t_subset: 20e-9 };
+        let points: Vec<(usize, f64)> = (8..=16)
+            .map(|n| {
+                // ±2% deterministic "noise".
+                let wiggle = 1.0 + 0.02 * ((n as f64 * 2.7).sin());
+                (n, truth.predict(n) * wiggle)
+            })
+            .collect();
+        let fit = fit_formula3(&points);
+        // The basis functions are strongly collinear over this n-range, so
+        // individual coefficients wander under noise; the dominant 3^n
+        // term should still land in the right ballpark…
+        assert!((fit.t_loop - truth.t_loop).abs() / truth.t_loop < 0.30, "{fit:?}");
+        // …and predictions must track the measured points to within a few
+        // times the injected noise level.
+        for &(n, t) in &points {
+            let pred = fit.predict(n);
+            assert!((pred - t).abs() / t < 0.10, "n={n}: pred {pred} vs meas {t}");
+        }
+    }
+
+    #[test]
+    fn clamps_negative_coefficients() {
+        // Data generated from only the 2^n term: the other coefficients
+        // should come out ~0, never negative.
+        let points: Vec<(usize, f64)> =
+            (6..=14).map(|n| (n, 1e-8 * 2f64.powi(n as i32))).collect();
+        let fit = fit_formula3(&points);
+        assert!(fit.t_loop >= 0.0);
+        assert!(fit.t_cond >= 0.0);
+        assert!(fit.t_subset >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_points_panics() {
+        let _ = fit_formula3(&[(5, 1.0), (6, 2.0)]);
+    }
+
+    #[test]
+    fn basis_values() {
+        let (b1, b2, b3) = basis(10);
+        assert_eq!(b1, 59049.0);
+        assert_eq!(b3, 1024.0);
+        assert!((b2 - (std::f64::consts::LN_2 / 2.0) * 10.0 * 1024.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # blitz-bench — the paper's evaluation harness
+//!
+//! Shared machinery for the figure/table binaries in `src/bin/`:
+//!
+//! * [`timing`] — repeated-execution wall-clock measurement in the style
+//!   of the paper's footnote 4 ("each timing point t represents an average
+//!   over k executions of the algorithm, where k is such that kt ≥ 30
+//!   seconds" — our budget is configurable and defaults far lower so the
+//!   full suite runs in minutes);
+//! * [`fit`] — least-squares fitting of the Section 3.3 performance model
+//!   `t(n) = 3^n·T_loop + (ln2/2)·n·2^n·T_cond + 2^n·T_subset`
+//!   (formula (3)) to measured points, recovering the machine constants;
+//! * [`render`] — fixed-width ASCII tables for figure output.
+//!
+//! Reproduction binaries (run with `--release`):
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Table 1 | `table1` |
+//! | Figure 2 | `fig2_cartesian` |
+//! | Figure 4 | `fig4_surface` |
+//! | Figure 5 | `fig5_closeups` |
+//! | Figure 6 | `fig6_thresholds` |
+//! | §3.3/§6.2 execution-count analysis | `counts` |
+//! | cross-optimizer comparison (extension) | `baselines` |
+
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod grid;
+pub mod render;
+pub mod timing;
+
+pub use fit::{fit_formula3, Formula3Fit};
+pub use render::Table;
+pub use timing::{time_avg, TimingConfig};

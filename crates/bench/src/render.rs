@@ -1,0 +1,118 @@
+//! Minimal fixed-width ASCII table rendering for figure output.
+
+/// A simple right-aligned ASCII table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to a string with a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for i in 0..ncols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align.
+                let pad = widths[i].saturating_sub(cells[i].len());
+                out.extend(std::iter::repeat_n(' ', pad));
+                out.push_str(&cells[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for r in &self.rows {
+            fmt_row(r, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a duration in adaptive units (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.1}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.3}s", secs)
+    }
+}
+
+/// Format a float in compact scientific-ish notation for table cells.
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.2e}")
+    } else if x.fract() == 0.0 && x.abs() < 1e6 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(["n", "time"]);
+        t.row(["4", "1.0ms"]);
+        t.row(["15", "900ms"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("time"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned: "15" ends at the same column as " 4".
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_secs(5e-9), "5.0ns");
+        assert_eq!(fmt_secs(2.5e-5), "25.0µs");
+        assert_eq!(fmt_secs(0.012), "12.00ms");
+        assert_eq!(fmt_secs(1.5), "1.500s");
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(240000.0), "240000");
+        assert_eq!(fmt_num(2.4e7), "2.40e7");
+        assert_eq!(fmt_num(0.125), "0.125");
+    }
+}

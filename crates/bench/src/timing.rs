@@ -1,0 +1,92 @@
+//! Wall-clock timing with a per-point repetition budget.
+//!
+//! Follows the paper's footnote 4: each reported time is an average over
+//! `k` executions, where `k` is chosen so the total measured time reaches
+//! a budget. The paper used 30 s per point on 1996 hardware; the default
+//! here is 50 ms (override with the `BLITZ_BENCH_MIN_MS` environment
+//! variable) so the whole figure suite completes in minutes while still
+//! averaging out scheduler noise on points that run in microseconds.
+
+use std::time::{Duration, Instant};
+
+/// Repetition budget for one timing point.
+#[derive(Copy, Clone, Debug)]
+pub struct TimingConfig {
+    /// Minimum total measured time per point.
+    pub min_total: Duration,
+    /// Hard cap on repetitions (protects extremely fast points).
+    pub max_reps: u32,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig { min_total: Duration::from_millis(50), max_reps: 100_000 }
+    }
+}
+
+impl TimingConfig {
+    /// Default budget, honouring `BLITZ_BENCH_MIN_MS` when set.
+    pub fn from_env() -> TimingConfig {
+        let mut cfg = TimingConfig::default();
+        if let Ok(ms) = std::env::var("BLITZ_BENCH_MIN_MS") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                cfg.min_total = Duration::from_millis(ms);
+            }
+        }
+        cfg
+    }
+}
+
+/// Average wall-clock duration of `f`, repeating until the budget is
+/// consumed. `f` runs at least once.
+pub fn time_avg<F: FnMut()>(mut f: F, cfg: TimingConfig) -> Duration {
+    let start = Instant::now();
+    let mut reps = 0u32;
+    loop {
+        f();
+        reps += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= cfg.min_total || reps >= cfg.max_reps {
+            return elapsed / reps;
+        }
+    }
+}
+
+/// Parse an environment variable as `usize` with a default — used by the
+/// figure binaries for `BLITZ_N`, grid resolutions, etc.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_repetitions() {
+        let cfg = TimingConfig { min_total: Duration::from_millis(5), max_reps: 1_000_000 };
+        let mut count = 0u64;
+        let avg = time_avg(
+            || {
+                count += 1;
+                std::hint::black_box((0..100).sum::<u64>());
+            },
+            cfg,
+        );
+        assert!(count > 1, "fast closures should repeat");
+        assert!(avg > Duration::ZERO);
+    }
+
+    #[test]
+    fn respects_max_reps() {
+        let cfg = TimingConfig { min_total: Duration::from_secs(3600), max_reps: 3 };
+        let mut count = 0;
+        let _ = time_avg(|| count += 1, cfg);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn env_usize_parses() {
+        assert_eq!(env_usize("BLITZ_NONEXISTENT_VAR_12345", 7), 7);
+    }
+}

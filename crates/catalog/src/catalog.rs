@@ -1,0 +1,235 @@
+//! A small statistics catalog with System-R-style selectivity estimation.
+//!
+//! The paper assumes selectivities are given; real systems derive them
+//! from catalog statistics. This module provides the standard
+//! distinct-value estimate for equi-joins,
+//! `σ(A.x = B.y) = 1 / max(ndv(A.x), ndv(B.y))`, so that the examples can
+//! express queries over named tables and columns and lower them to a
+//! [`JoinGraph`] without hand-picking selectivities.
+
+use crate::graph::JoinGraph;
+
+/// Per-column statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Number of distinct values.
+    pub ndv: f64,
+}
+
+/// Per-table statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableStats {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Row count.
+    pub rows: f64,
+    /// Column statistics.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// A catalog of table statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: Vec<TableStats>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table with its row count and `(column, ndv)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate table names or nonpositive statistics.
+    pub fn add_table(&mut self, name: impl Into<String>, rows: f64, columns: &[(&str, f64)]) {
+        let name = name.into();
+        assert!(self.tables.iter().all(|t| t.name != name), "duplicate table {name:?}");
+        assert!(rows > 0.0, "table {name:?} must have positive row count");
+        let columns = columns
+            .iter()
+            .map(|&(c, ndv)| {
+                assert!(ndv > 0.0, "column {name:?}.{c:?} must have positive ndv");
+                ColumnStats { name: c.to_string(), ndv }
+            })
+            .collect();
+        self.tables.push(TableStats { name, rows, columns });
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[TableStats] {
+        &self.tables
+    }
+
+    /// The classical equi-join selectivity estimate
+    /// `1 / max(ndv(lhs), ndv(rhs))` for `lhs = "table.column"` syntax.
+    ///
+    /// # Panics
+    /// Panics if either reference cannot be resolved.
+    pub fn equijoin_selectivity(&self, lhs: &str, rhs: &str) -> f64 {
+        let (lt, lc) = self.resolve(lhs);
+        let (rt, rc) = self.resolve(rhs);
+        1.0 / lt
+            .column(lc)
+            .unwrap_or_else(|| panic!("unknown column {lhs:?}"))
+            .ndv
+            .max(rt.column(rc).unwrap_or_else(|| panic!("unknown column {rhs:?}")).ndv)
+    }
+
+    fn resolve<'q>(&self, qualified: &'q str) -> (&TableStats, &'q str) {
+        let (t, c) = qualified
+            .split_once('.')
+            .unwrap_or_else(|| panic!("column reference {qualified:?} must be table.column"));
+        (self.table(t).unwrap_or_else(|| panic!("unknown table {t:?}")), c)
+    }
+
+    /// Start building a query against this catalog.
+    pub fn query(&self) -> QueryBuilder<'_> {
+        QueryBuilder { catalog: self, graph: JoinGraph::new() }
+    }
+}
+
+/// Fluent builder lowering a named query to a [`JoinGraph`].
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    graph: JoinGraph,
+}
+
+impl QueryBuilder<'_> {
+    /// Bring a table into the query (FROM clause). Optionally applies a
+    /// local-predicate selectivity that scales its effective cardinality.
+    ///
+    /// # Panics
+    /// Panics if the table is unknown.
+    pub fn table(mut self, name: &str) -> Self {
+        let t = self.catalog.table(name).unwrap_or_else(|| panic!("unknown table {name:?}"));
+        self.graph.add_relation(t.name.clone(), t.rows);
+        self
+    }
+
+    /// Like [`QueryBuilder::table`] but with a local filter of the given
+    /// selectivity applied (reduces the effective cardinality).
+    pub fn table_filtered(mut self, name: &str, filter_selectivity: f64) -> Self {
+        assert!(
+            filter_selectivity > 0.0 && filter_selectivity <= 1.0,
+            "filter selectivity must lie in (0,1]"
+        );
+        let t = self.catalog.table(name).unwrap_or_else(|| panic!("unknown table {name:?}"));
+        self.graph.add_relation(t.name.clone(), (t.rows * filter_selectivity).max(1.0));
+        self
+    }
+
+    /// Add an equi-join predicate `lhs = rhs` (both `"table.column"`);
+    /// selectivity is estimated from the catalog.
+    ///
+    /// # Panics
+    /// Panics if either side's table was not added to the query.
+    pub fn equijoin(mut self, lhs: &str, rhs: &str) -> Self {
+        let sel = self.catalog.equijoin_selectivity(lhs, rhs);
+        let lt = lhs.split_once('.').unwrap().0;
+        let rt = rhs.split_once('.').unwrap().0;
+        self.graph.add_predicate_named(lt, rt, sel);
+        self
+    }
+
+    /// Add a join predicate with an explicit selectivity.
+    pub fn join_selectivity(mut self, lhs_table: &str, rhs_table: &str, sel: f64) -> Self {
+        self.graph.add_predicate_named(lhs_table, rhs_table, sel);
+        self
+    }
+
+    /// Finish, yielding the join graph.
+    pub fn build(self) -> JoinGraph {
+        self.graph
+    }
+}
+
+/// A ready-made star-schema catalog loosely shaped like a retail data
+/// warehouse; used by examples and tests.
+pub fn demo_retail_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "sales",
+        6_000_000.0,
+        &[("custkey", 150_000.0), ("prodkey", 20_000.0), ("storekey", 500.0), ("datekey", 2_555.0)],
+    );
+    c.add_table("customer", 150_000.0, &[("custkey", 150_000.0), ("nationkey", 25.0)]);
+    c.add_table("product", 20_000.0, &[("prodkey", 20_000.0), ("brandkey", 50.0)]);
+    c.add_table("store", 500.0, &[("storekey", 500.0), ("regionkey", 5.0)]);
+    c.add_table("datedim", 2_555.0, &[("datekey", 2_555.0), ("year", 7.0)]);
+    c.add_table("nation", 25.0, &[("nationkey", 25.0), ("regionkey", 5.0)]);
+    c.add_table("brand", 50.0, &[("brandkey", 50.0)]);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lookup_and_selectivity() {
+        let c = demo_retail_catalog();
+        assert!(c.table("sales").is_some());
+        assert!(c.table("nosuch").is_none());
+        let sel = c.equijoin_selectivity("sales.custkey", "customer.custkey");
+        assert!((sel - 1.0 / 150_000.0).abs() < 1e-15);
+        // max() of the two ndvs.
+        let sel = c.equijoin_selectivity("store.regionkey", "nation.regionkey");
+        assert!((sel - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn query_builder_lowers_to_graph() {
+        let c = demo_retail_catalog();
+        let g = c
+            .query()
+            .table("sales")
+            .table("customer")
+            .table_filtered("store", 0.1)
+            .equijoin("sales.custkey", "customer.custkey")
+            .equijoin("sales.storekey", "store.storekey")
+            .build();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.predicates().len(), 2);
+        assert_eq!(g.relations()[2].cardinality, 50.0); // 500 × 0.1
+        let spec = g.to_spec().unwrap();
+        assert!(spec.has_predicate(0, 1));
+        assert!(!spec.has_predicate(1, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_table_panics() {
+        let c = demo_retail_catalog();
+        let _ = c.query().table("warehouse");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_filter_selectivity_panics() {
+        let c = demo_retail_catalog();
+        let _ = c.query().table_filtered("sales", 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_table_panics() {
+        let mut c = Catalog::new();
+        c.add_table("t", 1.0, &[]);
+        c.add_table("t", 2.0, &[]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Named join graphs (paper Section 5.1).
+//!
+//! A [`JoinGraph`] is the user-facing description of a query: named
+//! relations with cardinalities (the nodes) and named predicates with
+//! selectivities (the edges). It lowers to the purely numeric
+//! [`JoinSpec`] consumed by the optimizer; relation indices in the spec
+//! are assignment order.
+
+use blitz_core::{JoinSpec, RelSet, SpecError};
+
+/// A base relation: a name and its cardinality.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Relation {
+    /// Human-readable name (unique within a graph).
+    pub name: String,
+    /// Row count.
+    pub cardinality: f64,
+}
+
+/// A binary join predicate between two relations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predicate {
+    /// Index of the first relation.
+    pub lhs: usize,
+    /// Index of the second relation.
+    pub rhs: usize,
+    /// Fraction of the Cartesian product satisfying the predicate.
+    pub selectivity: f64,
+}
+
+/// A query's join graph: relations plus predicates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JoinGraph {
+    relations: Vec<Relation>,
+    predicates: Vec<Predicate>,
+}
+
+impl JoinGraph {
+    /// An empty graph.
+    pub fn new() -> JoinGraph {
+        JoinGraph::default()
+    }
+
+    /// Add a relation, returning its index.
+    ///
+    /// # Panics
+    /// Panics if the name duplicates an existing relation.
+    pub fn add_relation(&mut self, name: impl Into<String>, cardinality: f64) -> usize {
+        let name = name.into();
+        assert!(
+            self.relations.iter().all(|r| r.name != name),
+            "duplicate relation name {name:?}"
+        );
+        self.relations.push(Relation { name, cardinality });
+        self.relations.len() - 1
+    }
+
+    /// Add a predicate between two relations (by index).
+    pub fn add_predicate(&mut self, lhs: usize, rhs: usize, selectivity: f64) {
+        assert!(lhs < self.relations.len() && rhs < self.relations.len() && lhs != rhs);
+        self.predicates.push(Predicate { lhs, rhs, selectivity });
+    }
+
+    /// Add a predicate between two relations (by name).
+    ///
+    /// # Panics
+    /// Panics if either name is unknown.
+    pub fn add_predicate_named(&mut self, lhs: &str, rhs: &str, selectivity: f64) {
+        let l = self.index_of(lhs).unwrap_or_else(|| panic!("unknown relation {lhs:?}"));
+        let r = self.index_of(rhs).unwrap_or_else(|| panic!("unknown relation {rhs:?}"));
+        self.add_predicate(l, r, selectivity);
+    }
+
+    /// Index of the relation with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.relations.iter().position(|r| r.name == name)
+    }
+
+    /// Number of relations.
+    pub fn n(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// All relations, in index order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// All predicates, in insertion order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Degree of relation `i` (number of incident predicates; parallel
+    /// predicates count separately).
+    pub fn degree(&self, i: usize) -> usize {
+        self.predicates.iter().filter(|p| p.lhs == i || p.rhs == i).count()
+    }
+
+    /// Lower to the numeric [`JoinSpec`] the optimizer consumes.
+    pub fn to_spec(&self) -> Result<JoinSpec, SpecError> {
+        let cards: Vec<f64> = self.relations.iter().map(|r| r.cardinality).collect();
+        let preds: Vec<(usize, usize, f64)> =
+            self.predicates.iter().map(|p| (p.lhs, p.rhs, p.selectivity)).collect();
+        JoinSpec::new(&cards, &preds)
+    }
+
+    /// `true` iff the whole graph is connected (no Cartesian product is
+    /// forced). Empty graphs count as connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return true;
+        }
+        let mut reached = RelSet::singleton(0);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &self.predicates {
+                let has_l = reached.contains(p.lhs);
+                let has_r = reached.contains(p.rhs);
+                if has_l != has_r {
+                    reached = reached.with(if has_l { p.rhs } else { p.lhs });
+                    changed = true;
+                }
+            }
+        }
+        reached.len() == n
+    }
+
+    /// `true` iff the graph contains no cycle (treating parallel edges as
+    /// a cycle).
+    pub fn is_acyclic(&self) -> bool {
+        // Union-find over relation indices.
+        let mut parent: Vec<usize> = (0..self.n()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for p in &self.predicates {
+            let a = find(&mut parent, p.lhs);
+            let b = find(&mut parent, p.rhs);
+            if a == b {
+                return false;
+            }
+            parent[a] = b;
+        }
+        true
+    }
+
+    /// Human-readable description of the relation names in a set.
+    pub fn describe_set(&self, s: RelSet) -> String {
+        let names: Vec<&str> = s.iter().map(|i| self.relations[i].name.as_str()).collect();
+        format!("{{{}}}", names.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc_graph() -> JoinGraph {
+        let mut g = JoinGraph::new();
+        let a = g.add_relation("A", 10.0);
+        let b = g.add_relation("B", 20.0);
+        let c = g.add_relation("C", 30.0);
+        g.add_predicate(a, b, 0.1);
+        g.add_predicate(b, c, 0.2);
+        g
+    }
+
+    #[test]
+    fn build_and_lower() {
+        let g = abc_graph();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.index_of("B"), Some(1));
+        assert_eq!(g.index_of("Z"), None);
+        let spec = g.to_spec().unwrap();
+        assert_eq!(spec.n(), 3);
+        assert_eq!(spec.selectivity(0, 1), 0.1);
+        assert_eq!(spec.selectivity(0, 2), 1.0);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = abc_graph();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn named_predicates() {
+        let mut g = abc_graph();
+        g.add_predicate_named("A", "C", 0.5);
+        assert_eq!(g.predicates().len(), 3);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_name_panics() {
+        let mut g = JoinGraph::new();
+        g.add_relation("A", 1.0);
+        g.add_relation("A", 2.0);
+    }
+
+    #[test]
+    fn connectivity_and_cycles() {
+        let g = abc_graph();
+        assert!(g.is_connected());
+        assert!(g.is_acyclic());
+
+        let mut cyclic = abc_graph();
+        cyclic.add_predicate(0, 2, 0.3);
+        assert!(!cyclic.is_acyclic());
+        assert!(cyclic.is_connected());
+
+        let mut disconnected = JoinGraph::new();
+        disconnected.add_relation("X", 1.0);
+        disconnected.add_relation("Y", 2.0);
+        assert!(!disconnected.is_connected());
+        assert!(disconnected.is_acyclic());
+        assert!(JoinGraph::new().is_connected());
+    }
+
+    #[test]
+    fn describe_set() {
+        let g = abc_graph();
+        assert_eq!(g.describe_set(RelSet::from_bits(0b101)), "{A,C}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Equi-width histograms: deriving the optimizer's inputs from data.
+//!
+//! The paper — like most of the join-ordering literature — takes
+//! cardinalities and selectivities as given. A system derives them from
+//! statistics; this module provides the classic equi-width histogram
+//! with per-bucket row and distinct counts, supporting
+//!
+//! * equality and range *filter* selectivities, and
+//! * the bucket-aligned *join* selectivity estimate
+//!   `σ ≈ Σ_i f₁(i)·f₂(i) / max(d₁(i), d₂(i))`
+//!
+//! so that the integration tests can run the whole loop: generate data →
+//! build histograms → estimate a [`blitz_core::JoinSpec`] → optimize →
+//! execute → compare observed row counts against the estimates.
+
+/// One histogram bucket: `[lo, hi)` value bounds with row/distinct counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Bucket {
+    lo: u64,
+    hi: u64,
+    rows: u64,
+    distinct: u64,
+}
+
+/// An equi-width histogram over `u64` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<Bucket>,
+    total_rows: u64,
+    total_distinct: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Build from raw values with at most `bucket_count` buckets.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or `bucket_count == 0`.
+    pub fn build(values: &[u64], bucket_count: usize) -> Histogram {
+        assert!(!values.is_empty(), "cannot build a histogram over no rows");
+        assert!(bucket_count >= 1);
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+        let span = max - min + 1;
+        let buckets_n = (bucket_count as u64).min(span);
+        let width = span.div_ceil(buckets_n);
+
+        let mut buckets: Vec<Bucket> = (0..buckets_n)
+            .map(|i| Bucket {
+                lo: min + i * width,
+                hi: (min + (i + 1) * width).min(max + 1),
+                rows: 0,
+                distinct: 0,
+            })
+            .collect();
+        let mut total_distinct = 0;
+        let mut prev: Option<u64> = None;
+        for &v in &sorted {
+            let idx = (((v - min) / width) as usize).min(buckets.len() - 1);
+            buckets[idx].rows += 1;
+            if prev != Some(v) {
+                buckets[idx].distinct += 1;
+                total_distinct += 1;
+                prev = Some(v);
+            }
+        }
+        Histogram { buckets, total_rows: values.len() as u64, total_distinct, min, max }
+    }
+
+    /// Total rows summarized.
+    pub fn rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Exact distinct-value count observed at build time.
+    pub fn distinct(&self) -> u64 {
+        self.total_distinct
+    }
+
+    /// Smallest and largest values seen.
+    pub fn value_range(&self) -> (u64, u64) {
+        (self.min, self.max)
+    }
+
+    fn bucket_for(&self, v: u64) -> Option<&Bucket> {
+        self.buckets.iter().find(|b| b.lo <= v && v < b.hi)
+    }
+
+    /// Estimated selectivity of `col = v`: the containing bucket's row
+    /// fraction spread uniformly over its distinct values.
+    pub fn selectivity_eq(&self, v: u64) -> f64 {
+        match self.bucket_for(v) {
+            Some(b) if b.distinct > 0 => {
+                (b.rows as f64 / self.total_rows as f64) / b.distinct as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Estimated selectivity of `lo <= col < hi` with fractional
+    /// interpolation inside partially-covered buckets.
+    pub fn selectivity_range(&self, lo: u64, hi: u64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        let mut rows = 0.0;
+        for b in &self.buckets {
+            let s = lo.max(b.lo);
+            let e = hi.min(b.hi);
+            if e > s {
+                let frac = (e - s) as f64 / (b.hi - b.lo) as f64;
+                rows += b.rows as f64 * frac;
+            }
+        }
+        rows / self.total_rows as f64
+    }
+
+    /// Bucket-aligned equi-join selectivity estimate against another
+    /// histogram: buckets are intersected by value range, and each
+    /// intersection contributes `f₁·f₂ / max(d₁, d₂)` scaled by overlap.
+    pub fn join_selectivity(&self, other: &Histogram) -> f64 {
+        let mut sel = 0.0;
+        for a in &self.buckets {
+            for b in &other.buckets {
+                let s = a.lo.max(b.lo);
+                let e = a.hi.min(b.hi);
+                if e <= s {
+                    continue;
+                }
+                let fa = (a.rows as f64 / self.total_rows as f64)
+                    * ((e - s) as f64 / (a.hi - a.lo) as f64);
+                let fb = (b.rows as f64 / other.total_rows as f64)
+                    * ((e - s) as f64 / (b.hi - b.lo) as f64);
+                let da = (a.distinct as f64 * (e - s) as f64 / (a.hi - a.lo) as f64).max(1.0);
+                let db = (b.distinct as f64 * (e - s) as f64 / (b.hi - b.lo) as f64).max(1.0);
+                sel += fa * fb / da.max(db);
+            }
+        }
+        sel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_values(n: usize, domain: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0..domain)).collect()
+    }
+
+    #[test]
+    fn build_accounts_for_every_row_and_distinct() {
+        let vals = uniform_values(5000, 100, 1);
+        let h = Histogram::build(&vals, 16);
+        assert_eq!(h.rows(), 5000);
+        // Uniform over 100 values with 5000 draws: all observed.
+        assert_eq!(h.distinct(), 100);
+        let (lo, hi) = h.value_range();
+        assert!(hi < 100 && lo < hi);
+    }
+
+    #[test]
+    fn equality_selectivity_near_uniform_truth() {
+        let vals = uniform_values(20_000, 50, 2);
+        let h = Histogram::build(&vals, 10);
+        // Truth: 1/50 = 0.02.
+        for v in [0u64, 13, 27, 49] {
+            let s = h.selectivity_eq(v);
+            assert!((s - 0.02).abs() < 0.005, "sel({v}) = {s}");
+        }
+        // Out of range → 0.
+        assert_eq!(h.selectivity_eq(1_000), 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_matches_fraction() {
+        let vals = uniform_values(50_000, 1000, 3);
+        let h = Histogram::build(&vals, 20);
+        let s = h.selectivity_range(0, 500);
+        assert!((s - 0.5).abs() < 0.02, "range sel {s}");
+        let s = h.selectivity_range(250, 750);
+        assert!((s - 0.5).abs() < 0.02, "range sel {s}");
+        assert_eq!(h.selectivity_range(10, 10), 0.0);
+        // Full range ≈ 1.
+        let s = h.selectivity_range(0, 1001);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_selectivity_recovers_shared_domain() {
+        // Two uniform columns over the same 200-value domain: true equi-
+        // join selectivity is 1/200 = 0.005.
+        let a = Histogram::build(&uniform_values(10_000, 200, 4), 16);
+        let b = Histogram::build(&uniform_values(8_000, 200, 5), 16);
+        let s = a.join_selectivity(&b);
+        assert!((s - 0.005).abs() < 0.001, "join sel {s}");
+    }
+
+    #[test]
+    fn join_selectivity_of_disjoint_domains_is_zero() {
+        let a = Histogram::build(&uniform_values(1000, 100, 6), 8);
+        let shifted: Vec<u64> =
+            uniform_values(1000, 100, 7).into_iter().map(|v| v + 10_000).collect();
+        let b = Histogram::build(&shifted, 8);
+        assert_eq!(a.join_selectivity(&b), 0.0);
+    }
+
+    #[test]
+    fn join_selectivity_handles_skew_better_than_ndv_rule() {
+        // 90% of rows carry value 0, the rest uniform over 1..100. The
+        // flat 1/max(ndv) rule badly underestimates; bucketed estimation
+        // lands much closer.
+        let mut vals = vec![0u64; 9_000];
+        vals.extend(uniform_values(1_000, 99, 8).into_iter().map(|v| v + 1));
+        // True self-join selectivity: Σ p_v² ≈ 0.9² = 0.81 (plus tail).
+        let truth = 0.81;
+        let flat = 1.0 / 100.0;
+        // Fine buckets (one value each) essentially recover the truth.
+        let fine = Histogram::build(&vals, 200);
+        let est_fine = fine.join_selectivity(&fine);
+        assert!((est_fine - truth).abs() < 0.05, "fine-bucket estimate {est_fine}");
+        // Coarse buckets smear the spike over its bucket's 5 distinct
+        // values (estimate ≈ 0.81/5) — still far closer than the flat
+        // 1/ndv rule, which misses by 80×.
+        let coarse = Histogram::build(&vals, 20);
+        let est_coarse = coarse.join_selectivity(&coarse);
+        assert!(
+            (est_coarse - truth).abs() < (flat - truth).abs(),
+            "coarse estimate {est_coarse} must beat the flat rule {flat}"
+        );
+        assert!(est_coarse > 10.0 * flat, "coarse estimate sees the skew");
+    }
+
+    #[test]
+    fn single_value_column() {
+        let h = Histogram::build(&[7, 7, 7, 7], 8);
+        assert_eq!(h.distinct(), 1);
+        assert!((h.selectivity_eq(7) - 1.0).abs() < 1e-12);
+        assert_eq!(h.selectivity_eq(8), 0.0);
+        // Self-join of a constant column: selectivity 1.
+        assert!((h.join_selectivity(&h) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_input_panics() {
+        let _ = Histogram::build(&[], 4);
+    }
+}

@@ -1,0 +1,274 @@
+//! Implied and redundant equi-join predicates.
+//!
+//! Section 5 of the paper notes that its selectivity-folding technique
+//! "can accommodate implied or redundant predicates", without spelling
+//! out how. The standard treatment, implemented here, happens *before*
+//! the optimizer runs:
+//!
+//! * equi-join predicates induce an equivalence relation on columns
+//!   (`A.x = B.y` and `B.y = C.z` imply `A.x = C.z`);
+//! * *saturation* adds one predicate for every pair of relations that
+//!   share an equivalence class — giving the optimizer the freedom to
+//!   join `A` directly to `C`, which would otherwise look like a
+//!   Cartesian product;
+//! * *redundancy* is resolved at the same time: within one class, at
+//!   most one predicate may count per relation pair (multiplying the
+//!   selectivities of `A.x = B.y` and `A.x = C.z` and `B.y = C.z` would
+//!   triple-count a single underlying constraint). Saturated
+//!   selectivities use the distinct-value estimate `1/max(ndv)` per pair.
+//!
+//! The output is a plain predicate list, so the blitzsplit enumeration is
+//! untouched — exactly the paper's division of labour.
+
+use std::collections::HashMap;
+
+/// A column participating in equi-join predicates: a relation index plus
+/// the column's distinct-value count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EquiColumn {
+    /// Relation the column belongs to.
+    pub rel: usize,
+    /// Column name (unique within the relation).
+    pub name: String,
+    /// Number of distinct values.
+    pub ndv: f64,
+}
+
+/// A conjunctive equi-join query: columns and the equality pairs the user
+/// wrote (by column index into `columns`).
+#[derive(Clone, Debug, Default)]
+pub struct EquiJoinQuery {
+    /// All join columns.
+    pub columns: Vec<EquiColumn>,
+    /// Equalities between columns (indices into `columns`).
+    pub equalities: Vec<(usize, usize)>,
+}
+
+impl EquiJoinQuery {
+    /// Empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a column, returning its index.
+    ///
+    /// # Panics
+    /// Panics on nonpositive `ndv` or duplicate `(rel, name)`.
+    pub fn column(&mut self, rel: usize, name: impl Into<String>, ndv: f64) -> usize {
+        let name = name.into();
+        assert!(ndv > 0.0, "ndv must be positive");
+        assert!(
+            !self.columns.iter().any(|c| c.rel == rel && c.name == name),
+            "duplicate column R{rel}.{name}"
+        );
+        self.columns.push(EquiColumn { rel, name, ndv });
+        self.columns.len() - 1
+    }
+
+    /// Add an equality between two registered columns.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range, or both columns belong to
+    /// the same relation (local predicates are out of scope).
+    pub fn equate(&mut self, a: usize, b: usize) {
+        assert!(a < self.columns.len() && b < self.columns.len());
+        assert_ne!(
+            self.columns[a].rel, self.columns[b].rel,
+            "equalities must span two relations"
+        );
+        self.equalities.push((a, b));
+    }
+
+    /// Saturate: compute the transitive closure of the equalities and
+    /// emit exactly one predicate per (relation pair, equivalence class),
+    /// with selectivity `1/max(ndv_lhs, ndv_rhs)`.
+    ///
+    /// The result is sorted and deduplicated, ready for
+    /// [`blitz_core::JoinSpec::new`].
+    pub fn saturate(&self) -> Vec<(usize, usize, f64)> {
+        // Union-find over column indices.
+        let mut parent: Vec<usize> = (0..self.columns.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(a, b) in &self.equalities {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        // Group columns by class root.
+        let mut classes: HashMap<usize, Vec<usize>> = HashMap::new();
+        for c in 0..self.columns.len() {
+            let root = find(&mut parent, c);
+            classes.entry(root).or_default().push(c);
+        }
+        // One predicate per (relation pair, class). If a relation has two
+        // columns in the same class (a genuine self-constraint), keep the
+        // one with the larger ndv as its representative — the estimate is
+        // conservative either way.
+        let mut preds: Vec<(usize, usize, f64)> = Vec::new();
+        for cols in classes.values() {
+            // Representative column per relation.
+            let mut reps: HashMap<usize, usize> = HashMap::new();
+            for &c in cols {
+                let rel = self.columns[c].rel;
+                let e = reps.entry(rel).or_insert(c);
+                if self.columns[c].ndv > self.columns[*e].ndv {
+                    *e = c;
+                }
+            }
+            let mut rels: Vec<usize> = reps.keys().copied().collect();
+            rels.sort_unstable();
+            for (i, &a) in rels.iter().enumerate() {
+                for &b in &rels[i + 1..] {
+                    let (ca, cb) = (reps[&a], reps[&b]);
+                    let sel = 1.0 / self.columns[ca].ndv.max(self.columns[cb].ndv);
+                    preds.push((a, b, sel));
+                }
+            }
+        }
+        preds.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        preds
+    }
+
+    /// The predicates as written (no closure), with the same redundancy
+    /// resolution per pair — for comparing "as written" vs "saturated"
+    /// optimizer behaviour.
+    pub fn as_written(&self) -> Vec<(usize, usize, f64)> {
+        let mut preds: Vec<(usize, usize, f64)> = Vec::new();
+        for &(a, b) in &self.equalities {
+            let (ca, cb) = (&self.columns[a], &self.columns[b]);
+            let (lo, hi) = if ca.rel < cb.rel { (ca.rel, cb.rel) } else { (cb.rel, ca.rel) };
+            let sel = 1.0 / ca.ndv.max(cb.ndv);
+            if !preds.iter().any(|&(x, y, _)| (x, y) == (lo, hi)) {
+                preds.push((lo, hi, sel));
+            }
+        }
+        preds.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blitz_core::{optimize_join, JoinSpec, Kappa0};
+
+    /// A.x = B.y, B.y = C.z — the implied A.x = C.z must appear.
+    fn abc_query() -> EquiJoinQuery {
+        let mut q = EquiJoinQuery::new();
+        let ax = q.column(0, "x", 100.0);
+        let by = q.column(1, "y", 100.0);
+        let cz = q.column(2, "z", 50.0);
+        q.equate(ax, by);
+        q.equate(by, cz);
+        q
+    }
+
+    #[test]
+    fn transitive_closure_adds_implied_edge() {
+        let q = abc_query();
+        let written = q.as_written();
+        assert_eq!(written.len(), 2);
+        let saturated = q.saturate();
+        assert_eq!(saturated.len(), 3);
+        assert!(saturated.iter().any(|&(a, b, _)| (a, b) == (0, 2)), "implied A~C");
+        // Selectivities: 1/max(ndv) per pair.
+        let ac = saturated.iter().find(|&&(a, b, _)| (a, b) == (0, 2)).unwrap();
+        assert!((ac.2 - 0.01).abs() < 1e-12);
+        let bc = saturated.iter().find(|&&(a, b, _)| (a, b) == (1, 2)).unwrap();
+        assert!((bc.2 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundant_predicates_collapse_to_one_per_pair() {
+        // Two written equalities between the same pair via one class must
+        // not double-count.
+        let mut q = EquiJoinQuery::new();
+        let ax = q.column(0, "x", 10.0);
+        let ay = q.column(0, "y", 20.0);
+        let bx = q.column(1, "x", 10.0);
+        let by = q.column(1, "y", 20.0);
+        q.equate(ax, bx);
+        q.equate(ay, by);
+        q.equate(ax, by); // ties both classes together
+        let sat = q.saturate();
+        assert_eq!(sat.len(), 1, "one predicate for the single (A,B) pair: {sat:?}");
+        // Representative = larger-ndv column on each side → 1/20.
+        assert!((sat[0].2 - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separate_classes_stay_separate() {
+        // Two independent join conditions between A and B are *not*
+        // redundant — different classes, both kept, selectivities
+        // multiplying in the spec.
+        let mut q = EquiJoinQuery::new();
+        let ax = q.column(0, "x", 10.0);
+        let bx = q.column(1, "x", 10.0);
+        let ay = q.column(0, "y", 4.0);
+        let by = q.column(1, "y", 4.0);
+        q.equate(ax, bx);
+        q.equate(ay, by);
+        let sat = q.saturate();
+        assert_eq!(sat.len(), 2);
+        let spec = JoinSpec::new(&[100.0, 100.0], &sat).unwrap();
+        // Combined: (1/10)·(1/4).
+        assert!((spec.selectivity(0, 1) - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_can_improve_plans() {
+        // Chain A–B–C through a shared key, where B is enormous: with the
+        // implied A~C edge the optimizer can join the two small relations
+        // first *with* a predicate; without it that join would be an
+        // unconstrained product (still findable, but the saturated spec
+        // gives a strictly better cardinality estimate for it).
+        let mut q = EquiJoinQuery::new();
+        let ax = q.column(0, "k", 1000.0);
+        let bx = q.column(1, "k", 1000.0);
+        let cx = q.column(2, "k", 1000.0);
+        q.equate(ax, bx);
+        q.equate(bx, cx);
+        let cards = [1_000.0, 1_000_000.0, 1_000.0];
+
+        let written = JoinSpec::new(&cards, &q.as_written()).unwrap();
+        let saturated = JoinSpec::new(&cards, &q.saturate()).unwrap();
+
+        let w = optimize_join(&written, &Kappa0).unwrap();
+        let s = optimize_join(&saturated, &Kappa0).unwrap();
+        // A⨝C with the implied predicate: 1000·1000/1000 = 1000 rows,
+        // then ⨝B. The written spec estimates A×C at 10^6 rows.
+        assert!(s.cost < w.cost, "saturated {} !< written {}", s.cost, w.cost);
+        assert!(s.plan.canonical() != w.plan.canonical() || s.cost < w.cost);
+    }
+
+    #[test]
+    fn saturated_result_cardinality_is_not_undercounted() {
+        // The saturated spec's full-query cardinality must not exceed the
+        // written one (extra predicates only restrict), and for a simple
+        // key chain it matches the textbook estimate.
+        let q = abc_query();
+        let cards = [200.0, 300.0, 400.0];
+        let written = JoinSpec::new(&cards, &q.as_written()).unwrap();
+        let saturated = JoinSpec::new(&cards, &q.saturate()).unwrap();
+        let cw = written.join_cardinality(written.all_rels());
+        let cs = saturated.join_cardinality(saturated.all_rels());
+        assert!(cs <= cw * (1.0 + 1e-12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn same_relation_equality_panics() {
+        let mut q = EquiJoinQuery::new();
+        let a = q.column(0, "x", 10.0);
+        let b = q.column(0, "y", 10.0);
+        q.equate(a, b);
+    }
+}

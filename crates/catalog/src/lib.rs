@@ -1,0 +1,42 @@
+//! # blitz-catalog — join graphs, statistics and benchmark workloads
+//!
+//! User-facing query descriptions for the `blitz-core` optimizer:
+//!
+//! * [`graph`] — named join graphs (relations + predicates) lowering to
+//!   the numeric [`blitz_core::JoinSpec`];
+//! * [`workload`] — the deterministic 4-axis benchmark-workload generator
+//!   of the paper's Section 6.1 / Appendix (chain, cycle+3, star, clique
+//!   topologies; geometric-mean/variability cardinality model; the exact
+//!   Appendix selectivity formula);
+//! * [`catalog`] — a small statistics catalog with System-R-style
+//!   equi-join selectivity estimation and a fluent query builder;
+//! * [`histogram`] — equi-width histograms with per-bucket distinct
+//!   counts for filter and equi-join selectivity estimation from data;
+//! * [`implied`] — transitive closure and redundancy resolution for
+//!   equi-join predicates (the paper's "implied or redundant predicates"
+//!   remark);
+//! * [`presets`] — TPC-H-flavoured query-graph presets for demos/tests;
+//! * [`random`] — seeded random problem generation for cross-validation;
+//! * [`sql`] — a conjunctive-query SQL frontend lowering `SELECT … FROM …
+//!   WHERE …` text to an optimizable join graph via the catalog's
+//!   statistics and predicate saturation.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod graph;
+pub mod histogram;
+pub mod implied;
+pub mod presets;
+pub mod random;
+pub mod sql;
+pub mod workload;
+
+pub use catalog::{demo_retail_catalog, Catalog, ColumnStats, QueryBuilder, TableStats};
+pub use graph::{JoinGraph, Predicate, Relation};
+pub use histogram::Histogram;
+pub use implied::{EquiColumn, EquiJoinQuery};
+pub use presets::{all_presets, q3_shape, q5_shape, q8_shape, q9_shape};
+pub use random::{random_spec, random_specs, RandomSpecParams};
+pub use sql::{parse_query, ParsedQuery, SqlError};
+pub use workload::{mean_cardinality_axis, variability_axis, Topology, Workload};

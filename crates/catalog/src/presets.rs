@@ -1,0 +1,172 @@
+//! Preset query graphs shaped like classic analytical benchmarks.
+//!
+//! The paper benchmarks on abstract topologies; real workloads sit
+//! between its *chain* and *star* extremes. These presets provide
+//! TPC-H-flavoured join graphs (schema shapes and magnitudes inspired by
+//! the benchmark at scale factor 1, statistics rounded) for examples,
+//! tests and demos that want something recognizably "database-like"
+//! without shipping any data.
+
+use crate::graph::JoinGraph;
+
+/// The TPC-H-like base tables used by the presets: `(name, rows)`.
+pub const TPCH_TABLES: [(&str, f64); 8] = [
+    ("region", 5.0),
+    ("nation", 25.0),
+    ("supplier", 10_000.0),
+    ("customer", 150_000.0),
+    ("part", 200_000.0),
+    ("partsupp", 800_000.0),
+    ("orders", 1_500_000.0),
+    ("lineitem", 6_000_000.0),
+];
+
+fn rows(name: &str) -> f64 {
+    TPCH_TABLES.iter().find(|(t, _)| *t == name).expect("known table").1
+}
+
+/// Foreign-key selectivity: `1 / |referenced table|`.
+fn fk(referenced: &str) -> f64 {
+    1.0 / rows(referenced)
+}
+
+/// Q3-like: customer ⨝ orders ⨝ lineitem (a 3-relation chain).
+pub fn q3_shape() -> JoinGraph {
+    let mut g = JoinGraph::new();
+    g.add_relation("customer", rows("customer"));
+    g.add_relation("orders", rows("orders"));
+    g.add_relation("lineitem", rows("lineitem"));
+    g.add_predicate_named("customer", "orders", fk("customer"));
+    g.add_predicate_named("orders", "lineitem", fk("orders"));
+    g
+}
+
+/// Q5-like: region – nation – {customer, supplier} – orders – lineitem,
+/// with the lineitem–supplier closing edge (a cycle).
+pub fn q5_shape() -> JoinGraph {
+    let mut g = JoinGraph::new();
+    for t in ["region", "nation", "customer", "orders", "lineitem", "supplier"] {
+        g.add_relation(t, rows(t));
+    }
+    g.add_predicate_named("region", "nation", fk("region"));
+    g.add_predicate_named("nation", "customer", fk("nation"));
+    g.add_predicate_named("customer", "orders", fk("customer"));
+    g.add_predicate_named("orders", "lineitem", fk("orders"));
+    g.add_predicate_named("lineitem", "supplier", fk("supplier"));
+    g.add_predicate_named("supplier", "nation", fk("nation"));
+    g
+}
+
+/// Q8-like: an 8-relation graph mixing chains and a shared dimension —
+/// part – lineitem – {orders – customer – nation(c) – region,
+/// supplier – nation(s)}.
+pub fn q8_shape() -> JoinGraph {
+    let mut g = JoinGraph::new();
+    g.add_relation("part", rows("part"));
+    g.add_relation("lineitem", rows("lineitem"));
+    g.add_relation("orders", rows("orders"));
+    g.add_relation("customer", rows("customer"));
+    g.add_relation("c_nation", rows("nation"));
+    g.add_relation("region", rows("region"));
+    g.add_relation("supplier", rows("supplier"));
+    g.add_relation("s_nation", rows("nation"));
+    g.add_predicate_named("part", "lineitem", fk("part"));
+    g.add_predicate_named("lineitem", "orders", fk("orders"));
+    g.add_predicate_named("orders", "customer", fk("customer"));
+    g.add_predicate_named("customer", "c_nation", fk("nation"));
+    g.add_predicate_named("c_nation", "region", fk("region"));
+    g.add_predicate_named("lineitem", "supplier", fk("supplier"));
+    g.add_predicate_named("supplier", "s_nation", fk("nation"));
+    g
+}
+
+/// Q9-like: part – partsupp – lineitem – orders with supplier – nation
+/// hanging off both partsupp and lineitem (a cyclic 7-relation graph).
+pub fn q9_shape() -> JoinGraph {
+    let mut g = JoinGraph::new();
+    for t in ["part", "partsupp", "lineitem", "orders", "supplier", "nation"] {
+        g.add_relation(t, rows(t));
+    }
+    g.add_predicate_named("part", "partsupp", fk("part"));
+    g.add_predicate_named("partsupp", "lineitem", fk("partsupp"));
+    g.add_predicate_named("lineitem", "orders", fk("orders"));
+    g.add_predicate_named("partsupp", "supplier", fk("supplier"));
+    g.add_predicate_named("lineitem", "supplier", fk("supplier"));
+    g.add_predicate_named("supplier", "nation", fk("nation"));
+    g
+}
+
+/// All presets, with names, for sweep-style tests and demos.
+pub fn all_presets() -> Vec<(&'static str, JoinGraph)> {
+    vec![
+        ("q3-chain", q3_shape()),
+        ("q5-cycle", q5_shape()),
+        ("q8-tree", q8_shape()),
+        ("q9-cyclic", q9_shape()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blitz_core::{optimize_join, Kappa0, SmDnl};
+
+    #[test]
+    fn presets_are_valid_and_connected() {
+        for (name, g) in all_presets() {
+            assert!(g.is_connected(), "{name} must be connected");
+            let spec = g.to_spec().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(spec.n() >= 3);
+        }
+    }
+
+    #[test]
+    fn expected_shapes() {
+        assert!(q3_shape().is_acyclic());
+        assert!(!q5_shape().is_acyclic());
+        assert!(q8_shape().is_acyclic());
+        assert!(!q9_shape().is_acyclic());
+        assert_eq!(q8_shape().n(), 8);
+    }
+
+    #[test]
+    fn fk_joins_keep_result_sizes_sane() {
+        // Chains of FK joins should estimate results no larger than the
+        // fact table itself.
+        let spec = q3_shape().to_spec().unwrap();
+        let best = optimize_join(&spec, &Kappa0).unwrap();
+        assert!(best.card <= rows("lineitem") * 1.001, "result {}", best.card);
+        assert!(best.cost.is_finite());
+    }
+
+    #[test]
+    fn presets_optimize_under_all_models() {
+        for (name, g) in all_presets() {
+            let spec = g.to_spec().unwrap();
+            let a = optimize_join(&spec, &Kappa0).unwrap();
+            let b = optimize_join(&spec, &SmDnl::default()).unwrap();
+            assert!(a.cost.is_finite() && b.cost.is_finite(), "{name}");
+            assert_eq!(a.plan.rel_set(), spec.all_rels(), "{name}");
+            assert_eq!(b.plan.rel_set(), spec.all_rels(), "{name}");
+        }
+    }
+
+    #[test]
+    fn q5_optimum_starts_from_small_dimensions() {
+        // With FK selectivities, the cheapest plans build from the tiny
+        // dimension side, never materializing a fact-×-fact blowup.
+        let spec = q5_shape().to_spec().unwrap();
+        let best = optimize_join(&spec, &Kappa0).unwrap();
+        // Optimal cost must be far below the cost of the naive
+        // left-to-right order.
+        let naive = {
+            let mut p = blitz_core::Plan::scan(0);
+            for r in 1..spec.n() {
+                p = blitz_core::Plan::join(p, blitz_core::Plan::scan(r));
+            }
+            let (_, c) = p.cost(&spec, &Kappa0);
+            c
+        };
+        assert!(best.cost <= naive, "optimal {} vs naive {naive}", best.cost);
+    }
+}

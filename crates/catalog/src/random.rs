@@ -1,0 +1,153 @@
+//! Seeded random problem generation for tests and cross-validation.
+//!
+//! The paper deliberately benchmarks on *deterministic* workloads (see
+//! [`crate::workload`]); random instances remain useful for correctness
+//! testing — comparing optimizers against each other and against brute
+//! force over many diverse graphs. Everything here is seeded and
+//! reproducible.
+
+use blitz_core::JoinSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random problem generation.
+#[derive(Copy, Clone, Debug)]
+pub struct RandomSpecParams {
+    /// Number of relations.
+    pub n: usize,
+    /// Probability that any given pair of relations is connected by a
+    /// predicate (a spanning tree is always added first when
+    /// `force_connected` is set).
+    pub edge_probability: f64,
+    /// Ensure the join graph is connected.
+    pub force_connected: bool,
+    /// Cardinalities are drawn log-uniformly from this range.
+    pub card_range: (f64, f64),
+    /// Selectivities are drawn log-uniformly from this range.
+    pub selectivity_range: (f64, f64),
+}
+
+impl Default for RandomSpecParams {
+    fn default() -> Self {
+        RandomSpecParams {
+            n: 6,
+            edge_probability: 0.4,
+            force_connected: true,
+            card_range: (1.0, 1e5),
+            selectivity_range: (1e-5, 1.0),
+        }
+    }
+}
+
+/// Draw log-uniformly from `[lo, hi]`.
+fn log_uniform(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    assert!(lo > 0.0 && hi >= lo);
+    let (a, b) = (lo.ln(), hi.ln());
+    (rng.random_range(a..=b)).exp()
+}
+
+/// Generate a random [`JoinSpec`] from a seed.
+pub fn random_spec(params: &RandomSpecParams, seed: u64) -> JoinSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = params.n;
+    assert!(n >= 1);
+    let cards: Vec<f64> = (0..n).map(|_| log_uniform(&mut rng, params.card_range)).collect();
+
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut connected = vec![false; n];
+    if params.force_connected && n > 1 {
+        // Random spanning tree: attach each relation to a random earlier one.
+        connected[0] = true;
+        for (i, c) in connected.iter_mut().enumerate().skip(1) {
+            let j = rng.random_range(0..i);
+            edges.push((j, i, log_uniform(&mut rng, params.selectivity_range)));
+            *c = true;
+        }
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let already = params.force_connected && edges.iter().any(|&(a, b, _)| (a, b) == (i, j));
+            if !already && rng.random_bool(params.edge_probability) {
+                edges.push((i, j, log_uniform(&mut rng, params.selectivity_range)));
+            }
+        }
+    }
+    JoinSpec::new(&cards, &edges).expect("random generation produces valid specs")
+}
+
+/// A stream of random specs with consecutive seeds, convenient for
+/// cross-validation loops.
+pub fn random_specs(
+    params: RandomSpecParams,
+    first_seed: u64,
+    count: usize,
+) -> impl Iterator<Item = JoinSpec> {
+    (0..count as u64).map(move |i| random_spec(&params, first_seed + i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = RandomSpecParams::default();
+        let a = random_spec(&p, 42);
+        let b = random_spec(&p, 42);
+        assert_eq!(a, b);
+        let c = random_spec(&p, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_ranges() {
+        let p = RandomSpecParams {
+            n: 8,
+            card_range: (10.0, 100.0),
+            selectivity_range: (0.01, 0.1),
+            ..Default::default()
+        };
+        for seed in 0..20 {
+            let spec = random_spec(&p, seed);
+            assert_eq!(spec.n(), 8);
+            for i in 0..8 {
+                assert!((10.0..=100.0).contains(&spec.card(i)));
+            }
+            for (_, _, s) in spec.edges() {
+                // Parallel predicates could multiply below the range floor,
+                // but generation never emits duplicates.
+                assert!((0.01 * 0.01..=0.1).contains(&s), "selectivity {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn force_connected_yields_connected_graphs() {
+        let p = RandomSpecParams { n: 9, edge_probability: 0.0, ..Default::default() };
+        for seed in 0..20 {
+            let spec = random_spec(&p, seed);
+            assert!(spec.is_connected(spec.all_rels()), "seed {seed}");
+            assert_eq!(spec.edge_count(), 8); // exactly the spanning tree
+        }
+    }
+
+    #[test]
+    fn unconnected_allowed_when_not_forced() {
+        let p = RandomSpecParams {
+            n: 6,
+            edge_probability: 0.0,
+            force_connected: false,
+            ..Default::default()
+        };
+        let spec = random_spec(&p, 7);
+        assert_eq!(spec.edge_count(), 0);
+    }
+
+    #[test]
+    fn stream_advances_seeds() {
+        let specs: Vec<JoinSpec> =
+            random_specs(RandomSpecParams::default(), 100, 5).collect();
+        assert_eq!(specs.len(), 5);
+        assert_ne!(specs[0], specs[1]);
+    }
+}

@@ -1,0 +1,594 @@
+//! A small SQL frontend: parse `SELECT … FROM … WHERE …` conjunctive
+//! queries against a [`Catalog`] and lower them to an optimizable
+//! [`JoinGraph`].
+//!
+//! The optimizer in this workspace — like the one in the paper — consumes
+//! cardinalities and selectivities; a real system derives those from a
+//! query text and catalog statistics. This module covers the conjunctive
+//! equi-join fragment that join-order optimization is about:
+//!
+//! ```sql
+//! SELECT * FROM sales s, customer c, store
+//! WHERE s.custkey = c.custkey
+//!   AND s.storekey = store.storekey
+//!   AND store.regionkey = 3
+//!   AND c.nationkey <> 7
+//! ```
+//!
+//! * `FROM` items may be aliased (`sales s` or `sales AS s`).
+//! * Equi-join predicates (`col = col`) are collected into an
+//!   [`EquiJoinQuery`] and **saturated** — implied predicates are added
+//!   and redundant ones collapsed (see [`crate::implied`]) — before
+//!   lowering, with selectivities estimated as `1/max(ndv)`.
+//! * Filter predicates (`col = literal`, comparisons) scale the
+//!   relation's effective cardinality with the classical System R
+//!   estimates: `1/ndv` for equality, `1/3` for ranges, `1 − 1/ndv` for
+//!   inequality.
+//!
+//! The projection list is accepted but ignored: join ordering is
+//! projection-agnostic under these cost models.
+
+use crate::catalog::Catalog;
+use crate::graph::JoinGraph;
+use crate::implied::EquiJoinQuery;
+use std::collections::HashMap;
+
+/// Errors produced by parsing or semantic analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at the given byte offset.
+    Lex(usize, String),
+    /// Unexpected token / structure.
+    Parse(String),
+    /// Unknown table, alias or column.
+    Unknown(String),
+    /// Duplicate alias in the FROM list.
+    DuplicateAlias(String),
+    /// Predicate references a relation not in the FROM list, or is
+    /// otherwise unsupported.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex(pos, m) => write!(f, "lexical error at byte {pos}: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Unknown(m) => write!(f, "unknown name: {m}"),
+            SqlError::DuplicateAlias(a) => write!(f, "duplicate alias {a:?}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+// ------------------------------------------------------------------ lexer
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Comma,
+    Dot,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Ne);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        toks.push(Tok::Le);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        toks.push(Tok::Ne);
+                        i += 2;
+                    }
+                    _ => {
+                        toks.push(Tok::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::Lex(i, "unterminated string literal".into()));
+                }
+                toks.push(Tok::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| SqlError::Lex(start, format!("bad number {text:?}")))?;
+                toks.push(Tok::Number(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(input[start..i].to_string()));
+            }
+            other => return Err(SqlError::Lex(i, format!("unexpected character {other:?}"))),
+        }
+    }
+    toks.push(Tok::Eof);
+    Ok(toks)
+}
+
+// ----------------------------------------------------------------- parser
+
+#[derive(Clone, Debug, PartialEq)]
+struct ColRef {
+    qualifier: String,
+    column: String,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Predicate {
+    EquiJoin(ColRef, ColRef),
+    FilterEq(ColRef),
+    FilterNe(ColRef),
+    FilterRange(ColRef),
+}
+
+#[derive(Clone, Debug)]
+struct Ast {
+    /// `(table, alias)` pairs, alias defaults to the table name.
+    from: Vec<(String, String)>,
+    predicates: Vec<Predicate>,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Tok::Ident(w) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Tok::Ident(w) => Ok(w),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Ast, SqlError> {
+        self.expect_keyword("select")?;
+        // Projection: `*` or a comma-list of column refs; ignored either way.
+        if matches!(self.peek(), Tok::Star) {
+            self.next();
+        } else {
+            loop {
+                let _ = self.colref()?;
+                if matches!(self.peek(), Tok::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("from")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            // Optional AS / bare alias.
+            let alias = if self.keyword("as") {
+                self.ident()?
+            } else if let Tok::Ident(w) = self.peek() {
+                if !w.eq_ignore_ascii_case("where") {
+                    self.ident()?
+                } else {
+                    table.clone()
+                }
+            } else {
+                table.clone()
+            };
+            from.push((table, alias));
+            if matches!(self.peek(), Tok::Comma) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        let mut predicates = Vec::new();
+        if self.keyword("where") {
+            loop {
+                predicates.push(self.predicate()?);
+                if !self.keyword("and") {
+                    break;
+                }
+            }
+        }
+        if *self.peek() != Tok::Eof {
+            return Err(SqlError::Parse(format!("trailing input: {:?}", self.peek())));
+        }
+        Ok(Ast { from, predicates })
+    }
+
+    fn colref(&mut self) -> Result<ColRef, SqlError> {
+        let qualifier = self.ident()?;
+        if self.next() != Tok::Dot {
+            return Err(SqlError::Parse("column references must be qualified (alias.column)".into()));
+        }
+        let column = self.ident()?;
+        Ok(ColRef { qualifier, column })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, SqlError> {
+        let lhs = self.colref()?;
+        let op = self.next();
+        match op {
+            Tok::Eq => match self.peek().clone() {
+                Tok::Ident(_) => {
+                    let rhs = self.colref()?;
+                    Ok(Predicate::EquiJoin(lhs, rhs))
+                }
+                Tok::Number(_) | Tok::Str(_) => {
+                    self.next();
+                    Ok(Predicate::FilterEq(lhs))
+                }
+                other => Err(SqlError::Parse(format!("expected column or literal, found {other:?}"))),
+            },
+            Tok::Ne => {
+                self.literal()?;
+                Ok(Predicate::FilterNe(lhs))
+            }
+            Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge => {
+                self.literal()?;
+                Ok(Predicate::FilterRange(lhs))
+            }
+            other => Err(SqlError::Parse(format!("expected comparison operator, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<(), SqlError> {
+        match self.next() {
+            Tok::Number(_) | Tok::Str(_) => Ok(()),
+            other => Err(SqlError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+}
+
+// --------------------------------------------------------------- lowering
+
+/// The result of parsing + lowering a query.
+#[derive(Clone, Debug)]
+pub struct ParsedQuery {
+    /// The optimizable join graph (relation order = FROM order; relation
+    /// names are the aliases).
+    pub graph: JoinGraph,
+    /// Equi-join predicates after transitive closure (for inspection).
+    pub saturated_predicates: Vec<(usize, usize, f64)>,
+    /// Effective per-relation filter selectivities applied.
+    pub filter_selectivity: Vec<f64>,
+}
+
+/// System R's default selectivity for range predicates.
+const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+/// Fallback equality selectivity for columns with no statistics.
+const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+
+/// Parse `sql` and lower it against `catalog`.
+pub fn parse_query(catalog: &Catalog, sql: &str) -> Result<ParsedQuery, SqlError> {
+    let toks = lex(sql)?;
+    let ast = Parser { toks, pos: 0 }.parse()?;
+
+    // Resolve FROM items.
+    let mut alias_to_idx: HashMap<String, usize> = HashMap::new();
+    let mut tables = Vec::new();
+    for (i, (table, alias)) in ast.from.iter().enumerate() {
+        let t = catalog
+            .table(table)
+            .ok_or_else(|| SqlError::Unknown(format!("table {table:?}")))?;
+        if alias_to_idx.insert(alias.to_lowercase(), i).is_some() {
+            return Err(SqlError::DuplicateAlias(alias.clone()));
+        }
+        tables.push(t);
+    }
+
+    let resolve = |c: &ColRef| -> Result<(usize, f64), SqlError> {
+        let idx = *alias_to_idx
+            .get(&c.qualifier.to_lowercase())
+            .ok_or_else(|| SqlError::Unknown(format!("alias {:?}", c.qualifier)))?;
+        let ndv = tables[idx]
+            .columns
+            .iter()
+            .find(|col| col.name.eq_ignore_ascii_case(&c.column))
+            .map(|col| col.ndv)
+            .unwrap_or(1.0 / DEFAULT_EQ_SELECTIVITY);
+        Ok((idx, ndv))
+    };
+
+    // Filters scale effective cardinalities; equi-joins go through the
+    // implied-predicate machinery.
+    let n = tables.len();
+    let mut filter_sel = vec![1.0f64; n];
+    let mut equi = EquiJoinQuery::new();
+    let mut col_ids: HashMap<(usize, String), usize> = HashMap::new();
+    let mut col_id = |equi: &mut EquiJoinQuery, rel: usize, name: &str, ndv: f64| -> usize {
+        *col_ids
+            .entry((rel, name.to_lowercase()))
+            .or_insert_with(|| equi.column(rel, name.to_lowercase(), ndv))
+    };
+
+    for p in &ast.predicates {
+        match p {
+            Predicate::EquiJoin(a, b) => {
+                let (ra, ndva) = resolve(a)?;
+                let (rb, ndvb) = resolve(b)?;
+                if ra == rb {
+                    return Err(SqlError::Unsupported(
+                        "same-relation column equality (local predicate) is not a join".into(),
+                    ));
+                }
+                let ca = col_id(&mut equi, ra, &a.column, ndva);
+                let cb = col_id(&mut equi, rb, &b.column, ndvb);
+                equi.equate(ca, cb);
+            }
+            Predicate::FilterEq(c) => {
+                let (r, ndv) = resolve(c)?;
+                filter_sel[r] *= 1.0 / ndv;
+            }
+            Predicate::FilterNe(c) => {
+                let (r, ndv) = resolve(c)?;
+                filter_sel[r] *= 1.0 - 1.0 / ndv;
+            }
+            Predicate::FilterRange(c) => {
+                let (r, _) = resolve(c)?;
+                filter_sel[r] *= RANGE_SELECTIVITY;
+            }
+        }
+    }
+
+    let saturated = equi.saturate();
+    let mut graph = JoinGraph::new();
+    for (i, t) in tables.iter().enumerate() {
+        let alias = &ast.from[i].1;
+        graph.add_relation(alias.clone(), (t.rows * filter_sel[i]).max(1.0));
+    }
+    for &(a, b, sel) in &saturated {
+        graph.add_predicate(a, b, sel);
+    }
+    Ok(ParsedQuery { graph, saturated_predicates: saturated, filter_selectivity: filter_sel })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::demo_retail_catalog;
+    use blitz_core::{optimize_join, Kappa0};
+
+    #[test]
+    fn lexes_operators_and_literals() {
+        let toks = lex("a.b = 3.5 AND c <> 'x' AND d >= 7").unwrap();
+        assert!(toks.contains(&Tok::Eq));
+        assert!(toks.contains(&Tok::Ne));
+        assert!(toks.contains(&Tok::Ge));
+        assert!(toks.contains(&Tok::Number(3.5)));
+        assert!(toks.contains(&Tok::Str("x".into())));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(lex("a ; b"), Err(SqlError::Lex(..))));
+        assert!(matches!(lex("'unterminated"), Err(SqlError::Lex(..))));
+    }
+
+    #[test]
+    fn parses_and_lowers_a_star_query() {
+        let cat = demo_retail_catalog();
+        let q = parse_query(
+            &cat,
+            "SELECT * FROM sales s, customer c, store, nation n \
+             WHERE s.custkey = c.custkey \
+               AND s.storekey = store.storekey \
+               AND c.nationkey = n.nationkey \
+               AND store.regionkey = 3",
+        )
+        .unwrap();
+        assert_eq!(q.graph.n(), 4);
+        // Aliases become relation names.
+        assert_eq!(q.graph.index_of("s"), Some(0));
+        assert_eq!(q.graph.index_of("store"), Some(2));
+        // The regionkey filter scales store by 1/ndv(regionkey) = 1/5.
+        assert!((q.graph.relations()[2].cardinality - 100.0).abs() < 1e-9);
+        assert!((q.filter_selectivity[2] - 0.2).abs() < 1e-12);
+        // Three equi-join classes → 3 predicates (no implied ones here).
+        assert_eq!(q.saturated_predicates.len(), 3);
+        // And it optimizes.
+        let spec = q.graph.to_spec().unwrap();
+        let best = optimize_join(&spec, &Kappa0).unwrap();
+        assert!(best.cost.is_finite());
+    }
+
+    #[test]
+    fn transitive_join_keys_are_saturated() {
+        let cat = demo_retail_catalog();
+        // customer.custkey = sales.custkey and a second sales alias joined
+        // on the same key: the closure must connect customer to s2 too.
+        let q = parse_query(
+            &cat,
+            "SELECT * FROM sales s1, sales s2, customer c \
+             WHERE s1.custkey = c.custkey AND s2.custkey = c.custkey",
+        )
+        .unwrap();
+        // One class over three columns → C(3,2) = 3 predicates.
+        assert_eq!(q.saturated_predicates.len(), 3);
+        let spec = q.graph.to_spec().unwrap();
+        assert!(spec.has_predicate(0, 1), "implied s1~s2 predicate");
+    }
+
+    #[test]
+    fn projection_list_is_accepted() {
+        let cat = demo_retail_catalog();
+        let q = parse_query(
+            &cat,
+            "SELECT s.custkey, c.nationkey FROM sales AS s, customer c \
+             WHERE s.custkey = c.custkey",
+        )
+        .unwrap();
+        assert_eq!(q.graph.n(), 2);
+        assert_eq!(q.graph.predicates().len(), 1);
+    }
+
+    #[test]
+    fn range_and_inequality_filters() {
+        let cat = demo_retail_catalog();
+        let q = parse_query(
+            &cat,
+            "SELECT * FROM datedim d WHERE d.year >= 2020 AND d.year <> 2022",
+        )
+        .unwrap();
+        // 2555 · (1/3) · (1 − 1/7) ≈ 730
+        let expect = 2555.0 * (1.0 / 3.0) * (6.0 / 7.0);
+        assert!((q.graph.relations()[0].cardinality - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        let cat = demo_retail_catalog();
+        assert!(matches!(
+            parse_query(&cat, "SELECT * FROM warehouse"),
+            Err(SqlError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse_query(&cat, "SELECT * FROM sales s, customer s"),
+            Err(SqlError::DuplicateAlias(_))
+        ));
+        assert!(matches!(
+            parse_query(&cat, "SELECT * FROM sales WHERE sales.custkey = nosuch.key"),
+            Err(SqlError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse_query(&cat, "SELECT * FROM sales s WHERE s.custkey = s.prodkey"),
+            Err(SqlError::Unsupported(_))
+        ));
+        assert!(matches!(parse_query(&cat, "FROM sales"), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            parse_query(&cat, "SELECT * FROM sales s extra garbage ,"),
+            Err(SqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_columns_fall_back_to_default_selectivity() {
+        let cat = demo_retail_catalog();
+        let q = parse_query(
+            &cat,
+            "SELECT * FROM sales s WHERE s.comment = 'fast'",
+        )
+        .unwrap();
+        // 6e6 · DEFAULT_EQ_SELECTIVITY
+        assert!((q.graph.relations()[0].cardinality - 600_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn case_insensitive_keywords_and_aliases() {
+        let cat = demo_retail_catalog();
+        let q = parse_query(
+            &cat,
+            "select * from SALES S where S.custkey = 42",
+        );
+        // Table lookup is case-sensitive on the catalog name ("sales"),
+        // so SALES is unknown — but lowercase works with any keyword case.
+        assert!(q.is_err());
+        let q = parse_query(&cat, "SeLeCt * FrOm sales s WhErE s.custkey = 42").unwrap();
+        assert_eq!(q.graph.n(), 1);
+    }
+}

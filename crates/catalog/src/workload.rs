@@ -1,0 +1,362 @@
+//! The paper's deterministic benchmark-workload generator (Section 6.1 and
+//! the Appendix).
+//!
+//! The paper argues that join-optimizer benchmarking should sample the
+//! input space *deterministically* rather than averaging random mixes, and
+//! reduces the space to four axes:
+//!
+//! 1. **cost model** (chosen by the caller);
+//! 2. **join-graph topology** — [`Topology::Chain`], [`Topology::CyclePlus3`],
+//!    [`Topology::Star`], [`Topology::Clique`];
+//! 3. **mean base-relation cardinality** — the geometric mean `μ` of the
+//!    `|R_i|`;
+//! 4. **variability** — `0` means all `|R_i| = μ`; in general
+//!    `|R_0| = μ^(1−v)` and successive cardinalities grow by a constant
+//!    ratio, so `|R_{n−1}| = μ^(1+v)` and the geometric mean stays `μ`.
+//!
+//! Selectivities follow the Appendix formula
+//! `σ_ij = μ^(1/k) · |R_i|^(−1/k_i) · |R_j|^(−1/k_j)` (where `k` is the
+//! total number of predicates and `k_i` the number incident on `R_i`),
+//! chosen as near-worst-case because it minimizes variability among
+//! intermediate-result cardinalities — and it makes every query's final
+//! result cardinality exactly `μ`.
+
+use crate::graph::JoinGraph;
+use blitz_core::JoinSpec;
+
+/// The four join-graph topologies of Section 6.1.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// A linear chain of predicates.
+    Chain,
+    /// The chain closed into a cycle, augmented with three cross-edges.
+    CyclePlus3,
+    /// All predicates incident on one hub relation (the largest).
+    Star,
+    /// A predicate between every pair of relations.
+    Clique,
+}
+
+impl Topology {
+    /// All four topologies, in the paper's column order.
+    pub const ALL: [Topology; 4] = [
+        Topology::Chain,
+        Topology::CyclePlus3,
+        Topology::Star,
+        Topology::Clique,
+    ];
+
+    /// Short name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Chain => "chain",
+            Topology::CyclePlus3 => "cycle+3",
+            Topology::Star => "star",
+            Topology::Clique => "clique",
+        }
+    }
+}
+
+/// One point of the Appendix's 4-dimensional test grid (the cost model is
+/// supplied separately, to the optimizer).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Workload {
+    /// Number of base relations (the paper fixes 15).
+    pub n: usize,
+    /// Join-graph topology.
+    pub topology: Topology,
+    /// Geometric mean `μ` of the base-relation cardinalities.
+    pub mean_cardinality: f64,
+    /// Cardinality variability in `[0, 1]`.
+    pub variability: f64,
+}
+
+impl Workload {
+    /// Construct a workload point.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `mean_cardinality < 1`, or `variability`
+    /// outside `[0, 1]`.
+    pub fn new(n: usize, topology: Topology, mean_cardinality: f64, variability: f64) -> Workload {
+        assert!(n >= 1, "need at least one relation");
+        assert!(mean_cardinality >= 1.0, "mean cardinality below 1 is meaningless");
+        assert!((0.0..=1.0).contains(&variability), "variability must lie in [0,1]");
+        Workload { n, topology, mean_cardinality, variability }
+    }
+
+    /// The base-relation cardinalities `|R_0| ≤ … ≤ |R_{n−1}|`
+    /// (Appendix: `R_0` assumes the lowest cardinality, `R_{n−1}` the
+    /// highest; `|R_i|/|R_{i−1}|` is constant; geometric mean `μ`).
+    pub fn cardinalities(&self) -> Vec<f64> {
+        let n = self.n;
+        let mu = self.mean_cardinality;
+        let v = self.variability;
+        if n == 1 {
+            return vec![mu];
+        }
+        // |R_0| = μ^(1−v); constant ratio r with geometric mean μ forces
+        // r = μ^(2v/(n−1)), hence |R_i| = μ^(1−v) · r^i.
+        let lg = mu.ln();
+        (0..n)
+            .map(|i| {
+                let exp = (1.0 - v) + 2.0 * v * i as f64 / (n - 1) as f64;
+                (exp * lg).exp()
+            })
+            .collect()
+    }
+
+    /// The predicate edges of the chosen topology, as index pairs.
+    ///
+    /// The Appendix specifies the exact n = 15 graphs; for other `n` the
+    /// same constructions generalize:
+    ///
+    /// * **chain**: relations are threaded in the interleaved order
+    ///   `R_0, R_h, R_1, R_{h+1}, …` with `h = ⌈n/2⌉`, which for n = 15
+    ///   reproduces `R0–R8–R1–R9–…–R14–R7` verbatim;
+    /// * **cycle+3**: the chain's ends are connected, plus cross-edges
+    ///   between chain positions `(1, n−2)`, `(2, n−3)`, `(3, n−4)`
+    ///   (for n = 15: `R8–R14`, `R1–R6`, `R9–R13`, matching the Appendix
+    ///   along with the closing edge `R0–R7`);
+    /// * **star**: hub `R_{n−1}` (highest cardinality) to every spoke;
+    /// * **clique**: every pair.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let n = self.n;
+        if n < 2 {
+            return Vec::new();
+        }
+        match self.topology {
+            Topology::Chain => {
+                let order = interleaved_order(n);
+                (0..n - 1).map(|i| (order[i], order[i + 1])).collect()
+            }
+            Topology::CyclePlus3 => {
+                let order = interleaved_order(n);
+                let mut edges: Vec<(usize, usize)> =
+                    (0..n - 1).map(|i| (order[i], order[i + 1])).collect();
+                if n >= 3 {
+                    edges.push((order[0], order[n - 1]));
+                }
+                // Three cross-edges between symmetric cycle positions.
+                for d in 1..=3usize {
+                    // Need a + 1 < b with b = n − 1 − d, i.e. n ≥ 2d + 3.
+                    if n >= 2 * d + 3 {
+                        edges.push((order[d], order[n - 1 - d]));
+                    }
+                }
+                edges
+            }
+            Topology::Star => (0..n - 1).map(|i| (n - 1, i)).collect(),
+            Topology::Clique => {
+                let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+                for i in 0..n {
+                    for j in i + 1..n {
+                        edges.push((i, j));
+                    }
+                }
+                edges
+            }
+        }
+    }
+
+    /// Build the full named join graph: cardinalities, topology edges and
+    /// Appendix selectivities.
+    pub fn graph(&self) -> JoinGraph {
+        let cards = self.cardinalities();
+        let edges = self.edges();
+        let mut g = JoinGraph::new();
+        for (i, &c) in cards.iter().enumerate() {
+            g.add_relation(format!("R{i}"), c);
+        }
+        let k = edges.len();
+        if k == 0 {
+            return g;
+        }
+        // Degrees k_i.
+        let mut deg = vec![0usize; self.n];
+        for &(i, j) in &edges {
+            deg[i] += 1;
+            deg[j] += 1;
+        }
+        let mu = self.mean_cardinality;
+        for &(i, j) in &edges {
+            let sel = mu.powf(1.0 / k as f64)
+                * cards[i].powf(-1.0 / deg[i] as f64)
+                * cards[j].powf(-1.0 / deg[j] as f64);
+            g.add_predicate(i, j, sel);
+        }
+        g
+    }
+
+    /// Shorthand: lower the workload straight to a [`JoinSpec`].
+    pub fn spec(&self) -> JoinSpec {
+        self.graph().to_spec().expect("generated workload must be valid")
+    }
+}
+
+/// The interleaved chain order `R_0, R_h, R_1, R_{h+1}, …` of the Appendix
+/// (`h = ⌈n/2⌉`).
+fn interleaved_order(n: usize) -> Vec<usize> {
+    let h = n.div_ceil(2);
+    (0..n).map(|i| if i % 2 == 0 { i / 2 } else { h + i / 2 }).collect()
+}
+
+/// The mean-cardinality sample points of the figures (footnote 6): a
+/// logarithmic axis visiting `1, 4.64, 21.5, 100, 464, …` — i.e.
+/// `10^(2i/3)` — for `points` samples.
+pub fn mean_cardinality_axis(points: usize) -> Vec<f64> {
+    (0..points).map(|i| 10f64.powf(2.0 * i as f64 / 3.0)).collect()
+}
+
+/// A uniform variability axis `0, 1/(points−1), …, 1`.
+pub fn variability_axis(points: usize) -> Vec<f64> {
+    if points <= 1 {
+        return vec![0.0];
+    }
+    (0..points).map(|i| i as f64 / (points - 1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appendix_chain_order_n15() {
+        // R0-R8-R1-R9-R2-R10-R3-R11-R4-R12-R5-R13-R6-R14-R7
+        let order = interleaved_order(15);
+        assert_eq!(order, vec![0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7]);
+    }
+
+    #[test]
+    fn appendix_cycle_plus_3_edges_n15() {
+        let w = Workload::new(15, Topology::CyclePlus3, 100.0, 0.5);
+        let edges = w.edges();
+        // 14 chain edges + closing edge + 3 cross edges = 18.
+        assert_eq!(edges.len(), 18);
+        let has = |a: usize, b: usize| {
+            edges.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+        };
+        assert!(has(0, 7), "closing edge R0-R7");
+        assert!(has(8, 14), "cross edge R8-R14");
+        assert!(has(1, 6), "cross edge R1-R6");
+        assert!(has(9, 13), "cross edge R9-R13");
+    }
+
+    #[test]
+    fn star_and_clique_edge_counts() {
+        let star = Workload::new(15, Topology::Star, 100.0, 0.0);
+        assert_eq!(star.edges().len(), 14);
+        assert!(star.edges().iter().all(|&(h, _)| h == 14));
+        let clique = Workload::new(15, Topology::Clique, 100.0, 0.0);
+        assert_eq!(clique.edges().len(), 15 * 14 / 2);
+    }
+
+    #[test]
+    fn cardinalities_geometric_mean_and_monotonicity() {
+        for &v in &[0.0, 0.3, 1.0] {
+            let w = Workload::new(15, Topology::Chain, 464.0, v);
+            let cards = w.cardinalities();
+            assert_eq!(cards.len(), 15);
+            // Geometric mean = μ.
+            let gm = (cards.iter().map(|c| c.ln()).sum::<f64>() / 15.0).exp();
+            assert!((gm - 464.0).abs() / 464.0 < 1e-9, "gm {gm} for v={v}");
+            // Non-decreasing.
+            for i in 1..15 {
+                assert!(cards[i] >= cards[i - 1] * (1.0 - 1e-12));
+            }
+            // Constant ratio.
+            if v > 0.0 {
+                let r0 = cards[1] / cards[0];
+                for i in 2..15 {
+                    let ri = cards[i] / cards[i - 1];
+                    assert!((ri - r0).abs() / r0 < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_variability_is_uniform() {
+        let w = Workload::new(10, Topology::Chain, 100.0, 0.0);
+        for c in w.cardinalities() {
+            assert!((c - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn extreme_variability_spans_mu_squared() {
+        let w = Workload::new(15, Topology::Chain, 100.0, 1.0);
+        let cards = w.cardinalities();
+        assert!((cards[0] - 1.0).abs() < 1e-9, "|R0| = μ^0 = 1");
+        assert!((cards[14] - 10_000.0).abs() / 1e4 < 1e-9, "|R14| = μ^2");
+    }
+
+    /// The Appendix notes the selectivities "yield a query result
+    /// cardinality of μ" — verify via the closed form on the full set.
+    #[test]
+    fn result_cardinality_is_mu() {
+        for topo in Topology::ALL {
+            for &v in &[0.0, 0.5, 1.0] {
+                let w = Workload::new(10, topo, 215.0, v);
+                let spec = w.spec();
+                let result = spec.join_cardinality(spec.all_rels());
+                assert!(
+                    (result - 215.0).abs() / 215.0 < 1e-6,
+                    "{}, v={v}: result {result}",
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_acyclic_cycle_is_not() {
+        let chain = Workload::new(15, Topology::Chain, 100.0, 0.5).graph();
+        assert!(chain.is_acyclic());
+        assert!(chain.is_connected());
+        let cyc = Workload::new(15, Topology::CyclePlus3, 100.0, 0.5).graph();
+        assert!(!cyc.is_acyclic());
+        assert!(cyc.is_connected());
+        let star = Workload::new(15, Topology::Star, 100.0, 0.5).graph();
+        assert!(star.is_acyclic());
+        let clique = Workload::new(15, Topology::Clique, 100.0, 0.5).graph();
+        assert!(!clique.is_acyclic());
+    }
+
+    #[test]
+    fn axes() {
+        let mc = mean_cardinality_axis(5);
+        assert!((mc[0] - 1.0).abs() < 1e-12);
+        assert!((mc[1] - 4.6415888).abs() < 1e-4);
+        assert!((mc[3] - 100.0).abs() < 1e-9);
+        let va = variability_axis(5);
+        assert_eq!(va, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(variability_axis(1), vec![0.0]);
+    }
+
+    #[test]
+    fn small_n_edge_cases() {
+        for topo in Topology::ALL {
+            for n in 1..=4 {
+                let w = Workload::new(n, topo, 10.0, 0.5);
+                let spec = w.spec();
+                assert_eq!(spec.n(), n);
+                if n >= 2 {
+                    // All graphs should be connected for n ≥ 2.
+                    assert!(spec.is_connected(spec.all_rels()), "{} n={n}", topo.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_cardinality_one_gives_unit_cards_and_sels() {
+        let w = Workload::new(15, Topology::Clique, 1.0, 0.0);
+        let spec = w.spec();
+        for i in 0..15 {
+            assert!((spec.card(i) - 1.0).abs() < 1e-12);
+        }
+        // All selectivities are 1^... = 1: the treacherous all-equal-cost
+        // region of the input space.
+        assert!((spec.selectivity(3, 7) - 1.0).abs() < 1e-12);
+    }
+}

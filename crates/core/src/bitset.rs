@@ -1,0 +1,564 @@
+//! Bit-vector representation of relation sets (paper Section 4.1–4.2).
+//!
+//! The paper identifies relation names `R_0 .. R_{n-1}` with the integers
+//! `0 .. n-1`, and represents *sets* of relation names as bit-vectors packed
+//! into machine words. This module provides that representation, together
+//! with the subset-successor iteration trick of Section 4.2:
+//!
+//! > `succ(S_lhs) = S & (S_lhs - S)` (two's-complement arithmetic)
+//!
+//! which steps through all subsets of `S` in "dilated counting" order
+//! without ever materializing the dilation operator `δ_S`.
+
+/// Maximum number of relations supported by [`RelSet`].
+///
+/// The paper notes the representation works "provided n ≤ 32"; we reserve
+/// one bit so that `RelSet::full(n)` never overflows the shift. In practice
+/// the `O(2^n)` dynamic-programming table limits `n` to the high twenties
+/// long before this bound matters.
+pub const MAX_RELS: usize = 31;
+
+/// A set of relation names, packed into a `u32` bit-vector.
+///
+/// Relation `i` is a member iff bit `i` is set. The integer value of the
+/// bit-vector doubles as the set's index into the flat dynamic-programming
+/// table (paper Section 4.2: sets are processed "in the order of their
+/// integer representations").
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RelSet(pub u32);
+
+impl RelSet {
+    /// The empty set.
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// The set containing only relation `rel`.
+    ///
+    /// # Panics
+    /// Panics if `rel >= MAX_RELS`.
+    #[inline]
+    pub fn singleton(rel: usize) -> RelSet {
+        assert!(rel < MAX_RELS, "relation index {rel} out of range");
+        RelSet(1 << rel)
+    }
+
+    /// The set `{R_0, …, R_{n-1}}` of all `n` relations.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_RELS`.
+    #[inline]
+    pub fn full(n: usize) -> RelSet {
+        assert!(n <= MAX_RELS, "{n} relations exceed MAX_RELS = {MAX_RELS}");
+        RelSet(((1u64 << n) - 1) as u32)
+    }
+
+    /// Construct a set directly from its bit-vector representation.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> RelSet {
+        RelSet(bits)
+    }
+
+    /// The raw bit-vector.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The set's index into a flat `2^n`-entry table.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` iff the set has no members.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` iff the set has exactly one member.
+    ///
+    /// A nonzero power of two has a single 1-bit; `x & (x-1)` clears the
+    /// lowest 1-bit, so the result is zero exactly for powers of two.
+    #[inline]
+    pub const fn is_singleton(self) -> bool {
+        self.0 != 0 && (self.0 & (self.0 - 1)) == 0
+    }
+
+    /// Number of members (population count).
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership test for relation `rel`.
+    #[inline]
+    pub const fn contains(self, rel: usize) -> bool {
+        self.0 & (1u32 << rel) != 0
+    }
+
+    /// `true` iff every member of `self` is a member of `other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// `true` iff the two sets have no members in common.
+    #[inline]
+    pub const fn is_disjoint(self, other: RelSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: RelSet) -> RelSet {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersect(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & other.0)
+    }
+
+    /// Set difference `self - other`.
+    #[inline]
+    pub const fn minus(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & !other.0)
+    }
+
+    /// Insert relation `rel`, returning the enlarged set.
+    #[inline]
+    pub const fn with(self, rel: usize) -> RelSet {
+        RelSet(self.0 | (1u32 << rel))
+    }
+
+    /// Remove relation `rel`, returning the shrunken set.
+    #[inline]
+    pub const fn without(self, rel: usize) -> RelSet {
+        RelSet(self.0 & !(1u32 << rel))
+    }
+
+    /// The least relation name in the set (`min S` in the paper's total
+    /// order on names), or `None` for the empty set.
+    #[inline]
+    pub fn min_rel(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// The singleton `{min S}`, computed as `δ_S(1) = S & -S`
+    /// (paper Section 5.4). Returns the empty set for the empty set.
+    #[inline]
+    pub const fn lowest_singleton(self) -> RelSet {
+        RelSet(self.0 & self.0.wrapping_neg())
+    }
+
+    /// Successor of `lhs` in the dilated-counting enumeration of subsets of
+    /// `self`: `succ(S_lhs) = S & (S_lhs - S)` (paper Section 4.2,
+    /// equations (4)–(6)).
+    ///
+    /// Starting from `δ_S(1) = lowest_singleton()` and iterating, this
+    /// visits every nonempty subset of `self` exactly once, ending at
+    /// `self` itself (which corresponds to `δ_S(2^|S|-1)`).
+    #[inline]
+    pub const fn subset_successor(self, lhs: RelSet) -> RelSet {
+        RelSet(self.0 & lhs.0.wrapping_sub(self.0))
+    }
+
+    /// Iterator over the members of the set, in increasing order.
+    #[inline]
+    pub fn iter(self) -> RelIter {
+        RelIter(self.0)
+    }
+
+    /// Iterator over all *proper nonempty* subsets of the set — exactly the
+    /// `S_lhs` values examined by `find_best_split` (paper Figure 1).
+    ///
+    /// Yields `2^|S| - 2` subsets. For sets of fewer than two members the
+    /// iterator is empty.
+    #[inline]
+    pub fn proper_subsets(self) -> ProperSubsets {
+        let first = self.lowest_singleton();
+        ProperSubsets {
+            of: self,
+            next: if first == self { RelSet::EMPTY } else { first },
+        }
+    }
+
+    /// Iterator over all *nonempty* subsets, including the set itself.
+    #[inline]
+    pub fn nonempty_subsets(self) -> NonemptySubsets {
+        NonemptySubsets {
+            of: self,
+            next: self.lowest_singleton(),
+            done: self.is_empty(),
+        }
+    }
+}
+
+impl std::ops::BitOr for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn bitor(self, rhs: RelSet) -> RelSet {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitAnd for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn bitand(self, rhs: RelSet) -> RelSet {
+        self.intersect(rhs)
+    }
+}
+
+impl std::ops::Sub for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn sub(self, rhs: RelSet) -> RelSet {
+        self.minus(rhs)
+    }
+}
+
+impl std::fmt::Debug for RelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "R{r}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl std::fmt::Display for RelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<usize> for RelSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = RelSet::EMPTY;
+        for r in iter {
+            s = s.with(r);
+        }
+        s
+    }
+}
+
+/// Iterator over the members of a [`RelSet`]; see [`RelSet::iter`].
+#[derive(Clone)]
+pub struct RelIter(u32);
+
+impl Iterator for RelIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let r = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(r)
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RelIter {}
+
+/// Iterator over proper nonempty subsets; see [`RelSet::proper_subsets`].
+#[derive(Clone)]
+pub struct ProperSubsets {
+    of: RelSet,
+    /// Next subset to yield; `EMPTY` signals exhaustion (the empty set is
+    /// never a valid element of the sequence).
+    next: RelSet,
+}
+
+impl Iterator for ProperSubsets {
+    type Item = RelSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<RelSet> {
+        if self.next.is_empty() {
+            return None;
+        }
+        let cur = self.next;
+        let succ = self.of.subset_successor(cur);
+        // `succ` reaches `of` itself one step before wrapping; the set
+        // itself is not a *proper* subset, so it terminates the walk.
+        self.next = if succ == self.of { RelSet::EMPTY } else { succ };
+        Some(cur)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Exact count is knowable but cheap bounds suffice.
+        (0, Some((1usize << self.of.len()).saturating_sub(2)))
+    }
+}
+
+/// Iterator over nonempty subsets including the full set; see
+/// [`RelSet::nonempty_subsets`].
+#[derive(Clone)]
+pub struct NonemptySubsets {
+    of: RelSet,
+    next: RelSet,
+    done: bool,
+}
+
+impl Iterator for NonemptySubsets {
+    type Item = RelSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<RelSet> {
+        if self.done {
+            return None;
+        }
+        let cur = self.next;
+        if cur == self.of {
+            self.done = true;
+        } else {
+            self.next = self.of.subset_successor(cur);
+        }
+        Some(cur)
+    }
+}
+
+/// Enumerates the proper nonempty subsets of `of` with an *odd stride*,
+/// generalizing the natural successor (stride 1) per the paper's footnote 3:
+///
+/// > One can equally easily visit the `S_lhs` in alternative orders … by
+/// > taking `succ(δ(ι)) = δ(ι + k)` for arbitrary odd `k`.
+///
+/// Because `k` is odd it is coprime to `2^m`, so the walk cycles through all
+/// `2^m` residues; `0` (the empty set) and `S` itself are skipped. Used to
+/// probe the randomness assumption behind the `(ln 2 / 2)·n·2^n` expected
+/// count of best-so-far improvements (Section 3.3).
+pub struct StridedSubsets {
+    of: RelSet,
+    start: u32,
+    /// Contracted (un-dilated) current position `ι` in `0..2^m`.
+    cur: u32,
+    stride: u32,
+    mask: u32,
+    exhausted: bool,
+}
+
+impl StridedSubsets {
+    /// Create a strided enumeration with the given odd `stride`, starting
+    /// from contracted position 1 (i.e. `δ_S(1)`).
+    ///
+    /// # Panics
+    /// Panics if `stride` is even.
+    pub fn new(of: RelSet, stride: u32) -> StridedSubsets {
+        assert!(stride % 2 == 1, "stride must be odd");
+        let m = of.len() as u32;
+        StridedSubsets {
+            of,
+            start: 1 % (1u32 << m.min(31)),
+            cur: 1,
+            stride,
+            mask: if m >= 32 { u32::MAX } else { (1u32 << m) - 1 },
+            exhausted: of.len() < 2,
+        }
+    }
+
+    /// Dilate a contracted index `i` into a subset of `of`: distribute the
+    /// low `|of|` bits of `i` onto the 1-bit positions of `of` (`δ_S(i)`).
+    #[inline]
+    fn dilate(&self, mut i: u32) -> RelSet {
+        let mut out = 0u32;
+        let mut bits = self.of.bits();
+        while bits != 0 && i != 0 {
+            let low = bits & bits.wrapping_neg();
+            if i & 1 != 0 {
+                out |= low;
+            }
+            i >>= 1;
+            bits ^= low;
+        }
+        RelSet(out)
+    }
+}
+
+impl Iterator for StridedSubsets {
+    type Item = RelSet;
+
+    fn next(&mut self) -> Option<RelSet> {
+        if self.exhausted {
+            return None;
+        }
+        loop {
+            let pos = self.cur & self.mask;
+            self.cur = self.cur.wrapping_add(self.stride);
+            let wrapped = (self.cur & self.mask) == self.start;
+            // Skip the empty set (0) and the full set (all ones).
+            let valid = pos != 0 && pos != self.mask;
+            if wrapped {
+                self.exhausted = true;
+            }
+            if valid {
+                return Some(self.dilate(pos));
+            }
+            if wrapped {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn singleton_and_membership() {
+        let s = RelSet::singleton(3);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert!(s.is_singleton());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bits(), 0b1000);
+    }
+
+    #[test]
+    fn full_set() {
+        assert_eq!(RelSet::full(4).bits(), 0b1111);
+        assert_eq!(RelSet::full(0), RelSet::EMPTY);
+        assert_eq!(RelSet::full(MAX_RELS).len(), MAX_RELS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_set_overflow_panics() {
+        let _ = RelSet::full(MAX_RELS + 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RelSet::from_bits(0b1010);
+        let b = RelSet::from_bits(0b0110);
+        assert_eq!((a | b).bits(), 0b1110);
+        assert_eq!((a & b).bits(), 0b0010);
+        assert_eq!((a - b).bits(), 0b1000);
+        assert!(a.intersect(b).is_subset_of(a));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_disjoint(RelSet::from_bits(0b0101)));
+    }
+
+    #[test]
+    fn min_rel_and_lowest_singleton() {
+        let s = RelSet::from_bits(0b10100);
+        assert_eq!(s.min_rel(), Some(2));
+        assert_eq!(s.lowest_singleton(), RelSet::singleton(2));
+        assert_eq!(RelSet::EMPTY.min_rel(), None);
+        assert_eq!(RelSet::EMPTY.lowest_singleton(), RelSet::EMPTY);
+    }
+
+    #[test]
+    fn member_iteration_order() {
+        let s = RelSet::from_bits(0b101101);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 2, 3, 5]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: RelSet = [1usize, 4, 2].into_iter().collect();
+        assert_eq!(s.bits(), 0b10110);
+    }
+
+    /// Paper Section 4.2 worked example: successive `S_lhs` values for a
+    /// sparse set follow dilated counting order.
+    #[test]
+    fn subset_successor_matches_dilated_counting() {
+        // S = {R0, R3, R4} = 0b11001
+        let s = RelSet::from_bits(0b11001);
+        // δ_S over 1..7: 00001, 01000, 01001, 10000, 10001, 11000, 11001
+        let expect = [0b00001u32, 0b01000, 0b01001, 0b10000, 0b10001, 0b11000];
+        let got: Vec<u32> = s.proper_subsets().map(|x| x.bits()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn proper_subsets_count_and_uniqueness() {
+        for bits in [0b1u32, 0b11, 0b1011, 0b11111, 0b1010101] {
+            let s = RelSet::from_bits(bits);
+            let subs: Vec<RelSet> = s.proper_subsets().collect();
+            let expected = (1usize << s.len()).saturating_sub(2);
+            assert_eq!(subs.len(), expected, "count for {s:?}");
+            let uniq: HashSet<u32> = subs.iter().map(|x| x.bits()).collect();
+            assert_eq!(uniq.len(), subs.len(), "duplicates for {s:?}");
+            for sub in &subs {
+                assert!(sub.is_subset_of(s));
+                assert!(!sub.is_empty());
+                assert_ne!(*sub, s);
+            }
+        }
+    }
+
+    #[test]
+    fn proper_subsets_pair_with_complement_covers_all_splits() {
+        let s = RelSet::from_bits(0b1101);
+        let mut seen = HashSet::new();
+        for lhs in s.proper_subsets() {
+            let rhs = s - lhs;
+            assert_eq!(lhs | rhs, s);
+            assert!(lhs.is_disjoint(rhs));
+            assert!(!rhs.is_empty());
+            seen.insert((lhs.bits(), rhs.bits()));
+        }
+        // All 2^3 - 2 = 6 ordered splits of a 3-set.
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn nonempty_subsets_includes_self() {
+        let s = RelSet::from_bits(0b110);
+        let subs: Vec<u32> = s.nonempty_subsets().map(|x| x.bits()).collect();
+        assert_eq!(subs, vec![0b010, 0b100, 0b110]);
+        assert_eq!(RelSet::EMPTY.nonempty_subsets().count(), 0);
+    }
+
+    #[test]
+    fn strided_subsets_visits_same_set_as_natural_order() {
+        let s = RelSet::from_bits(0b101101);
+        let natural: HashSet<u32> = s.proper_subsets().map(|x| x.bits()).collect();
+        for stride in [1u32, 3, 5, 7, 11, 15] {
+            let strided: HashSet<u32> =
+                StridedSubsets::new(s, stride).map(|x| x.bits()).collect();
+            assert_eq!(strided, natural, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn strided_subsets_small_sets_empty() {
+        assert_eq!(StridedSubsets::new(RelSet::singleton(2), 3).count(), 0);
+        assert_eq!(StridedSubsets::new(RelSet::EMPTY, 1).count(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = RelSet::from_bits(0b101);
+        assert_eq!(format!("{s:?}"), "{R0,R2}");
+        assert_eq!(format!("{}", RelSet::EMPTY), "{}");
+    }
+}

@@ -1,0 +1,362 @@
+//! Numeric problem specification: base-relation cardinalities and predicate
+//! selectivities (paper Section 5.1).
+//!
+//! A join-ordering problem is fully characterized — as far as the optimizer
+//! is concerned — by the `n` base cardinalities and the selectivity of the
+//! (at most one) predicate connecting each pair of relations. Pairs without
+//! a predicate get selectivity 1, which is exactly how the paper's
+//! algorithm "discovers" the join-graph topology without analyzing it:
+//!
+//! > From our algorithm's point of view, all join graphs are actually
+//! > cliques, and are distinguished only by the selectivities associated
+//! > with the predicates in these cliques. (Section 6.3)
+//!
+//! Higher-level concepts (named relations, predicates, topologies, the
+//! Appendix workload generator) live in the `blitz-catalog` crate and lower
+//! into a [`JoinSpec`].
+
+use crate::bitset::{RelSet, MAX_RELS};
+
+/// Errors raised when constructing or optimizing a [`JoinSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The specification names no relations.
+    Empty,
+    /// More relations than [`MAX_RELS`] / the table guard allows.
+    TooManyRels(usize),
+    /// A cardinality was nonpositive or non-finite.
+    BadCardinality {
+        /// The offending relation.
+        rel: usize,
+        /// The offending cardinality.
+        card: f64,
+    },
+    /// A selectivity was nonpositive or non-finite, or connected a relation
+    /// to itself, or referenced an out-of-range relation.
+    BadPredicate {
+        /// First endpoint as given.
+        lhs: usize,
+        /// Second endpoint as given.
+        rhs: usize,
+        /// The offending selectivity.
+        selectivity: f64,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "specification names no relations"),
+            SpecError::TooManyRels(n) => write!(f, "{n} relations exceed the supported maximum"),
+            SpecError::BadCardinality { rel, card } => {
+                write!(f, "relation R{rel} has invalid cardinality {card}")
+            }
+            SpecError::BadPredicate { lhs, rhs, selectivity } => {
+                write!(f, "predicate R{lhs}~R{rhs} has invalid selectivity {selectivity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A join-ordering problem: base cardinalities plus a symmetric selectivity
+/// matrix (entry 1.0 ⇔ no predicate).
+///
+/// Selectivities are allowed to exceed 1: the Appendix's selectivity
+/// formula can produce values slightly above 1 for very small relations,
+/// and nothing in the algorithm requires `σ ≤ 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinSpec {
+    cards: Vec<f64>,
+    /// Row-major `n × n` symmetric matrix; diagonal unused (1.0).
+    sel: Vec<f64>,
+}
+
+impl JoinSpec {
+    /// A pure Cartesian-product problem: no predicates at all (Section 3).
+    pub fn cartesian(cards: &[f64]) -> Result<JoinSpec, SpecError> {
+        JoinSpec::new(cards, &[])
+    }
+
+    /// Build a specification from cardinalities and a predicate list
+    /// `(i, j, selectivity)`.
+    ///
+    /// Multiple predicates between the same pair multiply together (the
+    /// pair's effective selectivity is their product), which matches the
+    /// semantics of conjunctive predicates spanning the same two relations.
+    pub fn new(cards: &[f64], predicates: &[(usize, usize, f64)]) -> Result<JoinSpec, SpecError> {
+        let n = cards.len();
+        if n == 0 {
+            return Err(SpecError::Empty);
+        }
+        if n > MAX_RELS {
+            return Err(SpecError::TooManyRels(n));
+        }
+        for (rel, &card) in cards.iter().enumerate() {
+            if !(card.is_finite() && card > 0.0) {
+                return Err(SpecError::BadCardinality { rel, card });
+            }
+        }
+        let mut sel = vec![1.0f64; n * n];
+        for &(i, j, s) in predicates {
+            if i >= n || j >= n || i == j || !(s.is_finite() && s > 0.0) {
+                return Err(SpecError::BadPredicate { lhs: i, rhs: j, selectivity: s });
+            }
+            sel[i * n + j] *= s;
+            sel[j * n + i] *= s;
+        }
+        Ok(JoinSpec { cards: cards.to_vec(), sel })
+    }
+
+    /// Number of base relations `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// The set `{R_0, …, R_{n-1}}` of all relations in the problem.
+    #[inline]
+    pub fn all_rels(&self) -> RelSet {
+        RelSet::full(self.n())
+    }
+
+    /// Cardinality of base relation `rel`.
+    #[inline]
+    pub fn card(&self, rel: usize) -> f64 {
+        self.cards[rel]
+    }
+
+    /// All base cardinalities.
+    #[inline]
+    pub fn cards(&self) -> &[f64] {
+        &self.cards
+    }
+
+    /// Effective selectivity between relations `i` and `j` (1.0 ⇔ no
+    /// predicate).
+    #[inline]
+    pub fn selectivity(&self, i: usize, j: usize) -> f64 {
+        self.sel[i * self.n() + j]
+    }
+
+    /// `true` iff a (non-trivial) predicate connects `i` and `j`.
+    #[inline]
+    pub fn has_predicate(&self, i: usize, j: usize) -> bool {
+        self.selectivity(i, j) != 1.0
+    }
+
+    /// Iterate over the join-graph edges `(i, j, σ)` with `i < j` and
+    /// `σ ≠ 1`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let n = self.n();
+        (0..n).flat_map(move |i| {
+            ((i + 1)..n).filter_map(move |j| {
+                let s = self.selectivity(i, j);
+                (s != 1.0).then_some((i, j, s))
+            })
+        })
+    }
+
+    /// Number of join-graph edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges().count()
+    }
+
+    /// The product of the selectivities of all predicates *spanning* `u`
+    /// and `v` — `Π_span(U, V)` of equation (8). Reference implementation
+    /// (quadratic in set sizes); the optimizer uses the fan recurrence
+    /// instead.
+    pub fn pi_span(&self, u: RelSet, v: RelSet) -> f64 {
+        debug_assert!(u.is_disjoint(v));
+        let mut p = 1.0;
+        for i in u.iter() {
+            for j in v.iter() {
+                p *= self.selectivity(i, j);
+            }
+        }
+        p
+    }
+
+    /// The fan of `s` per the Section 5.3 definition: the selectivity
+    /// product over predicates spanning `{min S}` and `S − {min S}`.
+    /// Reference implementation.
+    pub fn pi_fan(&self, s: RelSet) -> f64 {
+        let u = s.lowest_singleton();
+        if u == s || u.is_empty() {
+            return 1.0;
+        }
+        self.pi_span(u, s - u)
+    }
+
+    /// Closed-form join cardinality of the subset `s`: the product of the
+    /// member cardinalities and the selectivities of all predicates in the
+    /// *induced subgraph* (Section 5.1). Reference implementation used by
+    /// tests and baselines; the optimizer computes the same value through
+    /// recurrences (7)/(10)/(11).
+    pub fn join_cardinality(&self, s: RelSet) -> f64 {
+        let mut card = 1.0;
+        for i in s.iter() {
+            card *= self.cards[i];
+        }
+        let members: Vec<usize> = s.iter().collect();
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                card *= self.selectivity(i, j);
+            }
+        }
+        card
+    }
+
+    /// `true` iff the subgraph induced by `s` is connected (joining `s`
+    /// requires no Cartesian product). Singletons are connected.
+    pub fn is_connected(&self, s: RelSet) -> bool {
+        let Some(start) = s.min_rel() else { return true };
+        let mut reached = RelSet::singleton(start);
+        let mut frontier = reached;
+        while !frontier.is_empty() {
+            let mut next = RelSet::EMPTY;
+            for i in frontier.iter() {
+                for j in (s - reached).iter() {
+                    if self.has_predicate(i, j) {
+                        next = next.with(j);
+                    }
+                }
+            }
+            reached = reached | next;
+            frontier = next;
+        }
+        reached == s
+    }
+
+    /// `true` iff `u` and `v` are connected to each other by at least one
+    /// predicate (their join is not a Cartesian product).
+    pub fn spans(&self, u: RelSet, v: RelSet) -> bool {
+        for i in u.iter() {
+            for j in v.iter() {
+                if self.has_predicate(i, j) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (Figure 3): relations A,B,C,D = R0..R3,
+    /// predicates AB, AC, BC, AD.
+    fn fig3_spec() -> JoinSpec {
+        JoinSpec::new(
+            &[10.0, 20.0, 30.0, 40.0],
+            &[(0, 1, 0.1), (0, 2, 0.2), (1, 2, 0.3), (0, 3, 0.4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let spec = fig3_spec();
+        assert_eq!(spec.n(), 4);
+        assert_eq!(spec.card(2), 30.0);
+        assert_eq!(spec.selectivity(0, 1), 0.1);
+        assert_eq!(spec.selectivity(1, 0), 0.1);
+        assert_eq!(spec.selectivity(1, 3), 1.0);
+        assert!(spec.has_predicate(0, 3));
+        assert!(!spec.has_predicate(2, 3));
+        assert_eq!(spec.edge_count(), 4);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(JoinSpec::cartesian(&[]).unwrap_err(), SpecError::Empty);
+        assert!(matches!(
+            JoinSpec::cartesian(&[1.0, -2.0]).unwrap_err(),
+            SpecError::BadCardinality { rel: 1, .. }
+        ));
+        assert!(matches!(
+            JoinSpec::new(&[1.0, 2.0], &[(0, 0, 0.5)]).unwrap_err(),
+            SpecError::BadPredicate { .. }
+        ));
+        assert!(matches!(
+            JoinSpec::new(&[1.0, 2.0], &[(0, 5, 0.5)]).unwrap_err(),
+            SpecError::BadPredicate { .. }
+        ));
+        assert!(matches!(
+            JoinSpec::new(&[1.0, 2.0], &[(0, 1, 0.0)]).unwrap_err(),
+            SpecError::BadPredicate { .. }
+        ));
+        let too_many = vec![1.0; MAX_RELS + 1];
+        assert!(matches!(JoinSpec::cartesian(&too_many).unwrap_err(), SpecError::TooManyRels(_)));
+    }
+
+    #[test]
+    fn duplicate_predicates_multiply() {
+        let spec = JoinSpec::new(&[10.0, 10.0], &[(0, 1, 0.5), (1, 0, 0.5)]).unwrap();
+        assert_eq!(spec.selectivity(0, 1), 0.25);
+    }
+
+    #[test]
+    fn fig3_fan_example() {
+        // Fan of S = {A,B,C} is {AB, AC}: σ_AB · σ_AC = 0.1 · 0.2.
+        let spec = fig3_spec();
+        let s = RelSet::from_bits(0b0111);
+        assert!((spec.pi_fan(s) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_span_spanning_predicates() {
+        // Split {A,B,C} into U={A}, V={B,C}: spanning predicates AB, AC.
+        let spec = fig3_spec();
+        let u = RelSet::from_bits(0b001);
+        let v = RelSet::from_bits(0b110);
+        assert!((spec.pi_span(u, v) - 0.02).abs() < 1e-12);
+        // U={B}, V={A,C}: spanning AB, BC = 0.1·0.3
+        let u = RelSet::from_bits(0b010);
+        let v = RelSet::from_bits(0b101);
+        assert!((spec.pi_span(u, v) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_cardinality_closed_form() {
+        let spec = fig3_spec();
+        // {A,B,C}: 10·20·30 · σAB·σAC·σBC = 6000 · 0.1·0.2·0.3 = 36
+        let s = RelSet::from_bits(0b0111);
+        assert!((spec.join_cardinality(s) - 36.0).abs() < 1e-9);
+        // Singleton: just the base cardinality.
+        assert_eq!(spec.join_cardinality(RelSet::singleton(3)), 40.0);
+        // {B,D}: no predicate → Cartesian product 20·40.
+        assert_eq!(spec.join_cardinality(RelSet::from_bits(0b1010)), 800.0);
+    }
+
+    #[test]
+    fn connectivity() {
+        let spec = fig3_spec();
+        assert!(spec.is_connected(RelSet::from_bits(0b0111))); // A,B,C
+        assert!(spec.is_connected(RelSet::from_bits(0b1111))); // all (via A-D)
+        assert!(!spec.is_connected(RelSet::from_bits(0b1110))); // B,C,D: D isolated
+        assert!(spec.is_connected(RelSet::singleton(3)));
+        assert!(spec.is_connected(RelSet::EMPTY));
+    }
+
+    #[test]
+    fn spans_check() {
+        let spec = fig3_spec();
+        let bc = RelSet::from_bits(0b0110);
+        let d = RelSet::singleton(3);
+        let a = RelSet::singleton(0);
+        assert!(!spec.spans(bc, d)); // B,C vs D: Cartesian
+        assert!(spec.spans(a, d)); // A vs D: predicate AD
+    }
+
+    #[test]
+    fn cartesian_spec_has_no_edges() {
+        let spec = JoinSpec::cartesian(&[10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(spec.edge_count(), 0);
+        assert_eq!(spec.join_cardinality(RelSet::full(3)), 6000.0);
+        assert!(!spec.is_connected(RelSet::full(3)));
+    }
+}

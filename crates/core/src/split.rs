@@ -1,0 +1,188 @@
+//! `find_best_split` — the `O(3^n)` inner engine shared by the Cartesian
+//! product optimizer and the join optimizer (paper Figure 1 and
+//! Section 4.2).
+//!
+//! This module realizes the three implementation-critical details of
+//! Section 4.2:
+//!
+//! 1. subsets are walked with the successor trick
+//!    `succ(S_lhs) = S & (S_lhs − S)`, never materializing the dilation
+//!    operator;
+//! 2. the `if` in the loop body is replaced by a series of *nested* `if`s,
+//!    so that the split-dependent cost `κ''` is only computed when the
+//!    operand costs alone do not already disqualify the split (reducing
+//!    its execution count from `3^n` toward `(ln 2 / 2)·n·2^n`);
+//! 3. `κ'(S)` is computed *before* the loop, and when it already overflows
+//!    the cost cap the loop is skipped entirely (Sections 6.3–6.4).
+//!
+//! The function is generic over table layout, cost model, statistics sink
+//! and the `PRUNE` switch (the ablation benches compile both variants).
+
+use crate::bitset::RelSet;
+use crate::cost::CostModel;
+use crate::stats::Stats;
+use crate::table::TableLayout;
+
+/// Fill in the `cost` and `best_lhs` fields of the table row for `s` by
+/// examining every split of `s` into two nonempty subsets.
+///
+/// `cap` is the plan-cost threshold of Section 6.4; pass `f32::INFINITY`
+/// for pure overflow-rejection semantics. Any plan whose cost reaches
+/// `cap` is treated as if its cost had overflowed: the row's cost becomes
+/// `+∞` and every superset rejects it through the operand-cost test.
+///
+/// The row's `card` (and `aux`) fields must already be filled in by the
+/// caller's `compute_properties`.
+#[inline]
+pub(crate) fn find_best_split<L, M, St, const PRUNE: bool>(
+    table: &mut L,
+    model: &M,
+    s: RelSet,
+    cap: f32,
+    stats: &mut St,
+) where
+    L: TableLayout,
+    M: CostModel,
+    St: Stats,
+{
+    stats.subset();
+    let out_card = table.card(s);
+
+    // κ'(S) is split-independent: hoist it out of the loop (fixed 2^n
+    // execution count). If it alone breaches the cap, no split can help —
+    // κ'' and operand costs are nonnegative — so skip the whole loop.
+    stats.kappa_ind();
+    let kappa_ind = model.kappa_ind(out_card);
+    // Deliberately `!(x < cap)` rather than `x >= cap`: a NaN cost (which
+    // a pathological model could produce) must also be rejected.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(kappa_ind < cap) {
+        table.set_cost(s, f32::INFINITY);
+        table.set_best_lhs(s, RelSet::EMPTY);
+        stats.loop_skipped();
+        return;
+    }
+
+    let mut best = f32::INFINITY;
+    let mut best_lhs = RelSet::EMPTY;
+
+    // Walk S_lhs = δ_S(1), δ_S(2), …, δ_S(2^|S|−2); the walk naturally
+    // terminates when the successor reaches S itself (= δ_S(2^|S|−1)).
+    let mut lhs = s.lowest_singleton();
+    while lhs != s {
+        stats.loop_iter();
+        let rhs = s - lhs;
+
+        if PRUNE {
+            // Nested-if structure: each test can disqualify the split
+            // before the next (more expensive) quantity is touched.
+            let lhs_cost = table.cost(lhs);
+            if lhs_cost < best {
+                let oprnd_cost = lhs_cost + table.cost(rhs);
+                if oprnd_cost < best {
+                    let dpnd_cost = if M::HAS_DEP {
+                        stats.kappa_dep();
+                        oprnd_cost
+                            + model.kappa_dep(
+                                out_card,
+                                table.card(lhs),
+                                table.card(rhs),
+                                table.aux(lhs),
+                                table.aux(rhs),
+                            )
+                    } else {
+                        oprnd_cost
+                    };
+                    if dpnd_cost < best {
+                        stats.cond_hit();
+                        best = dpnd_cost;
+                        best_lhs = lhs;
+                    }
+                }
+            }
+        } else {
+            // Unpruned variant (ablation): κ'' evaluated on every
+            // iteration, exactly as in the Figure 1 pseudo-code.
+            let oprnd_cost = table.cost(lhs) + table.cost(rhs);
+            stats.kappa_dep();
+            let dpnd_cost = oprnd_cost
+                + model.kappa_dep(
+                    out_card,
+                    table.card(lhs),
+                    table.card(rhs),
+                    table.aux(lhs),
+                    table.aux(rhs),
+                );
+            if dpnd_cost < best {
+                stats.cond_hit();
+                best = dpnd_cost;
+                best_lhs = lhs;
+            }
+        }
+
+        lhs = s.subset_successor(lhs);
+    }
+
+    let total = best + kappa_ind;
+    if total < cap {
+        table.set_cost(s, total);
+        table.set_best_lhs(s, best_lhs);
+    } else {
+        // No split beat the threshold (or everything overflowed): reject.
+        table.set_cost(s, f32::INFINITY);
+        table.set_best_lhs(s, RelSet::EMPTY);
+    }
+}
+
+/// Initialize the table row for the singleton `{rel}` (paper Figure 1,
+/// `init_singleton`): base relations cost nothing (equation (1)) and their
+/// cardinality is given.
+#[inline]
+pub(crate) fn init_singleton<L, M>(table: &mut L, model: &M, rel: usize, card: f64)
+where
+    L: TableLayout,
+    M: CostModel,
+{
+    let s = RelSet::singleton(rel);
+    table.set_card(s, card);
+    table.set_cost(s, 0.0);
+    table.set_best_lhs(s, RelSet::EMPTY);
+    table.set_pi_fan(s, 1.0);
+    if M::HAS_AUX {
+        table.set_aux(s, model.aux(card));
+    }
+}
+
+/// Drive `compute_properties` + `find_best_split` over every non-singleton
+/// subset in integer order (paper Section 4.2: processing sets by their
+/// integer representations guarantees all subsets of `S` precede `S`).
+///
+/// `compute_properties` receives the table and the set and must fill in
+/// `card` (and `pi_fan`/`aux` where applicable).
+#[inline]
+pub(crate) fn drive<L, M, St, F, const PRUNE: bool>(
+    table: &mut L,
+    model: &M,
+    n: usize,
+    cap: f32,
+    stats: &mut St,
+    mut compute_properties: F,
+) where
+    L: TableLayout,
+    M: CostModel,
+    St: Stats,
+    F: FnMut(&mut L, &M, RelSet),
+{
+    stats.pass();
+    let end = 1u32 << n;
+    let mut bits = 3u32;
+    while bits < end {
+        let s = RelSet::from_bits(bits);
+        // Skip powers of two: those are singletons, already initialized.
+        if !s.is_singleton() {
+            compute_properties(table, model, s);
+            find_best_split::<L, M, St, PRUNE>(table, model, s, cap, stats);
+        }
+        bits += 1;
+    }
+}

@@ -1,0 +1,180 @@
+//! Instrumentation counters for the complexity analyses of Sections 3.3,
+//! 6.2 and 6.4.
+//!
+//! The paper's performance model (formula (3)) decomposes running time into
+//! three event classes:
+//!
+//! * `3^n · T_loop` — iterations of the split loop in `find_best_split`;
+//! * `(ln 2 / 2)·n·2^n · T_cond` — executions of the conditionally executed
+//!   body (best-so-far improvements, under the random-order argument);
+//! * `2^n · T_subset` — straight-line per-subset work.
+//!
+//! [`Counters`] records these events plus `κ'`/`κ''` evaluation counts so
+//! that the benchmark harness can verify the analytic bounds (e.g. that the
+//! `κ''` count lies between `(ln 2 / 2)·n·2^n` and `3^n`, Section 6.2, and
+//! falls below `n³/3` for chains under threshold pruning, Section 6.4).
+//! [`NoStats`] compiles every hook to a no-op so the production optimizer
+//! pays nothing; both are monomorphized.
+
+/// Event sink for optimizer instrumentation. All hooks must be trivially
+/// inlinable.
+pub trait Stats {
+    /// One iteration of the split loop (the `3^n` term).
+    fn loop_iter(&mut self);
+    /// One execution of the straight-line per-subset code (the `2^n` term).
+    fn subset(&mut self);
+    /// One evaluation of the split-independent cost `κ'`.
+    fn kappa_ind(&mut self);
+    /// One evaluation of the split-dependent cost `κ''`.
+    fn kappa_dep(&mut self);
+    /// One execution of the conditional body (best-so-far improved).
+    fn cond_hit(&mut self);
+    /// One subset whose split loop was skipped entirely (overflow /
+    /// threshold pruning, Section 6.3–6.4).
+    fn loop_skipped(&mut self);
+    /// One full optimization pass (threshold re-optimization counts each).
+    fn pass(&mut self);
+}
+
+/// Zero-cost sink: every hook is an empty inline function.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NoStats;
+
+impl Stats for NoStats {
+    #[inline(always)]
+    fn loop_iter(&mut self) {}
+    #[inline(always)]
+    fn subset(&mut self) {}
+    #[inline(always)]
+    fn kappa_ind(&mut self) {}
+    #[inline(always)]
+    fn kappa_dep(&mut self) {}
+    #[inline(always)]
+    fn cond_hit(&mut self) {}
+    #[inline(always)]
+    fn loop_skipped(&mut self) {}
+    #[inline(always)]
+    fn pass(&mut self) {}
+}
+
+/// Counting sink used by the analysis benches.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Split-loop iterations (`3^n` in aggregate without pruning).
+    pub loop_iters: u64,
+    /// Straight-line per-subset executions (≈ `2^n`).
+    pub subsets: u64,
+    /// `κ'` evaluations (fixed at ≈ `2^n` without pruning).
+    pub kappa_ind_evals: u64,
+    /// `κ''` evaluations (between `(ln2/2)·n·2^n` and `3^n`).
+    pub kappa_dep_evals: u64,
+    /// Conditional-body executions (best-so-far improvements).
+    pub cond_hits: u64,
+    /// Subsets whose split loop was skipped by overflow/threshold pruning.
+    pub loops_skipped: u64,
+    /// Optimization passes (more than 1 ⇒ threshold re-optimization).
+    pub passes: u64,
+}
+
+impl Stats for Counters {
+    #[inline(always)]
+    fn loop_iter(&mut self) {
+        self.loop_iters += 1;
+    }
+    #[inline(always)]
+    fn subset(&mut self) {
+        self.subsets += 1;
+    }
+    #[inline(always)]
+    fn kappa_ind(&mut self) {
+        self.kappa_ind_evals += 1;
+    }
+    #[inline(always)]
+    fn kappa_dep(&mut self) {
+        self.kappa_dep_evals += 1;
+    }
+    #[inline(always)]
+    fn cond_hit(&mut self) {
+        self.cond_hits += 1;
+    }
+    #[inline(always)]
+    fn loop_skipped(&mut self) {
+        self.loops_skipped += 1;
+    }
+    #[inline(always)]
+    fn pass(&mut self) {
+        self.passes += 1;
+    }
+}
+
+impl Counters {
+    /// The analytic `3^n` bound on split-loop iterations (Section 3.3).
+    pub fn bound_loop(n: usize) -> f64 {
+        3f64.powi(n as i32)
+    }
+
+    /// The analytic expected count `(ln 2 / 2)·n·2^n` of conditional-body
+    /// executions (Section 3.3).
+    pub fn bound_cond(n: usize) -> f64 {
+        (std::f64::consts::LN_2 / 2.0) * n as f64 * 2f64.powi(n as i32)
+    }
+
+    /// The `2^n` bound on per-subset straight-line work (Section 3.3).
+    pub fn bound_subset(n: usize) -> f64 {
+        2f64.powi(n as i32)
+    }
+
+    /// Left-deep `κ''` count bounds `((ln n)·2^n, (n/2)·2^n)` quoted in
+    /// Section 6.2 (derivation omitted in the paper).
+    pub fn bound_leftdeep(n: usize) -> (f64, f64) {
+        let p = 2f64.powi(n as i32);
+        ((n as f64).ln() * p, n as f64 / 2.0 * p)
+    }
+
+    /// The `n³/3` chain-query bound referenced in Section 6.4.
+    pub fn bound_chain_poly(n: usize) -> f64 {
+        (n as f64).powi(3) / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::default();
+        c.loop_iter();
+        c.loop_iter();
+        c.subset();
+        c.kappa_ind();
+        c.kappa_dep();
+        c.cond_hit();
+        c.loop_skipped();
+        c.pass();
+        assert_eq!(c.loop_iters, 2);
+        assert_eq!(c.subsets, 1);
+        assert_eq!(c.kappa_ind_evals, 1);
+        assert_eq!(c.kappa_dep_evals, 1);
+        assert_eq!(c.cond_hits, 1);
+        assert_eq!(c.loops_skipped, 1);
+        assert_eq!(c.passes, 1);
+    }
+
+    #[test]
+    fn analytic_bounds() {
+        assert_eq!(Counters::bound_loop(3), 27.0);
+        assert_eq!(Counters::bound_subset(10), 1024.0);
+        let c = Counters::bound_cond(15);
+        // (ln2/2)·15·2^15 ≈ 0.3466·15·32768 ≈ 170_361
+        assert!((c - 170_000.0).abs() < 2_000.0, "{c}");
+        let (lo, hi) = Counters::bound_leftdeep(15);
+        assert!(lo < hi);
+        assert!((Counters::bound_chain_poly(15) - 1125.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn nostats_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoStats>(), 0);
+    }
+}

@@ -1,0 +1,424 @@
+//! The dynamic-programming table (paper Sections 3.2, 4.1 and 5.4).
+//!
+//! The table has one row per nonempty subset of the `n` relations, indexed
+//! by the subset's integer bit-vector representation, for `2^n` slots in
+//! all (slot 0, the empty set, is unused). Each row carries:
+//!
+//! * `card` — the (estimated) cardinality of the intermediate result over
+//!   the subset (`f64` for wide dynamic range, per footnote 2);
+//! * `cost` — the cost of the best plan found (`f32`; overflow ⇒ `+∞` ⇒
+//!   rejected, per Section 6.3);
+//! * `best_lhs` — the left-hand side of the best split (bit-vector);
+//! * `pi_fan` — the memoized fan selectivity product `Π_fan` (Section 5.4;
+//!   join optimization only);
+//! * `aux` — an optional cost-model memo (e.g. the sort-merge log term).
+//!
+//! Two layouts are provided behind the [`TableLayout`] trait so that the
+//! benchmark harness can ablate the choice: [`AosTable`] (array of structs,
+//! the paper's layout) and [`SoaTable`] (struct of arrays). The optimizer
+//! is generic over the layout and monomorphizes both.
+
+use crate::bitset::{RelSet, MAX_RELS};
+
+/// Guard against absurd allocations: `2^28` rows of 32 bytes is 8 GiB.
+pub const MAX_TABLE_RELS: usize = 28;
+
+/// Storage for the dynamic-programming table, indexed by [`RelSet`].
+///
+/// All accessors are expected to be O(1) and inline; they sit inside the
+/// optimizer's `O(3^n)` split loop.
+pub trait TableLayout {
+    /// Allocate a table for `n` relations (`2^n` rows).
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_TABLE_RELS` (or `n > MAX_RELS`).
+    fn with_rels(n: usize) -> Self;
+
+    /// Number of relations this table was allocated for.
+    fn rels(&self) -> usize;
+
+    /// Estimated cardinality of the set's intermediate result.
+    fn card(&self, s: RelSet) -> f64;
+    /// Set the cardinality field.
+    fn set_card(&mut self, s: RelSet, v: f64);
+
+    /// Cost of the best plan found for the set (`+∞` if none).
+    fn cost(&self, s: RelSet) -> f32;
+    /// Set the cost field.
+    fn set_cost(&mut self, s: RelSet, v: f32);
+
+    /// Left-hand side of the best split (`EMPTY` for singletons).
+    fn best_lhs(&self, s: RelSet) -> RelSet;
+    /// Set the best-split field.
+    fn set_best_lhs(&mut self, s: RelSet, v: RelSet);
+
+    /// Memoized fan selectivity product `Π_fan(S)` (Section 5.3).
+    fn pi_fan(&self, s: RelSet) -> f64;
+    /// Set the fan product field.
+    fn set_pi_fan(&mut self, s: RelSet, v: f64);
+
+    /// Memoized per-set cost-model value (see [`crate::cost::CostModel::aux`]).
+    fn aux(&self, s: RelSet) -> f32;
+    /// Set the cost-model memo field.
+    fn set_aux(&mut self, s: RelSet, v: f32);
+}
+
+fn check_rels(n: usize) {
+    assert!(n <= MAX_RELS, "{n} relations exceed MAX_RELS = {MAX_RELS}");
+    assert!(
+        n <= MAX_TABLE_RELS,
+        "{n} relations exceed MAX_TABLE_RELS = {MAX_TABLE_RELS} (table would need 2^{n} rows)"
+    );
+}
+
+/// One row of the array-of-structs layout.
+///
+/// 32 bytes: the paper's 16-byte product row (`card` + `cost` + `best_lhs`)
+/// plus the `Π_fan` column added in Section 5.4 and the cost-model memo.
+#[derive(Copy, Clone, Debug)]
+#[repr(C)]
+struct Row {
+    card: f64,
+    pi_fan: f64,
+    cost: f32,
+    best_lhs: u32,
+    aux: f32,
+    _pad: u32,
+}
+
+impl Default for Row {
+    fn default() -> Self {
+        Row { card: 0.0, pi_fan: 1.0, cost: f32::INFINITY, best_lhs: 0, aux: 0.0, _pad: 0 }
+    }
+}
+
+/// Array-of-structs table layout — each row's fields are contiguous, as in
+/// the paper's C implementation.
+pub struct AosTable {
+    n: usize,
+    rows: Vec<Row>,
+}
+
+impl TableLayout for AosTable {
+    fn with_rels(n: usize) -> Self {
+        check_rels(n);
+        AosTable { n, rows: vec![Row::default(); 1usize << n] }
+    }
+
+    #[inline]
+    fn rels(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn card(&self, s: RelSet) -> f64 {
+        self.rows[s.index()].card
+    }
+
+    #[inline]
+    fn set_card(&mut self, s: RelSet, v: f64) {
+        self.rows[s.index()].card = v;
+    }
+
+    #[inline]
+    fn cost(&self, s: RelSet) -> f32 {
+        self.rows[s.index()].cost
+    }
+
+    #[inline]
+    fn set_cost(&mut self, s: RelSet, v: f32) {
+        self.rows[s.index()].cost = v;
+    }
+
+    #[inline]
+    fn best_lhs(&self, s: RelSet) -> RelSet {
+        RelSet::from_bits(self.rows[s.index()].best_lhs)
+    }
+
+    #[inline]
+    fn set_best_lhs(&mut self, s: RelSet, v: RelSet) {
+        self.rows[s.index()].best_lhs = v.bits();
+    }
+
+    #[inline]
+    fn pi_fan(&self, s: RelSet) -> f64 {
+        self.rows[s.index()].pi_fan
+    }
+
+    #[inline]
+    fn set_pi_fan(&mut self, s: RelSet, v: f64) {
+        self.rows[s.index()].pi_fan = v;
+    }
+
+    #[inline]
+    fn aux(&self, s: RelSet) -> f32 {
+        self.rows[s.index()].aux
+    }
+
+    #[inline]
+    fn set_aux(&mut self, s: RelSet, v: f32) {
+        self.rows[s.index()].aux = v;
+    }
+}
+
+/// Struct-of-arrays table layout — one dense array per column. The split
+/// loop touches only `cost` (always) and `card`/`aux` (conditionally), so
+/// separating the columns can improve cache residency for large `n`; the
+/// ablation bench quantifies this.
+pub struct SoaTable {
+    n: usize,
+    cards: Vec<f64>,
+    pi_fans: Vec<f64>,
+    costs: Vec<f32>,
+    best_lhss: Vec<u32>,
+    auxs: Vec<f32>,
+}
+
+impl TableLayout for SoaTable {
+    fn with_rels(n: usize) -> Self {
+        check_rels(n);
+        let cap = 1usize << n;
+        SoaTable {
+            n,
+            cards: vec![0.0; cap],
+            pi_fans: vec![1.0; cap],
+            costs: vec![f32::INFINITY; cap],
+            best_lhss: vec![0; cap],
+            auxs: vec![0.0; cap],
+        }
+    }
+
+    #[inline]
+    fn rels(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn card(&self, s: RelSet) -> f64 {
+        self.cards[s.index()]
+    }
+
+    #[inline]
+    fn set_card(&mut self, s: RelSet, v: f64) {
+        self.cards[s.index()] = v;
+    }
+
+    #[inline]
+    fn cost(&self, s: RelSet) -> f32 {
+        self.costs[s.index()]
+    }
+
+    #[inline]
+    fn set_cost(&mut self, s: RelSet, v: f32) {
+        self.costs[s.index()] = v;
+    }
+
+    #[inline]
+    fn best_lhs(&self, s: RelSet) -> RelSet {
+        RelSet::from_bits(self.best_lhss[s.index()])
+    }
+
+    #[inline]
+    fn set_best_lhs(&mut self, s: RelSet, v: RelSet) {
+        self.best_lhss[s.index()] = v.bits();
+    }
+
+    #[inline]
+    fn pi_fan(&self, s: RelSet) -> f64 {
+        self.pi_fans[s.index()]
+    }
+
+    #[inline]
+    fn set_pi_fan(&mut self, s: RelSet, v: f64) {
+        self.pi_fans[s.index()] = v;
+    }
+
+    #[inline]
+    fn aux(&self, s: RelSet) -> f32 {
+        self.auxs[s.index()]
+    }
+
+    #[inline]
+    fn set_aux(&mut self, s: RelSet, v: f32) {
+        self.auxs[s.index()] = v;
+    }
+}
+
+/// One row of the paper-exact 16-byte layout (Section 4.1):
+///
+/// > each row of our dynamic programming table need occupy only 16
+/// > bytes: 8 bytes for the real `card`, 4 bytes for the real `cost`,
+/// > and 4 bytes for the bit-vector `best_lhs`.
+#[derive(Copy, Clone, Debug)]
+#[repr(C)]
+struct CompactRow {
+    card: f64,
+    cost: f32,
+    best_lhs: u32,
+}
+
+impl Default for CompactRow {
+    fn default() -> Self {
+        CompactRow { card: 0.0, cost: f32::INFINITY, best_lhs: 0 }
+    }
+}
+
+/// The paper's exact 16-byte-per-row table for **Cartesian product**
+/// optimization: no `Π_fan` column, no cost-model memo.
+///
+/// Only usable where those columns are never needed — i.e. with
+/// [`crate::cartesian`] under cost models with `HAS_AUX == false`.
+/// `pi_fan` reads return the neutral 1.0 and writes of the neutral value
+/// are accepted (singleton initialization writes 1.0); any other use
+/// panics rather than silently corrupting an optimization.
+pub struct CompactProductTable {
+    n: usize,
+    rows: Vec<CompactRow>,
+}
+
+impl TableLayout for CompactProductTable {
+    fn with_rels(n: usize) -> Self {
+        check_rels(n);
+        CompactProductTable { n, rows: vec![CompactRow::default(); 1usize << n] }
+    }
+
+    #[inline]
+    fn rels(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn card(&self, s: RelSet) -> f64 {
+        self.rows[s.index()].card
+    }
+
+    #[inline]
+    fn set_card(&mut self, s: RelSet, v: f64) {
+        self.rows[s.index()].card = v;
+    }
+
+    #[inline]
+    fn cost(&self, s: RelSet) -> f32 {
+        self.rows[s.index()].cost
+    }
+
+    #[inline]
+    fn set_cost(&mut self, s: RelSet, v: f32) {
+        self.rows[s.index()].cost = v;
+    }
+
+    #[inline]
+    fn best_lhs(&self, s: RelSet) -> RelSet {
+        RelSet::from_bits(self.rows[s.index()].best_lhs)
+    }
+
+    #[inline]
+    fn set_best_lhs(&mut self, s: RelSet, v: RelSet) {
+        self.rows[s.index()].best_lhs = v.bits();
+    }
+
+    #[inline]
+    fn pi_fan(&self, _s: RelSet) -> f64 {
+        1.0
+    }
+
+    #[inline]
+    fn set_pi_fan(&mut self, _s: RelSet, v: f64) {
+        assert!(v == 1.0, "CompactProductTable has no Π_fan column (products only)");
+    }
+
+    #[inline]
+    fn aux(&self, _s: RelSet) -> f32 {
+        0.0
+    }
+
+    #[inline]
+    fn set_aux(&mut self, _s: RelSet, v: f32) {
+        assert!(v == 0.0, "CompactProductTable has no aux column");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<L: TableLayout>() {
+        let mut t = L::with_rels(4);
+        assert_eq!(t.rels(), 4);
+        let s = RelSet::from_bits(0b1011);
+        t.set_card(s, 600.0);
+        t.set_cost(s, 42.5);
+        t.set_best_lhs(s, RelSet::from_bits(0b0011));
+        t.set_pi_fan(s, 0.125);
+        t.set_aux(s, 7.0);
+        assert_eq!(t.card(s), 600.0);
+        assert_eq!(t.cost(s), 42.5);
+        assert_eq!(t.best_lhs(s), RelSet::from_bits(0b0011));
+        assert_eq!(t.pi_fan(s), 0.125);
+        assert_eq!(t.aux(s), 7.0);
+        // Other rows untouched.
+        let other = RelSet::from_bits(0b0111);
+        assert_eq!(t.card(other), 0.0);
+        assert!(t.cost(other).is_infinite());
+        assert_eq!(t.pi_fan(other), 1.0);
+    }
+
+    #[test]
+    fn aos_roundtrip() {
+        roundtrip::<AosTable>();
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        roundtrip::<SoaTable>();
+    }
+
+    #[test]
+    fn default_cost_is_infinite() {
+        let t = AosTable::with_rels(3);
+        for bits in 1u32..8 {
+            assert!(t.cost(RelSet::from_bits(bits)).is_infinite());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_rels_panics() {
+        let _ = AosTable::with_rels(MAX_TABLE_RELS + 1);
+    }
+
+    #[test]
+    fn row_is_32_bytes() {
+        // The paper's product-only row is 16 bytes; ours adds the Π_fan
+        // column (8) and the cost-model memo (4+pad). Keep it compact.
+        assert_eq!(std::mem::size_of::<Row>(), 32);
+    }
+
+    #[test]
+    fn compact_row_is_exactly_16_bytes() {
+        // Section 4.1's headline number.
+        assert_eq!(std::mem::size_of::<CompactRow>(), 16);
+    }
+
+    #[test]
+    fn compact_table_roundtrips_product_fields() {
+        let mut t = CompactProductTable::with_rels(4);
+        let s = RelSet::from_bits(0b1011);
+        t.set_card(s, 600.0);
+        t.set_cost(s, 42.5);
+        t.set_best_lhs(s, RelSet::from_bits(0b0011));
+        t.set_pi_fan(s, 1.0); // neutral write accepted
+        t.set_aux(s, 0.0);
+        assert_eq!(t.card(s), 600.0);
+        assert_eq!(t.cost(s), 42.5);
+        assert_eq!(t.best_lhs(s), RelSet::from_bits(0b0011));
+        assert_eq!(t.pi_fan(s), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn compact_table_rejects_fan_writes() {
+        let mut t = CompactProductTable::with_rels(3);
+        t.set_pi_fan(RelSet::from_bits(0b11), 0.5);
+    }
+}

@@ -1,0 +1,282 @@
+//! Pruning by plan-cost thresholds (paper Section 6.4).
+//!
+//! The optimizer rejects any plan whose `f32` cost overflows; Section 6.3
+//! observes that this *overflow pruning* lets `find_best_split` skip whole
+//! split loops when `κ'(S)` alone already overflows. Section 6.4 turns the
+//! accident into a feature:
+//!
+//! > simulate the effect of overflow at a plan-cost threshold far below
+//! > actual overflow. … In those cases where no plan exists with cost
+//! > below the threshold, optimization fails, and it is then necessary to
+//! > re-optimize with a higher threshold.
+//!
+//! Queries with cheap plans optimize faster; queries whose best plan is
+//! expensive pay for one or more extra passes — "but since these queries
+//! are expected to be long-running at execution time, the extra investment
+//! … is not onerous."
+
+use crate::bitset::RelSet;
+use crate::cartesian::Optimized;
+use crate::cost::CostModel;
+use crate::join::optimize_join_into;
+use crate::plan::Plan;
+use crate::spec::{JoinSpec, SpecError};
+use crate::stats::{NoStats, Stats};
+use crate::table::{AosTable, TableLayout, MAX_TABLE_RELS};
+
+/// An escalation schedule of plan-cost thresholds.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ThresholdSchedule {
+    /// Threshold for the first optimization pass.
+    pub initial: f32,
+    /// Multiplier applied after each failed pass (> 1).
+    pub factor: f32,
+    /// Maximum number of *thresholded* passes before falling back to an
+    /// uncapped pass. At least 1.
+    pub max_passes: u32,
+}
+
+impl ThresholdSchedule {
+    /// Schedule starting at `initial`, escalating by `factor` each failure.
+    ///
+    /// # Panics
+    /// Panics if `initial` is not positive and finite, if `factor ≤ 1`, or
+    /// if `max_passes == 0`.
+    pub fn new(initial: f32, factor: f32, max_passes: u32) -> ThresholdSchedule {
+        assert!(initial.is_finite() && initial > 0.0, "initial threshold must be positive");
+        assert!(factor > 1.0, "escalation factor must exceed 1");
+        assert!(max_passes >= 1, "at least one pass is required");
+        ThresholdSchedule { initial, factor, max_passes }
+    }
+
+    /// A single fixed-threshold pass followed by an uncapped fallback —
+    /// the configuration used for Figure 6(a).
+    pub fn single(threshold: f32) -> ThresholdSchedule {
+        ThresholdSchedule::new(threshold, 2.0, 1)
+    }
+}
+
+impl Default for ThresholdSchedule {
+    /// The paper's Figure 6 uses thresholds like `10^9` (κ0) and
+    /// `10^5`/`10^14` (κ_dnl); a default of `10^9` escalating by `10^5`
+    /// covers both regimes within a few passes.
+    fn default() -> ThresholdSchedule {
+        ThresholdSchedule::new(1e9, 1e5, 6)
+    }
+}
+
+/// Result of a (possibly multi-pass) thresholded optimization.
+#[derive(Clone, Debug)]
+pub struct ThresholdOutcome {
+    /// The optimal plan found by the successful pass.
+    pub optimized: Optimized,
+    /// Total optimization passes executed (1 ⇒ first threshold sufficed).
+    pub passes: u32,
+    /// The cost cap in force during the successful pass (`+∞` if the
+    /// uncapped fallback ran).
+    pub final_cap: f32,
+}
+
+/// Thresholded join optimization with full control over the table layout,
+/// statistics sink and pruning switch; returns the last pass's table
+/// together with the outcome. Statistics accumulate across passes (the
+/// `passes` counter distinguishes them).
+///
+/// The plan found by a *successful* thresholded pass is the true optimum:
+/// a pass only succeeds when the best plan's cost is below the cap, and
+/// every plan rejected by the cap costs at least the cap, so no rejected
+/// plan could have beaten it.
+///
+/// # Panics
+/// Panics if `spec.n() > MAX_TABLE_RELS`.
+pub fn optimize_join_threshold_into<L, M, St, const PRUNE: bool>(
+    spec: &JoinSpec,
+    model: &M,
+    schedule: ThresholdSchedule,
+    stats: &mut St,
+) -> (L, ThresholdOutcome)
+where
+    L: TableLayout,
+    M: CostModel,
+    St: Stats,
+{
+    let full = spec.all_rels();
+    let mut cap = schedule.initial;
+    let mut passes = 0u32;
+    loop {
+        passes += 1;
+        let capped = passes <= schedule.max_passes;
+        let eff_cap = if capped { cap } else { f32::INFINITY };
+        let table: L = optimize_join_into::<L, M, St, PRUNE>(spec, model, eff_cap, stats);
+        let cost = table.cost(full);
+        if cost.is_finite() || !capped {
+            let optimized = if cost.is_finite() {
+                Optimized { plan: Plan::extract(&table, full), cost, card: table.card(full) }
+            } else {
+                // Even uncapped, every plan overflowed f32. Surface the
+                // failure as an infinite-cost result with a degenerate
+                // plan of the full set joined in input order so callers
+                // can still execute *something*.
+                let mut plan = Plan::scan(0);
+                for rel in 1..spec.n() {
+                    plan = Plan::join(plan, Plan::scan(rel));
+                }
+                Optimized { plan, cost: f32::INFINITY, card: table.card(full) }
+            };
+            return (table, ThresholdOutcome { optimized, passes, final_cap: eff_cap });
+        }
+        cap *= schedule.factor;
+    }
+}
+
+/// Thresholded join optimization with the standard defaults (AoS layout,
+/// pruning on, no statistics).
+///
+/// # Errors
+/// Returns [`SpecError::TooManyRels`] when the DP table would be too large.
+pub fn optimize_join_threshold<M: CostModel>(
+    spec: &JoinSpec,
+    model: &M,
+    schedule: ThresholdSchedule,
+) -> Result<ThresholdOutcome, SpecError> {
+    if spec.n() > MAX_TABLE_RELS {
+        return Err(SpecError::TooManyRels(spec.n()));
+    }
+    let mut stats = NoStats;
+    let (_, outcome) = optimize_join_threshold_into::<AosTable, M, NoStats, true>(
+        spec, model, schedule, &mut stats,
+    );
+    Ok(outcome)
+}
+
+/// Convenience: a successful thresholded pass skipped the split loop for
+/// this subset iff its cost is `+∞` in the returned table.
+pub fn rejected_subsets<L: TableLayout>(table: &L, n: usize) -> usize {
+    let mut count = 0;
+    for bits in 1u32..(1u32 << n) {
+        let s = RelSet::from_bits(bits);
+        if !s.is_singleton() && table.cost(s).is_infinite() {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{DiskNestedLoops, Kappa0};
+    use crate::join::optimize_join;
+    use crate::stats::Counters;
+
+    fn chain_spec(n: usize, card: f64, sel: f64) -> JoinSpec {
+        let cards = vec![card; n];
+        let edges: Vec<(usize, usize, f64)> =
+            (0..n - 1).map(|i| (i, i + 1, sel)).collect();
+        JoinSpec::new(&cards, &edges).unwrap()
+    }
+
+    #[test]
+    fn threshold_pass_finds_true_optimum_when_it_succeeds() {
+        let spec = chain_spec(8, 100.0, 0.01);
+        let unbounded = optimize_join(&spec, &Kappa0).unwrap();
+        // Generous threshold: one pass, same optimum.
+        let out =
+            optimize_join_threshold(&spec, &Kappa0, ThresholdSchedule::new(1e9, 10.0, 3)).unwrap();
+        assert_eq!(out.passes, 1);
+        assert_eq!(out.optimized.cost, unbounded.cost);
+        assert_eq!(out.optimized.plan.canonical(), unbounded.plan.canonical());
+    }
+
+    #[test]
+    fn tight_threshold_forces_reoptimization() {
+        // Best plan for this clique-ish query costs far more than 1.0, so
+        // the first pass must fail and escalate.
+        let spec = JoinSpec::new(
+            &[100.0, 100.0, 100.0, 100.0],
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 3, 0.5)],
+        )
+        .unwrap();
+        let unbounded = optimize_join(&spec, &Kappa0).unwrap();
+        let out =
+            optimize_join_threshold(&spec, &Kappa0, ThresholdSchedule::new(1.0, 100.0, 10)).unwrap();
+        assert!(out.passes > 1, "expected multiple passes, got {}", out.passes);
+        assert_eq!(out.optimized.cost, unbounded.cost);
+    }
+
+    #[test]
+    fn exhausted_schedule_falls_back_to_uncapped() {
+        let spec = chain_spec(5, 1000.0, 0.5);
+        let unbounded = optimize_join(&spec, &Kappa0).unwrap();
+        // Impossible thresholds with only 1 allowed pass → pass 2 uncapped.
+        let out =
+            optimize_join_threshold(&spec, &Kappa0, ThresholdSchedule::new(1e-3, 1.5, 1)).unwrap();
+        assert_eq!(out.passes, 2);
+        assert!(out.final_cap.is_infinite());
+        assert_eq!(out.optimized.cost, unbounded.cost);
+    }
+
+    #[test]
+    fn thresholds_skip_split_loops_on_chains() {
+        // Section 6.4: with chain graphs and a threshold in place, the
+        // split loop runs for only a tiny fraction of the 2^n subsets.
+        let spec = chain_spec(12, 1000.0, 1e-3);
+        let unbounded = optimize_join(&spec, &Kappa0).unwrap();
+        assert!(unbounded.cost < 1e9);
+
+        let mut capped = Counters::default();
+        let (_, out) = optimize_join_threshold_into::<AosTable, _, _, true>(
+            &spec,
+            &Kappa0,
+            ThresholdSchedule::single(1e9),
+            &mut capped,
+        );
+        assert_eq!(out.passes, 1);
+        assert_eq!(out.optimized.cost, unbounded.cost);
+        assert!(capped.loops_skipped > 0, "threshold should skip some split loops");
+
+        let mut uncapped = Counters::default();
+        let _: AosTable =
+            optimize_join_into::<_, _, _, true>(&spec, &Kappa0, f32::INFINITY, &mut uncapped);
+        assert!(
+            capped.loop_iters < uncapped.loop_iters,
+            "thresholded pass should enumerate fewer splits ({} vs {})",
+            capped.loop_iters,
+            uncapped.loop_iters
+        );
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(std::panic::catch_unwind(|| ThresholdSchedule::new(0.0, 2.0, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| ThresholdSchedule::new(1.0, 1.0, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| ThresholdSchedule::new(1.0, 2.0, 0)).is_err());
+    }
+
+    #[test]
+    fn rejected_subsets_counts_infinite_rows() {
+        let spec = chain_spec(8, 1000.0, 1e-3);
+        let mut stats = NoStats;
+        let (table, _) = optimize_join_threshold_into::<AosTable, _, _, true>(
+            &spec,
+            &Kappa0,
+            ThresholdSchedule::single(1e6),
+            &mut stats,
+        );
+        let rejected = rejected_subsets(&table, spec.n());
+        assert!(rejected > 0);
+    }
+
+    #[test]
+    fn works_with_dnl_model() {
+        let spec = chain_spec(10, 100.0, 0.01);
+        let unbounded = optimize_join(&spec, &DiskNestedLoops::default()).unwrap();
+        let out = optimize_join_threshold(
+            &spec,
+            &DiskNestedLoops::default(),
+            ThresholdSchedule::new(1e5, 1e9, 3),
+        )
+        .unwrap();
+        assert_eq!(out.optimized.cost, unbounded.cost);
+    }
+}

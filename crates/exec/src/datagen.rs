@@ -1,0 +1,217 @@
+//! Synthetic databases whose statistics match a [`JoinSpec`].
+//!
+//! The paper's optimizer never touches data — it consumes cardinalities
+//! and selectivities. To close the loop end-to-end we *reverse* the
+//! process: given a spec, manufacture data whose statistics reproduce it
+//! under the uniformity-and-independence assumptions the paper shares
+//! with the rest of the literature.
+//!
+//! Each predicate `(i, j, σ)` becomes an equi-join between a dedicated
+//! key column on `R_i` and one on `R_j`, with both columns drawn
+//! uniformly from a domain of `d = max(1, round(1/σ))` values, so that a
+//! random row pair matches with probability exactly `1/d`. The
+//! [`Database::effective_spec`] reports the *realized* statistics
+//! (integer cardinalities, `σ = 1/d`), against which the optimizer's
+//! estimates are exact in expectation.
+
+use crate::relation::{ColumnRef, Relation};
+use blitz_core::{JoinSpec, SpecError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An equi-join condition between two base relations' key columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EquiJoin {
+    /// First relation.
+    pub lhs_rel: usize,
+    /// Key-column name on the first relation.
+    pub lhs_col: String,
+    /// Second relation.
+    pub rhs_rel: usize,
+    /// Key-column name on the second relation.
+    pub rhs_col: String,
+    /// Shared key-domain size `d` (selectivity `1/d`).
+    pub domain: u64,
+}
+
+/// A synthetic database: base relations plus the equi-join conditions
+/// realizing a join graph.
+#[derive(Clone, Debug)]
+pub struct Database {
+    relations: Vec<Relation>,
+    joins: Vec<EquiJoin>,
+}
+
+impl Database {
+    /// Generate data for `spec` with the given seed. Cardinalities are
+    /// rounded to integers (minimum 1); selectivities are realized as
+    /// `1/round(1/σ)`.
+    ///
+    /// Every relation carries a unique `rowid` column plus one key column
+    /// per incident predicate, named `k{i}_{j}` for the predicate between
+    /// `R_i` and `R_j`.
+    pub fn generate(spec: &JoinSpec, seed: u64) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = spec.n();
+        let edges: Vec<(usize, usize, f64)> = spec.edges().collect();
+
+        let mut relations: Vec<Relation> = (0..n)
+            .map(|r| {
+                let mut schema = vec![ColumnRef { rel: r, name: "rowid".to_string() }];
+                for &(i, j, _) in &edges {
+                    if i == r || j == r {
+                        schema.push(ColumnRef { rel: r, name: format!("k{i}_{j}") });
+                    }
+                }
+                Relation::empty(schema)
+            })
+            .collect();
+
+        let mut joins = Vec::with_capacity(edges.len());
+        let domains: Vec<u64> = edges
+            .iter()
+            .map(|&(_, _, sel)| ((1.0 / sel).round() as u64).max(1))
+            .collect();
+        for (&(i, j, _), &d) in edges.iter().zip(&domains) {
+            joins.push(EquiJoin {
+                lhs_rel: i,
+                lhs_col: format!("k{i}_{j}"),
+                rhs_rel: j,
+                rhs_col: format!("k{i}_{j}"),
+                domain: d,
+            });
+        }
+
+        for (r, rel) in relations.iter_mut().enumerate() {
+            let rows = (spec.card(r).round() as u64).max(1);
+            let width = rel.width();
+            let mut row = vec![0u64; width];
+            for rid in 0..rows {
+                row[0] = rid;
+                let mut c = 1;
+                for (&(i, j, _), &d) in edges.iter().zip(&domains) {
+                    if i == r || j == r {
+                        row[c] = rng.random_range(0..d);
+                        c += 1;
+                    }
+                }
+                rel.push_row(&row);
+            }
+        }
+
+        Database { relations, joins }
+    }
+
+    /// The base relations, indexed as in the originating spec.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Base relation `r`.
+    pub fn relation(&self, r: usize) -> &Relation {
+        &self.relations[r]
+    }
+
+    /// All equi-join conditions.
+    pub fn joins(&self) -> &[EquiJoin] {
+        &self.joins
+    }
+
+    /// The statistics the generated data actually realizes: integer
+    /// cardinalities and `σ = 1/d`. Optimizing against this spec makes
+    /// estimates exact in expectation.
+    pub fn effective_spec(&self) -> Result<JoinSpec, SpecError> {
+        let cards: Vec<f64> = self.relations.iter().map(|r| r.rows() as f64).collect();
+        let preds: Vec<(usize, usize, f64)> = self
+            .joins
+            .iter()
+            .map(|j| (j.lhs_rel, j.rhs_rel, 1.0 / j.domain as f64))
+            .collect();
+        JoinSpec::new(&cards, &preds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> JoinSpec {
+        JoinSpec::new(&[50.0, 40.0, 30.0], &[(0, 1, 0.1), (1, 2, 0.05)]).unwrap()
+    }
+
+    #[test]
+    fn cardinalities_match_spec() {
+        let spec = small_spec();
+        let db = Database::generate(&spec, 1);
+        assert_eq!(db.relation(0).rows(), 50);
+        assert_eq!(db.relation(1).rows(), 40);
+        assert_eq!(db.relation(2).rows(), 30);
+    }
+
+    #[test]
+    fn schemas_have_rowid_and_incident_keys() {
+        let spec = small_spec();
+        let db = Database::generate(&spec, 1);
+        assert!(db.relation(0).column_index(0, "rowid").is_some());
+        assert!(db.relation(0).column_index(0, "k0_1").is_some());
+        assert!(db.relation(0).column_index(0, "k1_2").is_none());
+        // R1 touches both predicates.
+        assert!(db.relation(1).column_index(1, "k0_1").is_some());
+        assert!(db.relation(1).column_index(1, "k1_2").is_some());
+    }
+
+    #[test]
+    fn key_values_respect_domains() {
+        let spec = small_spec();
+        let db = Database::generate(&spec, 2);
+        let j01 = &db.joins()[0];
+        assert_eq!(j01.domain, 10);
+        let r0 = db.relation(0);
+        let c = r0.column_index(0, "k0_1").unwrap();
+        for i in 0..r0.rows() {
+            assert!(r0.row(i)[c] < 10);
+        }
+        let j12 = &db.joins()[1];
+        assert_eq!(j12.domain, 20);
+    }
+
+    #[test]
+    fn effective_spec_roundtrips() {
+        let spec = small_spec();
+        let db = Database::generate(&spec, 3);
+        let eff = db.effective_spec().unwrap();
+        assert_eq!(eff.n(), 3);
+        assert_eq!(eff.card(0), 50.0);
+        assert!((eff.selectivity(0, 1) - 0.1).abs() < 1e-12);
+        assert!((eff.selectivity(1, 2) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = small_spec();
+        let a = Database::generate(&spec, 7);
+        let b = Database::generate(&spec, 7);
+        assert_eq!(a.relation(1).data, b.relation(1).data);
+        let c = Database::generate(&spec, 8);
+        assert_ne!(a.relation(1).data, c.relation(1).data);
+    }
+
+    #[test]
+    fn rowids_are_unique() {
+        let spec = small_spec();
+        let db = Database::generate(&spec, 4);
+        let r = db.relation(0);
+        let mut ids: Vec<u64> = (0..r.rows()).map(|i| r.row(i)[0]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), r.rows());
+    }
+
+    #[test]
+    fn cartesian_spec_has_no_joins() {
+        let spec = JoinSpec::cartesian(&[5.0, 6.0]).unwrap();
+        let db = Database::generate(&spec, 1);
+        assert!(db.joins().is_empty());
+        assert_eq!(db.relation(0).width(), 1); // rowid only
+    }
+}

@@ -1,0 +1,283 @@
+//! Simulated disk I/O: a block-nested-loops join that counts block reads
+//! and writes, validating the `κ_dnl` cost model against an observable
+//! execution quantity.
+//!
+//! The Appendix defines
+//!
+//! ```text
+//! κ_dnl = 2·|R_out|/K  +  |R_lhs|·|R_rhs| / (K²·(M−1))  +  min(|R_lhs|,|R_rhs|)/K
+//! ```
+//!
+//! with `K` records per block and `M` memory blocks. The three terms are,
+//! respectively: writing (and later reading) the output; reading the
+//! inner relation once per memory-load of the outer; and reading the
+//! (smaller) outer relation once. [`block_nested_loop_join`] performs the
+//! join exactly that way over an explicit block model and reports the
+//! counted I/Os, so tests can assert the formula *is* the I/O count —
+//! turning the paper's cost model from an assumption into a checked
+//! property of this engine.
+
+use crate::relation::Relation;
+
+/// Disk/buffer geometry for the simulated join.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DiskConfig {
+    /// Records per disk block (`K`).
+    pub records_per_block: usize,
+    /// Memory capacity in blocks (`M`); one block is reserved for the
+    /// inner input and one for the output, the rest buffer the outer.
+    pub memory_blocks: usize,
+}
+
+impl Default for DiskConfig {
+    /// The paper's `K = 10`, `M = 100`.
+    fn default() -> Self {
+        DiskConfig { records_per_block: 10, memory_blocks: 100 }
+    }
+}
+
+/// I/O counters produced by the simulated join.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Blocks of the outer (smaller) input read.
+    pub outer_blocks_read: u64,
+    /// Blocks of the inner input read (once per outer memory-load).
+    pub inner_blocks_read: u64,
+    /// Output blocks written.
+    pub output_blocks_written: u64,
+}
+
+impl IoStats {
+    /// Total I/O operations, counting the eventual re-read of the output
+    /// (the `2·|out|/K` term pairs one write with one later read).
+    pub fn total(&self) -> u64 {
+        self.outer_blocks_read + self.inner_blocks_read + 2 * self.output_blocks_written
+    }
+}
+
+/// Block-nested-loops join with an `M`-block buffer pool: load up to
+/// `M − 2` blocks of the (smaller) outer input, stream the inner input
+/// once per load, emit matches. Returns the result and the I/O counts.
+///
+/// # Panics
+/// Panics if `records_per_block == 0` or `memory_blocks < 3`.
+pub fn block_nested_loop_join(
+    l: &Relation,
+    r: &Relation,
+    conds: &[(usize, usize)],
+    cfg: DiskConfig,
+) -> (Relation, IoStats) {
+    assert!(cfg.records_per_block > 0, "blocking factor must be positive");
+    assert!(cfg.memory_blocks >= 3, "need at least outer+inner+output blocks");
+    let k = cfg.records_per_block;
+    let chunk_rows = (cfg.memory_blocks - 1) * k; // M−1 blocks buffer the outer
+
+    // Outer = smaller input (the min(|L|,|R|)/K term).
+    let swap = l.rows() > r.rows();
+    let (outer, inner) = if swap { (r, l) } else { (l, r) };
+
+    let mut schema = l.schema.clone();
+    schema.extend(r.schema.iter().cloned());
+    let mut out = Relation::empty(schema);
+    let mut io = IoStats::default();
+
+    let blocks = |rows: usize| -> u64 { rows.div_ceil(k) as u64 };
+
+    let mut start = 0usize;
+    while start < outer.rows() {
+        let end = (start + chunk_rows).min(outer.rows());
+        io.outer_blocks_read += blocks(end - start);
+        // One full scan of the inner per outer load.
+        io.inner_blocks_read += blocks(inner.rows());
+        for oi in start..end {
+            let orow = outer.row(oi);
+            for ii in 0..inner.rows() {
+                let irow = inner.row(ii);
+                let (lrow, rrow) = if swap { (irow, orow) } else { (orow, irow) };
+                if conds.iter().all(|&(lc, rc)| lrow[lc] == rrow[rc]) {
+                    out.data.extend_from_slice(lrow);
+                    out.data.extend_from_slice(rrow);
+                }
+            }
+        }
+        start = end;
+    }
+    io.output_blocks_written = blocks(out.rows());
+    (out, io)
+}
+
+/// Execute an entire plan with the block-nested-loops join, accumulating
+/// I/O counts across all join nodes. Base-relation scans are free (the
+/// paper's `cost(R) = 0` convention — their blocks are charged as each
+/// join's outer/inner reads).
+///
+/// The accumulated [`IoStats::total`] is directly comparable to the
+/// plan's cost under [`blitz_core::DiskNestedLoops`] with the same
+/// `K`/`M`, which the tests exploit to validate the whole *plan* cost —
+/// not just a single join — against observed behaviour.
+pub fn execute_blocked(
+    plan: &blitz_core::Plan,
+    db: &crate::datagen::Database,
+    cfg: DiskConfig,
+) -> (Relation, IoStats) {
+    use blitz_core::Plan;
+    match plan {
+        Plan::Scan { rel } => (db.relation(*rel).clone(), IoStats::default()),
+        Plan::Join { left, right } => {
+            let (l, mut io) = {
+                let (l, lio) = execute_blocked(left, db, cfg);
+                (l, lio)
+            };
+            let (r, rio) = execute_blocked(right, db, cfg);
+            io.outer_blocks_read += rio.outer_blocks_read;
+            io.inner_blocks_read += rio.inner_blocks_read;
+            io.output_blocks_written += rio.output_blocks_written;
+            let conds =
+                crate::engine::spanning_conditions(db, &l, &r, left.rel_set(), right.rel_set());
+            let (out, jio) = block_nested_loop_join(&l, &r, &conds, cfg);
+            io.outer_blocks_read += jio.outer_blocks_read;
+            io.inner_blocks_read += jio.inner_blocks_read;
+            io.output_blocks_written += jio.output_blocks_written;
+            (out, io)
+        }
+    }
+}
+
+/// The `κ_dnl` prediction for a join of the given input/output sizes —
+/// identical to [`blitz_core::DiskNestedLoops`] with `K = records_per_block`
+/// and `M = memory_blocks`, restated here in block units for comparison
+/// against [`IoStats::total`].
+pub fn kappa_dnl_blocks(out_rows: f64, lhs_rows: f64, rhs_rows: f64, cfg: DiskConfig) -> f64 {
+    let k = cfg.records_per_block as f64;
+    let m = cfg.memory_blocks as f64;
+    2.0 * out_rows / k + lhs_rows * rhs_rows / (k * k * (m - 1.0)) + lhs_rows.min(rhs_rows) / k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::Database;
+    use crate::engine::hash_join;
+    use blitz_core::JoinSpec;
+
+    fn test_db(l_rows: f64, r_rows: f64, sel: f64, seed: u64) -> Database {
+        let spec = JoinSpec::new(&[l_rows, r_rows], &[(0, 1, sel)]).unwrap();
+        Database::generate(&spec, seed)
+    }
+
+    fn conds(db: &Database) -> Vec<(usize, usize)> {
+        let j = &db.joins()[0];
+        vec![(
+            db.relation(0).column_index(0, &j.lhs_col).unwrap(),
+            db.relation(1).column_index(1, &j.rhs_col).unwrap(),
+        )]
+    }
+
+    #[test]
+    fn produces_the_same_result_as_hash_join() {
+        let db = test_db(300.0, 200.0, 0.02, 5);
+        let c = conds(&db);
+        let (bnl, _) = block_nested_loop_join(
+            db.relation(0),
+            db.relation(1),
+            &c,
+            DiskConfig { records_per_block: 7, memory_blocks: 5 },
+        );
+        let hash = hash_join(db.relation(0), db.relation(1), &c);
+        assert_eq!(bnl.fingerprint(), hash.fingerprint());
+    }
+
+    #[test]
+    fn io_counts_match_kappa_dnl_formula() {
+        // The counted I/Os must track the κ_dnl prediction closely (the
+        // formula idealizes ceil() away, so allow a few blocks of slack).
+        for (lr, rr, sel, k, m) in [
+            (500.0, 900.0, 0.01, 10, 10),
+            (1000.0, 300.0, 0.005, 10, 5),
+            (250.0, 250.0, 0.05, 5, 12),
+        ] {
+            let db = test_db(lr, rr, sel, 9);
+            let c = conds(&db);
+            let cfg = DiskConfig { records_per_block: k, memory_blocks: m };
+            let (out, io) = block_nested_loop_join(db.relation(0), db.relation(1), &c, cfg);
+            let predicted = kappa_dnl_blocks(out.rows() as f64, lr, rr, cfg);
+            let observed = io.total() as f64;
+            // The formula idealizes two ceilings away: partial outer loads
+            // re-scan the whole inner (≤ one extra inner scan), and block
+            // counts round up (a few blocks).
+            let slack = (lr.max(rr) / k as f64).ceil() + 5.0;
+            assert!(
+                (observed - predicted).abs() <= slack + predicted * 0.02,
+                "K={k} M={m}: observed {observed} vs predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_core_cost_model() {
+        // kappa_dnl_blocks must agree with blitz_core::DiskNestedLoops.
+        let cfg = DiskConfig::default();
+        let core = blitz_core::DiskNestedLoops::new(10.0, 100.0);
+        use blitz_core::CostModel;
+        let (o, l, r) = (1234.0, 800.0, 450.0);
+        let a = kappa_dnl_blocks(o, l, r, cfg);
+        let b = core.kappa(o, l, r) as f64;
+        assert!((a - b).abs() <= a.abs() * 1e-5);
+    }
+
+    #[test]
+    fn smaller_input_becomes_the_outer() {
+        let db = test_db(50.0, 1000.0, 0.01, 3);
+        let c = conds(&db);
+        let cfg = DiskConfig { records_per_block: 10, memory_blocks: 3 };
+        let (_, io) = block_nested_loop_join(db.relation(0), db.relation(1), &c, cfg);
+        // Outer = 50 rows = 5 blocks read once.
+        assert_eq!(io.outer_blocks_read, 5);
+        // Inner scanned ceil(5/ (M-1=2 blocks → 20 rows per load → 3 loads)) …
+        // 50 rows / 20-row loads = 3 loads × 100 blocks = 300.
+        assert_eq!(io.inner_blocks_read, 300);
+    }
+
+    #[test]
+    fn whole_plan_io_tracks_dnl_plan_cost() {
+        use blitz_core::{optimize_join, DiskNestedLoops, Plan};
+        let spec = JoinSpec::new(
+            &[400.0, 300.0, 200.0],
+            &[(0, 1, 0.01), (1, 2, 0.02)],
+        )
+        .unwrap();
+        let db = Database::generate(&spec, 21);
+        let eff = db.effective_spec().unwrap();
+        let cfg = DiskConfig { records_per_block: 10, memory_blocks: 10 };
+        let model = DiskNestedLoops::new(10.0, 10.0);
+
+        for plan in [
+            optimize_join(&eff, &model).unwrap().plan,
+            Plan::join(Plan::scan(0), Plan::join(Plan::scan(1), Plan::scan(2))),
+        ] {
+            let (_, io) = execute_blocked(&plan, &db, cfg);
+            // Predicted: per-join κ_dnl using *observed* intermediate
+            // sizes (re-deriving them from the effective spec).
+            let (_, predicted) = plan.cost(&eff, &model);
+            let observed = io.total() as f64;
+            let slack = 2.0 * (400f64.max(300.0) / 10.0) + 10.0; // load/rounding ceilings
+            assert!(
+                (observed - predicted as f64).abs() <= slack + predicted as f64 * 0.25,
+                "plan {plan}: observed {observed} vs predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_memory() {
+        let db = test_db(10.0, 10.0, 0.5, 1);
+        let c = conds(&db);
+        let _ = block_nested_loop_join(
+            db.relation(0),
+            db.relation(1),
+            &c,
+            DiskConfig { records_per_block: 10, memory_blocks: 2 },
+        );
+    }
+}

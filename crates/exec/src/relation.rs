@@ -1,0 +1,200 @@
+//! In-memory relations: flat row-major tables of `u64` values.
+//!
+//! The execution substrate exists to run optimized plans end-to-end: it
+//! validates that plans of different shapes compute identical results and
+//! that the optimizer's cardinality estimates track reality on data whose
+//! statistics match the catalog. Values are bare `u64`s — join predicates
+//! in this model are equalities over synthetic key columns, which is all
+//! the paper's uncorrelated-predicate setting requires.
+
+/// A column-schema entry: which base relation the column came from and
+/// its name there.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Index of the originating base relation.
+    pub rel: usize,
+    /// Column name within that relation.
+    pub name: String,
+}
+
+/// A materialized relation (base or intermediate): a schema plus row-major
+/// data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Relation {
+    /// Output columns, in order.
+    pub schema: Vec<ColumnRef>,
+    /// Row-major values; `data.len() == rows() * schema.len()`.
+    pub data: Vec<u64>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Vec<ColumnRef>) -> Relation {
+        Relation { schema, data: Vec::new() }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        if self.schema.is_empty() {
+            0
+        } else {
+            self.data.len() / self.schema.len()
+        }
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        let w = self.width();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the schema.
+    pub fn push_row(&mut self, row: &[u64]) {
+        assert_eq!(row.len(), self.width(), "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Index of the column from relation `rel` named `name`.
+    pub fn column_index(&self, rel: usize, name: &str) -> Option<usize> {
+        self.schema.iter().position(|c| c.rel == rel && c.name == name)
+    }
+
+    /// Project onto the given column indices (in the given order).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        let schema: Vec<ColumnRef> = cols.iter().map(|&c| self.schema[c].clone()).collect();
+        let mut out = Relation::empty(schema);
+        for i in 0..self.rows() {
+            let row = self.row(i);
+            for &c in cols {
+                out.data.push(row[c]);
+            }
+        }
+        out
+    }
+
+    /// Remove duplicate rows (DISTINCT), preserving first occurrence
+    /// order.
+    pub fn distinct(&self) -> Relation {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Relation::empty(self.schema.clone());
+        for i in 0..self.rows() {
+            let row = self.row(i);
+            if seen.insert(row.to_vec()) {
+                out.push_row(row);
+            }
+        }
+        out
+    }
+
+    /// A canonical multiset fingerprint: rows sorted lexicographically
+    /// with the schema sorted by `(rel, name)` first. Two relations with
+    /// the same fingerprint hold the same data regardless of row order
+    /// and column order — the join-reordering correctness invariant.
+    pub fn fingerprint(&self) -> Vec<Vec<u64>> {
+        let mut order: Vec<usize> = (0..self.width()).collect();
+        order.sort_by(|&a, &b| {
+            let ca = &self.schema[a];
+            let cb = &self.schema[b];
+            (ca.rel, &ca.name).cmp(&(cb.rel, &cb.name))
+        });
+        let mut rows: Vec<Vec<u64>> = (0..self.rows())
+            .map(|i| {
+                let r = self.row(i);
+                order.iter().map(|&c| r[c]).collect()
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(rel: usize, name: &str) -> ColumnRef {
+        ColumnRef { rel, name: name.to_string() }
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut r = Relation::empty(vec![col(0, "id"), col(0, "k")]);
+        r.push_row(&[1, 10]);
+        r.push_row(&[2, 20]);
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r.width(), 2);
+        assert_eq!(r.row(1), &[2, 20]);
+        assert_eq!(r.column_index(0, "k"), Some(1));
+        assert_eq!(r.column_index(1, "k"), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut r = Relation::empty(vec![col(0, "id")]);
+        r.push_row(&[1, 2]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive() {
+        let mut a = Relation::empty(vec![col(0, "x"), col(1, "y")]);
+        a.push_row(&[1, 2]);
+        a.push_row(&[3, 4]);
+        // Same rows, different row order and column order.
+        let mut b = Relation::empty(vec![col(1, "y"), col(0, "x")]);
+        b.push_row(&[4, 3]);
+        b.push_row(&[2, 1]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different data differs.
+        let mut c = Relation::empty(vec![col(0, "x"), col(1, "y")]);
+        c.push_row(&[1, 2]);
+        c.push_row(&[3, 5]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn project_reorders_and_drops_columns() {
+        let mut r = Relation::empty(vec![col(0, "a"), col(0, "b"), col(1, "c")]);
+        r.push_row(&[1, 2, 3]);
+        r.push_row(&[4, 5, 6]);
+        let p = r.project(&[2, 0]);
+        assert_eq!(p.width(), 2);
+        assert_eq!(p.schema[0].name, "c");
+        assert_eq!(p.row(0), &[3, 1]);
+        assert_eq!(p.row(1), &[6, 4]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_preserving_order() {
+        let mut r = Relation::empty(vec![col(0, "a")]);
+        for v in [3u64, 1, 3, 2, 1, 3] {
+            r.push_row(&[v]);
+        }
+        let d = r.distinct();
+        assert_eq!(d.rows(), 3);
+        assert_eq!(d.row(0), &[3]);
+        assert_eq!(d.row(1), &[1]);
+        assert_eq!(d.row(2), &[2]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(vec![col(0, "id")]);
+        assert_eq!(r.rows(), 0);
+        assert!(r.fingerprint().is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Interesting sort orders (the paper's Section 6.5 "physical
+//! properties" special case): a star-schema query whose joins all share
+//! the hub key. The order-aware optimizer sorts the hub once and merges
+//! every satellite against it; the order-blind optimizer re-sorts at
+//! every join.
+//!
+//! Run with: `cargo run --example interesting_orders`
+
+use blitzsplit::core::ordered::{optimize_ordered, optimize_ordered_naive, OrderedSpec};
+use blitzsplit::JoinSpec;
+
+fn main() {
+    // Hub R0 joined to four satellites on the same key (R0.k = Ri.k).
+    let spec = JoinSpec::new(
+        &[50_000.0, 40_000.0, 35_000.0, 30_000.0, 25_000.0],
+        &[(0, 1, 2e-5), (0, 2, 2e-5), (0, 3, 2e-5), (0, 4, 2e-5)],
+    )
+    .unwrap();
+
+    // All four predicates compare against the same hub column: one key
+    // equivalence class.
+    let shared = OrderedSpec::new(spec.clone(), vec![0, 0, 0, 0]);
+    let aware = optimize_ordered(&shared);
+    let naive = optimize_ordered_naive(&shared);
+
+    println!("star query on a shared hub key (hub 50k rows, 4 large satellites):\n");
+    println!("order-aware plan:  {}", aware.plan);
+    println!("  cost {:.4e}, explicit sorts: {}", aware.cost, aware.plan.sort_count());
+    println!("order-blind plan:  {}", naive.plan);
+    println!("  cost {:.4e}, explicit sorts: {}", naive.cost, naive.plan.sort_count());
+    println!(
+        "\ninteresting orders save {:.1}% of the cost ({:.4e} absolute)",
+        (1.0 - aware.cost / naive.cost) * 100.0,
+        naive.cost - aware.cost
+    );
+
+    // Contrast: if every predicate had its own key, no order is ever
+    // reusable and the two optimizers agree.
+    let distinct = OrderedSpec::distinct_classes(spec);
+    let a = optimize_ordered(&distinct);
+    let b = optimize_ordered_naive(&distinct);
+    println!(
+        "\nwith four distinct keys the advantage disappears: {:.4e} vs {:.4e}",
+        a.cost, b.cost
+    );
+}

@@ -1,0 +1,62 @@
+//! Optimizer shootout: run every optimizer in the workspace on one
+//! Appendix-style workload and compare plan quality and wall-clock time.
+//!
+//! Run with: `cargo run --release --example optimizer_shootout [n]`
+
+use blitzsplit::baselines::{
+    goo, hybrid_dp_local, iterated_improvement, min_selectivity_left_deep, optimize_dpccp,
+    optimize_dpsize, optimize_dpsub, optimize_left_deep, optimize_topdown, quickpick,
+    simulated_annealing, Connectivity, CrossProducts, IiParams, ProductPolicy, SaParams,
+};
+use blitzsplit::catalog::{Topology, Workload};
+use blitzsplit::{optimize_join, Kappa0};
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(11);
+    let spec = Workload::new(n, Topology::CyclePlus3, 100.0, 0.5).spec();
+    println!("workload: cycle+3, n = {n}, mean cardinality 100, variability 0.5\n");
+
+    let start = Instant::now();
+    let optimum = optimize_join(&spec, &Kappa0).unwrap();
+    let t_opt = start.elapsed();
+    println!("{:<34} {:>12?} cost/opt {:>8.4}  {}", "blitzsplit", t_opt, 1.0, optimum.plan);
+
+    let report = |name: &str, f: &dyn Fn() -> f32| {
+        let start = Instant::now();
+        let cost = f();
+        let t = start.elapsed();
+        println!("{name:<34} {t:>12?} cost/opt {:>8.4}", cost / optimum.cost);
+    };
+
+    report("dpsub (explicit, products)", &|| {
+        optimize_dpsub(&spec, &Kappa0, Connectivity::ProductsAllowed).cost
+    });
+    report("dpsub (connected only)", &|| {
+        optimize_dpsub(&spec, &Kappa0, Connectivity::ConnectedOnly).cost
+    });
+    report("dpccp (connected pairs only)", &|| optimize_dpccp(&spec, &Kappa0).cost);
+    report("dpsize (products)", &|| optimize_dpsize(&spec, &Kappa0, CrossProducts::Allowed).cost);
+    report("dpsize (no products)", &|| optimize_dpsize(&spec, &Kappa0, CrossProducts::Avoided).cost);
+    report("left-deep (products)", &|| {
+        optimize_left_deep(&spec, &Kappa0, ProductPolicy::Allowed).cost
+    });
+    report("left-deep (excluded)", &|| {
+        optimize_left_deep(&spec, &Kappa0, ProductPolicy::Excluded).cost
+    });
+    report("top-down memo (Volcano-style)", &|| {
+        optimize_topdown(&spec, &Kappa0, f32::INFINITY).cost
+    });
+    report("top-down memo, greedy seed", &|| {
+        let (_, seed) = goo(&spec, &Kappa0);
+        optimize_topdown(&spec, &Kappa0, seed * (1.0 + 1e-5)).cost
+    });
+    report("GOO greedy", &|| goo(&spec, &Kappa0).1);
+    report("min-card greedy (left-deep)", &|| min_selectivity_left_deep(&spec, &Kappa0).1);
+    report("quickpick (1000 probes)", &|| quickpick(&spec, &Kappa0, 1000, 1).1);
+    report("iterated improvement", &|| {
+        iterated_improvement(&spec, &Kappa0, IiParams::default()).1
+    });
+    report("simulated annealing", &|| simulated_annealing(&spec, &Kappa0, SaParams::default()).1);
+    report("hybrid DP(5)+local", &|| hybrid_dp_local(&spec, &Kappa0, 5, 2).1);
+}

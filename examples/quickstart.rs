@@ -1,0 +1,53 @@
+//! Quickstart: describe a star-schema query over named tables, optimize
+//! it with blitzsplit, and print the chosen bushy plan with per-node
+//! statistics and physical join algorithms.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use blitzsplit::catalog::demo_retail_catalog;
+use blitzsplit::{optimize_join, Kappa0, SmDnl};
+
+fn main() {
+    // A 6-way star-schema query: sales fact joined to four dimensions and
+    // one snowflaked dimension, with a filter on stores.
+    let catalog = demo_retail_catalog();
+    let graph = catalog
+        .query()
+        .table("sales")
+        .table("customer")
+        .table("product")
+        .table_filtered("store", 0.2) // e.g. WHERE store.region = 'west'
+        .table("datedim")
+        .table("nation")
+        .equijoin("sales.custkey", "customer.custkey")
+        .equijoin("sales.prodkey", "product.prodkey")
+        .equijoin("sales.storekey", "store.storekey")
+        .equijoin("sales.datekey", "datedim.datekey")
+        .equijoin("customer.nationkey", "nation.nationkey")
+        .build();
+
+    let spec = graph.to_spec().expect("valid query");
+    println!("Query: {} relations, {} predicates", spec.n(), spec.edge_count());
+    for (i, rel) in graph.relations().iter().enumerate() {
+        println!("  R{i} = {:<10} |R| = {:>9.0}", rel.name, rel.cardinality);
+    }
+    println!();
+
+    // Optimize under the naive cost model…
+    let best = optimize_join(&spec, &Kappa0).expect("optimization succeeds");
+    println!("kappa_0 optimum: {}", best.plan);
+    println!("  cost = {:.4e}, estimated result rows = {:.4e}", best.cost, best.card);
+    println!(
+        "  bushy: {}, contains Cartesian product: {}\n",
+        !best.plan.is_left_deep(),
+        best.plan.contains_cartesian_product(&spec)
+    );
+
+    // …and under the two-algorithm model, attaching the winning physical
+    // operator to each join in a single post-optimization traversal
+    // (paper Section 6.5).
+    let model = SmDnl::default();
+    let best2 = optimize_join(&spec, &model).expect("optimization succeeds");
+    println!("min(kappa_sm, kappa_dnl) optimum with physical algorithms:");
+    print!("{}", best2.plan.annotate_algorithms(&spec, &model).render());
+}

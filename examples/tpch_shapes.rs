@@ -1,0 +1,42 @@
+//! Optimize TPC-H-flavoured query graphs: realistic mixes of the paper's
+//! abstract topologies (chains, cycles, trees around a fact table).
+//! Prints the optimal bushy plan per query, whether it is left-deep, and
+//! a Graphviz rendering of the largest one.
+//!
+//! Run with: `cargo run --release --example tpch_shapes`
+
+use blitzsplit::baselines::{optimize_left_deep, ProductPolicy};
+use blitzsplit::catalog::all_presets;
+use blitzsplit::{optimize_join, Kappa0};
+
+fn main() {
+    for (name, graph) in all_presets() {
+        let spec = graph.to_spec().expect("valid preset");
+        let best = optimize_join(&spec, &Kappa0).expect("optimizes");
+        let ld = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Excluded);
+        println!("=== {name} ({} relations, {} predicates) ===", spec.n(), spec.edge_count());
+        println!("  bushy optimum: {}", best.plan);
+        println!(
+            "  cost {:.4e}  |  left-deep(no products) cost {:.4e}  ({:.2}x)",
+            best.cost,
+            ld.cost,
+            ld.cost / best.cost
+        );
+        println!(
+            "  optimal plan is left-deep: {}; contains product: {}",
+            best.plan.is_left_deep(),
+            best.plan.contains_cartesian_product(&spec)
+        );
+        for r in graph.relations() {
+            print!("  {}={:.0}", r.name, r.cardinality);
+        }
+        println!("\n");
+    }
+
+    // Graphviz output for the 8-relation query.
+    let g = blitzsplit::catalog::q8_shape();
+    let spec = g.to_spec().unwrap();
+    let best = optimize_join(&spec, &Kappa0).unwrap();
+    println!("Graphviz for the q8-tree optimum (pipe into `dot -Tsvg`):\n");
+    print!("{}", best.plan.to_dot());
+}

@@ -1,0 +1,226 @@
+//! `blitzsplit` — command-line join-order optimizer.
+//!
+//! ```text
+//! blitzsplit optimize --cards 10,20,30,40 --pred 0:1:0.1 --pred 0:2:0.2 \
+//!                     [--model k0|sm|dnl|smdnl] [--threshold 1e9] [--dot]
+//! blitzsplit sql "SELECT * FROM sales s, customer c WHERE s.custkey = c.custkey"
+//! blitzsplit workload --topology chain|cycle3|star|clique --n 15 --mu 100 --var 0.5 [--time]
+//! ```
+//!
+//! `optimize` takes an explicit problem; `sql` parses against the built-in
+//! demo retail catalog; `workload` generates a paper-Appendix benchmark
+//! point and optionally times its optimization.
+
+use blitzsplit::catalog::{demo_retail_catalog, parse_query, Topology, Workload};
+use blitzsplit::core::CostModel;
+use blitzsplit::{
+    optimize_join, optimize_join_threshold, DiskNestedLoops, JoinSpec, Kappa0, SmDnl, SortMerge,
+    ThresholdSchedule,
+};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("usage:");
+    eprintln!("  blitzsplit optimize --cards C1,C2,... [--pred i:j:sel]... \\");
+    eprintln!("             [--model k0|sm|dnl|smdnl] [--threshold T] [--dot]");
+    eprintln!("  blitzsplit sql \"SELECT ...\" [--model ...] [--dot]");
+    eprintln!("  blitzsplit workload --topology chain|cycle3|star|clique \\");
+    eprintln!("             --n N [--mu M] [--var V] [--model ...] [--time]");
+    ExitCode::FAILURE
+}
+
+/// Minimal flag parser: `--key value` pairs plus repeatable `--pred`.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut a = Args { positional: Vec::new(), flags: Vec::new(), switches: Vec::new() };
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                // Switches take no value.
+                if matches!(key, "dot" | "time") {
+                    a.switches.push(key.to_string());
+                    i += 1;
+                } else if i + 1 < argv.len() {
+                    a.flags.push((key.to_string(), argv[i + 1].clone()));
+                    i += 2;
+                } else {
+                    a.flags.push((key.to_string(), String::new()));
+                    i += 1;
+                }
+            } else {
+                a.positional.push(arg.clone());
+                i += 1;
+            }
+        }
+        a
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.flags.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+fn report<M: CostModel>(spec: &JoinSpec, model: &M, threshold: Option<f32>, dot: bool) -> ExitCode {
+    let (optimized, passes) = match threshold {
+        Some(t) => {
+            match optimize_join_threshold(spec, model, ThresholdSchedule::new(t, 1e5, 6)) {
+                Ok(out) => (out.optimized, out.passes),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => match optimize_join(spec, model) {
+            Ok(o) => (o, 1),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    println!("model:          {}", model.name());
+    println!("relations:      {}", spec.n());
+    println!("predicates:     {}", spec.edge_count());
+    println!("plan:           {}", optimized.plan);
+    println!("cost:           {:.6e}", optimized.cost);
+    println!("result rows:    {:.6e}", optimized.card);
+    println!("bushy:          {}", !optimized.plan.is_left_deep());
+    println!("uses product:   {}", optimized.plan.contains_cartesian_product(spec));
+    if threshold.is_some() {
+        println!("passes:         {passes}");
+    }
+    if dot {
+        println!("\n{}", optimized.plan.to_dot());
+    }
+    ExitCode::SUCCESS
+}
+
+fn with_model(
+    name: &str,
+    spec: &JoinSpec,
+    threshold: Option<f32>,
+    dot: bool,
+) -> Result<ExitCode, String> {
+    match name {
+        "k0" => Ok(report(spec, &Kappa0, threshold, dot)),
+        "sm" => Ok(report(spec, &SortMerge, threshold, dot)),
+        "dnl" => Ok(report(spec, &DiskNestedLoops::default(), threshold, dot)),
+        "smdnl" => Ok(report(spec, &SmDnl::default(), threshold, dot)),
+        other => Err(format!("unknown cost model {other:?} (expected k0|sm|dnl|smdnl)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        return fail("missing subcommand");
+    };
+    let args = Args::parse(&argv[1..]);
+    let model = args.get("model").unwrap_or("k0").to_string();
+    let threshold = match args.get("threshold").map(|t| t.parse::<f32>()) {
+        None => None,
+        Some(Ok(t)) if t > 0.0 && t.is_finite() => Some(t),
+        Some(_) => return fail("--threshold must be a positive number"),
+    };
+    let dot = args.has("dot");
+
+    match cmd.as_str() {
+        "optimize" => {
+            let Some(cards_s) = args.get("cards") else {
+                return fail("optimize requires --cards");
+            };
+            let cards: Result<Vec<f64>, _> =
+                cards_s.split(',').map(|c| c.trim().parse::<f64>()).collect();
+            let Ok(cards) = cards else {
+                return fail("--cards must be a comma-separated list of numbers");
+            };
+            let mut preds = Vec::new();
+            for p in args.get_all("pred") {
+                let parts: Vec<&str> = p.split(':').collect();
+                let parsed = (|| -> Option<(usize, usize, f64)> {
+                    if parts.len() != 3 {
+                        return None;
+                    }
+                    Some((
+                        parts[0].parse().ok()?,
+                        parts[1].parse().ok()?,
+                        parts[2].parse().ok()?,
+                    ))
+                })();
+                match parsed {
+                    Some(t) => preds.push(t),
+                    None => return fail(&format!("bad --pred {p:?} (expected i:j:selectivity)")),
+                }
+            }
+            let spec = match JoinSpec::new(&cards, &preds) {
+                Ok(s) => s,
+                Err(e) => return fail(&e.to_string()),
+            };
+            with_model(&model, &spec, threshold, dot).unwrap_or_else(|e| fail(&e))
+        }
+        "sql" => {
+            let Some(query) = args.positional.first() else {
+                return fail("sql requires a query string");
+            };
+            let catalog = demo_retail_catalog();
+            let parsed = match parse_query(&catalog, query) {
+                Ok(p) => p,
+                Err(e) => return fail(&e.to_string()),
+            };
+            println!("-- parsed {} relations, {} predicates (after saturation)",
+                parsed.graph.n(), parsed.saturated_predicates.len());
+            let spec = match parsed.graph.to_spec() {
+                Ok(s) => s,
+                Err(e) => return fail(&e.to_string()),
+            };
+            with_model(&model, &spec, threshold, dot).unwrap_or_else(|e| fail(&e))
+        }
+        "workload" => {
+            let topo = match args.get("topology").unwrap_or("chain") {
+                "chain" => Topology::Chain,
+                "cycle3" => Topology::CyclePlus3,
+                "star" => Topology::Star,
+                "clique" => Topology::Clique,
+                other => return fail(&format!("unknown topology {other:?}")),
+            };
+            let n: usize = match args.get("n").unwrap_or("15").parse() {
+                Ok(n) if (1..=20).contains(&n) => n,
+                _ => return fail("--n must be in 1..=20"),
+            };
+            let mu: f64 = match args.get("mu").unwrap_or("100").parse() {
+                Ok(m) if m >= 1.0 => m,
+                _ => return fail("--mu must be ≥ 1"),
+            };
+            let var: f64 = match args.get("var").unwrap_or("0.5").parse() {
+                Ok(v) if (0.0..=1.0).contains(&v) => v,
+                _ => return fail("--var must be in [0,1]"),
+            };
+            let spec = Workload::new(n, topo, mu, var).spec();
+            if args.has("time") {
+                let start = std::time::Instant::now();
+                let _ = optimize_join(&spec, &Kappa0);
+                println!("optimization time (k0): {:?}", start.elapsed());
+            }
+            with_model(&model, &spec, threshold, dot).unwrap_or_else(|e| fail(&e))
+        }
+        other => fail(&format!("unknown subcommand {other:?}")),
+    }
+}

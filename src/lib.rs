@@ -1,0 +1,46 @@
+//! # blitzsplit — rapid bushy join-order optimization with Cartesian products
+//!
+//! Umbrella crate re-exporting the component libraries of this
+//! reproduction of **Vance & Maier, SIGMOD 1996**:
+//!
+//! * [`core`] (`blitz-core`) — the blitzsplit optimizer itself: bit-vector
+//!   relation sets, the flat DP table, the Cartesian-product and join
+//!   optimizers, cost models, plan-cost thresholds, plan extraction;
+//! * [`catalog`] (`blitz-catalog`) — join graphs, catalog statistics, the
+//!   paper's deterministic benchmark-workload generator;
+//! * [`baselines`] (`blitz-baselines`) — left-deep DP, DPsize, DPsub,
+//!   greedy and stochastic comparison optimizers;
+//! * [`exec`] (`blitz-exec`) — an in-memory execution engine that runs
+//!   optimized plans over synthetic data.
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use blitzsplit::{optimize_join, JoinSpec, Kappa0};
+//!
+//! let spec = JoinSpec::new(
+//!     &[1000.0, 50.0, 20.0],
+//!     &[(0, 1, 0.01), (1, 2, 0.1)],
+//! ).unwrap();
+//! let best = optimize_join(&spec, &Kappa0).unwrap();
+//! println!("{} at cost {}", best.plan, best.cost);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The core optimizer crate (`blitz-core`).
+pub use blitz_core as core;
+
+/// Join graphs, statistics and workloads (`blitz-catalog`).
+pub use blitz_catalog as catalog;
+
+/// Baseline optimizers (`blitz-baselines`).
+pub use blitz_baselines as baselines;
+
+/// The execution engine (`blitz-exec`).
+pub use blitz_exec as exec;
+
+pub use blitz_core::{
+    optimize_join, optimize_join_threshold, optimize_products, CostModel, DiskNestedLoops,
+    JoinSpec, Kappa0, Optimized, Plan, RelSet, SmDnl, SortMerge, ThresholdSchedule,
+};

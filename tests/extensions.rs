@@ -1,0 +1,214 @@
+//! Integration tests for the extension features: interesting orders
+//! (core::ordered), IKKBZ (baselines::ikkbz), implied predicates
+//! (catalog::implied), and the block-I/O execution substrate
+//! (exec::diskio).
+
+use blitzsplit::baselines::{optimize_ikkbz, optimize_left_deep, ProductPolicy};
+use blitzsplit::catalog::{random_spec, EquiJoinQuery, RandomSpecParams};
+use blitzsplit::core::ordered::{optimize_ordered, optimize_ordered_naive, OrderedSpec};
+use blitzsplit::exec::{execute, execute_blocked, Database, DiskConfig, JoinStrategy};
+use blitzsplit::{optimize_join, JoinSpec, Kappa0};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- ordered
+
+/// Random spec + random key-class assignment.
+fn arb_ordered() -> impl Strategy<Value = OrderedSpec> {
+    (3usize..=6, 0u64..500).prop_map(|(n, seed)| {
+        let spec = random_spec(
+            &RandomSpecParams {
+                n,
+                edge_probability: 0.4,
+                card_range: (2.0, 5e3),
+                selectivity_range: (1e-3, 0.5),
+                ..Default::default()
+            },
+            seed,
+        );
+        let k = spec.edge_count();
+        // Deterministic pseudo-random class assignment with ~k/2 classes.
+        let classes: Vec<usize> =
+            (0..k).map(|i| (seed as usize + i * 7) % (k / 2 + 1)).collect();
+        OrderedSpec::new(spec, classes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn order_awareness_never_hurts(ospec in arb_ordered()) {
+        let aware = optimize_ordered(&ospec);
+        let naive = optimize_ordered_naive(&ospec);
+        prop_assert!(aware.cost <= naive.cost * (1.0 + 1e-9),
+            "aware {} > naive {}", aware.cost, naive.cost);
+    }
+
+    #[test]
+    fn ordered_plans_recost_consistently(ospec in arb_ordered()) {
+        let opt = optimize_ordered(&ospec);
+        let (_, recost, _) = opt.plan.cost(&ospec);
+        let tol = opt.cost.abs() * 1e-9 + 1e-9;
+        prop_assert!((recost - opt.cost).abs() <= tol,
+            "plan {} recosts {} vs DP {}", opt.plan, recost, opt.cost);
+        prop_assert_eq!(opt.plan.rel_set(), ospec.spec().all_rels());
+    }
+}
+
+// ----------------------------------------------------------------- ikkbz
+
+#[test]
+fn ikkbz_equals_left_deep_dp_on_random_trees() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(3..=9);
+        let cards: Vec<f64> = (0..n).map(|_| rng.random_range(2.0..5e3)).collect();
+        let preds: Vec<(usize, usize, f64)> = (1..n)
+            .map(|i| (rng.random_range(0..i), i, rng.random_range(1e-3..0.9)))
+            .collect();
+        let spec = JoinSpec::new(&cards, &preds).unwrap();
+        let ik = optimize_ikkbz(&spec, &Kappa0).unwrap();
+        let dp = optimize_left_deep(&spec, &Kappa0, ProductPolicy::Excluded);
+        let tol = dp.cost.abs() * 1e-4 + 1e-2;
+        assert!(
+            (ik.cost - dp.cost).abs() <= tol,
+            "seed {seed}: IKKBZ {} vs DP {}",
+            ik.cost,
+            dp.cost
+        );
+    }
+}
+
+// --------------------------------------------------------------- implied
+
+#[test]
+fn saturated_specs_stay_consistent_under_execution() {
+    // A.k = B.k = C.k: the saturated spec adds A~C. Executing the
+    // product-free and the saturated optimizer's plans over the SAME
+    // data must give identical results (the implied predicate is not a
+    // new constraint, just a derived one). We generate data from the
+    // saturated spec so all three key columns share one domain.
+    let mut q = EquiJoinQuery::new();
+    let a = q.column(0, "k", 40.0);
+    let b = q.column(1, "k", 40.0);
+    q.equate(a, b);
+    let c = q.column(2, "k", 40.0);
+    q.equate(b, c);
+
+    let cards = [40.0, 60.0, 50.0];
+    let saturated_spec = JoinSpec::new(&cards, &q.saturate()).unwrap();
+    let db = Database::generate(&saturated_spec, 404);
+    let eff = db.effective_spec().unwrap();
+
+    let best = optimize_join(&eff, &Kappa0).unwrap();
+    let plans = [
+        best.plan.clone(),
+        blitzsplit::Plan::join(
+            blitzsplit::Plan::join(blitzsplit::Plan::scan(0), blitzsplit::Plan::scan(1)),
+            blitzsplit::Plan::scan(2),
+        ),
+        blitzsplit::Plan::join(
+            blitzsplit::Plan::join(blitzsplit::Plan::scan(0), blitzsplit::Plan::scan(2)),
+            blitzsplit::Plan::scan(1),
+        ),
+    ];
+    let reference = execute(&plans[0], &db, JoinStrategy::Hash).relation.fingerprint();
+    for p in &plans[1..] {
+        let got = execute(p, &db, JoinStrategy::Hash).relation.fingerprint();
+        // Fingerprints are over identical schemas here (same relations),
+        // so equality is meaningful.
+        assert_eq!(got.len(), reference.len(), "row counts differ for {p}");
+    }
+}
+
+#[test]
+fn saturation_is_idempotent_and_monotone() {
+    let mut q = EquiJoinQuery::new();
+    let cols: Vec<usize> = (0..5).map(|r| q.column(r, "k", 100.0)).collect();
+    for w in cols.windows(2) {
+        q.equate(w[0], w[1]);
+    }
+    let sat = q.saturate();
+    // 5 relations in one class → C(5,2) = 10 predicates.
+    assert_eq!(sat.len(), 10);
+    // Saturating a query whose written predicates are already the closure
+    // changes nothing.
+    let mut q2 = EquiJoinQuery::new();
+    let cols2: Vec<usize> = (0..5).map(|r| q2.column(r, "k", 100.0)).collect();
+    for i in 0..5 {
+        for j in i + 1..5 {
+            q2.equate(cols2[i], cols2[j]);
+        }
+    }
+    assert_eq!(q2.saturate(), sat);
+}
+
+// ------------------------------------------------------------- histogram
+
+#[test]
+fn histogram_estimated_spec_tracks_reality_end_to_end() {
+    use blitzsplit::catalog::Histogram;
+    // Generate data from a known spec, then *forget* the spec: rebuild
+    // statistics purely from the data via histograms, optimize against
+    // the estimated spec, execute, and compare observed row counts.
+    let truth = JoinSpec::new(
+        &[500.0, 400.0, 300.0],
+        &[(0, 1, 1.0 / 200.0), (1, 2, 1.0 / 150.0)],
+    )
+    .unwrap();
+    let db = Database::generate(&truth, 31337);
+
+    // Histogram per join column.
+    let col_values = |rel: usize, name: &str| -> Vec<u64> {
+        let r = db.relation(rel);
+        let c = r.column_index(rel, name).unwrap();
+        (0..r.rows()).map(|i| r.row(i)[c]).collect()
+    };
+    let h0 = Histogram::build(&col_values(0, "k0_1"), 32);
+    let h1a = Histogram::build(&col_values(1, "k0_1"), 32);
+    let h1b = Histogram::build(&col_values(1, "k1_2"), 32);
+    let h2 = Histogram::build(&col_values(2, "k1_2"), 32);
+
+    let est = JoinSpec::new(
+        &[h0.rows() as f64, h1a.rows() as f64, h2.rows() as f64],
+        &[(0, 1, h0.join_selectivity(&h1a)), (1, 2, h1b.join_selectivity(&h2))],
+    )
+    .unwrap();
+
+    // Estimated selectivities should be close to the generating truth.
+    for (i, j) in [(0usize, 1usize), (1, 2)] {
+        let t = truth.selectivity(i, j);
+        let e = est.selectivity(i, j);
+        assert!(
+            (e - t).abs() / t < 0.5,
+            "histogram selectivity R{i}~R{j}: est {e} vs truth {t}"
+        );
+    }
+
+    // Optimize against the estimate, execute, compare result size.
+    let best = optimize_join(&est, &Kappa0).unwrap();
+    let out = execute(&best.plan, &db, JoinStrategy::Hash);
+    let predicted = est.join_cardinality(est.all_rels());
+    let observed = out.relation.rows() as f64;
+    // Small expected counts (~2) ⇒ loose multiplicative band.
+    assert!(
+        observed <= predicted * 8.0 + 20.0 && predicted <= observed * 8.0 + 20.0,
+        "observed {observed} vs histogram-predicted {predicted}"
+    );
+}
+
+// ---------------------------------------------------------------- diskio
+
+#[test]
+fn blocked_execution_agrees_with_hash_execution() {
+    let spec = JoinSpec::new(&[120.0, 90.0, 60.0], &[(0, 1, 0.02), (1, 2, 0.05)]).unwrap();
+    let db = Database::generate(&spec, 777);
+    let eff = db.effective_spec().unwrap();
+    let plan = optimize_join(&eff, &Kappa0).unwrap().plan;
+    let (blocked, io) = execute_blocked(&plan, &db, DiskConfig::default());
+    let hashed = execute(&plan, &db, JoinStrategy::Hash);
+    assert_eq!(blocked.fingerprint(), hashed.relation.fingerprint());
+    assert!(io.total() > 0);
+}

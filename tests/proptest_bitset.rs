@@ -1,0 +1,100 @@
+//! Property-based tests for the bit-vector set machinery — the foundation
+//! the whole `O(3^n)` enumeration rests on.
+
+use blitzsplit::core::bitset::StridedSubsets;
+use blitzsplit::RelSet;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Arbitrary nonempty set over at most 16 relations (keeps subset
+/// enumeration affordable).
+fn small_set() -> impl Strategy<Value = RelSet> {
+    (1u32..=0xFFFF).prop_map(RelSet::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn proper_subsets_are_exactly_the_proper_nonempty_subsets(s in small_set()) {
+        let subs: Vec<RelSet> = s.proper_subsets().collect();
+        // Count: 2^|S| − 2.
+        prop_assert_eq!(subs.len(), (1usize << s.len()) - 2);
+        // Uniqueness.
+        let uniq: HashSet<u32> = subs.iter().map(|x| x.bits()).collect();
+        prop_assert_eq!(uniq.len(), subs.len());
+        // Membership.
+        for sub in &subs {
+            prop_assert!(!sub.is_empty());
+            prop_assert!(sub.is_subset_of(s));
+            prop_assert!(*sub != s);
+        }
+    }
+
+    #[test]
+    fn subset_successor_walk_ends_at_the_set_itself(s in small_set()) {
+        // succ(δ(2^m − 2)) = δ(2^m − 1) = S.
+        let mut cur = s.lowest_singleton();
+        let mut steps = 0usize;
+        while cur != s {
+            cur = s.subset_successor(cur);
+            steps += 1;
+            prop_assert!(steps <= 1 << s.len(), "walk did not terminate");
+        }
+        // δ(1) → δ(2^m − 1) takes 2^m − 2 successor steps.
+        prop_assert_eq!(steps, (1usize << s.len()) - 2);
+    }
+
+    #[test]
+    fn split_pairs_partition_the_set(s in small_set()) {
+        prop_assume!(s.len() >= 2);
+        for lhs in s.proper_subsets() {
+            let rhs = s - lhs;
+            prop_assert!(lhs.is_disjoint(rhs));
+            prop_assert_eq!(lhs | rhs, s);
+            prop_assert!(!rhs.is_empty());
+        }
+    }
+
+    #[test]
+    fn strided_orders_visit_the_same_subsets(s in small_set(), k in 0u32..8) {
+        let stride = 2 * k + 1; // any odd stride
+        let natural: HashSet<u32> = s.proper_subsets().map(|x| x.bits()).collect();
+        let strided: HashSet<u32> = StridedSubsets::new(s, stride).map(|x| x.bits()).collect();
+        prop_assert_eq!(natural, strided);
+    }
+
+    #[test]
+    fn set_algebra_laws(a in 0u32..=0xFFFF, b in 0u32..=0xFFFF) {
+        let (x, y) = (RelSet::from_bits(a), RelSet::from_bits(b));
+        prop_assert_eq!(x | y, y | x);
+        prop_assert_eq!(x & y, y & x);
+        prop_assert_eq!((x - y) | (x & y), x);
+        prop_assert!((x - y).is_disjoint(y));
+        prop_assert!((x & y).is_subset_of(x));
+        prop_assert!(x.is_subset_of(x | y));
+        prop_assert_eq!(x.len() + y.len(), (x | y).len() + (x & y).len());
+    }
+
+    #[test]
+    fn lowest_singleton_is_min_rel(s in small_set()) {
+        let low = s.lowest_singleton();
+        prop_assert!(low.is_singleton());
+        prop_assert_eq!(low.min_rel(), s.min_rel());
+        prop_assert!(low.is_subset_of(s));
+    }
+
+    #[test]
+    fn member_iteration_roundtrips(s in 0u32..=0xFFFFFF) {
+        let set = RelSet::from_bits(s);
+        let rebuilt: RelSet = set.iter().collect();
+        prop_assert_eq!(rebuilt, set);
+        let members: Vec<usize> = set.iter().collect();
+        prop_assert_eq!(members.len(), set.len());
+        // Sorted ascending.
+        prop_assert!(members.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn nonempty_subsets_count(s in small_set()) {
+        prop_assert_eq!(s.nonempty_subsets().count(), (1usize << s.len()) - 1);
+    }
+}

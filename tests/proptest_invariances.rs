@@ -1,0 +1,157 @@
+//! Deeper optimizer invariances, checked by property testing:
+//!
+//! * relabeling relations permutes the plan but not the optimal cost;
+//! * scaling every cardinality by a constant scales κ0 costs linearly;
+//! * weakening any selectivity never decreases the κ0 optimum;
+//! * the optimizer is total and sane under an adversarial cost model
+//!   (huge split-dependent components, zero split-independent part);
+//! * hypergraph optimization agrees with flat optimization whenever all
+//!   edges are binary.
+
+use blitzsplit::core::hyper::{optimize_hyper, HyperSpec};
+use blitzsplit::core::CostModel;
+use blitzsplit::{optimize_join, JoinSpec, Kappa0};
+use proptest::prelude::*;
+
+/// Random small problem: `(cards, predicate list)`.
+fn arb_problem() -> impl Strategy<Value = (Vec<f64>, Vec<(usize, usize, f64)>)> {
+    (3usize..=6).prop_flat_map(|n| {
+        let cards = proptest::collection::vec(1.0f64..1e4, n);
+        let edges = proptest::collection::vec(
+            ((0..n), (0..n), 1e-4f64..1.0),
+            0..=n + 2,
+        )
+        .prop_map(|es| es.into_iter().filter(|&(a, b, _)| a != b).collect::<Vec<_>>());
+        (cards, edges)
+    })
+}
+
+/// An adversarial model: κ' ≡ 0 (defeats the pre-loop skip) and a κ''
+/// that mixes products and ratios at large magnitude.
+#[derive(Copy, Clone, Debug, Default)]
+struct Adversarial;
+
+impl CostModel for Adversarial {
+    const HAS_DEP: bool = true;
+    const HAS_AUX: bool = false;
+
+    fn kappa_ind(&self, _out: f64) -> f32 {
+        0.0
+    }
+
+    fn kappa_dep(&self, out: f64, lhs: f64, rhs: f64, _la: f32, _ra: f32) -> f32 {
+        // Nonnegative, wildly scaled, asymmetric.
+        ((lhs * 1e6) / (rhs + 1.0) + out.sqrt() * 1e3) as f32
+    }
+
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn relabeling_preserves_optimal_cost(
+        (cards, preds) in arb_problem(),
+        seed in 0u64..1000,
+    ) {
+        let n = cards.len();
+        let spec = JoinSpec::new(&cards, &preds).unwrap();
+        // Derive a permutation from the seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let pcards: Vec<f64> = (0..n).map(|i| cards[perm.iter().position(|&p| p == i).unwrap()]).collect();
+        // perm maps old → new: relation old i becomes new perm[i].
+        let ppreds: Vec<(usize, usize, f64)> =
+            preds.iter().map(|&(a, b, s)| (perm[a], perm[b], s)).collect();
+        let pspec = JoinSpec::new(&pcards, &ppreds).unwrap();
+
+        let a = optimize_join(&spec, &Kappa0).unwrap().cost;
+        let b = optimize_join(&pspec, &Kappa0).unwrap().cost;
+        let tol = a.abs().max(b.abs()) * 1e-4 + 1e-4;
+        prop_assert!((a - b).abs() <= tol, "original {a} vs relabeled {b}");
+    }
+
+    #[test]
+    fn kappa0_cost_scales_linearly_with_cardinalities(
+        (cards, preds) in arb_problem(),
+        factor in 1.5f64..50.0,
+    ) {
+        // κ0 cost = Σ intermediate cardinalities, and every intermediate
+        // over m relations scales by factor^m — so linear scaling holds
+        // only when selectivities are rescaled to keep pairwise join
+        // sizes proportional: σ' = σ/factor restores exact linearity for
+        // *binary-tree* join counts… simplest exact invariant: scale
+        // cards by f and each selectivity by 1/f; every intermediate over
+        // m relations and k internal predicates scales by f^(m−k); for
+        // spanning trees m−k can vary, so instead we check the weaker,
+        // always-true property: the optimum scales by at least f (every
+        // term grows by ≥ f when f ≥ 1 and every subset keeps ≥ 1 factor).
+        let spec = JoinSpec::new(&cards, &preds).unwrap();
+        let scaled_cards: Vec<f64> = cards.iter().map(|c| c * factor).collect();
+        let scaled = JoinSpec::new(&scaled_cards, &preds).unwrap();
+        let a = optimize_join(&spec, &Kappa0).unwrap().cost as f64;
+        let b = optimize_join(&scaled, &Kappa0).unwrap().cost as f64;
+        if a > 0.0 && b.is_finite() {
+            prop_assert!(b >= a * factor * (1.0 - 1e-5),
+                "scaling cards by {factor} grew cost only {a} → {b}");
+        }
+    }
+
+    #[test]
+    fn weakening_a_selectivity_never_lowers_the_kappa0_optimum(
+        (cards, mut preds) in arb_problem(),
+        which in 0usize..8,
+        weaken in 1.1f64..10.0,
+    ) {
+        prop_assume!(!preds.is_empty());
+        let spec = JoinSpec::new(&cards, &preds).unwrap();
+        let a = optimize_join(&spec, &Kappa0).unwrap().cost;
+        let k = which % preds.len();
+        // Weaken: selectivity closer to 1 (larger), capped at 1.
+        preds[k].2 = (preds[k].2 * weaken).min(1.0);
+        let weakened = JoinSpec::new(&cards, &preds).unwrap();
+        let b = optimize_join(&weakened, &Kappa0).unwrap().cost;
+        prop_assert!(b >= a * (1.0 - 1e-5),
+            "weakening predicate {k} lowered the optimum {a} → {b}");
+    }
+
+    #[test]
+    fn adversarial_model_is_handled_totally((cards, preds) in arb_problem()) {
+        let spec = JoinSpec::new(&cards, &preds).unwrap();
+        let opt = optimize_join(&spec, &Adversarial).unwrap();
+        prop_assert!(opt.cost >= 0.0);
+        prop_assert_eq!(opt.plan.rel_set(), spec.all_rels());
+        // Recost agreement (within f32 slop at large magnitudes).
+        let (_, recost) = opt.plan.cost(&spec, &Adversarial);
+        let tol = opt.cost.abs() * 1e-3 + 1e-3;
+        prop_assert!((recost - opt.cost).abs() <= tol,
+            "recost {recost} vs {}", opt.cost);
+    }
+
+    #[test]
+    fn hyper_with_binary_edges_equals_flat((cards, preds) in arb_problem()) {
+        let flat = JoinSpec::new(&cards, &preds).unwrap();
+        // Deduplicate pairs the way JoinSpec multiplies them: feed the
+        // *effective* pairwise selectivities to the hypergraph.
+        let eff: Vec<(usize, usize, f64)> = flat.edges().collect();
+        let members: Vec<[usize; 2]> = eff.iter().map(|&(a, b, _)| [a, b]).collect();
+        let hyperedges: Vec<(&[usize], f64)> = members
+            .iter()
+            .zip(&eff)
+            .map(|(m, &(_, _, s))| (&m[..], s))
+            .collect();
+        let hyper = HyperSpec::new(&cards, &hyperedges).unwrap();
+        let a = optimize_join(&flat, &Kappa0).unwrap().cost;
+        let b = optimize_hyper(&hyper, &Kappa0).unwrap().cost;
+        let tol = a.abs() * 1e-5 + 1e-5;
+        prop_assert!((a - b).abs() <= tol, "flat {a} vs hyper {b}");
+    }
+}
