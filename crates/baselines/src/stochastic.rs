@@ -478,7 +478,7 @@ mod tests {
         let (_, ii) = iterated_improvement(
             &spec,
             &Kappa0,
-            IiParams { restarts: 20, max_consecutive_failures: 200, seed: 11 },
+            IiParams { restarts: 100, max_consecutive_failures: 400, seed: 11 },
         );
         assert!((ii - opt).abs() <= opt.abs() * 1e-4 + 1e-4, "II {ii} vs opt {opt}");
     }

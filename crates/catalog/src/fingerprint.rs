@@ -1,0 +1,243 @@
+//! Canonical query fingerprints for plan caching.
+//!
+//! Two optimization requests deserve the same cached plan exactly when
+//! they describe the same *statistics*: the multiset of base-relation
+//! cardinalities, the predicate structure with its selectivities, the
+//! cost model, and the threshold schedule (the schedule changes how many
+//! passes run, and therefore the reported pass count, even though the
+//! final plan is the same). Relation *labels* are presentation detail —
+//! `cards=[10,20]` with an edge `0–1` and `cards=[20,10]` with an edge
+//! `1–0` are the same query — so the fingerprint is computed over a
+//! canonical relabeling:
+//!
+//! 1. every relation gets a label-independent sort key: its cardinality
+//!    bits, its degree, and the sorted list of `(selectivity, neighbor
+//!    cardinality)` bit-pairs of its incident predicates;
+//! 2. relations are sorted by that key (original index breaks exact
+//!    ties) and renumbered in sorted order;
+//! 3. the canonical cardinality vector, the sorted canonical predicate
+//!    list, the cost-model identifier and the schedule are folded
+//!    through 128-bit FNV-1a.
+//!
+//! Plans are stored in *canonical* label space; each requester maps the
+//! cached plan back through its own permutation, so a query hits the
+//! cache no matter how its relations were numbered. Isomorphic queries
+//! whose relations tie on every statistic may still canonicalize
+//! differently (graph isomorphism is not solved here) — such pairs
+//! *miss*, they never produce a wrong plan: equal fingerprint input
+//! implies equal canonical statistics, for which any plan shape has
+//! identical cost under both labelings. The 128-bit FNV hash is not
+//! collision-proof against adversarial input; callers that cannot
+//! tolerate even that may compare [`CanonicalQuery::canonical_bytes`]
+//! directly.
+
+use blitz_core::{JoinSpec, Plan, ThresholdSchedule};
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A query reduced to canonical (label-independent) form: a 128-bit
+/// fingerprint plus the relabeling permutation that produced it.
+#[derive(Clone, Debug)]
+pub struct CanonicalQuery {
+    fingerprint: u128,
+    /// `to_canon[original] = canonical`.
+    to_canon: Vec<usize>,
+    /// `to_orig[canonical] = original`.
+    to_orig: Vec<usize>,
+    bytes: Vec<u8>,
+}
+
+impl CanonicalQuery {
+    /// Canonicalize `spec` under cost model `model_id` (an arbitrary
+    /// identifier string — distinct models must use distinct ids) and
+    /// optional threshold `schedule`.
+    pub fn new(spec: &JoinSpec, model_id: &str, schedule: Option<&ThresholdSchedule>) -> CanonicalQuery {
+        let n = spec.n();
+
+        // Label-independent per-relation key: cardinality bits, degree,
+        // sorted incident (selectivity, neighbor-cardinality) bit-pairs.
+        type RelKey = (u64, usize, Vec<(u64, u64)>);
+        let keys: Vec<RelKey> = (0..n)
+            .map(|i| {
+                let mut incident: Vec<(u64, u64)> = spec
+                    .edges()
+                    .filter(|&(u, v, _)| u == i || v == i)
+                    .map(|(u, v, sel)| {
+                        let other = if u == i { v } else { u };
+                        (sel.to_bits(), spec.card(other).to_bits())
+                    })
+                    .collect();
+                incident.sort_unstable();
+                (spec.card(i).to_bits(), incident.len(), incident)
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+
+        let mut to_canon = vec![0usize; n];
+        for (canon, &orig) in order.iter().enumerate() {
+            to_canon[orig] = canon;
+        }
+        let to_orig = order;
+
+        // Canonical byte string: n, cards in canonical order, sorted
+        // canonical predicate triples, model id, schedule.
+        let mut bytes = Vec::with_capacity(16 * n + 24 * spec.edge_count() + model_id.len() + 32);
+        bytes.extend_from_slice(&(n as u64).to_le_bytes());
+        for &orig in &to_orig {
+            bytes.extend_from_slice(&spec.card(orig).to_bits().to_le_bytes());
+        }
+        let mut edges: Vec<(u64, u64, u64)> = spec
+            .edges()
+            .map(|(u, v, sel)| {
+                let (a, b) = (to_canon[u] as u64, to_canon[v] as u64);
+                (a.min(b), a.max(b), sel.to_bits())
+            })
+            .collect();
+        edges.sort_unstable();
+        bytes.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+        for (a, b, sel) in edges {
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&b.to_le_bytes());
+            bytes.extend_from_slice(&sel.to_le_bytes());
+        }
+        bytes.extend_from_slice(&(model_id.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(model_id.as_bytes());
+        match schedule {
+            None => bytes.push(0),
+            Some(s) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&s.initial.to_bits().to_le_bytes());
+                bytes.extend_from_slice(&s.factor.to_bits().to_le_bytes());
+                bytes.extend_from_slice(&s.max_passes.to_le_bytes());
+            }
+        }
+
+        let mut h = FNV_OFFSET;
+        for &byte in &bytes {
+            h ^= byte as u128;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+
+        CanonicalQuery { fingerprint: h, to_canon, to_orig, bytes }
+    }
+
+    /// The 128-bit FNV-1a fingerprint of the canonical form.
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
+    }
+
+    /// Number of relations in the query.
+    pub fn n(&self) -> usize {
+        self.to_canon.len()
+    }
+
+    /// The exact canonical byte string the fingerprint hashes; equal
+    /// bytes ⇔ equal canonical statistics.
+    pub fn canonical_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Relabel a plan from the requester's original space into canonical
+    /// space (for storing in a shared cache).
+    pub fn to_canonical(&self, plan: &Plan) -> Plan {
+        self.relabel(plan, &self.to_canon)
+    }
+
+    /// Relabel a cached canonical-space plan back into this requester's
+    /// original space.
+    pub fn to_original(&self, plan: &Plan) -> Plan {
+        self.relabel(plan, &self.to_orig)
+    }
+
+    fn relabel(&self, plan: &Plan, map: &[usize]) -> Plan {
+        match plan {
+            Plan::Scan { rel } => Plan::scan(map[*rel]),
+            Plan::Join { left, right } => {
+                Plan::join(self.relabel(left, map), self.relabel(right, map))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blitz_core::{optimize_join, Kappa0};
+
+    fn spec() -> JoinSpec {
+        JoinSpec::new(&[10.0, 20.0, 30.0, 40.0], &[(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.05)])
+            .unwrap()
+    }
+
+    /// The same spec with relations listed in reverse order.
+    fn reversed() -> JoinSpec {
+        JoinSpec::new(&[40.0, 30.0, 20.0, 10.0], &[(3, 2, 0.1), (2, 1, 0.2), (1, 0, 0.05)])
+            .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let a = CanonicalQuery::new(&spec(), "k0", None);
+        let b = CanonicalQuery::new(&spec(), "k0", None);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn relabeling_is_invisible() {
+        let a = CanonicalQuery::new(&spec(), "k0", None);
+        let b = CanonicalQuery::new(&reversed(), "k0", None);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn model_and_schedule_distinguish() {
+        let base = CanonicalQuery::new(&spec(), "k0", None);
+        assert_ne!(base.fingerprint(), CanonicalQuery::new(&spec(), "sm", None).fingerprint());
+        let sched = ThresholdSchedule::new(1e6, 10.0, 3);
+        assert_ne!(
+            base.fingerprint(),
+            CanonicalQuery::new(&spec(), "k0", Some(&sched)).fingerprint()
+        );
+        assert_ne!(
+            CanonicalQuery::new(&spec(), "k0", Some(&sched)).fingerprint(),
+            CanonicalQuery::new(&spec(), "k0", Some(&ThresholdSchedule::new(1e6, 10.0, 4)))
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn statistics_distinguish() {
+        let other =
+            JoinSpec::new(&[10.0, 20.0, 30.0, 40.0], &[(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.06)])
+                .unwrap();
+        assert_ne!(
+            CanonicalQuery::new(&spec(), "k0", None).fingerprint(),
+            CanonicalQuery::new(&other, "k0", None).fingerprint()
+        );
+    }
+
+    #[test]
+    fn roundtrip_relabeling_preserves_cost() {
+        // Optimize the reversed spec, push the plan to canonical space,
+        // pull it back through the *forward* spec's permutation: the
+        // resulting plan must cost the same against the forward spec as
+        // the reversed plan does against the reversed spec.
+        let fwd = spec();
+        let rev = reversed();
+        let cf = CanonicalQuery::new(&fwd, "k0", None);
+        let cr = CanonicalQuery::new(&rev, "k0", None);
+        let opt_rev = optimize_join(&rev, &Kappa0).unwrap();
+        let canonical = cr.to_canonical(&opt_rev.plan);
+        let for_fwd = cf.to_original(&canonical);
+        assert_eq!(for_fwd.rel_set(), fwd.all_rels());
+        let (_, cost_fwd) = for_fwd.cost(&fwd, &Kappa0);
+        assert!((cost_fwd - opt_rev.cost).abs() <= opt_rev.cost.abs() * 1e-5);
+        // And to_original ∘ to_canonical is the identity for one query.
+        assert_eq!(cr.to_original(&cr.to_canonical(&opt_rev.plan)), opt_rev.plan);
+    }
+}

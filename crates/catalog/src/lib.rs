@@ -8,6 +8,8 @@
 //!   of the paper's Section 6.1 / Appendix (chain, cycle+3, star, clique
 //!   topologies; geometric-mean/variability cardinality model; the exact
 //!   Appendix selectivity formula);
+//! * [`fingerprint`] — canonical, relabeling-invariant query
+//!   fingerprints keying the service layer's plan cache;
 //! * [`catalog`] — a small statistics catalog with System-R-style
 //!   equi-join selectivity estimation and a fluent query builder;
 //! * [`histogram`] — equi-width histograms with per-bucket distinct
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod fingerprint;
 pub mod graph;
 pub mod histogram;
 pub mod implied;
@@ -33,6 +36,7 @@ pub mod sql;
 pub mod workload;
 
 pub use catalog::{demo_retail_catalog, Catalog, ColumnStats, QueryBuilder, TableStats};
+pub use fingerprint::CanonicalQuery;
 pub use graph::{JoinGraph, Predicate, Relation};
 pub use histogram::Histogram;
 pub use implied::{EquiColumn, EquiJoinQuery};

@@ -107,6 +107,18 @@ impl Stats for Counters {
     }
 }
 
+impl std::ops::AddAssign<&Counters> for Counters {
+    fn add_assign(&mut self, rhs: &Counters) {
+        self.loop_iters += rhs.loop_iters;
+        self.subsets += rhs.subsets;
+        self.kappa_ind_evals += rhs.kappa_ind_evals;
+        self.kappa_dep_evals += rhs.kappa_dep_evals;
+        self.cond_hits += rhs.cond_hits;
+        self.loops_skipped += rhs.loops_skipped;
+        self.passes += rhs.passes;
+    }
+}
+
 impl Counters {
     /// The analytic `3^n` bound on split-loop iterations (Section 3.3).
     pub fn bound_loop(n: usize) -> f64 {
@@ -176,5 +188,31 @@ mod tests {
     #[test]
     fn nostats_is_zero_sized() {
         assert_eq!(std::mem::size_of::<NoStats>(), 0);
+    }
+
+    #[test]
+    fn counters_add_assign_sums_fieldwise() {
+        let mut a = Counters { loop_iters: 1, subsets: 2, ..Counters::default() };
+        let b = Counters { loop_iters: 10, passes: 3, ..Counters::default() };
+        a += &b;
+        assert_eq!(a.loop_iters, 11);
+        assert_eq!(a.subsets, 2);
+        assert_eq!(a.passes, 3);
+    }
+
+    /// The service layer moves specs, plans, models and counters across
+    /// worker threads; these bounds are part of the public contract.
+    #[test]
+    fn optimizer_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::JoinSpec>();
+        assert_send_sync::<crate::Plan>();
+        assert_send_sync::<crate::Optimized>();
+        assert_send_sync::<Counters>();
+        assert_send_sync::<crate::ThresholdSchedule>();
+        assert_send_sync::<crate::Kappa0>();
+        assert_send_sync::<crate::SortMerge>();
+        assert_send_sync::<crate::DiskNestedLoops>();
+        assert_send_sync::<crate::SmDnl>();
     }
 }

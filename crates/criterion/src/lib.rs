@@ -1,0 +1,220 @@
+//! A vendored, dependency-free shim of the `criterion` 0.5 API surface
+//! this workspace's benches use.
+//!
+//! The repository must build fully offline, so the real `criterion`
+//! crate is replaced by this minimal harness: same macros
+//! ([`criterion_group!`], [`criterion_main!`]) and types ([`Criterion`],
+//! [`BenchmarkId`], `Bencher`), but a far simpler measurement loop —
+//! each benchmark's closure is timed for a handful of batches and the
+//! best per-iteration time is printed as one line on stdout. There are
+//! no statistical analyses, plots or baselines; the goal is that `cargo
+//! bench` (and `cargo test`, which builds and smoke-runs bench targets)
+//! stays fast, green and informative without network access.
+//!
+//! Set `BLITZ_BENCH_SECONDS` (float, default `0.2`) to control the
+//! per-benchmark time budget.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark, from `BLITZ_BENCH_SECONDS`.
+fn time_budget() -> Duration {
+    std::env::var("BLITZ_BENCH_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0 && s.is_finite())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_millis(200))
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    best_per_iter: Option<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly within the time budget and record the best
+    /// observed per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed warm-up call, then timed batches of growing size.
+        black_box(body());
+        let deadline = Instant::now() + self.budget;
+        let mut batch: u32 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed / batch;
+            if self.best_per_iter.is_none_or(|b| per_iter < b) {
+                self.best_per_iter = Some(per_iter);
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            if elapsed < Duration::from_millis(10) && batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function_name: &str, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    budget: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim's measurement loop is
+    /// time-budgeted rather than sample-counted.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the per-benchmark measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { best_per_iter: None, budget: self.budget };
+        f(&mut b);
+        match b.best_per_iter {
+            Some(t) => println!("bench {}/{id}: {}", self.name, human(t)),
+            None => println!("bench {}/{id}: no measurement (iter never called)", self.name),
+        }
+    }
+
+    /// Time one benchmark closure under this group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    /// Time one parameterized benchmark closure under this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; printed output is already flushed per line).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), budget: time_budget() }
+    }
+
+    /// Time one stand-alone benchmark closure.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let g = BenchmarkGroup { name: "bench".into(), budget: time_budget() };
+        let mut f = f;
+        g.run_one(id, |b| f(b));
+        self
+    }
+}
+
+/// Declare a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main`, invoking every listed group. Command-line arguments
+/// (as passed by `cargo bench`/`cargo test`) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` smoke-runs bench binaries with harness flags
+            // such as `--test`; there is nothing to configure, so flags
+            // are deliberately ignored.
+            let _ = std::env::args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut g = Criterion::default().benchmark_group("g");
+        g.budget = Duration::from_millis(5);
+        let mut ran = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).id, "f/12");
+        assert_eq!(BenchmarkId::new("g", "chain").id, "g/chain");
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human(Duration::from_nanos(5)), "5 ns");
+        assert!(human(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(human(Duration::from_secs(2)).ends_with("s"));
+    }
+}

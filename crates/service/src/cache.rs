@@ -1,0 +1,427 @@
+//! Sharded LRU plan cache with single-flight deduplication.
+//!
+//! Keys are the 128-bit canonical fingerprints of
+//! [`blitz_catalog::CanonicalQuery`]; values are optimized plans stored
+//! in *canonical* label space (each requester relabels through its own
+//! permutation). A lookup returns one of three things:
+//!
+//! * [`Lookup::Hit`] — a completed plan is resident; it is promoted to
+//!   most-recently-used and returned;
+//! * [`Lookup::Wait`] — another thread is already optimizing this very
+//!   query; the caller blocks on its [`Slot`] instead of duplicating the
+//!   work (the "single-flight" property: N concurrent identical requests
+//!   run exactly one optimization);
+//! * [`Lookup::Reserved`] — the caller won the race and owns a
+//!   [`Reservation`] it must resolve: [`Reservation::fulfill_cached`]
+//!   publishes the plan and inserts it into the LRU,
+//!   [`Reservation::fulfill_uncached`] publishes to the waiters only
+//!   (used for fallback plans not worth caching), and dropping the
+//!   reservation unresolved wakes waiters empty-handed so nobody blocks
+//!   forever.
+//!
+//! Each shard is an independent `Mutex` around a hash map plus an
+//! intrusive doubly-linked LRU list over a slab, so eviction and
+//! promotion are O(1) and contention is spread `shards` ways. Only
+//! completed entries occupy LRU capacity; in-flight slots are pinned
+//! until resolved.
+
+use blitz_core::Plan;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A finished optimization result in canonical label space.
+#[derive(Clone, Debug)]
+pub struct ComputedPlan {
+    /// Optimal (or fallback) plan with canonical relation labels.
+    pub plan: Plan,
+    /// Plan cost under the request's cost model.
+    pub cost: f32,
+    /// Result cardinality.
+    pub card: f64,
+    /// Threshold passes the optimization ran (0 for greedy fallbacks).
+    pub passes: u32,
+    /// `true` for exact DP results, `false` for greedy fallbacks.
+    pub exact: bool,
+}
+
+enum SlotState {
+    Pending,
+    Done(Arc<ComputedPlan>),
+    /// The owning reservation was dropped without a result.
+    Abandoned,
+}
+
+/// Rendezvous for threads waiting on an in-flight optimization.
+pub struct Slot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot { state: Mutex::new(SlotState::Pending), done: Condvar::new() })
+    }
+
+    fn publish(&self, state: SlotState) {
+        let mut guard = self.state.lock().unwrap();
+        if matches!(*guard, SlotState::Pending) {
+            *guard = state;
+            drop(guard);
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until the in-flight optimization resolves, up to `timeout`
+    /// (forever when `None`). Returns `None` on timeout or when the
+    /// optimization was abandoned.
+    pub fn wait(&self, timeout: Option<Duration>) -> Option<Arc<ComputedPlan>> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match &*state {
+                SlotState::Done(plan) => return Some(Arc::clone(plan)),
+                SlotState::Abandoned => return None,
+                SlotState::Pending => match deadline {
+                    None => state = self.done.wait(state).unwrap(),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return None;
+                        }
+                        let (guard, _) = self.done.wait_timeout(state, d - now).unwrap();
+                        state = guard;
+                    }
+                },
+            }
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: u128,
+    value: Arc<ComputedPlan>,
+    prev: usize,
+    next: usize,
+}
+
+enum Entry {
+    Ready(usize),
+    InFlight(Arc<Slot>),
+}
+
+struct Shard {
+    map: HashMap<u128, Entry>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    ready: usize,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard { map: HashMap::new(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL, ready: 0 }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    fn insert_ready(&mut self, key: u128, value: Arc<ComputedPlan>, capacity: usize) {
+        let node = Node { key, value, prev: NIL, next: NIL };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, Entry::Ready(idx));
+        self.push_front(idx);
+        self.ready += 1;
+        while self.ready > capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.map.remove(&self.nodes[victim].key);
+            self.free.push(victim);
+            self.ready -= 1;
+        }
+    }
+}
+
+/// Outcome of [`PlanCache::lookup_or_reserve`].
+pub enum Lookup {
+    /// A completed plan was resident.
+    Hit(Arc<ComputedPlan>),
+    /// Another thread is optimizing this query; wait on the slot.
+    Wait(Arc<Slot>),
+    /// This thread owns the optimization; resolve the reservation.
+    Reserved(Reservation),
+}
+
+/// Exclusive obligation to resolve one in-flight cache entry.
+///
+/// Exactly one of [`fulfill_cached`](Reservation::fulfill_cached) /
+/// [`fulfill_uncached`](Reservation::fulfill_uncached) should be called;
+/// if the reservation is instead dropped (worker died, job discarded at
+/// shutdown), the entry is removed and all waiters wake empty-handed.
+pub struct Reservation {
+    cache: Arc<PlanCache>,
+    key: u128,
+    slot: Arc<Slot>,
+    resolved: bool,
+}
+
+impl Reservation {
+    /// The slot waiters (including the reserving thread itself) block on.
+    pub fn slot(&self) -> Arc<Slot> {
+        Arc::clone(&self.slot)
+    }
+
+    /// Publish `value` to all waiters and insert it into the LRU.
+    pub fn fulfill_cached(mut self, value: ComputedPlan) -> Arc<ComputedPlan> {
+        self.resolved = true;
+        let value = Arc::new(value);
+        self.cache.complete(self.key, Arc::clone(&value), true);
+        self.slot.publish(SlotState::Done(Arc::clone(&value)));
+        value
+    }
+
+    /// Publish `value` to all waiters but leave the cache without an
+    /// entry (used for fallback plans that should not displace exact
+    /// cached plans).
+    pub fn fulfill_uncached(mut self, value: ComputedPlan) -> Arc<ComputedPlan> {
+        self.resolved = true;
+        let value = Arc::new(value);
+        self.cache.complete(self.key, Arc::clone(&value), false);
+        self.slot.publish(SlotState::Done(Arc::clone(&value)));
+        value
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.cache.abandon(self.key);
+            self.slot.publish(SlotState::Abandoned);
+        }
+    }
+}
+
+/// Sharded, single-flight LRU plan cache. Construct with
+/// [`PlanCache::new`] and share behind an `Arc`.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl PlanCache {
+    /// Cache holding ~`capacity` completed plans across `shards`
+    /// independently locked shards (both are rounded up to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Arc<PlanCache> {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        Arc::new(PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_capacity,
+        })
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        let h = (key as u64) ^ ((key >> 64) as u64);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up `key`; on miss, atomically install an in-flight slot and
+    /// hand the caller the obligation to resolve it.
+    pub fn lookup_or_reserve(self: &Arc<Self>, key: u128) -> Lookup {
+        let mut shard = self.shard(key).lock().unwrap();
+        match shard.map.get(&key) {
+            Some(Entry::Ready(idx)) => {
+                let idx = *idx;
+                let value = Arc::clone(&shard.nodes[idx].value);
+                shard.touch(idx);
+                Lookup::Hit(value)
+            }
+            Some(Entry::InFlight(slot)) => Lookup::Wait(Arc::clone(slot)),
+            None => {
+                let slot = Slot::new();
+                shard.map.insert(key, Entry::InFlight(Arc::clone(&slot)));
+                Lookup::Reserved(Reservation {
+                    cache: Arc::clone(self),
+                    key,
+                    slot,
+                    resolved: false,
+                })
+            }
+        }
+    }
+
+    fn complete(&self, key: u128, value: Arc<ComputedPlan>, insert: bool) {
+        let mut shard = self.shard(key).lock().unwrap();
+        // The in-flight entry may have been dropped already (shutdown
+        // races); only replace an InFlight entry for this key.
+        match shard.map.get(&key) {
+            Some(Entry::InFlight(_)) => {
+                shard.map.remove(&key);
+                if insert {
+                    shard.insert_ready(key, value, self.per_shard_capacity);
+                }
+            }
+            _ => {
+                if insert && !shard.map.contains_key(&key) {
+                    shard.insert_ready(key, value, self.per_shard_capacity);
+                }
+            }
+        }
+    }
+
+    fn abandon(&self, key: u128) {
+        let mut shard = self.shard(key).lock().unwrap();
+        if let Some(Entry::InFlight(_)) = shard.map.get(&key) {
+            shard.map.remove(&key);
+        }
+    }
+
+    /// Completed plans currently resident (excludes in-flight slots).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().ready).sum()
+    }
+
+    /// `true` when no completed plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total completed-plan capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(cost: f32) -> ComputedPlan {
+        ComputedPlan {
+            plan: Plan::join(Plan::scan(0), Plan::scan(1)),
+            cost,
+            card: 1.0,
+            passes: 1,
+            exact: true,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = PlanCache::new(8, 2);
+        let Lookup::Reserved(res) = cache.lookup_or_reserve(42) else {
+            panic!("expected reservation");
+        };
+        res.fulfill_cached(plan(7.0));
+        match cache.lookup_or_reserve(42) {
+            Lookup::Hit(p) => assert_eq!(p.cost, 7.0),
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn inflight_is_shared_and_waiters_wake() {
+        let cache = PlanCache::new(8, 1);
+        let Lookup::Reserved(res) = cache.lookup_or_reserve(1) else { panic!() };
+        let Lookup::Wait(slot) = cache.lookup_or_reserve(1) else {
+            panic!("second lookup must wait on the in-flight slot");
+        };
+        let waiter = std::thread::spawn(move || slot.wait(Some(Duration::from_secs(5))));
+        res.fulfill_cached(plan(3.0));
+        let got = waiter.join().unwrap().expect("waiter must receive the plan");
+        assert_eq!(got.cost, 3.0);
+    }
+
+    #[test]
+    fn abandoned_reservation_wakes_waiters_empty() {
+        let cache = PlanCache::new(8, 1);
+        let Lookup::Reserved(res) = cache.lookup_or_reserve(9) else { panic!() };
+        let slot = res.slot();
+        drop(res);
+        assert!(slot.wait(Some(Duration::from_secs(1))).is_none());
+        // The key is free again: the next lookup reserves.
+        assert!(matches!(cache.lookup_or_reserve(9), Lookup::Reserved(_)));
+    }
+
+    #[test]
+    fn uncached_fulfillment_shares_but_does_not_insert() {
+        let cache = PlanCache::new(8, 1);
+        let Lookup::Reserved(res) = cache.lookup_or_reserve(5) else { panic!() };
+        res.fulfill_uncached(plan(2.0));
+        assert_eq!(cache.len(), 0);
+        assert!(matches!(cache.lookup_or_reserve(5), Lookup::Reserved(_)));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_touch_protects() {
+        let cache = PlanCache::new(2, 1);
+        for key in [1u128, 2, 3] {
+            if key == 3 {
+                // Touch key 1 so key 2 becomes the LRU victim.
+                assert!(matches!(cache.lookup_or_reserve(1), Lookup::Hit(_)));
+            }
+            let Lookup::Reserved(res) = cache.lookup_or_reserve(key) else {
+                panic!("key {key} should miss");
+            };
+            res.fulfill_cached(plan(key as f32));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup_or_reserve(1), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup_or_reserve(3), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup_or_reserve(2), Lookup::Reserved(_)));
+    }
+
+    #[test]
+    fn slot_wait_times_out() {
+        let cache = PlanCache::new(8, 1);
+        let Lookup::Reserved(res) = cache.lookup_or_reserve(7) else { panic!() };
+        let slot = res.slot();
+        assert!(slot.wait(Some(Duration::from_millis(10))).is_none());
+        res.fulfill_cached(plan(1.0));
+        assert!(slot.wait(Some(Duration::from_millis(10))).is_some());
+    }
+}

@@ -1,0 +1,488 @@
+//! # blitz-service — a concurrent optimizer service
+//!
+//! Wraps the `blitz-core` DP optimizer in the machinery a long-running
+//! process needs, using only the standard library:
+//!
+//! * [`cache`] — a sharded LRU plan cache keyed by canonical query
+//!   fingerprints ([`blitz_catalog::CanonicalQuery`]) with single-flight
+//!   deduplication: N concurrent identical requests run exactly one
+//!   optimization;
+//! * [`pool`] — a fixed worker pool over a bounded job queue, the
+//!   service's back-pressure mechanism;
+//! * [`metrics`] — atomic counters and log₂ latency histograms with a
+//!   [`MetricsSnapshot`] API;
+//! * [`server`] — a line-protocol TCP frontend (`OPTIMIZE …`,
+//!   `METRICS`, `PING`) plus a matching client.
+//!
+//! The entry point is [`OptimizerService::optimize`]: admission control
+//! first (queries over the configured relation limit degrade to the
+//! greedy `goo` baseline immediately — a *flagged* [`PlanSource`], never
+//! an error), then a cache lookup, then either a cached plan, a shared
+//! in-flight result, or a freshly scheduled optimization on the pool.
+//! When the queue is full or a request's deadline expires while
+//! waiting, the caller again degrades to the greedy baseline rather
+//! than failing. Every path is visible in the metrics.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use cache::{ComputedPlan, Lookup, PlanCache, Reservation, Slot};
+pub use metrics::{HistogramSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};
+pub use pool::WorkerPool;
+pub use server::{Client, Server};
+
+use blitz_baselines::goo;
+use blitz_catalog::CanonicalQuery;
+use blitz_core::{
+    optimize_join_threshold_into, AosTable, CostModel, Counters, DiskNestedLoops, JoinSpec, Kappa0,
+    Plan, SmDnl, SortMerge, ThresholdSchedule, MAX_TABLE_RELS,
+};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The cost models the service can dispatch on. [`CostModel`] is not
+/// object-safe (associated consts drive monomorphization), so the
+/// service names models by id and dispatches statically. Parameterized
+/// models use their defaults (`DiskNestedLoops { k: 10, m: 100 }`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// The paper's κ₀ (output-cardinality) model.
+    Kappa0,
+    /// Sort-merge cost model.
+    SortMerge,
+    /// Disk nested loops with default blocking factor and memory.
+    DiskNestedLoops,
+    /// `min(κ_sm, κ_dnl)` per join (Section 6.5).
+    SmDnl,
+}
+
+impl ModelId {
+    /// Stable identifier, also used in query fingerprints and the wire
+    /// protocol. Matches the `blitzsplit --model` names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelId::Kappa0 => "k0",
+            ModelId::SortMerge => "sm",
+            ModelId::DiskNestedLoops => "dnl",
+            ModelId::SmDnl => "smdnl",
+        }
+    }
+
+    /// Inverse of [`ModelId::name`].
+    pub fn parse(s: &str) -> Option<ModelId> {
+        match s {
+            "k0" | "kappa0" => Some(ModelId::Kappa0),
+            "sm" => Some(ModelId::SortMerge),
+            "dnl" => Some(ModelId::DiskNestedLoops),
+            "smdnl" => Some(ModelId::SmDnl),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a request was answered by the greedy baseline instead of the
+/// exact optimizer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The query exceeded [`ServiceConfig::max_exact_rels`].
+    OverLimit,
+    /// The worker queue was full when the optimization was scheduled.
+    QueueFull,
+    /// The request's deadline expired before the optimization finished
+    /// (the exact result may still land in the cache afterwards).
+    DeadlineExceeded,
+    /// The in-flight optimization this request was waiting on was
+    /// discarded (service shutdown or a dropped queue-full job).
+    Abandoned,
+}
+
+/// Where a response's plan came from.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The exact DP optimizer (optimal).
+    Exact,
+    /// The greedy `goo` baseline, with the reason for degrading.
+    Greedy(FallbackReason),
+}
+
+impl PlanSource {
+    /// Wire-protocol string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanSource::Exact => "exact",
+            PlanSource::Greedy(FallbackReason::OverLimit) => "greedy_over_limit",
+            PlanSource::Greedy(FallbackReason::QueueFull) => "greedy_queue_full",
+            PlanSource::Greedy(FallbackReason::DeadlineExceeded) => "greedy_deadline",
+            PlanSource::Greedy(FallbackReason::Abandoned) => "greedy_abandoned",
+        }
+    }
+}
+
+/// How the cache participated in a response.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Answered from a resident plan.
+    Hit,
+    /// This request ran (or attempted to run) the optimization.
+    Miss,
+    /// Joined another request's in-flight optimization.
+    Shared,
+    /// The cache was skipped (admission fallback).
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// Wire-protocol string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Shared => "shared",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+/// One optimization request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The query statistics.
+    pub spec: JoinSpec,
+    /// Cost model to optimize under.
+    pub model: ModelId,
+    /// Threshold schedule; `None` uses [`ServiceConfig::default_schedule`].
+    pub schedule: Option<ThresholdSchedule>,
+    /// Give up waiting after this long and answer greedily; `None`
+    /// waits until the optimization finishes.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// Request with default model (κ₀), schedule and no deadline.
+    pub fn new(spec: JoinSpec) -> Request {
+        Request { spec, model: ModelId::Kappa0, schedule: None, deadline: None }
+    }
+}
+
+/// One optimization response. The plan is always in the *request's*
+/// relation numbering, whatever canonical form the cache used.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The chosen plan.
+    pub plan: Plan,
+    /// Its cost under the request's model.
+    pub cost: f32,
+    /// Result cardinality.
+    pub card: f64,
+    /// Threshold passes run (0 when the plan is greedy).
+    pub passes: u32,
+    /// Exact or flagged-greedy provenance.
+    pub source: PlanSource,
+    /// The cache's role in this response.
+    pub cache: CacheOutcome,
+    /// End-to-end service time for this request.
+    pub elapsed: Duration,
+}
+
+/// Construction-time knobs for [`OptimizerService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Optimizer worker threads (≥ 1).
+    pub workers: usize,
+    /// Bounded job-queue length; 0 forces every miss to the greedy path.
+    pub queue_capacity: usize,
+    /// Completed plans the cache retains (LRU).
+    pub cache_capacity: usize,
+    /// Cache shard count (lock-contention spread).
+    pub cache_shards: usize,
+    /// Admission limit: queries with more relations than this answer
+    /// greedily. Clamped to [`MAX_TABLE_RELS`].
+    pub max_exact_rels: usize,
+    /// Schedule for requests that do not bring their own.
+    pub default_schedule: ThresholdSchedule,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            max_exact_rels: 18,
+            default_schedule: ThresholdSchedule::default(),
+        }
+    }
+}
+
+/// The concurrent optimizer service: cache + pool + metrics behind one
+/// synchronous [`optimize`](OptimizerService::optimize) call.
+pub struct OptimizerService {
+    config: ServiceConfig,
+    cache: Arc<PlanCache>,
+    pool: WorkerPool,
+    metrics: Arc<Metrics>,
+}
+
+impl OptimizerService {
+    /// Build a service from `config` (see [`ServiceConfig::default`]).
+    pub fn new(mut config: ServiceConfig) -> OptimizerService {
+        config.max_exact_rels = config.max_exact_rels.min(MAX_TABLE_RELS);
+        let cache = PlanCache::new(config.cache_capacity, config.cache_shards);
+        let pool = WorkerPool::new(config.workers.max(1), config.queue_capacity);
+        OptimizerService { config, cache, pool, metrics: Arc::new(Metrics::default()) }
+    }
+
+    /// The effective configuration (after clamping).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Point-in-time metrics, including queue-depth and cache gauges.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.pool.depth(), self.cache.len())
+    }
+
+    /// Optimize one request. Never fails: every degraded path returns a
+    /// valid (greedy) plan flagged in [`Response::source`].
+    pub fn optimize(&self, req: &Request) -> Response {
+        let start = Instant::now();
+        self.metrics.requests.fetch_add(1, Relaxed);
+
+        // Admission control: too-large queries never reach the DP path.
+        if req.spec.n() > self.config.max_exact_rels {
+            self.metrics.cache_bypass.fetch_add(1, Relaxed);
+            self.metrics.fallback_over_limit.fetch_add(1, Relaxed);
+            return self.greedy_response(req, FallbackReason::OverLimit, CacheOutcome::Bypass, start);
+        }
+
+        let schedule = req.schedule.unwrap_or(self.config.default_schedule);
+        let canon = CanonicalQuery::new(&req.spec, req.model.name(), Some(&schedule));
+
+        match self.cache.lookup_or_reserve(canon.fingerprint()) {
+            Lookup::Hit(cp) => {
+                self.metrics.cache_hits.fetch_add(1, Relaxed);
+                self.respond_from(&canon, &cp, CacheOutcome::Hit, start)
+            }
+            Lookup::Wait(slot) => {
+                self.metrics.cache_shared.fetch_add(1, Relaxed);
+                self.await_slot(req, &canon, &slot, CacheOutcome::Shared, start)
+            }
+            Lookup::Reserved(reservation) => {
+                self.metrics.cache_misses.fetch_add(1, Relaxed);
+                let slot = reservation.slot();
+                let job = self.make_job(req, &canon, schedule, reservation);
+                if self.pool.submit(job).is_err() {
+                    // Queue full: drop the job (waking any waiters
+                    // empty-handed via the reservation's Drop) and
+                    // answer greedily ourselves.
+                    self.metrics.fallback_queue_full.fetch_add(1, Relaxed);
+                    return self.greedy_response(
+                        req,
+                        FallbackReason::QueueFull,
+                        CacheOutcome::Miss,
+                        start,
+                    );
+                }
+                self.await_slot(req, &canon, &slot, CacheOutcome::Miss, start)
+            }
+        }
+    }
+
+    /// Package the exact optimization as a pool job owning its cache
+    /// reservation.
+    fn make_job(
+        &self,
+        req: &Request,
+        canon: &CanonicalQuery,
+        schedule: ThresholdSchedule,
+        reservation: Reservation,
+    ) -> pool::Job {
+        let spec = req.spec.clone();
+        let model = req.model;
+        let canon = canon.clone();
+        let metrics = Arc::clone(&self.metrics);
+        Box::new(move || {
+            let started = Instant::now();
+            let (plan, cost, card, passes, counters) = run_exact(&spec, model, schedule);
+            metrics.record_optimization(&counters, passes, started.elapsed());
+            reservation.fulfill_cached(ComputedPlan {
+                plan: canon.to_canonical(&plan),
+                cost,
+                card,
+                passes,
+                exact: true,
+            });
+        })
+    }
+
+    /// Wait for an in-flight optimization, honoring the request
+    /// deadline; degrade greedily on timeout or abandonment.
+    fn await_slot(
+        &self,
+        req: &Request,
+        canon: &CanonicalQuery,
+        slot: &Slot,
+        cache: CacheOutcome,
+        start: Instant,
+    ) -> Response {
+        let remaining = req.deadline.map(|d| d.saturating_sub(start.elapsed()));
+        match slot.wait(remaining) {
+            Some(cp) => self.respond_from(canon, &cp, cache, start),
+            None => {
+                let deadline_expired =
+                    req.deadline.is_some_and(|d| start.elapsed() >= d);
+                let reason = if deadline_expired {
+                    self.metrics.fallback_deadline.fetch_add(1, Relaxed);
+                    FallbackReason::DeadlineExceeded
+                } else {
+                    self.metrics.fallback_queue_full.fetch_add(1, Relaxed);
+                    FallbackReason::Abandoned
+                };
+                self.greedy_response(req, reason, cache, start)
+            }
+        }
+    }
+
+    /// Map a (canonical-space) cached plan into the requester's space.
+    fn respond_from(
+        &self,
+        canon: &CanonicalQuery,
+        cp: &ComputedPlan,
+        cache: CacheOutcome,
+        start: Instant,
+    ) -> Response {
+        let source = if cp.exact {
+            PlanSource::Exact
+        } else {
+            PlanSource::Greedy(FallbackReason::QueueFull)
+        };
+        let elapsed = start.elapsed();
+        self.metrics.request_latency.record(elapsed);
+        Response {
+            plan: canon.to_original(&cp.plan),
+            cost: cp.cost,
+            card: cp.card,
+            passes: cp.passes,
+            source,
+            cache,
+            elapsed,
+        }
+    }
+
+    /// Inline greedy fallback (runs on the calling thread; `goo` is
+    /// O(n³) and effectively instant at service scales).
+    fn greedy_response(
+        &self,
+        req: &Request,
+        reason: FallbackReason,
+        cache: CacheOutcome,
+        start: Instant,
+    ) -> Response {
+        let (plan, cost) = run_greedy(&req.spec, req.model);
+        let card = req.spec.join_cardinality(req.spec.all_rels());
+        let elapsed = start.elapsed();
+        self.metrics.request_latency.record(elapsed);
+        Response {
+            plan,
+            cost,
+            card,
+            passes: 0,
+            source: PlanSource::Greedy(reason),
+            cache,
+            elapsed,
+        }
+    }
+}
+
+fn run_exact(
+    spec: &JoinSpec,
+    model: ModelId,
+    schedule: ThresholdSchedule,
+) -> (Plan, f32, f64, u32, Counters) {
+    fn go<M: CostModel>(
+        spec: &JoinSpec,
+        model: &M,
+        schedule: ThresholdSchedule,
+    ) -> (Plan, f32, f64, u32, Counters) {
+        let mut counters = Counters::default();
+        let (_, outcome) = optimize_join_threshold_into::<AosTable, M, Counters, true>(
+            spec, model, schedule, &mut counters,
+        );
+        let o = outcome.optimized;
+        (o.plan, o.cost, o.card, outcome.passes, counters)
+    }
+    match model {
+        ModelId::Kappa0 => go(spec, &Kappa0, schedule),
+        ModelId::SortMerge => go(spec, &SortMerge, schedule),
+        ModelId::DiskNestedLoops => go(spec, &DiskNestedLoops::default(), schedule),
+        ModelId::SmDnl => go(spec, &SmDnl::default(), schedule),
+    }
+}
+
+fn run_greedy(spec: &JoinSpec, model: ModelId) -> (Plan, f32) {
+    match model {
+        ModelId::Kappa0 => goo(spec, &Kappa0),
+        ModelId::SortMerge => goo(spec, &SortMerge),
+        ModelId::DiskNestedLoops => goo(spec, &DiskNestedLoops::default()),
+        ModelId::SmDnl => goo(spec, &SmDnl::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_id_roundtrips() {
+        for id in [ModelId::Kappa0, ModelId::SortMerge, ModelId::DiskNestedLoops, ModelId::SmDnl] {
+            assert_eq!(ModelId::parse(id.name()), Some(id));
+            assert_eq!(format!("{id}"), id.name());
+        }
+        assert_eq!(ModelId::parse("nope"), None);
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptimizerService>();
+        assert_send_sync::<Request>();
+        assert_send_sync::<Response>();
+        assert_send_sync::<MetricsSnapshot>();
+    }
+
+    #[test]
+    fn basic_optimize_matches_direct_call() {
+        let spec =
+            JoinSpec::new(&[10.0, 20.0, 30.0, 40.0], &[(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.05)])
+                .unwrap();
+        let service = OptimizerService::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let resp = service.optimize(&Request::new(spec.clone()));
+        assert_eq!(resp.source, PlanSource::Exact);
+        assert_eq!(resp.cache, CacheOutcome::Miss);
+        let direct = blitz_core::optimize_join(&spec, &Kappa0).unwrap();
+        assert_eq!(resp.cost, direct.cost);
+        // Second identical request hits.
+        let again = service.optimize(&Request::new(spec));
+        assert_eq!(again.cache, CacheOutcome::Hit);
+        assert_eq!(again.cost, direct.cost);
+        let snap = service.snapshot();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.optimizations, 1);
+    }
+}

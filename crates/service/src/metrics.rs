@@ -1,0 +1,318 @@
+//! Lock-free service metrics: atomic counters plus log₂-bucketed latency
+//! histograms, with a coherent-enough [`MetricsSnapshot`] for reporting.
+//!
+//! Counters are plain relaxed `AtomicU64`s — every event is a single
+//! `fetch_add`, so the hot path never takes a lock. A snapshot reads each
+//! counter independently; under concurrent load the values may be split
+//! across an instant (e.g. a request counted whose cache outcome is not
+//! yet), which is the standard trade for lock-freedom and is harmless
+//! for monitoring.
+
+use blitz_core::Counters;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets: bucket `i` holds samples in
+/// `[2^(i−1), 2^i)` microseconds (bucket 0 is `< 1 µs`).
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    total_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_micros: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = if micros == 0 {
+            0
+        } else {
+            ((64 - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.total_micros.fetch_add(micros, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        HistogramSnapshot {
+            count: self.count.load(Relaxed),
+            total_micros: self.total_micros.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`].
+#[derive(Clone, Debug, Default)]
+pub struct HistogramSnapshot {
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub total_micros: u64,
+    /// Per-bucket sample counts (log₂ microsecond buckets).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (in µs) of the bucket containing the `q`-quantile
+    /// sample, `q ∈ [0, 1]`. A log₂ bucket bound is within 2× of the
+    /// true quantile — plenty for dashboards.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (self.buckets.len() - 1)
+    }
+}
+
+/// The service-wide metrics registry. All methods are `&self` and
+/// thread-safe; share it behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted by [`crate::OptimizerService::optimize`].
+    pub requests: AtomicU64,
+    /// Cache lookups answered by a completed entry.
+    pub cache_hits: AtomicU64,
+    /// Lookups that reserved the entry and ran the optimization.
+    pub cache_misses: AtomicU64,
+    /// Lookups that joined an in-flight optimization (single-flight).
+    pub cache_shared: AtomicU64,
+    /// Requests that skipped the cache entirely (admission fallback).
+    pub cache_bypass: AtomicU64,
+    /// Exact (DP) optimizations actually executed.
+    pub optimizations: AtomicU64,
+    /// Greedy fallbacks because `n` exceeded the admission limit.
+    pub fallback_over_limit: AtomicU64,
+    /// Greedy fallbacks because the worker queue was full.
+    pub fallback_queue_full: AtomicU64,
+    /// Greedy fallbacks because the request deadline expired first.
+    pub fallback_deadline: AtomicU64,
+    /// Threshold passes summed over all exact optimizations (> count ⇒
+    /// re-optimization happened).
+    pub threshold_passes: AtomicU64,
+    /// Split-loop iterations summed over all exact optimizations.
+    pub split_loop_iters: AtomicU64,
+    /// Subsets whose split loop was skipped by overflow/threshold
+    /// pruning, summed over all exact optimizations.
+    pub subsets_pruned: AtomicU64,
+    /// Latency of the exact optimization itself.
+    pub optimize_latency: LatencyHistogram,
+    /// End-to-end request latency (including queueing and cache waits).
+    pub request_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fold one exact optimization's instrumentation into the registry.
+    pub fn record_optimization(&self, counters: &Counters, passes: u32, elapsed: Duration) {
+        self.optimizations.fetch_add(1, Relaxed);
+        self.threshold_passes.fetch_add(passes as u64, Relaxed);
+        self.split_loop_iters.fetch_add(counters.loop_iters, Relaxed);
+        self.subsets_pruned.fetch_add(counters.loops_skipped, Relaxed);
+        self.optimize_latency.record(elapsed);
+    }
+
+    /// Point-in-time copy of every counter. `queue_depth` and
+    /// `cached_plans` are gauges owned by the pool/cache; the service
+    /// fills them in.
+    pub fn snapshot(&self, queue_depth: usize, cached_plans: usize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            cache_shared: self.cache_shared.load(Relaxed),
+            cache_bypass: self.cache_bypass.load(Relaxed),
+            optimizations: self.optimizations.load(Relaxed),
+            fallback_over_limit: self.fallback_over_limit.load(Relaxed),
+            fallback_queue_full: self.fallback_queue_full.load(Relaxed),
+            fallback_deadline: self.fallback_deadline.load(Relaxed),
+            threshold_passes: self.threshold_passes.load(Relaxed),
+            split_loop_iters: self.split_loop_iters.load(Relaxed),
+            subsets_pruned: self.subsets_pruned.load(Relaxed),
+            queue_depth: queue_depth as u64,
+            cached_plans: cached_plans as u64,
+            optimize_latency: self.optimize_latency.snapshot(),
+            request_latency: self.request_latency.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of the full metrics registry.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::requests`].
+    pub requests: u64,
+    /// See [`Metrics::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`Metrics::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`Metrics::cache_shared`].
+    pub cache_shared: u64,
+    /// See [`Metrics::cache_bypass`].
+    pub cache_bypass: u64,
+    /// See [`Metrics::optimizations`].
+    pub optimizations: u64,
+    /// See [`Metrics::fallback_over_limit`].
+    pub fallback_over_limit: u64,
+    /// See [`Metrics::fallback_queue_full`].
+    pub fallback_queue_full: u64,
+    /// See [`Metrics::fallback_deadline`].
+    pub fallback_deadline: u64,
+    /// See [`Metrics::threshold_passes`].
+    pub threshold_passes: u64,
+    /// See [`Metrics::split_loop_iters`].
+    pub split_loop_iters: u64,
+    /// See [`Metrics::subsets_pruned`].
+    pub subsets_pruned: u64,
+    /// Jobs waiting in the worker queue at snapshot time.
+    pub queue_depth: u64,
+    /// Completed plans resident in the cache at snapshot time.
+    pub cached_plans: u64,
+    /// See [`Metrics::optimize_latency`].
+    pub optimize_latency: HistogramSnapshot,
+    /// See [`Metrics::request_latency`].
+    pub request_latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// `key=value` pairs on one line, for the TCP `METRICS` verb.
+    pub fn to_line(&self) -> String {
+        format!(
+            "requests={} cache_hits={} cache_misses={} cache_shared={} cache_bypass={} \
+             optimizations={} fallback_over_limit={} fallback_queue_full={} \
+             fallback_deadline={} threshold_passes={} split_loop_iters={} \
+             subsets_pruned={} queue_depth={} cached_plans={} \
+             optimize_p50_us={} optimize_p99_us={} request_mean_us={:.0}",
+            self.requests,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_shared,
+            self.cache_bypass,
+            self.optimizations,
+            self.fallback_over_limit,
+            self.fallback_queue_full,
+            self.fallback_deadline,
+            self.threshold_passes,
+            self.split_loop_iters,
+            self.subsets_pruned,
+            self.queue_depth,
+            self.cached_plans,
+            self.optimize_latency.quantile_upper_micros(0.5),
+            self.optimize_latency.quantile_upper_micros(0.99),
+            self.request_latency.mean_micros(),
+        )
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "requests:            {}", self.requests)?;
+        writeln!(
+            f,
+            "cache:               {} hit / {} miss / {} shared / {} bypass ({} resident)",
+            self.cache_hits, self.cache_misses, self.cache_shared, self.cache_bypass,
+            self.cached_plans
+        )?;
+        writeln!(f, "exact optimizations: {}", self.optimizations)?;
+        writeln!(
+            f,
+            "greedy fallbacks:    {} over-limit / {} queue-full / {} deadline",
+            self.fallback_over_limit, self.fallback_queue_full, self.fallback_deadline
+        )?;
+        writeln!(f, "threshold passes:    {}", self.threshold_passes)?;
+        writeln!(f, "split-loop iters:    {}", self.split_loop_iters)?;
+        writeln!(f, "subsets pruned:      {}", self.subsets_pruned)?;
+        writeln!(f, "queue depth:         {}", self.queue_depth)?;
+        writeln!(
+            f,
+            "optimize latency:    mean {:.0} µs, p50 ≤ {} µs, p99 ≤ {} µs",
+            self.optimize_latency.mean_micros(),
+            self.optimize_latency.quantile_upper_micros(0.5),
+            self.optimize_latency.quantile_upper_micros(0.99)
+        )?;
+        write!(
+            f,
+            "request latency:     mean {:.0} µs, p50 ≤ {} µs, p99 ≤ {} µs",
+            self.request_latency.mean_micros(),
+            self.request_latency.quantile_upper_micros(0.5),
+            self.request_latency.quantile_upper_micros(0.99)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for micros in [0u64, 1, 3, 900, 1_000_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total_micros, 1_000_904);
+        // p100 bucket bound must cover the 1 s sample within 2×.
+        let p100 = s.quantile_upper_micros(1.0);
+        assert!((1_000_000..=2_097_152).contains(&p100), "{p100}");
+        assert!(s.quantile_upper_micros(0.0) >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let s = LatencyHistogram::default().snapshot();
+        assert_eq!(s.mean_micros(), 0.0);
+        assert_eq!(s.quantile_upper_micros(0.99), 0);
+    }
+
+    #[test]
+    fn record_optimization_accumulates() {
+        let m = Metrics::default();
+        let c = Counters { loop_iters: 100, loops_skipped: 7, ..Counters::default() };
+        m.record_optimization(&c, 2, Duration::from_micros(50));
+        m.record_optimization(&c, 1, Duration::from_micros(70));
+        let s = m.snapshot(3, 9);
+        assert_eq!(s.optimizations, 2);
+        assert_eq!(s.threshold_passes, 3);
+        assert_eq!(s.split_loop_iters, 200);
+        assert_eq!(s.subsets_pruned, 14);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.cached_plans, 9);
+        assert_eq!(s.optimize_latency.count, 2);
+        assert!(s.to_line().contains("optimizations=2"));
+        assert!(format!("{s}").contains("exact optimizations: 2"));
+    }
+}

@@ -1,0 +1,184 @@
+//! A fixed-size worker pool over a bounded job queue.
+//!
+//! Plain `std::thread` + `Mutex<VecDeque>` + `Condvar`; no external
+//! dependencies. The queue bound is the service's back-pressure signal:
+//! [`WorkerPool::submit`] never blocks — when the queue is full it hands
+//! the job *back* to the caller, which degrades to the greedy fallback
+//! instead of waiting. Dropping the pool shuts it down: queued jobs are
+//! discarded (their cache reservations resolve as abandoned on drop) and
+//! workers are joined.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work for the pool.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+/// Fixed-size thread pool with a bounded, non-blocking submission queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    capacity: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads sharing a queue of at most `queue_capacity`
+    /// waiting jobs (0 is allowed: every submission beyond the workers'
+    /// immediate grab is rejected).
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        assert!(workers >= 1, "a worker pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { jobs: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("blitz-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers: handles, capacity: queue_capacity }
+    }
+
+    /// Enqueue `job`, or return it unchanged when the queue is at
+    /// capacity (or the pool is shutting down). Never blocks.
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.shutdown || state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Number of jobs currently waiting (not counting ones being run).
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().unwrap().jobs.len()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            state.jobs.clear();
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(2, 16);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            }))
+            .ok()
+            .unwrap();
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_while_worker_is_busy() {
+        let pool = WorkerPool::new(1, 0);
+        // Even an idle pool rejects: submit only succeeds by queueing,
+        // and the queue holds nothing.
+        let rejected = pool.submit(Box::new(|| {}));
+        assert!(rejected.is_err());
+    }
+
+    #[test]
+    fn bounded_queue_hands_job_back() {
+        let pool = WorkerPool::new(1, 1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        // Occupy the single worker indefinitely.
+        pool.submit(Box::new(move || {
+            let _ = block_rx.recv();
+        }))
+        .ok();
+        // Eventually the worker has taken the blocker and one more job
+        // fits in the queue; the next one after that must bounce.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut queued = false;
+        while std::time::Instant::now() < deadline {
+            if pool.submit(Box::new(|| {})).is_ok() {
+                queued = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(queued, "queue slot never freed");
+        // Queue now holds 1 job (the worker is still blocked) — full.
+        assert!(pool.submit(Box::new(|| {})).is_err());
+        block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(3, 8);
+        pool.submit(Box::new(|| {})).ok();
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,394 @@
+//! Line-protocol TCP frontend for [`OptimizerService`].
+//!
+//! One request per line, one response line per request, UTF-8, `\n`
+//! terminated. Verbs:
+//!
+//! ```text
+//! OPTIMIZE cards=10,20,30 preds=0:1:0.1;1:2:0.2 [model=k0|sm|dnl|smdnl]
+//!          [threshold=T | threshold=init,factor,passes] [deadline_ms=N]
+//! METRICS
+//! PING
+//! QUIT
+//! ```
+//!
+//! Responses start with `OK ` or `ERR `. An `OPTIMIZE` response carries
+//! space-separated `key=value` fields with `plan=` last (the plan
+//! expression contains spaces):
+//!
+//! ```text
+//! OK cost=2.410000e5 card=2.400000e4 passes=1 source=exact cache=miss \
+//!    micros=412 plan=((R0 x R1) x R2)
+//! ```
+//!
+//! The server spawns one thread per connection — admission control
+//! lives in the service (bounded worker queue), not the listener.
+
+use crate::{CacheOutcome, ModelId, OptimizerService, PlanSource, Request, Response};
+use blitz_core::{JoinSpec, ThresholdSchedule};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// TCP server wrapping a shared [`OptimizerService`].
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<OptimizerService>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks a free port).
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<OptimizerService>) -> io::Result<Server> {
+        Ok(Server { listener: TcpListener::bind(addr)?, service })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve forever on the calling thread, one thread per connection.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let service = Arc::clone(&self.service);
+            std::thread::spawn(move || {
+                let _ = handle_connection(&service, stream);
+            });
+        }
+        Ok(())
+    }
+
+    /// Serve on a background thread; returns the bound address and the
+    /// serving thread's handle.
+    pub fn spawn(self) -> io::Result<(SocketAddr, std::thread::JoinHandle<io::Result<()>>)> {
+        let addr = self.local_addr()?;
+        let handle = std::thread::spawn(move || self.run());
+        Ok((addr, handle))
+    }
+}
+
+fn handle_connection(service: &OptimizerService, stream: TcpStream) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("QUIT") {
+            break;
+        }
+        let response = handle_line(service, line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Execute one protocol line against `service`, returning the response
+/// line (without trailing newline). Exposed for tests and in-process
+/// frontends.
+pub fn handle_line(service: &OptimizerService, line: &str) -> String {
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => "OK pong".to_string(),
+        "METRICS" => format!("OK {}", service.snapshot().to_line()),
+        "OPTIMIZE" => match parse_optimize(rest) {
+            Ok(req) => format_response(&service.optimize(&req)),
+            Err(msg) => format!("ERR {msg}"),
+        },
+        other => format!("ERR unknown verb {other:?} (expected OPTIMIZE|METRICS|PING|QUIT)"),
+    }
+}
+
+/// Parse the argument list of an `OPTIMIZE` line into a [`Request`].
+pub fn parse_optimize(args: &str) -> Result<Request, String> {
+    let mut cards: Option<Vec<f64>> = None;
+    let mut preds: Vec<(usize, usize, f64)> = Vec::new();
+    let mut model = ModelId::Kappa0;
+    let mut schedule: Option<ThresholdSchedule> = None;
+    let mut deadline: Option<Duration> = None;
+
+    for token in args.split_whitespace() {
+        let (key, value) =
+            token.split_once('=').ok_or_else(|| format!("bad token {token:?} (expected key=value)"))?;
+        match key {
+            "cards" => {
+                let parsed: Result<Vec<f64>, _> =
+                    value.split(',').map(|c| c.trim().parse::<f64>()).collect();
+                cards = Some(parsed.map_err(|_| format!("bad cards {value:?}"))?);
+            }
+            "preds" => {
+                if value.is_empty() {
+                    continue;
+                }
+                for p in value.split(';') {
+                    let parts: Vec<&str> = p.split(':').collect();
+                    let parsed = (|| -> Option<(usize, usize, f64)> {
+                        if parts.len() != 3 {
+                            return None;
+                        }
+                        Some((parts[0].parse().ok()?, parts[1].parse().ok()?, parts[2].parse().ok()?))
+                    })();
+                    preds.push(parsed.ok_or_else(|| {
+                        format!("bad predicate {p:?} (expected i:j:selectivity)")
+                    })?);
+                }
+            }
+            "model" => {
+                model = ModelId::parse(value)
+                    .ok_or_else(|| format!("unknown model {value:?} (expected k0|sm|dnl|smdnl)"))?;
+            }
+            "threshold" => {
+                let parts: Vec<&str> = value.split(',').collect();
+                schedule = Some(match parts.as_slice() {
+                    [t] => {
+                        let t: f32 =
+                            t.parse().map_err(|_| format!("bad threshold {value:?}"))?;
+                        if !(t.is_finite() && t > 0.0) {
+                            return Err("threshold must be positive and finite".to_string());
+                        }
+                        ThresholdSchedule::new(t, 1e5, 6)
+                    }
+                    [i, f, p] => {
+                        let initial: f32 =
+                            i.parse().map_err(|_| format!("bad threshold initial {i:?}"))?;
+                        let factor: f32 =
+                            f.parse().map_err(|_| format!("bad threshold factor {f:?}"))?;
+                        let passes: u32 =
+                            p.parse().map_err(|_| format!("bad threshold passes {p:?}"))?;
+                        if !(initial.is_finite() && initial > 0.0) || factor <= 1.0 || passes == 0 {
+                            return Err(
+                                "threshold needs initial>0, factor>1, passes>=1".to_string()
+                            );
+                        }
+                        ThresholdSchedule::new(initial, factor, passes)
+                    }
+                    _ => return Err(format!("bad threshold {value:?} (T or init,factor,passes)")),
+                });
+            }
+            "deadline_ms" => {
+                let ms: u64 = value.parse().map_err(|_| format!("bad deadline_ms {value:?}"))?;
+                deadline = Some(Duration::from_millis(ms));
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+
+    let cards = cards.ok_or_else(|| "OPTIMIZE requires cards=".to_string())?;
+    let spec = JoinSpec::new(&cards, &preds).map_err(|e| e.to_string())?;
+    Ok(Request { spec, model, schedule, deadline })
+}
+
+/// Render a [`Response`] as an `OK` protocol line.
+pub fn format_response(resp: &Response) -> String {
+    format!(
+        "OK cost={:.6e} card={:.6e} passes={} source={} cache={} micros={} plan={}",
+        resp.cost,
+        resp.card,
+        resp.passes,
+        resp.source.name(),
+        resp.cache.name(),
+        resp.elapsed.as_micros(),
+        resp.plan.to_expr(),
+    )
+}
+
+/// Extract one `key=value` field from a response line; `plan` returns
+/// the whole tail (plans contain spaces).
+pub fn response_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    if key == "plan" {
+        return line.split_once("plan=").map(|(_, tail)| tail);
+    }
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+}
+
+/// Blocking line-protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client { reader: BufReader::new(stream) })
+    }
+
+    /// Send one request line, receive one response line.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        {
+            let stream = self.reader.get_mut();
+            stream.write_all(line.as_bytes())?;
+            stream.write_all(b"\n")?;
+            stream.flush()?;
+        }
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// `PING` round-trip.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        Ok(self.request("PING")? == "OK pong")
+    }
+
+    /// Fetch the server's metrics line (without the `OK ` prefix).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let resp = self.request("METRICS")?;
+        resp.strip_prefix("OK ")
+            .map(str::to_string)
+            .ok_or_else(|| io::Error::other(resp))
+    }
+}
+
+/// Build the `OPTIMIZE` request line for an explicit problem.
+pub fn format_optimize_request(
+    cards: &[f64],
+    preds: &[(usize, usize, f64)],
+    model: ModelId,
+    deadline: Option<Duration>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut line = String::from("OPTIMIZE cards=");
+    for (i, c) in cards.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{c}");
+    }
+    if !preds.is_empty() {
+        line.push_str(" preds=");
+        for (i, (u, v, sel)) in preds.iter().enumerate() {
+            if i > 0 {
+                line.push(';');
+            }
+            let _ = write!(line, "{u}:{v}:{sel}");
+        }
+    }
+    let _ = write!(line, " model={}", model.name());
+    if let Some(d) = deadline {
+        let _ = write!(line, " deadline_ms={}", d.as_millis());
+    }
+    line
+}
+
+/// A server response's outcome flags, parsed back from the wire.
+pub fn response_outcomes(line: &str) -> Option<(PlanSource, CacheOutcome)> {
+    use crate::FallbackReason::*;
+    let source = match response_field(line, "source")? {
+        "exact" => PlanSource::Exact,
+        "greedy_over_limit" => PlanSource::Greedy(OverLimit),
+        "greedy_queue_full" => PlanSource::Greedy(QueueFull),
+        "greedy_deadline" => PlanSource::Greedy(DeadlineExceeded),
+        "greedy_abandoned" => PlanSource::Greedy(Abandoned),
+        _ => return None,
+    };
+    let cache = match response_field(line, "cache")? {
+        "hit" => CacheOutcome::Hit,
+        "miss" => CacheOutcome::Miss,
+        "shared" => CacheOutcome::Shared,
+        "bypass" => CacheOutcome::Bypass,
+        _ => return None,
+    };
+    Some((source, cache))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+
+    fn service() -> Arc<OptimizerService> {
+        Arc::new(OptimizerService::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        }))
+    }
+
+    #[test]
+    fn ping_and_unknown_verbs() {
+        let s = service();
+        assert_eq!(handle_line(&s, "PING"), "OK pong");
+        assert!(handle_line(&s, "FROBNICATE now").starts_with("ERR unknown verb"));
+        assert!(handle_line(&s, "METRICS").starts_with("OK requests=0 "));
+    }
+
+    #[test]
+    fn optimize_line_round_trip() {
+        let s = service();
+        let line = "OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05 model=k0";
+        let resp = handle_line(&s, line);
+        assert!(resp.starts_with("OK "), "{resp}");
+        assert_eq!(response_field(&resp, "source"), Some("exact"));
+        assert_eq!(response_field(&resp, "cache"), Some("miss"));
+        let plan = response_field(&resp, "plan").unwrap();
+        assert!(plan.contains("R0"), "{plan}");
+        // Identical request: served from cache, same cost.
+        let resp2 = handle_line(&s, line);
+        assert_eq!(response_field(&resp2, "cache"), Some("hit"));
+        assert_eq!(response_field(&resp2, "cost"), response_field(&resp, "cost"));
+    }
+
+    #[test]
+    fn optimize_error_paths() {
+        let s = service();
+        for bad in [
+            "OPTIMIZE",
+            "OPTIMIZE cards=abc",
+            "OPTIMIZE cards=10,20 preds=0:1",
+            "OPTIMIZE cards=10,20 model=quantum",
+            "OPTIMIZE cards=10,20 threshold=-1",
+            "OPTIMIZE cards=10,20 threshold=1,2,3,4",
+            "OPTIMIZE cards=10,20 frobs=1",
+            "OPTIMIZE cards=10,20 preds=0:9:0.5",
+        ] {
+            let resp = handle_line(&s, bad);
+            assert!(resp.starts_with("ERR "), "{bad:?} → {resp}");
+        }
+    }
+
+    #[test]
+    fn request_formatting_parses_back() {
+        let line = format_optimize_request(
+            &[10.0, 20.0],
+            &[(0, 1, 0.5)],
+            ModelId::SortMerge,
+            Some(Duration::from_millis(250)),
+        );
+        let req = parse_optimize(line.strip_prefix("OPTIMIZE ").unwrap()).unwrap();
+        assert_eq!(req.spec.n(), 2);
+        assert_eq!(req.model, ModelId::SortMerge);
+        assert_eq!(req.deadline, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let server = Server::bind("127.0.0.1:0", service()).unwrap();
+        let (addr, _handle) = server.spawn().unwrap();
+        let mut client = Client::connect(addr).unwrap();
+        assert!(client.ping().unwrap());
+        let resp = client
+            .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05")
+            .unwrap();
+        assert!(resp.starts_with("OK "), "{resp}");
+        let spec =
+            JoinSpec::new(&[10.0, 20.0, 30.0, 40.0], &[(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.05)])
+                .unwrap();
+        let direct = blitz_core::optimize_join(&spec, &blitz_core::Kappa0).unwrap();
+        assert_eq!(response_field(&resp, "cost"), Some(format!("{:.6e}", direct.cost).as_str()));
+        let metrics = client.metrics().unwrap();
+        assert!(metrics.contains("requests=1"), "{metrics}");
+        assert!(client.request("QUIT").is_err() || client.request("PING").is_err());
+    }
+}

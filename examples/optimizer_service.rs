@@ -1,0 +1,83 @@
+//! Drive the concurrent optimizer service from 8 client threads.
+//!
+//! Each thread submits 100 requests drawn from a small set of workload
+//! shapes (so the cache sees repeats), over all four cost models, with
+//! one deliberately over-limit query mixed in to exercise the greedy
+//! admission fallback. At the end the service's metrics snapshot is
+//! printed.
+//!
+//! ```sh
+//! cargo run --release --example optimizer_service
+//! ```
+
+use blitzsplit::catalog::{Topology, Workload};
+use blitzsplit::service::{ModelId, OptimizerService, PlanSource, Request, ServiceConfig};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 100;
+
+fn main() {
+    let service = Arc::new(OptimizerService::new(ServiceConfig {
+        max_exact_rels: 14,
+        ..ServiceConfig::default()
+    }));
+
+    // A rotating pool of query shapes: 12 distinct exact-optimizable
+    // queries (4 topologies × 3 sizes) plus one 16-relation chain that
+    // exceeds the admission limit and must degrade to greedy.
+    let topologies =
+        [Topology::Chain, Topology::CyclePlus3, Topology::Star, Topology::Clique];
+    let models =
+        [ModelId::Kappa0, ModelId::SortMerge, ModelId::DiskNestedLoops, ModelId::SmDnl];
+    let mut shapes: Vec<Request> = Vec::new();
+    for (t, &topo) in topologies.iter().enumerate() {
+        for (s, n) in [8usize, 10, 12].into_iter().enumerate() {
+            let spec = Workload::new(n, topo, 100.0, 0.5).spec();
+            let mut req = Request::new(spec);
+            req.model = models[(t + s) % models.len()];
+            shapes.push(req);
+        }
+    }
+    shapes.push(Request::new(Workload::new(16, Topology::Chain, 100.0, 0.5).spec()));
+    let shapes = Arc::new(shapes);
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let shapes = Arc::clone(&shapes);
+            std::thread::spawn(move || {
+                let mut exact = 0usize;
+                let mut greedy = 0usize;
+                for i in 0..REQUESTS_PER_THREAD {
+                    // Stride by a per-thread offset so threads collide
+                    // on the same shapes at the same time early on.
+                    let req = &shapes[(t + i) % shapes.len()];
+                    let resp = service.optimize(req);
+                    match resp.source {
+                        PlanSource::Exact => exact += 1,
+                        PlanSource::Greedy(_) => greedy += 1,
+                    }
+                }
+                (exact, greedy)
+            })
+        })
+        .collect();
+
+    let mut exact = 0usize;
+    let mut greedy = 0usize;
+    for handle in workers {
+        let (e, g) = handle.join().expect("client thread panicked");
+        exact += e;
+        greedy += g;
+    }
+
+    println!(
+        "{} threads × {} requests: {} exact plans, {} flagged greedy fallbacks\n",
+        THREADS,
+        REQUESTS_PER_THREAD,
+        exact,
+        greedy
+    );
+    println!("{}", service.snapshot());
+}

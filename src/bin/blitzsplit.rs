@@ -5,19 +5,27 @@
 //!                     [--model k0|sm|dnl|smdnl] [--threshold 1e9] [--dot]
 //! blitzsplit sql "SELECT * FROM sales s, customer c WHERE s.custkey = c.custkey"
 //! blitzsplit workload --topology chain|cycle3|star|clique --n 15 --mu 100 --var 0.5 [--time]
+//! blitzsplit serve  [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--max-rels N]
+//! blitzsplit client --addr HOST:PORT --cards 10,20,30 [--pred i:j:sel]... [--model ...]
+//! blitzsplit client --addr HOST:PORT --metrics
 //! ```
 //!
 //! `optimize` takes an explicit problem; `sql` parses against the built-in
 //! demo retail catalog; `workload` generates a paper-Appendix benchmark
-//! point and optionally times its optimization.
+//! point and optionally times its optimization; `serve` runs the
+//! concurrent optimizer service (plan cache, worker pool, admission
+//! control, metrics) on a TCP line protocol, and `client` talks to it.
 
 use blitzsplit::catalog::{demo_retail_catalog, parse_query, Topology, Workload};
 use blitzsplit::core::CostModel;
+use blitzsplit::service::server::{format_optimize_request, response_field};
+use blitzsplit::service::{Client, ModelId, OptimizerService, Server, ServiceConfig};
 use blitzsplit::{
     optimize_join, optimize_join_threshold, DiskNestedLoops, JoinSpec, Kappa0, SmDnl, SortMerge,
     ThresholdSchedule,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
@@ -28,6 +36,10 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!("  blitzsplit sql \"SELECT ...\" [--model ...] [--dot]");
     eprintln!("  blitzsplit workload --topology chain|cycle3|star|clique \\");
     eprintln!("             --n N [--mu M] [--var V] [--model ...] [--time]");
+    eprintln!("  blitzsplit serve [--addr 127.0.0.1:7878] [--workers N] [--cache N] \\");
+    eprintln!("             [--max-rels N]");
+    eprintln!("  blitzsplit client --addr HOST:PORT (--metrics | --cards C1,C2,... \\");
+    eprintln!("             [--pred i:j:sel]... [--model ...] [--deadline-ms N])");
     ExitCode::FAILURE
 }
 
@@ -46,7 +58,7 @@ impl Args {
             let arg = &argv[i];
             if let Some(key) = arg.strip_prefix("--") {
                 // Switches take no value.
-                if matches!(key, "dot" | "time") {
+                if matches!(key, "dot" | "time" | "metrics") {
                     a.switches.push(key.to_string());
                     i += 1;
                 } else if i + 1 < argv.len() {
@@ -75,6 +87,31 @@ impl Args {
     fn has(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
     }
+}
+
+fn parse_cards(s: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|c| c.trim().parse::<f64>())
+        .collect::<Result<Vec<f64>, _>>()
+        .map_err(|_| "--cards must be a comma-separated list of numbers".to_string())
+}
+
+fn parse_preds(args: &Args) -> Result<Vec<(usize, usize, f64)>, String> {
+    let mut preds = Vec::new();
+    for p in args.get_all("pred") {
+        let parts: Vec<&str> = p.split(':').collect();
+        let parsed = (|| -> Option<(usize, usize, f64)> {
+            if parts.len() != 3 {
+                return None;
+            }
+            Some((parts[0].parse().ok()?, parts[1].parse().ok()?, parts[2].parse().ok()?))
+        })();
+        match parsed {
+            Some(t) => preds.push(t),
+            None => return Err(format!("bad --pred {p:?} (expected i:j:selectivity)")),
+        }
+    }
+    Ok(preds)
 }
 
 fn report<M: CostModel>(spec: &JoinSpec, model: &M, threshold: Option<f32>, dot: bool) -> ExitCode {
@@ -147,29 +184,14 @@ fn main() -> ExitCode {
             let Some(cards_s) = args.get("cards") else {
                 return fail("optimize requires --cards");
             };
-            let cards: Result<Vec<f64>, _> =
-                cards_s.split(',').map(|c| c.trim().parse::<f64>()).collect();
-            let Ok(cards) = cards else {
-                return fail("--cards must be a comma-separated list of numbers");
+            let cards = match parse_cards(cards_s) {
+                Ok(c) => c,
+                Err(e) => return fail(&e),
             };
-            let mut preds = Vec::new();
-            for p in args.get_all("pred") {
-                let parts: Vec<&str> = p.split(':').collect();
-                let parsed = (|| -> Option<(usize, usize, f64)> {
-                    if parts.len() != 3 {
-                        return None;
-                    }
-                    Some((
-                        parts[0].parse().ok()?,
-                        parts[1].parse().ok()?,
-                        parts[2].parse().ok()?,
-                    ))
-                })();
-                match parsed {
-                    Some(t) => preds.push(t),
-                    None => return fail(&format!("bad --pred {p:?} (expected i:j:selectivity)")),
-                }
-            }
+            let preds = match parse_preds(&args) {
+                Ok(p) => p,
+                Err(e) => return fail(&e),
+            };
             let spec = match JoinSpec::new(&cards, &preds) {
                 Ok(s) => s,
                 Err(e) => return fail(&e.to_string()),
@@ -220,6 +242,104 @@ fn main() -> ExitCode {
                 println!("optimization time (k0): {:?}", start.elapsed());
             }
             with_model(&model, &spec, threshold, dot).unwrap_or_else(|e| fail(&e))
+        }
+        "serve" => {
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+            let mut config = ServiceConfig::default();
+            if let Some(w) = args.get("workers") {
+                match w.parse::<usize>() {
+                    Ok(w) if w >= 1 => config.workers = w,
+                    _ => return fail("--workers must be a positive integer"),
+                }
+            }
+            if let Some(c) = args.get("cache") {
+                match c.parse::<usize>() {
+                    Ok(c) => config.cache_capacity = c,
+                    _ => return fail("--cache must be a non-negative integer"),
+                }
+            }
+            if let Some(m) = args.get("max-rels") {
+                match m.parse::<usize>() {
+                    Ok(m) if m >= 1 => config.max_exact_rels = m,
+                    _ => return fail("--max-rels must be a positive integer"),
+                }
+            }
+            let service = Arc::new(OptimizerService::new(config));
+            let server = match Server::bind(addr.as_str(), service) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
+            };
+            match server.local_addr() {
+                Ok(bound) => println!("listening on {bound}"),
+                Err(e) => return fail(&e.to_string()),
+            }
+            match server.run() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&format!("server error: {e}")),
+            }
+        }
+        "client" => {
+            let Some(addr) = args.get("addr") else {
+                return fail("client requires --addr HOST:PORT");
+            };
+            let mut client = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+            };
+            if args.has("metrics") {
+                return match client.metrics() {
+                    Ok(m) => {
+                        println!("{m}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(&format!("metrics request failed: {e}")),
+                };
+            }
+            let Some(cards_s) = args.get("cards") else {
+                return fail("client requires --cards (or --metrics)");
+            };
+            let cards = match parse_cards(cards_s) {
+                Ok(c) => c,
+                Err(e) => return fail(&e),
+            };
+            let preds = match parse_preds(&args) {
+                Ok(p) => p,
+                Err(e) => return fail(&e),
+            };
+            let Some(model_id) = ModelId::parse(&model) else {
+                return fail(&format!("unknown cost model {model:?} (expected k0|sm|dnl|smdnl)"));
+            };
+            let deadline = match args.get("deadline-ms").map(|d| d.parse::<u64>()) {
+                None => None,
+                Some(Ok(ms)) => Some(std::time::Duration::from_millis(ms)),
+                Some(Err(_)) => return fail("--deadline-ms must be an integer"),
+            };
+            let line = format_optimize_request(&cards, &preds, model_id, deadline);
+            let resp = match client.request(&line) {
+                Ok(r) => r,
+                Err(e) => return fail(&format!("request failed: {e}")),
+            };
+            if let Some(err) = resp.strip_prefix("ERR ") {
+                return fail(&format!("server: {err}"));
+            }
+            println!("model:          {model_id}");
+            println!("relations:      {}", cards.len());
+            println!("predicates:     {}", preds.len());
+            for (label, key) in [
+                ("plan:          ", "plan"),
+                ("cost:          ", "cost"),
+                ("result rows:   ", "card"),
+                ("source:        ", "source"),
+                ("cache:         ", "cache"),
+                ("passes:        ", "passes"),
+                ("server micros: ", "micros"),
+            ] {
+                match response_field(&resp, key) {
+                    Some(value) => println!("{label} {value}"),
+                    None => return fail(&format!("malformed server response: {resp}")),
+                }
+            }
+            ExitCode::SUCCESS
         }
         other => fail(&format!("unknown subcommand {other:?}")),
     }

@@ -11,7 +11,11 @@
 //! * [`baselines`] (`blitz-baselines`) — left-deep DP, DPsize, DPsub,
 //!   greedy and stochastic comparison optimizers;
 //! * [`exec`] (`blitz-exec`) — an in-memory execution engine that runs
-//!   optimized plans over synthetic data.
+//!   optimized plans over synthetic data;
+//! * [`service`] (`blitz-service`) — a concurrent optimizer service:
+//!   fingerprint-keyed plan cache with single-flight deduplication, a
+//!   bounded worker pool with admission control and greedy degradation,
+//!   metrics, and a line-protocol TCP frontend (`blitzsplit serve`).
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -39,6 +43,9 @@ pub use blitz_baselines as baselines;
 
 /// The execution engine (`blitz-exec`).
 pub use blitz_exec as exec;
+
+/// The concurrent optimizer service (`blitz-service`).
+pub use blitz_service as service;
 
 pub use blitz_core::{
     optimize_join, optimize_join_threshold, optimize_products, CostModel, DiskNestedLoops,

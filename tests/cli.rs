@@ -1,6 +1,7 @@
 //! Integration tests for the `blitzsplit` command-line binary.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
 
 fn run(args: &[&str]) -> (bool, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_blitzsplit"))
@@ -84,6 +85,57 @@ fn dot_switch_emits_graphviz() {
     let (ok, stdout, _) = run(&["optimize", "--cards", "5,6,7", "--dot"]);
     assert!(ok);
     assert!(stdout.contains("digraph plan {"), "{stdout}");
+}
+
+#[test]
+fn serve_and_client_agree_with_one_shot_optimize() {
+    // Start the service on an OS-assigned port and scrape the bound
+    // address from its first stdout line.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_blitzsplit"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut first_line = String::new();
+    BufReader::new(server.stdout.take().expect("piped stdout"))
+        .read_line(&mut first_line)
+        .expect("server announces its address");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement {first_line:?}"))
+        .to_string();
+
+    // Kill the server even when an assertion below panics.
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+    let _server = KillOnDrop(server);
+
+    let query: &[&str] =
+        &["--cards", "10,20,30,40", "--pred", "0:1:0.1", "--pred", "1:2:0.05"];
+    let (ok, via_server, stderr) = run(&[&["client", "--addr", &addr], query].concat());
+    assert!(ok, "{stderr}");
+    let (ok, one_shot, _) = run(&[&["optimize"], query].concat());
+    assert!(ok);
+    let line = |out: &str, prefix: &str| {
+        out.lines()
+            .find(|l| l.starts_with(prefix))
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no {prefix:?} line in {out:?}"))
+    };
+    assert_eq!(line(&via_server, "cost:"), line(&one_shot, "cost:"));
+    assert_eq!(line(&via_server, "plan:"), line(&one_shot, "plan:"));
+    assert!(line(&via_server, "source:").ends_with("exact"), "{via_server}");
+
+    // The metrics switch reports the request we just made.
+    let (ok, metrics, _) = run(&["client", "--addr", &addr, "--metrics"]);
+    assert!(ok);
+    assert!(metrics.contains("requests=1"), "{metrics}");
 }
 
 #[test]

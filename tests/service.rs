@@ -1,0 +1,209 @@
+//! Integration tests for the concurrent optimizer service: single-flight
+//! deduplication, admission-control fallbacks, relabeling-invariant cache
+//! hits, and the TCP frontend (library and CLI).
+
+use blitzsplit::catalog::{Topology, Workload};
+use blitzsplit::service::server::response_field;
+use blitzsplit::service::{
+    CacheOutcome, Client, FallbackReason, ModelId, OptimizerService, PlanSource, Request, Server,
+    ServiceConfig,
+};
+use blitzsplit::{optimize_join, JoinSpec, Kappa0};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// A query heavy enough (3¹⁴ ≈ 4.8M split-loop iterations) that
+/// concurrent requests reliably overlap its optimization.
+fn heavy_spec() -> JoinSpec {
+    Workload::new(14, Topology::Clique, 100.0, 0.5).spec()
+}
+
+fn small_spec() -> JoinSpec {
+    JoinSpec::new(&[10.0, 20.0, 30.0, 40.0], &[(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.05)]).unwrap()
+}
+
+#[test]
+fn single_flight_deduplicates_concurrent_identical_requests() {
+    const CLIENTS: usize = 8;
+    let service = Arc::new(OptimizerService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let spec = heavy_spec();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.optimize(&Request::new(spec))
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every response is the same exact plan cost…
+    let direct = optimize_join(&spec, &Kappa0).unwrap();
+    for resp in &responses {
+        assert_eq!(resp.source, PlanSource::Exact);
+        assert_eq!(resp.cost, direct.cost);
+    }
+    // …but only ONE optimization ever ran: one miss reserved the cache
+    // entry, the other seven either joined it in flight or hit it after
+    // completion.
+    let snap = service.snapshot();
+    assert_eq!(snap.optimizations, 1, "single-flight must run exactly one optimization");
+    assert_eq!(snap.cache_misses, 1);
+    assert_eq!(snap.cache_hits + snap.cache_shared, (CLIENTS - 1) as u64);
+    assert_eq!(snap.requests, CLIENTS as u64);
+}
+
+#[test]
+fn over_limit_requests_degrade_to_flagged_greedy() {
+    let service = OptimizerService::new(ServiceConfig {
+        workers: 1,
+        max_exact_rels: 5,
+        ..ServiceConfig::default()
+    });
+    let spec = Workload::new(6, Topology::Chain, 100.0, 0.5).spec();
+    let resp = service.optimize(&Request::new(spec.clone()));
+    assert_eq!(resp.source, PlanSource::Greedy(FallbackReason::OverLimit));
+    assert_eq!(resp.cache, CacheOutcome::Bypass);
+    assert_eq!(resp.passes, 0);
+    assert_eq!(resp.plan.rel_set(), spec.all_rels(), "fallback plan must cover all relations");
+    assert!(resp.cost.is_finite());
+    // The exact optimum can only be better or equal.
+    let exact = optimize_join(&spec, &Kappa0).unwrap();
+    assert!(exact.cost <= resp.cost * (1.0 + 1e-4));
+    let snap = service.snapshot();
+    assert_eq!(snap.fallback_over_limit, 1);
+    assert_eq!(snap.optimizations, 0);
+    assert_eq!(snap.cache_bypass, 1);
+
+    // An in-limit request on the same service still optimizes exactly.
+    let ok = service.optimize(&Request::new(small_spec()));
+    assert_eq!(ok.source, PlanSource::Exact);
+}
+
+#[test]
+fn full_queue_degrades_to_flagged_greedy() {
+    // queue_capacity 0 means no miss can ever be scheduled: every
+    // fresh query deterministically takes the greedy queue-full path.
+    let service = OptimizerService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    let resp = service.optimize(&Request::new(small_spec()));
+    assert_eq!(resp.source, PlanSource::Greedy(FallbackReason::QueueFull));
+    assert_eq!(resp.cache, CacheOutcome::Miss);
+    assert!(resp.cost.is_finite());
+    let snap = service.snapshot();
+    assert_eq!(snap.fallback_queue_full, 1);
+    assert_eq!(snap.optimizations, 0);
+    assert_eq!(snap.cached_plans, 0, "greedy fallbacks must not be cached");
+}
+
+#[test]
+fn expired_deadline_degrades_but_optimization_still_lands_in_cache() {
+    let service = OptimizerService::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let spec = heavy_spec();
+    let mut req = Request::new(spec.clone());
+    req.deadline = Some(Duration::ZERO);
+    let resp = service.optimize(&req);
+    assert_eq!(resp.source, PlanSource::Greedy(FallbackReason::DeadlineExceeded));
+    assert!(resp.cost.is_finite());
+    assert_eq!(service.snapshot().fallback_deadline, 1);
+
+    // The abandoned-by-the-caller optimization still completes on the
+    // worker and populates the cache for later requests.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let again = service.optimize(&Request::new(spec.clone()));
+        if again.cache == CacheOutcome::Hit {
+            assert_eq!(again.source, PlanSource::Exact);
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "optimization never landed in cache");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn cache_hits_are_invariant_under_relation_relabeling() {
+    let service = OptimizerService::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let fwd = small_spec();
+    let rev =
+        JoinSpec::new(&[40.0, 30.0, 20.0, 10.0], &[(3, 2, 0.1), (2, 1, 0.2), (1, 0, 0.05)])
+            .unwrap();
+
+    let first = service.optimize(&Request::new(fwd));
+    assert_eq!(first.cache, CacheOutcome::Miss);
+    let second = service.optimize(&Request::new(rev.clone()));
+    assert_eq!(second.cache, CacheOutcome::Hit, "relabeled query must hit the cache");
+    assert_eq!(second.cost, first.cost);
+    // The returned plan is in the *requester's* labeling and re-costs
+    // to the same value against the requester's spec.
+    assert_eq!(second.plan.rel_set(), rev.all_rels());
+    let (_, recost) = second.plan.cost(&rev, &Kappa0);
+    assert!((recost - second.cost).abs() <= second.cost.abs() * 1e-5);
+}
+
+#[test]
+fn per_model_cache_entries_do_not_collide() {
+    let service = OptimizerService::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let mut req = Request::new(small_spec());
+    let k0 = service.optimize(&req);
+    req.model = ModelId::SortMerge;
+    let sm = service.optimize(&req);
+    assert_eq!(k0.cache, CacheOutcome::Miss);
+    assert_eq!(sm.cache, CacheOutcome::Miss, "different model must be a distinct cache entry");
+    assert_eq!(service.snapshot().optimizations, 2);
+}
+
+#[test]
+fn tcp_server_returns_one_shot_costs() {
+    let service = Arc::new(OptimizerService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let server = Server::bind("127.0.0.1:0", service).unwrap();
+    let (addr, _serving) = server.spawn().unwrap();
+
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.ping().unwrap());
+
+    let spec = small_spec();
+    let direct = optimize_join(&spec, &Kappa0).unwrap();
+    let resp = client
+        .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05 model=k0")
+        .unwrap();
+    assert!(resp.starts_with("OK "), "{resp}");
+    assert_eq!(
+        response_field(&resp, "cost"),
+        Some(format!("{:.6e}", direct.cost).as_str()),
+        "served cost must equal the one-shot optimizer's"
+    );
+    assert_eq!(response_field(&resp, "source"), Some("exact"));
+
+    // A second connection sees the shared cache.
+    let mut other = Client::connect(addr).unwrap();
+    let resp2 = other
+        .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05 model=k0")
+        .unwrap();
+    assert_eq!(response_field(&resp2, "cache"), Some("hit"));
+    let metrics = other.metrics().unwrap();
+    assert!(metrics.contains("cache_hits=1"), "{metrics}");
+}
