@@ -177,7 +177,7 @@ mod tests {
         }
     }
 
-    fn for_model<M: CostModel>(spec: &JoinSpec, model: &M) {
+    fn for_model<M: CostModel + Sync>(spec: &JoinSpec, model: &M) {
         let dp = optimize_dpsize(spec, model, CrossProducts::Allowed);
         let bz = optimize_join(spec, model).unwrap();
         assert!(

@@ -294,7 +294,7 @@ fn relabel(plan: &Plan, map: &[usize]) -> Plan {
 ///
 /// # Panics
 /// Panics if `block_size == 0`.
-pub fn hybrid_dp_local<M: CostModel>(
+pub fn hybrid_dp_local<M: CostModel + Sync>(
     spec: &JoinSpec,
     model: &M,
     block_size: usize,
@@ -469,18 +469,51 @@ mod tests {
         }
     }
 
+    /// II must find the global optimum of a benign 6-relation chain —
+    /// asserted over an *ensemble* of explicit seeds, so the test does
+    /// not hinge on any particular RNG stream position: a future RNG
+    /// change re-rolls every climb, but the probability that dozens of
+    /// independent generous-budget restarts all miss a benign optimum
+    /// is negligible for any uniform generator.
     #[test]
     fn iterated_improvement_reaches_optimum_on_small_problems() {
-        // With generous budgets II should find the global optimum of a
-        // 6-relation chain (its local-optimum structure is benign).
         let spec = chain_spec(6);
         let opt = optimize_join(&spec, &Kappa0).unwrap().cost;
-        let (_, ii) = iterated_improvement(
-            &spec,
-            &Kappa0,
-            IiParams { restarts: 100, max_consecutive_failures: 400, seed: 11 },
-        );
-        assert!((ii - opt).abs() <= opt.abs() * 1e-4 + 1e-4, "II {ii} vs opt {opt}");
+        let best = [3u64, 11, 42, 97, 1234, 0xdead]
+            .into_iter()
+            .map(|seed| {
+                let (_, c) = iterated_improvement(
+                    &spec,
+                    &Kappa0,
+                    IiParams { restarts: 50, max_consecutive_failures: 400, seed },
+                );
+                c
+            })
+            .fold(f32::INFINITY, f32::min);
+        assert!((best - opt).abs() <= opt.abs() * 1e-4 + 1e-4, "II {best} vs opt {opt}");
+    }
+
+    /// Stream-robust monotonicity: with one seed, the first `k` restarts
+    /// of a longer run are *exactly* the `k`-restart run (a single RNG
+    /// drives restarts sequentially), so more restarts can never report
+    /// a worse best. Holds for any RNG implementation, unlike asserting
+    /// what a specific restart finds.
+    #[test]
+    fn iterated_improvement_restart_prefix_property() {
+        let spec = chain_spec(6);
+        for seed in [7u64, 11, 99] {
+            let (_, short) = iterated_improvement(
+                &spec,
+                &Kappa0,
+                IiParams { restarts: 10, max_consecutive_failures: 200, seed },
+            );
+            let (_, long) = iterated_improvement(
+                &spec,
+                &Kappa0,
+                IiParams { restarts: 50, max_consecutive_failures: 200, seed },
+            );
+            assert!(long <= short, "seed {seed}: best-of-50 {long} > best-of-10 {short}");
+        }
     }
 
     #[test]

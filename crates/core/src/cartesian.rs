@@ -17,9 +17,9 @@ use crate::bitset::RelSet;
 use crate::cost::CostModel;
 use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
-use crate::split::{drive, init_singleton};
+use crate::split::{drive, drive_parallel, init_singleton, DriveOptions};
 use crate::stats::{NoStats, Stats};
-use crate::table::{AosTable, TableLayout, MAX_TABLE_RELS};
+use crate::table::{AosTable, SyncTableView, TableLayout, MAX_TABLE_RELS};
 
 /// Result of a successful optimization.
 #[derive(Clone, Debug)]
@@ -72,17 +72,76 @@ where
     table
 }
 
+/// [`optimize_products_into`] with an explicit execution policy: when
+/// `options` resolves to two or more workers, the rank-wave parallel
+/// driver fills the table; otherwise this is exactly the serial path.
+/// Both produce bit-identical tables (see [`crate::split`]).
+///
+/// # Panics
+/// Panics if `cards` is empty or longer than [`MAX_TABLE_RELS`].
+pub fn optimize_products_into_with<L, M, St, const PRUNE: bool>(
+    cards: &[f64],
+    model: &M,
+    cap: f32,
+    options: DriveOptions,
+    stats: &mut St,
+) -> L
+where
+    L: TableLayout + Send,
+    M: CostModel + Sync,
+    St: Stats + Default + Send,
+{
+    let threads = options.effective_parallelism();
+    if threads < 2 {
+        return optimize_products_into::<L, M, St, PRUNE>(cards, model, cap, stats);
+    }
+    let n = cards.len();
+    assert!((1..=MAX_TABLE_RELS).contains(&n), "unsupported relation count {n}");
+    let mut table = L::with_rels(n);
+    for (rel, &card) in cards.iter().enumerate() {
+        init_singleton(&mut table, model, rel, card);
+    }
+    drive_parallel::<L, M, St, _, PRUNE>(
+        &mut table,
+        model,
+        n,
+        cap,
+        threads,
+        stats,
+        product_properties::<SyncTableView<L>, M>,
+    );
+    table
+}
+
 /// Optimize the Cartesian product of the given relations under `model`,
 /// returning the optimal bushy plan.
 ///
 /// Uses the paper's defaults: array-of-structs table, nested-`if` pruning
-/// on, no plan-cost threshold (costs only reject on `f32` overflow).
+/// on, no plan-cost threshold (costs only reject on `f32` overflow), and
+/// the default [`DriveOptions`] execution policy.
 ///
 /// # Errors
 /// Returns [`SpecError`] if `cards` is empty, oversized, or contains a
 /// nonpositive/non-finite cardinality. Returns `Err(SpecError::Empty)`
 /// never for single relations — a one-relation "product" is just a scan.
-pub fn optimize_products<M: CostModel>(cards: &[f64], model: &M) -> Result<Optimized, SpecError> {
+pub fn optimize_products<M: CostModel + Sync>(
+    cards: &[f64],
+    model: &M,
+) -> Result<Optimized, SpecError> {
+    optimize_products_with(cards, model, DriveOptions::default())
+}
+
+/// [`optimize_products`] with an explicit execution policy (worker-thread
+/// count for the rank-wave parallel driver; `1` = serial).
+///
+/// # Errors
+/// Returns [`SpecError`] if `cards` is empty, oversized, or contains a
+/// nonpositive/non-finite cardinality.
+pub fn optimize_products_with<M: CostModel + Sync>(
+    cards: &[f64],
+    model: &M,
+    options: DriveOptions,
+) -> Result<Optimized, SpecError> {
     // Validate through JoinSpec for uniform error reporting.
     let spec = JoinSpec::cartesian(cards)?;
     let n = spec.n();
@@ -90,8 +149,13 @@ pub fn optimize_products<M: CostModel>(cards: &[f64], model: &M) -> Result<Optim
         return Err(SpecError::TooManyRels(n));
     }
     let mut stats = NoStats;
-    let table: AosTable =
-        optimize_products_into::<AosTable, M, NoStats, true>(cards, model, f32::INFINITY, &mut stats);
+    let table: AosTable = optimize_products_into_with::<AosTable, M, NoStats, true>(
+        cards,
+        model,
+        f32::INFINITY,
+        options,
+        &mut stats,
+    );
     let full = RelSet::full(n);
     Ok(Optimized {
         plan: Plan::extract(&table, full),
@@ -203,7 +267,7 @@ mod tests {
         check_model(cards, &DiskNestedLoops::default());
     }
 
-    fn check_model<M: CostModel>(cards: &[f64], model: &M) {
+    fn check_model<M: CostModel + Sync>(cards: &[f64], model: &M) {
         let opt = optimize_products(cards, model).unwrap();
         if cards.len() == 1 {
             assert_eq!(opt.plan, Plan::scan(0));

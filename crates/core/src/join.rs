@@ -26,9 +26,9 @@ use crate::cartesian::Optimized;
 use crate::cost::CostModel;
 use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
-use crate::split::{drive, init_singleton};
+use crate::split::{drive, drive_parallel, init_singleton, DriveOptions};
 use crate::stats::{NoStats, Stats};
-use crate::table::{AosTable, TableLayout, MAX_TABLE_RELS};
+use crate::table::{AosTable, SyncTableView, TableLayout, MAX_TABLE_RELS};
 
 /// `compute_properties` for joins: fan recurrence + cardinality recurrence
 /// (paper Section 5.4). Exactly three floating-point multiplications.
@@ -90,23 +90,85 @@ where
     table
 }
 
+/// [`optimize_join_into`] with an explicit execution policy: when
+/// `options` resolves to two or more workers, the rank-wave parallel
+/// driver fills the table; otherwise this is exactly the serial path.
+/// Both produce bit-identical tables (see [`crate::split`]).
+///
+/// # Panics
+/// Panics if `spec.n() > MAX_TABLE_RELS`.
+pub fn optimize_join_into_with<L, M, St, const PRUNE: bool>(
+    spec: &JoinSpec,
+    model: &M,
+    cap: f32,
+    options: DriveOptions,
+    stats: &mut St,
+) -> L
+where
+    L: TableLayout + Send,
+    M: CostModel + Sync,
+    St: Stats + Default + Send,
+{
+    let threads = options.effective_parallelism();
+    if threads < 2 {
+        return optimize_join_into::<L, M, St, PRUNE>(spec, model, cap, stats);
+    }
+    let n = spec.n();
+    assert!(n <= MAX_TABLE_RELS, "unsupported relation count {n}");
+    let mut table = L::with_rels(n);
+    for rel in 0..n {
+        init_singleton(&mut table, model, rel, spec.card(rel));
+    }
+    drive_parallel::<L, M, St, _, PRUNE>(
+        &mut table,
+        model,
+        n,
+        cap,
+        threads,
+        stats,
+        |t: &mut SyncTableView<L>, m, s| join_properties(t, m, spec, s),
+    );
+    table
+}
+
 /// Optimize the join order for `spec` under `model`, searching the complete
 /// space of bushy plans including Cartesian products.
 ///
 /// Uses the paper's defaults: array-of-structs table, nested-`if` pruning
-/// on, no plan-cost threshold. For thresholded optimization see
-/// [`crate::threshold`].
+/// on, no plan-cost threshold, and the default [`DriveOptions`] execution
+/// policy. For thresholded optimization see [`crate::threshold`].
 ///
 /// # Errors
 /// Returns [`SpecError::TooManyRels`] when the DP table would be too large.
-pub fn optimize_join<M: CostModel>(spec: &JoinSpec, model: &M) -> Result<Optimized, SpecError> {
+pub fn optimize_join<M: CostModel + Sync>(
+    spec: &JoinSpec,
+    model: &M,
+) -> Result<Optimized, SpecError> {
+    optimize_join_with(spec, model, DriveOptions::default())
+}
+
+/// [`optimize_join`] with an explicit execution policy (worker-thread
+/// count for the rank-wave parallel driver; `1` = serial).
+///
+/// # Errors
+/// Returns [`SpecError::TooManyRels`] when the DP table would be too large.
+pub fn optimize_join_with<M: CostModel + Sync>(
+    spec: &JoinSpec,
+    model: &M,
+    options: DriveOptions,
+) -> Result<Optimized, SpecError> {
     let n = spec.n();
     if n > MAX_TABLE_RELS {
         return Err(SpecError::TooManyRels(n));
     }
     let mut stats = NoStats;
-    let table: AosTable =
-        optimize_join_into::<AosTable, M, NoStats, true>(spec, model, f32::INFINITY, &mut stats);
+    let table: AosTable = optimize_join_into_with::<AosTable, M, NoStats, true>(
+        spec,
+        model,
+        f32::INFINITY,
+        options,
+        &mut stats,
+    );
     let full = spec.all_rels();
     Ok(Optimized {
         plan: Plan::extract(&table, full),
@@ -227,7 +289,7 @@ mod tests {
         }
     }
 
-    fn check_against_brute_force<M: CostModel>(spec: &JoinSpec, model: &M) {
+    fn check_against_brute_force<M: CostModel + Sync>(spec: &JoinSpec, model: &M) {
         let opt = optimize_join(spec, model).unwrap();
         let bf = brute_force(spec, model, spec.all_rels());
         let tol = bf.abs() * 1e-4 + 1e-4;

@@ -52,15 +52,22 @@ pub mod table;
 pub mod threshold;
 
 pub use bitset::{RelSet, MAX_RELS};
-pub use cartesian::{optimize_products, optimize_products_into, Optimized};
+pub use cartesian::{
+    optimize_products, optimize_products_into, optimize_products_into_with,
+    optimize_products_with, Optimized,
+};
 pub use cost::{CostModel, DiskNestedLoops, JoinAlgorithm, Kappa0, SmDnl, SortMerge};
 pub use hyper::{optimize_hyper, optimize_hyper_into, HyperSpec};
-pub use join::{optimize_join, optimize_join_into};
+pub use join::{optimize_join, optimize_join_into, optimize_join_into_with, optimize_join_with};
 pub use ordered::{optimize_ordered, optimize_ordered_naive, OrderedOptimized, OrderedPlan, OrderedSpec};
 pub use plan::{AnnotatedPlan, Plan};
 pub use spec::{JoinSpec, SpecError};
+pub use split::DriveOptions;
 pub use stats::{Counters, NoStats, Stats};
-pub use table::{AosTable, CompactProductTable, SoaTable, TableLayout, MAX_TABLE_RELS};
+pub use table::{
+    AosTable, CompactProductTable, SoaTable, SyncTable, SyncTableView, TableLayout, MAX_TABLE_RELS,
+};
 pub use threshold::{
-    optimize_join_threshold, optimize_join_threshold_into, ThresholdOutcome, ThresholdSchedule,
+    optimize_join_threshold, optimize_join_threshold_into, optimize_join_threshold_into_with,
+    optimize_join_threshold_with, ThresholdOutcome, ThresholdSchedule,
 };

@@ -21,7 +21,56 @@
 use crate::bitset::RelSet;
 use crate::cost::CostModel;
 use crate::stats::Stats;
-use crate::table::TableLayout;
+use crate::table::{SyncTable, SyncTableView, TableLayout};
+
+/// Execution options for the DP drivers — how much hardware to throw at
+/// one optimization.
+///
+/// The default is read once per process from the `BLITZ_TEST_THREADS`
+/// environment variable (unset or `1` ⇒ the serial driver), which lets a
+/// CI job force every default-configured optimization in the workspace
+/// through the parallel rank-wave driver without touching call sites.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DriveOptions {
+    /// Worker threads for the rank-wave parallel driver. `1` is the
+    /// serial integer-order driver (today's default); `0` resolves to the
+    /// machine's available parallelism.
+    pub parallelism: usize,
+}
+
+impl DriveOptions {
+    /// Explicit serial execution, ignoring any environment override.
+    pub fn serial() -> DriveOptions {
+        DriveOptions { parallelism: 1 }
+    }
+
+    /// Rank-wave parallel execution on `threads` workers (`0` = auto).
+    pub fn parallel(threads: usize) -> DriveOptions {
+        DriveOptions { parallelism: threads }
+    }
+
+    /// The concrete worker count: resolves `0` to the machine's available
+    /// parallelism and never returns 0.
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            t => t,
+        }
+    }
+}
+
+impl Default for DriveOptions {
+    fn default() -> DriveOptions {
+        static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let parallelism = *ENV.get_or_init(|| {
+            std::env::var("BLITZ_TEST_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(1)
+        });
+        DriveOptions { parallelism }
+    }
+}
 
 /// Fill in the `cost` and `best_lhs` fields of the table row for `s` by
 /// examining every split of `s` into two nonempty subsets.
@@ -68,6 +117,15 @@ pub(crate) fn find_best_split<L, M, St, const PRUNE: bool>(
 
     // Walk S_lhs = δ_S(1), δ_S(2), …, δ_S(2^|S|−2); the walk naturally
     // terminates when the successor reaches S itself (= δ_S(2^|S|−1)).
+    //
+    // Tie-break determinism: dilation is order-preserving (i < j ⇒
+    // δ_S(i) < δ_S(j) as integers), so this walk visits `lhs` in strictly
+    // increasing bit-vector order, and the strict `<` comparisons below
+    // keep the *first* minimum — i.e. the minimum-cost split with the
+    // lowest `best_lhs` bits. The choice therefore depends only on the
+    // rows of strict subsets of `s`, never on enumeration timing, which
+    // is what makes the serial and rank-wave parallel drivers produce
+    // bit-identical tables.
     let mut lhs = s.lowest_singleton();
     while lhs != s {
         stats.loop_iter();
@@ -185,4 +243,88 @@ pub(crate) fn drive<L, M, St, F, const PRUNE: bool>(
         }
         bits += 1;
     }
+}
+
+/// Successor of `v` in the enumeration of same-popcount bit patterns
+/// (Gosper's hack). `u64` so the final pattern's successor cannot
+/// overflow for any supported `n`.
+#[inline]
+fn same_popcount_successor(v: u64) -> u64 {
+    let c = v & v.wrapping_neg();
+    let r = v + c;
+    (((r ^ v) >> 2) / c) | r
+}
+
+/// Drive `compute_properties` + `find_best_split` over every non-singleton
+/// subset in **rank waves**: all subsets of cardinality `k` are processed
+/// (in parallel across `threads` workers) before any subset of
+/// cardinality `k + 1`.
+///
+/// This is valid because every table access for a set `S` either writes
+/// `S`'s own row or reads rows of strict subsets of `S` — which all have
+/// smaller popcount and were completed in earlier waves. Within a wave,
+/// rows are dealt round-robin to workers, so writes are disjoint; a
+/// barrier separates waves. See [`SyncTable`] for the full safety
+/// argument.
+///
+/// Produces a table bit-identical to [`drive`]'s: each row's computation
+/// is self-contained and deterministic (see the tie-break note in
+/// [`find_best_split`]), and both drivers respect the same subset-before-
+/// superset dependency order.
+pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
+    table: &mut L,
+    model: &M,
+    n: usize,
+    cap: f32,
+    threads: usize,
+    stats: &mut St,
+    compute_properties: F,
+) where
+    L: TableLayout + Send,
+    M: CostModel + Sync,
+    St: Stats + Default + Send,
+    F: Fn(&mut SyncTableView<L>, &M, RelSet) + Sync,
+{
+    debug_assert!(threads >= 2, "use `drive` for serial execution");
+    stats.pass();
+    let end = 1u64 << n;
+    let shared = SyncTable::from_mut(table);
+    let compute_properties = &compute_properties;
+    let barrier = std::sync::Barrier::new(threads);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                // SAFETY: round-robin row assignment within each wave
+                // (each subset handled by exactly one worker), reads
+                // confined to strictly-smaller-popcount rows from earlier
+                // waves, and a barrier between waves — the SyncTable
+                // discipline.
+                let mut view = unsafe { shared.view() };
+                scope.spawn(move || {
+                    let mut local = St::default();
+                    for k in 2..=n {
+                        let mut row = 0usize;
+                        let mut bits = (1u64 << k) - 1;
+                        while bits < end {
+                            if row % threads == t {
+                                let s = RelSet::from_bits(bits as u32);
+                                compute_properties(&mut view, model, s);
+                                find_best_split::<SyncTableView<L>, M, St, PRUNE>(
+                                    &mut view, model, s, cap, &mut local,
+                                );
+                            }
+                            row += 1;
+                            bits = same_popcount_successor(bits);
+                        }
+                        barrier.wait();
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            stats.absorb(worker.join().expect("wave worker panicked"));
+        }
+    });
 }

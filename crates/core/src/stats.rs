@@ -34,6 +34,13 @@ pub trait Stats {
     fn loop_skipped(&mut self);
     /// One full optimization pass (threshold re-optimization counts each).
     fn pass(&mut self);
+    /// Fold a per-thread sink back into this one. The parallel rank-wave
+    /// driver gives every worker thread a `Self::default()`-style private
+    /// sink and absorbs them after the waves complete, so the hot loop
+    /// never touches shared state.
+    fn absorb(&mut self, child: Self)
+    where
+        Self: Sized;
 }
 
 /// Zero-cost sink: every hook is an empty inline function.
@@ -55,6 +62,8 @@ impl Stats for NoStats {
     fn loop_skipped(&mut self) {}
     #[inline(always)]
     fn pass(&mut self) {}
+    #[inline(always)]
+    fn absorb(&mut self, _child: NoStats) {}
 }
 
 /// Counting sink used by the analysis benches.
@@ -104,6 +113,10 @@ impl Stats for Counters {
     #[inline(always)]
     fn pass(&mut self) {
         self.passes += 1;
+    }
+    #[inline(always)]
+    fn absorb(&mut self, child: Counters) {
+        *self += &child;
     }
 }
 
@@ -188,6 +201,19 @@ mod tests {
     #[test]
     fn nostats_is_zero_sized() {
         assert_eq!(std::mem::size_of::<NoStats>(), 0);
+    }
+
+    #[test]
+    fn absorb_matches_add_assign() {
+        let mut parent = Counters { loop_iters: 5, cond_hits: 1, ..Counters::default() };
+        let child = Counters { loop_iters: 7, subsets: 4, ..Counters::default() };
+        parent.absorb(child);
+        assert_eq!(parent.loop_iters, 12);
+        assert_eq!(parent.subsets, 4);
+        assert_eq!(parent.cond_hits, 1);
+        // NoStats absorb is a no-op but must exist for the parallel driver.
+        let mut n = NoStats;
+        n.absorb(NoStats);
     }
 
     #[test]

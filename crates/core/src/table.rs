@@ -19,6 +19,7 @@
 //! is generic over the layout and monomorphizes both.
 
 use crate::bitset::{RelSet, MAX_RELS};
+use std::cell::UnsafeCell;
 
 /// Guard against absurd allocations: `2^28` rows of 32 bytes is 8 GiB.
 pub const MAX_TABLE_RELS: usize = 28;
@@ -338,6 +339,149 @@ impl TableLayout for CompactProductTable {
     }
 }
 
+/// Shared-table wrapper for the rank-wave parallel driver: lets several
+/// worker threads hold mutable views of one table at the same time.
+///
+/// # Why this is sound
+///
+/// The rank-wave driver processes subsets in waves by cardinality
+/// (popcount). Every table access made while filling the row for a set
+/// `S` with `|S| = k` falls into one of two classes:
+///
+/// * **writes** to the row of `S` itself (`set_card`/`set_cost`/
+///   `set_best_lhs`/`set_pi_fan`/`set_aux`), and
+/// * **reads** of rows of *strict subsets* of `S`, all of which have
+///   popcount `< k` (operand costs/cards in `find_best_split`, the
+///   fan-recurrence lookups in `compute_properties`).
+///
+/// Within one wave each row is assigned to exactly one worker, so all
+/// concurrent writes target pairwise-disjoint rows; all concurrent reads
+/// target rows of earlier waves, which no thread writes anymore. A
+/// barrier between waves establishes the happens-before edge from the
+/// wave-`k` writes to the wave-`k+1` reads. Hence no memory location is
+/// ever accessed concurrently by a writer and anyone else: the program
+/// is data-race free even though the borrow checker cannot see it.
+///
+/// The wrapper is `#[repr(transparent)]` over [`UnsafeCell`] so a
+/// `&mut L` can be reinterpreted as `&SyncTable<L>` (the same trick as
+/// [`std::cell::Cell::from_mut`]); the exclusive borrow of the caller
+/// guarantees nobody else can touch the table while the views exist.
+#[repr(transparent)]
+pub struct SyncTable<L> {
+    inner: UnsafeCell<L>,
+}
+
+// SAFETY: `SyncTable` hands out access to `L` across threads only via
+// `view()`, whose contract (below) forbids data races; with races ruled
+// out, sharing requires no more than `L: Send` (the data itself may move
+// between threads' cache views but is never accessed concurrently).
+unsafe impl<L: Send> Sync for SyncTable<L> {}
+
+impl<L: TableLayout> SyncTable<L> {
+    /// Wrap an exclusively borrowed table for the duration of a wave
+    /// computation.
+    pub fn from_mut(table: &mut L) -> &SyncTable<L> {
+        // SAFETY: `#[repr(transparent)]` guarantees identical layout, and
+        // `UnsafeCell<L>` has the same layout as `L`; the returned shared
+        // reference inherits the exclusive borrow's lifetime.
+        unsafe { &*(table as *mut L as *const SyncTable<L>) }
+    }
+
+    /// Create one worker's mutable view of the shared table.
+    ///
+    /// # Safety
+    ///
+    /// Callers must uphold the rank-wave discipline documented on
+    /// [`SyncTable`]: while any two views are live on different threads,
+    /// each table row is written by at most one of them, and rows read by
+    /// one view are never written by another without an intervening
+    /// synchronization point (barrier/join).
+    pub unsafe fn view(&self) -> SyncTableView<L> {
+        SyncTableView { table: self.inner.get() }
+    }
+}
+
+/// One worker's view into a [`SyncTable`]; implements [`TableLayout`] by
+/// forwarding every accessor through the shared cell, so the generic
+/// `find_best_split`/`compute_properties` code runs on it unchanged.
+///
+/// Cannot be allocated directly: [`TableLayout::with_rels`] panics.
+pub struct SyncTableView<L> {
+    table: *mut L,
+}
+
+// SAFETY: the view is just a pointer; moving it to another thread is safe
+// because all *accesses* through it are covered by the `SyncTable::view`
+// contract (no data races), and `L: Send` permits the underlying data to
+// be manipulated from another thread.
+unsafe impl<L: Send> Send for SyncTableView<L> {}
+
+impl<L: TableLayout> TableLayout for SyncTableView<L> {
+    fn with_rels(_n: usize) -> Self {
+        unreachable!("SyncTableView is a borrowed view; allocate the underlying layout instead")
+    }
+
+    // Each accessor materializes a reference to the underlying table only
+    // for the duration of the (inlined) forwarded call, per the SyncTable
+    // contract. SAFETY for every dereference below: `table` comes from
+    // `UnsafeCell::get` on a live `SyncTable` borrow, and the view
+    // contract rules out concurrent conflicting accesses.
+    #[inline]
+    fn rels(&self) -> usize {
+        unsafe { (*self.table).rels() }
+    }
+
+    #[inline]
+    fn card(&self, s: RelSet) -> f64 {
+        unsafe { (*self.table).card(s) }
+    }
+
+    #[inline]
+    fn set_card(&mut self, s: RelSet, v: f64) {
+        unsafe { (*self.table).set_card(s, v) }
+    }
+
+    #[inline]
+    fn cost(&self, s: RelSet) -> f32 {
+        unsafe { (*self.table).cost(s) }
+    }
+
+    #[inline]
+    fn set_cost(&mut self, s: RelSet, v: f32) {
+        unsafe { (*self.table).set_cost(s, v) }
+    }
+
+    #[inline]
+    fn best_lhs(&self, s: RelSet) -> RelSet {
+        unsafe { (*self.table).best_lhs(s) }
+    }
+
+    #[inline]
+    fn set_best_lhs(&mut self, s: RelSet, v: RelSet) {
+        unsafe { (*self.table).set_best_lhs(s, v) }
+    }
+
+    #[inline]
+    fn pi_fan(&self, s: RelSet) -> f64 {
+        unsafe { (*self.table).pi_fan(s) }
+    }
+
+    #[inline]
+    fn set_pi_fan(&mut self, s: RelSet, v: f64) {
+        unsafe { (*self.table).set_pi_fan(s, v) }
+    }
+
+    #[inline]
+    fn aux(&self, s: RelSet) -> f32 {
+        unsafe { (*self.table).aux(s) }
+    }
+
+    #[inline]
+    fn set_aux(&mut self, s: RelSet, v: f32) {
+        unsafe { (*self.table).set_aux(s, v) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +557,52 @@ mod tests {
         assert_eq!(t.cost(s), 42.5);
         assert_eq!(t.best_lhs(s), RelSet::from_bits(0b0011));
         assert_eq!(t.pi_fan(s), 1.0);
+    }
+
+    #[test]
+    fn sync_view_forwards_to_backing_table() {
+        let mut t = AosTable::with_rels(4);
+        {
+            let shared = SyncTable::from_mut(&mut t);
+            // SAFETY: single-threaded use trivially satisfies the wave
+            // discipline (no concurrent views at all).
+            let mut view = unsafe { shared.view() };
+            assert_eq!(view.rels(), 4);
+            let s = RelSet::from_bits(0b0101);
+            view.set_card(s, 3.5);
+            view.set_cost(s, 9.0);
+            view.set_best_lhs(s, RelSet::from_bits(0b0001));
+            assert_eq!(view.card(s), 3.5);
+        }
+        let s = RelSet::from_bits(0b0101);
+        assert_eq!(t.card(s), 3.5);
+        assert_eq!(t.cost(s), 9.0);
+        assert_eq!(t.best_lhs(s), RelSet::from_bits(0b0001));
+    }
+
+    #[test]
+    fn disjoint_row_writes_from_two_threads() {
+        let mut t = AosTable::with_rels(6);
+        {
+            let shared = SyncTable::from_mut(&mut t);
+            std::thread::scope(|scope| {
+                for half in 0..2u32 {
+                    // SAFETY: the two views write disjoint rows (split by
+                    // the low bit of the set index) and read nothing.
+                    let mut view = unsafe { shared.view() };
+                    scope.spawn(move || {
+                        for bits in 1u32..64 {
+                            if bits & 1 == half {
+                                view.set_cost(RelSet::from_bits(bits), bits as f32);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        for bits in 1u32..64 {
+            assert_eq!(t.cost(RelSet::from_bits(bits)), bits as f32);
+        }
     }
 
     #[test]

@@ -18,9 +18,10 @@
 use crate::bitset::RelSet;
 use crate::cartesian::Optimized;
 use crate::cost::CostModel;
-use crate::join::optimize_join_into;
+use crate::join::{optimize_join_into, optimize_join_into_with};
 use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
+use crate::split::DriveOptions;
 use crate::stats::{NoStats, Stats};
 use crate::table::{AosTable, TableLayout, MAX_TABLE_RELS};
 
@@ -129,22 +130,82 @@ where
     }
 }
 
-/// Thresholded join optimization with the standard defaults (AoS layout,
-/// pruning on, no statistics).
+/// [`optimize_join_threshold_into`] with an explicit execution policy:
+/// every pass (thresholded or uncapped fallback) runs through the
+/// rank-wave parallel driver when `options` resolves to two or more
+/// workers. Pass outcomes — and the final table — are bit-identical to
+/// the serial schedule.
 ///
-/// # Errors
-/// Returns [`SpecError::TooManyRels`] when the DP table would be too large.
-pub fn optimize_join_threshold<M: CostModel>(
+/// # Panics
+/// Panics if `spec.n() > MAX_TABLE_RELS`.
+pub fn optimize_join_threshold_into_with<L, M, St, const PRUNE: bool>(
     spec: &JoinSpec,
     model: &M,
     schedule: ThresholdSchedule,
+    options: DriveOptions,
+    stats: &mut St,
+) -> (L, ThresholdOutcome)
+where
+    L: TableLayout + Send,
+    M: CostModel + Sync,
+    St: Stats + Default + Send,
+{
+    let full = spec.all_rels();
+    let mut cap = schedule.initial;
+    let mut passes = 0u32;
+    loop {
+        passes += 1;
+        let capped = passes <= schedule.max_passes;
+        let eff_cap = if capped { cap } else { f32::INFINITY };
+        let table: L =
+            optimize_join_into_with::<L, M, St, PRUNE>(spec, model, eff_cap, options, stats);
+        let cost = table.cost(full);
+        if cost.is_finite() || !capped {
+            let optimized = if cost.is_finite() {
+                Optimized { plan: Plan::extract(&table, full), cost, card: table.card(full) }
+            } else {
+                let mut plan = Plan::scan(0);
+                for rel in 1..spec.n() {
+                    plan = Plan::join(plan, Plan::scan(rel));
+                }
+                Optimized { plan, cost: f32::INFINITY, card: table.card(full) }
+            };
+            return (table, ThresholdOutcome { optimized, passes, final_cap: eff_cap });
+        }
+        cap *= schedule.factor;
+    }
+}
+
+/// Thresholded join optimization with the standard defaults (AoS layout,
+/// pruning on, no statistics, default [`DriveOptions`] execution policy).
+///
+/// # Errors
+/// Returns [`SpecError::TooManyRels`] when the DP table would be too large.
+pub fn optimize_join_threshold<M: CostModel + Sync>(
+    spec: &JoinSpec,
+    model: &M,
+    schedule: ThresholdSchedule,
+) -> Result<ThresholdOutcome, SpecError> {
+    optimize_join_threshold_with(spec, model, schedule, DriveOptions::default())
+}
+
+/// [`optimize_join_threshold`] with an explicit execution policy
+/// (worker-thread count for the rank-wave parallel driver; `1` = serial).
+///
+/// # Errors
+/// Returns [`SpecError::TooManyRels`] when the DP table would be too large.
+pub fn optimize_join_threshold_with<M: CostModel + Sync>(
+    spec: &JoinSpec,
+    model: &M,
+    schedule: ThresholdSchedule,
+    options: DriveOptions,
 ) -> Result<ThresholdOutcome, SpecError> {
     if spec.n() > MAX_TABLE_RELS {
         return Err(SpecError::TooManyRels(spec.n()));
     }
     let mut stats = NoStats;
-    let (_, outcome) = optimize_join_threshold_into::<AosTable, M, NoStats, true>(
-        spec, model, schedule, &mut stats,
+    let (_, outcome) = optimize_join_threshold_into_with::<AosTable, M, NoStats, true>(
+        spec, model, schedule, options, &mut stats,
     );
     Ok(outcome)
 }

@@ -33,13 +33,13 @@ pub mod server;
 pub use cache::{ComputedPlan, Lookup, PlanCache, Reservation, Slot};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pool::WorkerPool;
-pub use server::{Client, Server};
+pub use server::{Client, Server, ServerOptions};
 
 use blitz_baselines::goo;
 use blitz_catalog::CanonicalQuery;
 use blitz_core::{
-    optimize_join_threshold_into, AosTable, CostModel, Counters, DiskNestedLoops, JoinSpec, Kappa0,
-    Plan, SmDnl, SortMerge, ThresholdSchedule, MAX_TABLE_RELS,
+    optimize_join_threshold_into_with, AosTable, CostModel, Counters, DiskNestedLoops, DriveOptions,
+    JoinSpec, Kappa0, Plan, SmDnl, SortMerge, ThresholdSchedule, MAX_TABLE_RELS,
 };
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -173,7 +173,48 @@ impl Request {
     pub fn new(spec: JoinSpec) -> Request {
         Request { spec, model: ModelId::Kappa0, schedule: None, deadline: None }
     }
+
+    /// Service-boundary validation beyond what [`JoinSpec`] enforces at
+    /// construction. `JoinSpec` deliberately admits selectivities above 1
+    /// (the paper's Appendix workload generator uses them), but a service
+    /// exposed to arbitrary clients must reject them: an expanding
+    /// "selectivity" silently inflates every downstream cardinality.
+    pub fn validate(&self) -> Result<(), RequestError> {
+        for (i, j, sel) in self.spec.edges() {
+            if !(sel > 0.0 && sel <= 1.0) {
+                return Err(RequestError::SelectivityOutOfRange { i, j, sel });
+            }
+        }
+        Ok(())
+    }
 }
+
+/// A request rejected by [`Request::validate`] /
+/// [`OptimizerService::try_optimize`] before reaching the optimizer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestError {
+    /// A join selectivity outside the meaningful range `(0, 1]`.
+    SelectivityOutOfRange {
+        /// First relation of the offending predicate.
+        i: usize,
+        /// Second relation of the offending predicate.
+        j: usize,
+        /// The rejected (effective) selectivity.
+        sel: f64,
+    },
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::SelectivityOutOfRange { i, j, sel } => {
+                write!(f, "selectivity {sel} on edge {i},{j} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
 
 /// One optimization response. The plan is always in the *request's*
 /// relation numbering, whatever canonical form the cache used.
@@ -211,6 +252,13 @@ pub struct ServiceConfig {
     pub max_exact_rels: usize,
     /// Schedule for requests that do not bring their own.
     pub default_schedule: ThresholdSchedule,
+    /// Worker threads for the rank-wave parallel DP driver on large
+    /// queries (`0` = auto-detect, `1` = always serial).
+    pub parallelism: usize,
+    /// Queries with at least this many relations run through the
+    /// parallel driver (when [`ServiceConfig::parallelism`] allows);
+    /// smaller tables fill faster serially than the waves synchronize.
+    pub parallel_min_rels: usize,
 }
 
 impl Default for ServiceConfig {
@@ -220,8 +268,12 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             cache_capacity: 1024,
             cache_shards: 8,
-            max_exact_rels: 18,
+            // With the parallel driver the exact path stretches further
+            // before degrading to greedy (was 18 when strictly serial).
+            max_exact_rels: 20,
             default_schedule: ThresholdSchedule::default(),
+            parallelism: 0,
+            parallel_min_rels: 15,
         }
     }
 }
@@ -252,6 +304,25 @@ impl OptimizerService {
     /// Point-in-time metrics, including queue-depth and cache gauges.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot(self.pool.depth(), self.cache.len())
+    }
+
+    /// [`optimize`](OptimizerService::optimize) with service-boundary
+    /// validation: rejects requests whose spec carries selectivities
+    /// outside `(0, 1]` instead of optimizing over poisoned estimates.
+    pub fn try_optimize(&self, req: &Request) -> Result<Response, RequestError> {
+        req.validate()?;
+        Ok(self.optimize(req))
+    }
+
+    /// The [`DriveOptions`] an exact optimization of `n` relations runs
+    /// under: the rank-wave parallel driver for large tables, the serial
+    /// driver (or the process-wide default policy) otherwise.
+    fn drive_options(&self, n: usize) -> DriveOptions {
+        if n >= self.config.parallel_min_rels && self.config.parallelism != 1 {
+            DriveOptions::parallel(self.config.parallelism)
+        } else {
+            DriveOptions::default()
+        }
     }
 
     /// Optimize one request. Never fails: every degraded path returns a
@@ -313,9 +384,10 @@ impl OptimizerService {
         let model = req.model;
         let canon = canon.clone();
         let metrics = Arc::clone(&self.metrics);
+        let options = self.drive_options(spec.n());
         Box::new(move || {
             let started = Instant::now();
-            let (plan, cost, card, passes, counters) = run_exact(&spec, model, schedule);
+            let (plan, cost, card, passes, counters) = run_exact(&spec, model, schedule, options);
             metrics.record_optimization(&counters, passes, started.elapsed());
             reservation.fulfill_cached(ComputedPlan {
                 plan: canon.to_canonical(&plan),
@@ -410,24 +482,26 @@ fn run_exact(
     spec: &JoinSpec,
     model: ModelId,
     schedule: ThresholdSchedule,
+    options: DriveOptions,
 ) -> (Plan, f32, f64, u32, Counters) {
-    fn go<M: CostModel>(
+    fn go<M: CostModel + Sync>(
         spec: &JoinSpec,
         model: &M,
         schedule: ThresholdSchedule,
+        options: DriveOptions,
     ) -> (Plan, f32, f64, u32, Counters) {
         let mut counters = Counters::default();
-        let (_, outcome) = optimize_join_threshold_into::<AosTable, M, Counters, true>(
-            spec, model, schedule, &mut counters,
+        let (_, outcome) = optimize_join_threshold_into_with::<AosTable, M, Counters, true>(
+            spec, model, schedule, options, &mut counters,
         );
         let o = outcome.optimized;
         (o.plan, o.cost, o.card, outcome.passes, counters)
     }
     match model {
-        ModelId::Kappa0 => go(spec, &Kappa0, schedule),
-        ModelId::SortMerge => go(spec, &SortMerge, schedule),
-        ModelId::DiskNestedLoops => go(spec, &DiskNestedLoops::default(), schedule),
-        ModelId::SmDnl => go(spec, &SmDnl::default(), schedule),
+        ModelId::Kappa0 => go(spec, &Kappa0, schedule, options),
+        ModelId::SortMerge => go(spec, &SortMerge, schedule, options),
+        ModelId::DiskNestedLoops => go(spec, &DiskNestedLoops::default(), schedule, options),
+        ModelId::SmDnl => go(spec, &SmDnl::default(), schedule, options),
     }
 }
 
@@ -460,6 +534,48 @@ mod tests {
         assert_send_sync::<Request>();
         assert_send_sync::<Response>();
         assert_send_sync::<MetricsSnapshot>();
+    }
+
+    #[test]
+    fn try_optimize_rejects_out_of_range_selectivity() {
+        // JoinSpec itself admits selectivities above 1 (the Appendix
+        // workload generator uses them); the service boundary must not.
+        let spec = JoinSpec::new(&[10.0, 20.0], &[(0, 1, 2.0)]).unwrap();
+        let service = OptimizerService::new(ServiceConfig { workers: 1, ..Default::default() });
+        let err = service.try_optimize(&Request::new(spec)).unwrap_err();
+        assert!(matches!(err, RequestError::SelectivityOutOfRange { i: 0, j: 1, .. }));
+        assert!(err.to_string().contains("outside (0, 1]"), "{err}");
+
+        let ok = JoinSpec::new(&[10.0, 20.0], &[(0, 1, 0.5)]).unwrap();
+        assert!(service.try_optimize(&Request::new(ok)).is_ok());
+    }
+
+    #[test]
+    fn large_requests_take_the_parallel_exact_path() {
+        // 16 relations ≥ parallel_min_rels: must still answer exactly
+        // (not greedily) and agree with the serial optimizer bit-for-bit.
+        let n = 16;
+        let cards: Vec<f64> = (0..n).map(|i| 10.0 + i as f64).collect();
+        let edges: Vec<(usize, usize, f64)> =
+            (0..n - 1).map(|i| (i, i + 1, 0.01)).collect();
+        let spec = JoinSpec::new(&cards, &edges).unwrap();
+        let service = OptimizerService::new(ServiceConfig {
+            workers: 1,
+            parallelism: 2,
+            ..Default::default()
+        });
+        assert!(service.drive_options(n).effective_parallelism() >= 2);
+        let resp = service.optimize(&Request::new(spec.clone()));
+        assert_eq!(resp.source, PlanSource::Exact);
+        let direct = blitz_core::optimize_join_threshold_with(
+            &spec,
+            &Kappa0,
+            ThresholdSchedule::default(),
+            DriveOptions::serial(),
+        )
+        .unwrap();
+        assert_eq!(resp.cost, direct.optimized.cost);
+        assert_eq!(resp.plan.canonical(), direct.optimized.plan.canonical());
     }
 
     #[test]

@@ -30,16 +30,55 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Per-connection resource limits for [`Server`]. Without them a client
+/// sending an endless line (no `\n`) grows a server-side buffer without
+/// bound, and a client that goes silent mid-request pins its connection
+/// thread forever.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Maximum accepted request-line length in bytes (excluding the
+    /// terminating `\n`). Longer lines get a protocol `ERR` and the
+    /// connection is closed (the stream cannot be resynchronized
+    /// mid-line).
+    pub max_line_bytes: usize,
+    /// Close a connection after this long with no bytes from the client;
+    /// `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Give up writing a response after this long; `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            max_line_bytes: 64 * 1024,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
 /// TCP server wrapping a shared [`OptimizerService`].
 pub struct Server {
     listener: TcpListener,
     service: Arc<OptimizerService>,
+    options: ServerOptions,
 }
 
 impl Server {
-    /// Bind `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks a free port).
+    /// Bind `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks a free port)
+    /// with the default [`ServerOptions`].
     pub fn bind(addr: impl ToSocketAddrs, service: Arc<OptimizerService>) -> io::Result<Server> {
-        Ok(Server { listener: TcpListener::bind(addr)?, service })
+        Server::bind_with(addr, service, ServerOptions::default())
+    }
+
+    /// [`bind`](Server::bind) with explicit per-connection limits.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<OptimizerService>,
+        options: ServerOptions,
+    ) -> io::Result<Server> {
+        Ok(Server { listener: TcpListener::bind(addr)?, service, options })
     }
 
     /// The bound address (useful with port 0).
@@ -52,8 +91,9 @@ impl Server {
         for stream in self.listener.incoming() {
             let stream = stream?;
             let service = Arc::clone(&self.service);
+            let options = self.options;
             std::thread::spawn(move || {
-                let _ = handle_connection(&service, stream);
+                let _ = handle_connection(&service, stream, &options);
             });
         }
         Ok(())
@@ -68,22 +108,98 @@ impl Server {
     }
 }
 
-fn handle_connection(service: &OptimizerService, stream: TcpStream) -> io::Result<()> {
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (without the `\n`).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the configured maximum before a `\n` arrived.
+    TooLong,
+}
+
+/// Read one `\n`-terminated line of at most `max_len` bytes. Unlike
+/// `BufRead::read_line`, memory is bounded: the moment the accumulated
+/// prefix exceeds `max_len` this returns [`LineRead::TooLong`] without
+/// buffering the remainder.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    max_len: usize,
+) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max_len {
+                    reader.consume(pos + 1);
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            None => {
+                let chunk = available.len();
+                if buf.len() + chunk > max_len {
+                    reader.consume(chunk);
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(available);
+                reader.consume(chunk);
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    service: &OptimizerService,
+    stream: TcpStream,
+    options: &ServerOptions,
+) -> io::Result<()> {
+    stream.set_read_timeout(options.read_timeout)?;
+    stream.set_write_timeout(options.write_timeout)?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request_line(&mut reader, options.max_line_bytes) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                // The rest of the oversized line is still in flight; the
+                // stream cannot be resynchronized, so report and close.
+                let msg =
+                    format!("ERR request line exceeds {} bytes\n", options.max_line_bytes);
+                let _ = writer.write_all(msg.as_bytes());
+                break;
+            }
+            Ok(LineRead::Line(line)) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if line.eq_ignore_ascii_case("QUIT") {
+                    break;
+                }
+                let response = handle_line(service, line);
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                // Idle or half-open connection: tell the client (best
+                // effort) and reclaim this thread.
+                let _ = writer.write_all(b"ERR connection idle timeout\n");
+                break;
+            }
+            Err(e) => return Err(e),
         }
-        if line.eq_ignore_ascii_case("QUIT") {
-            break;
-        }
-        let response = handle_line(service, line);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
     }
     Ok(())
 }
@@ -100,7 +216,10 @@ pub fn handle_line(service: &OptimizerService, line: &str) -> String {
         "PING" => "OK pong".to_string(),
         "METRICS" => format!("OK {}", service.snapshot().to_line()),
         "OPTIMIZE" => match parse_optimize(rest) {
-            Ok(req) => format_response(&service.optimize(&req)),
+            Ok(req) => match service.try_optimize(&req) {
+                Ok(resp) => format_response(&resp),
+                Err(e) => format!("ERR {e}"),
+            },
             Err(msg) => format!("ERR {msg}"),
         },
         other => format!("ERR unknown verb {other:?} (expected OPTIMIZE|METRICS|PING|QUIT)"),
@@ -182,6 +301,27 @@ pub fn parse_optimize(args: &str) -> Result<Request, String> {
     }
 
     let cards = cards.ok_or_else(|| "OPTIMIZE requires cards=".to_string())?;
+
+    // Wire-boundary validation beyond `JoinSpec::new` (which catches
+    // empty/oversized inputs, nonpositive or non-finite cardinalities
+    // and selectivities, self-edges and out-of-range indices): the
+    // library deliberately admits selectivities above 1 and duplicate
+    // predicates (whose selectivities multiply), but from an untrusted
+    // client both are almost certainly mistakes that poison every
+    // downstream cardinality estimate.
+    let mut seen = std::collections::HashSet::new();
+    for &(i, j, sel) in &preds {
+        if i == j {
+            return Err(format!("self-join predicate {i}:{j} (relations must differ)"));
+        }
+        if !(sel > 0.0 && sel <= 1.0) {
+            return Err(format!("selectivity {sel} on predicate {i}:{j} outside (0, 1]"));
+        }
+        if !seen.insert((i.min(j), i.max(j))) {
+            return Err(format!("duplicate predicate for relation pair {i}:{j}"));
+        }
+    }
+
     let spec = JoinSpec::new(&cards, &preds).map_err(|e| e.to_string())?;
     Ok(Request { spec, model, schedule, deadline })
 }
@@ -356,6 +496,123 @@ mod tests {
             let resp = handle_line(&s, bad);
             assert!(resp.starts_with("ERR "), "{bad:?} → {resp}");
         }
+    }
+
+    /// Every malformed float and degenerate edge must die at the wire
+    /// boundary with `ERR`, never reach the DP table.
+    #[test]
+    fn optimize_rejects_poisonous_inputs() {
+        let s = service();
+        for bad in [
+            // Cardinalities: NaN, negative, zero, infinite.
+            "OPTIMIZE cards=nan,20",
+            "OPTIMIZE cards=-5,20",
+            "OPTIMIZE cards=0,20",
+            "OPTIMIZE cards=inf,20",
+            // Selectivities outside (0, 1].
+            "OPTIMIZE cards=10,20 preds=0:1:0",
+            "OPTIMIZE cards=10,20 preds=0:1:-1",
+            "OPTIMIZE cards=10,20 preds=0:1:nan",
+            "OPTIMIZE cards=10,20 preds=0:1:2.0",
+            // Self-edge and duplicate edge (in either orientation).
+            "OPTIMIZE cards=10,20 preds=1:1:0.5",
+            "OPTIMIZE cards=10,20 preds=0:1:0.5;0:1:0.5",
+            "OPTIMIZE cards=10,20 preds=0:1:0.5;1:0:0.2",
+        ] {
+            let resp = handle_line(&s, bad);
+            assert!(resp.starts_with("ERR "), "{bad:?} → {resp}");
+        }
+        // The boundary is exact, not overeager: sel = 1 and sel just
+        // below 1 pass.
+        let ok = handle_line(&s, "OPTIMIZE cards=10,20 preds=0:1:1");
+        assert!(ok.starts_with("OK "), "{ok}");
+    }
+
+    /// A request line longer than the configured maximum draws a
+    /// protocol `ERR` and a closed connection — with memory bounded by
+    /// `max_line_bytes`, not by what the client sends.
+    #[test]
+    fn overlong_line_gets_err_and_close() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            service(),
+            ServerOptions { max_line_bytes: 64, ..ServerOptions::default() },
+        )
+        .unwrap();
+        let (addr, _handle) = server.spawn().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream.write_all(&[b'x'; 500]).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.starts_with("ERR request line exceeds 64 bytes"), "{resp}");
+        // Connection must be closed after the ERR.
+        resp.clear();
+        assert_eq!(reader.read_line(&mut resp).unwrap(), 0, "expected EOF, got {resp:?}");
+    }
+
+    /// The acceptance-criteria malicious client: a 10 MB line. The
+    /// server must answer `ERR` (or drop the connection) without
+    /// buffering the payload, and keep serving other clients.
+    #[test]
+    fn survives_ten_megabyte_line() {
+        let server = Server::bind("127.0.0.1:0", service()).unwrap();
+        let (addr, _handle) = server.spawn().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        // The server closes mid-upload, so writes may fail with
+        // EPIPE/ECONNRESET once its ERR is in flight; that's the point.
+        let pump = std::thread::spawn(move || {
+            let chunk = vec![b'y'; 64 * 1024];
+            for _ in 0..160 {
+                if writer.write_all(&chunk).is_err() {
+                    break;
+                }
+            }
+            let _ = writer.write_all(b"\n");
+        });
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        // Either the ERR line arrives, or the reset beats it; both prove
+        // the server cut the connection instead of buffering 10 MB.
+        match reader.read_line(&mut resp) {
+            Ok(0) => {}
+            Ok(_) => assert!(resp.starts_with("ERR request line exceeds"), "{resp}"),
+            Err(_) => {}
+        }
+        pump.join().unwrap();
+        // The server is still healthy for a fresh client.
+        let mut client = Client::connect(addr).unwrap();
+        assert!(client.ping().unwrap());
+    }
+
+    /// A client that connects and goes silent must not pin its
+    /// connection thread forever: the read timeout reclaims it.
+    #[test]
+    fn silent_connection_times_out() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            service(),
+            ServerOptions { read_timeout: Some(Duration::from_millis(100)), ..Default::default() },
+        )
+        .unwrap();
+        let (addr, _handle) = server.spawn().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let start = std::time::Instant::now();
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        // Send nothing. Within the deadline the server must either say
+        // why it's hanging up or close outright.
+        let n = reader.read_line(&mut resp).unwrap();
+        assert!(
+            n == 0 || resp.starts_with("ERR connection idle timeout"),
+            "unexpected response {resp:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(5), "server held the connection open");
     }
 
     #[test]

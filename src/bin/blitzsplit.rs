@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! blitzsplit optimize --cards 10,20,30,40 --pred 0:1:0.1 --pred 0:2:0.2 \
-//!                     [--model k0|sm|dnl|smdnl] [--threshold 1e9] [--dot]
+//!                     [--model k0|sm|dnl|smdnl] [--threshold 1e9] [--threads N] [--dot]
 //! blitzsplit sql "SELECT * FROM sales s, customer c WHERE s.custkey = c.custkey"
 //! blitzsplit workload --topology chain|cycle3|star|clique --n 15 --mu 100 --var 0.5 [--time]
-//! blitzsplit serve  [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--max-rels N]
+//! blitzsplit serve  [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--max-rels N] \
+//!                   [--threads N]
 //! blitzsplit client --addr HOST:PORT --cards 10,20,30 [--pred i:j:sel]... [--model ...]
 //! blitzsplit client --addr HOST:PORT --metrics
 //! ```
@@ -21,8 +22,8 @@ use blitzsplit::core::CostModel;
 use blitzsplit::service::server::{format_optimize_request, response_field};
 use blitzsplit::service::{Client, ModelId, OptimizerService, Server, ServiceConfig};
 use blitzsplit::{
-    optimize_join, optimize_join_threshold, DiskNestedLoops, JoinSpec, Kappa0, SmDnl, SortMerge,
-    ThresholdSchedule,
+    optimize_join_threshold_with, optimize_join_with, DiskNestedLoops, DriveOptions, JoinSpec,
+    Kappa0, SmDnl, SortMerge, ThresholdSchedule,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -32,12 +33,12 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!();
     eprintln!("usage:");
     eprintln!("  blitzsplit optimize --cards C1,C2,... [--pred i:j:sel]... \\");
-    eprintln!("             [--model k0|sm|dnl|smdnl] [--threshold T] [--dot]");
+    eprintln!("             [--model k0|sm|dnl|smdnl] [--threshold T] [--threads N] [--dot]");
     eprintln!("  blitzsplit sql \"SELECT ...\" [--model ...] [--dot]");
     eprintln!("  blitzsplit workload --topology chain|cycle3|star|clique \\");
-    eprintln!("             --n N [--mu M] [--var V] [--model ...] [--time]");
+    eprintln!("             --n N [--mu M] [--var V] [--model ...] [--threads N] [--time]");
     eprintln!("  blitzsplit serve [--addr 127.0.0.1:7878] [--workers N] [--cache N] \\");
-    eprintln!("             [--max-rels N]");
+    eprintln!("             [--max-rels N] [--threads N]");
     eprintln!("  blitzsplit client --addr HOST:PORT (--metrics | --cards C1,C2,... \\");
     eprintln!("             [--pred i:j:sel]... [--model ...] [--deadline-ms N])");
     ExitCode::FAILURE
@@ -114,10 +115,17 @@ fn parse_preds(args: &Args) -> Result<Vec<(usize, usize, f64)>, String> {
     Ok(preds)
 }
 
-fn report<M: CostModel>(spec: &JoinSpec, model: &M, threshold: Option<f32>, dot: bool) -> ExitCode {
+fn report<M: CostModel + Sync>(
+    spec: &JoinSpec,
+    model: &M,
+    threshold: Option<f32>,
+    options: DriveOptions,
+    dot: bool,
+) -> ExitCode {
     let (optimized, passes) = match threshold {
         Some(t) => {
-            match optimize_join_threshold(spec, model, ThresholdSchedule::new(t, 1e5, 6)) {
+            match optimize_join_threshold_with(spec, model, ThresholdSchedule::new(t, 1e5, 6), options)
+            {
                 Ok(out) => (out.optimized, out.passes),
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -125,7 +133,7 @@ fn report<M: CostModel>(spec: &JoinSpec, model: &M, threshold: Option<f32>, dot:
                 }
             }
         }
-        None => match optimize_join(spec, model) {
+        None => match optimize_join_with(spec, model, options) {
             Ok(o) => (o, 1),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -154,13 +162,14 @@ fn with_model(
     name: &str,
     spec: &JoinSpec,
     threshold: Option<f32>,
+    options: DriveOptions,
     dot: bool,
 ) -> Result<ExitCode, String> {
     match name {
-        "k0" => Ok(report(spec, &Kappa0, threshold, dot)),
-        "sm" => Ok(report(spec, &SortMerge, threshold, dot)),
-        "dnl" => Ok(report(spec, &DiskNestedLoops::default(), threshold, dot)),
-        "smdnl" => Ok(report(spec, &SmDnl::default(), threshold, dot)),
+        "k0" => Ok(report(spec, &Kappa0, threshold, options, dot)),
+        "sm" => Ok(report(spec, &SortMerge, threshold, options, dot)),
+        "dnl" => Ok(report(spec, &DiskNestedLoops::default(), threshold, options, dot)),
+        "smdnl" => Ok(report(spec, &SmDnl::default(), threshold, options, dot)),
         other => Err(format!("unknown cost model {other:?} (expected k0|sm|dnl|smdnl)")),
     }
 }
@@ -178,6 +187,12 @@ fn main() -> ExitCode {
         Some(_) => return fail("--threshold must be a positive number"),
     };
     let dot = args.has("dot");
+    let drive_options = match args.get("threads").map(|t| t.parse::<usize>()) {
+        None => DriveOptions::default(),
+        // 0 = auto-detect, 1 = serial, N = that many wave workers.
+        Some(Ok(t)) => DriveOptions::parallel(t),
+        Some(Err(_)) => return fail("--threads must be a non-negative integer"),
+    };
 
     match cmd.as_str() {
         "optimize" => {
@@ -196,7 +211,7 @@ fn main() -> ExitCode {
                 Ok(s) => s,
                 Err(e) => return fail(&e.to_string()),
             };
-            with_model(&model, &spec, threshold, dot).unwrap_or_else(|e| fail(&e))
+            with_model(&model, &spec, threshold, drive_options, dot).unwrap_or_else(|e| fail(&e))
         }
         "sql" => {
             let Some(query) = args.positional.first() else {
@@ -213,7 +228,7 @@ fn main() -> ExitCode {
                 Ok(s) => s,
                 Err(e) => return fail(&e.to_string()),
             };
-            with_model(&model, &spec, threshold, dot).unwrap_or_else(|e| fail(&e))
+            with_model(&model, &spec, threshold, drive_options, dot).unwrap_or_else(|e| fail(&e))
         }
         "workload" => {
             let topo = match args.get("topology").unwrap_or("chain") {
@@ -238,10 +253,10 @@ fn main() -> ExitCode {
             let spec = Workload::new(n, topo, mu, var).spec();
             if args.has("time") {
                 let start = std::time::Instant::now();
-                let _ = optimize_join(&spec, &Kappa0);
+                let _ = optimize_join_with(&spec, &Kappa0, drive_options);
                 println!("optimization time (k0): {:?}", start.elapsed());
             }
-            with_model(&model, &spec, threshold, dot).unwrap_or_else(|e| fail(&e))
+            with_model(&model, &spec, threshold, drive_options, dot).unwrap_or_else(|e| fail(&e))
         }
         "serve" => {
             let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
@@ -262,6 +277,12 @@ fn main() -> ExitCode {
                 match m.parse::<usize>() {
                     Ok(m) if m >= 1 => config.max_exact_rels = m,
                     _ => return fail("--max-rels must be a positive integer"),
+                }
+            }
+            if let Some(t) = args.get("threads") {
+                match t.parse::<usize>() {
+                    Ok(t) => config.parallelism = t,
+                    _ => return fail("--threads must be a non-negative integer"),
                 }
             }
             let service = Arc::new(OptimizerService::new(config));

@@ -48,6 +48,7 @@ pub use blitz_exec as exec;
 pub use blitz_service as service;
 
 pub use blitz_core::{
-    optimize_join, optimize_join_threshold, optimize_products, CostModel, DiskNestedLoops,
-    JoinSpec, Kappa0, Optimized, Plan, RelSet, SmDnl, SortMerge, ThresholdSchedule,
+    optimize_join, optimize_join_threshold, optimize_join_threshold_with, optimize_join_with,
+    optimize_products, optimize_products_with, CostModel, DiskNestedLoops, DriveOptions, JoinSpec,
+    Kappa0, Optimized, Plan, RelSet, SmDnl, SortMerge, ThresholdSchedule,
 };

@@ -14,7 +14,7 @@ fn close(a: f32, b: f32) -> bool {
     (a - b).abs() <= a.abs().max(b.abs()) * 1e-4 + 1e-4
 }
 
-fn check_exhaustive_agreement<M: CostModel>(spec: &JoinSpec, model: &M) {
+fn check_exhaustive_agreement<M: CostModel + Sync>(spec: &JoinSpec, model: &M) {
     let bz = optimize_join(spec, model).unwrap();
     let dpsub = optimize_dpsub(spec, model, Connectivity::ProductsAllowed);
     let dpsize = optimize_dpsize(spec, model, CrossProducts::Allowed);

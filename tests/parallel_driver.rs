@@ -1,0 +1,160 @@
+//! Cross-checks for the rank-wave parallel DP driver.
+//!
+//! The parallel driver's contract is strong: not merely the same optimal
+//! cost as the serial driver, but a **bit-identical DP table** — every
+//! row's cost bits, cardinality bits, fan product and `best_lhs` — on
+//! every spec, because each row is computed self-contained by exactly one
+//! worker running the same code over the same already-final inputs
+//! (strictly smaller popcounts). These tests pin that contract across all
+//! four paper topologies × three cost models, against the brute-force
+//! oracle, and through the multi-pass threshold schedule.
+
+use blitzsplit::baselines::best_bushy;
+use blitzsplit::catalog::{Topology, Workload};
+use blitzsplit::core::{
+    optimize_join_into, optimize_join_into_with, AosTable, Counters, NoStats, RelSet, TableLayout,
+};
+use blitzsplit::{
+    optimize_join_threshold_with, optimize_join_with, CostModel, DiskNestedLoops, DriveOptions,
+    JoinSpec, Kappa0, SortMerge, ThresholdSchedule,
+};
+
+const TOPOLOGIES: [Topology; 4] =
+    [Topology::Chain, Topology::CyclePlus3, Topology::Star, Topology::Clique];
+
+fn assert_tables_bit_identical(n: usize, serial: &AosTable, parallel: &AosTable, label: &str) {
+    for bits in 1u32..(1u32 << n) {
+        let s = RelSet::from_bits(bits);
+        assert_eq!(
+            serial.cost(s).to_bits(),
+            parallel.cost(s).to_bits(),
+            "{label}: cost of {s:?}"
+        );
+        assert_eq!(
+            serial.card(s).to_bits(),
+            parallel.card(s).to_bits(),
+            "{label}: card of {s:?}"
+        );
+        assert_eq!(serial.best_lhs(s), parallel.best_lhs(s), "{label}: best_lhs of {s:?}");
+        assert_eq!(
+            serial.pi_fan(s).to_bits(),
+            parallel.pi_fan(s).to_bits(),
+            "{label}: pi_fan of {s:?}"
+        );
+    }
+}
+
+fn check_bit_identical<M: CostModel + Sync>(spec: &JoinSpec, model: &M, threads: usize) {
+    let mut s1 = NoStats;
+    let serial: AosTable =
+        optimize_join_into::<_, _, _, true>(spec, model, f32::INFINITY, &mut s1);
+    let mut s2 = NoStats;
+    let parallel: AosTable = optimize_join_into_with::<_, _, _, true>(
+        spec,
+        model,
+        f32::INFINITY,
+        DriveOptions::parallel(threads),
+        &mut s2,
+    );
+    let label = format!("{} n={} threads={}", model.name(), spec.n(), threads);
+    assert_tables_bit_identical(spec.n(), &serial, &parallel, &label);
+
+    // Tie-break determinism surfaces in the extracted plan: identical
+    // `best_lhs` chains mean identical canonical trees, not just equal
+    // costs.
+    let ser = optimize_join_with(spec, model, DriveOptions::serial()).unwrap();
+    let par = optimize_join_with(spec, model, DriveOptions::parallel(threads)).unwrap();
+    assert_eq!(ser.cost.to_bits(), par.cost.to_bits(), "{label}: plan cost");
+    assert_eq!(ser.plan.canonical(), par.plan.canonical(), "{label}: canonical plan");
+}
+
+#[test]
+fn parallel_matches_serial_bit_for_bit_across_topologies_and_models() {
+    for topo in TOPOLOGIES {
+        for n in [4usize, 7, 10] {
+            let spec = Workload::new(n, topo, 100.0, 0.5).spec();
+            check_bit_identical(&spec, &Kappa0, 4);
+            check_bit_identical(&spec, &SortMerge, 4);
+            check_bit_identical(&spec, &DiskNestedLoops::default(), 4);
+        }
+    }
+}
+
+/// Thread counts that don't divide the wave sizes evenly (and exceed the
+/// row count of small waves) must not change a single bit.
+#[test]
+fn parallel_is_invariant_to_thread_count() {
+    let spec = Workload::new(9, Topology::CyclePlus3, 200.0, 0.7).spec();
+    for threads in [2usize, 3, 5, 8, 16] {
+        check_bit_identical(&spec, &Kappa0, threads);
+    }
+}
+
+/// The parallel driver against ground truth: the non-memoized recursive
+/// brute-force oracle over all bushy trees.
+#[test]
+fn parallel_matches_bruteforce_oracle() {
+    for topo in TOPOLOGIES {
+        let spec = Workload::new(6, topo, 50.0, 0.4).spec();
+        check_oracle(&spec, &Kappa0);
+        check_oracle(&spec, &SortMerge);
+        check_oracle(&spec, &DiskNestedLoops::default());
+    }
+}
+
+fn check_oracle<M: CostModel + Sync>(spec: &JoinSpec, model: &M) {
+    let (_, oracle) = best_bushy(spec, model, spec.all_rels());
+    let par = optimize_join_with(spec, model, DriveOptions::parallel(4)).unwrap();
+    let tol = oracle.abs() * 1e-4 + 1e-4;
+    assert!(
+        (par.cost - oracle).abs() <= tol,
+        "{}: parallel {} vs oracle {}",
+        model.name(),
+        par.cost,
+        oracle
+    );
+    // The returned plan must re-cost to what the table claims.
+    let (_, recost) = par.plan.cost(spec, model);
+    let tol = par.cost.abs() * 1e-4 + 1e-4;
+    assert!((recost - par.cost).abs() <= tol, "plan recost {recost} vs table {}", par.cost);
+}
+
+/// A multi-pass threshold schedule at `threads = 4`: pass counts, final
+/// cost bits, canonical plan, and even the instrumentation counters must
+/// match the serial schedule (the counters are per-row deterministic, so
+/// per-thread sinks absorb back to the exact serial totals).
+#[test]
+fn threshold_schedule_agrees_at_four_threads() {
+    // Tight initial threshold forces escalation before success.
+    let spec = Workload::new(10, Topology::Clique, 1000.0, 0.5).spec();
+    let schedule = ThresholdSchedule::new(10.0, 1e3, 6);
+
+    let serial = optimize_join_threshold_with(&spec, &Kappa0, schedule, DriveOptions::serial())
+        .unwrap();
+    let parallel =
+        optimize_join_threshold_with(&spec, &Kappa0, schedule, DriveOptions::parallel(4)).unwrap();
+    assert!(serial.passes > 1, "want a schedule that actually escalates");
+    assert_eq!(serial.passes, parallel.passes);
+    assert_eq!(serial.final_cap.to_bits(), parallel.final_cap.to_bits());
+    assert_eq!(serial.optimized.cost.to_bits(), parallel.optimized.cost.to_bits());
+    assert_eq!(serial.optimized.plan.canonical(), parallel.optimized.plan.canonical());
+
+    let mut cs = Counters::default();
+    let (ts, _) = blitzsplit::core::optimize_join_threshold_into_with::<AosTable, _, _, true>(
+        &spec,
+        &Kappa0,
+        schedule,
+        DriveOptions::serial(),
+        &mut cs,
+    );
+    let mut cp = Counters::default();
+    let (tp, _) = blitzsplit::core::optimize_join_threshold_into_with::<AosTable, _, _, true>(
+        &spec,
+        &Kappa0,
+        schedule,
+        DriveOptions::parallel(4),
+        &mut cp,
+    );
+    assert_eq!(cs, cp, "instrumentation counters diverged between drivers");
+    assert_tables_bit_identical(spec.n(), &ts, &tp, "thresholded k0 n=10");
+}
