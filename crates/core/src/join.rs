@@ -28,7 +28,7 @@ use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
 use crate::split::{drive, drive_parallel, init_singleton, DriveOptions};
 use crate::stats::{NoStats, Stats};
-use crate::table::{AosTable, SyncTableView, TableLayout, MAX_TABLE_RELS};
+use crate::table::{AosTable, SyncTableView, TableLayout, WaveTableLayout, MAX_TABLE_RELS};
 
 /// `compute_properties` for joins: fan recurrence + cardinality recurrence
 /// (paper Section 5.4). Exactly three floating-point multiplications.
@@ -105,7 +105,7 @@ pub fn optimize_join_into_with<L, M, St, const PRUNE: bool>(
     stats: &mut St,
 ) -> L
 where
-    L: TableLayout + Send,
+    L: WaveTableLayout + Send,
     M: CostModel + Sync,
     St: Stats + Default + Send,
 {

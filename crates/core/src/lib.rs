@@ -65,7 +65,8 @@ pub use spec::{JoinSpec, SpecError};
 pub use split::DriveOptions;
 pub use stats::{Counters, NoStats, Stats};
 pub use table::{
-    AosTable, CompactProductTable, SoaTable, SyncTable, SyncTableView, TableLayout, MAX_TABLE_RELS,
+    AosTable, CompactProductTable, SoaTable, SyncTable, SyncTableView, TableLayout,
+    WaveTableLayout, MAX_TABLE_RELS,
 };
 pub use threshold::{
     optimize_join_threshold, optimize_join_threshold_into, optimize_join_threshold_into_with,

@@ -21,7 +21,7 @@
 use crate::bitset::RelSet;
 use crate::cost::CostModel;
 use crate::stats::Stats;
-use crate::table::{SyncTable, SyncTableView, TableLayout};
+use crate::table::{SyncTable, SyncTableView, TableLayout, WaveTableLayout};
 
 /// Execution options for the DP drivers — how much hardware to throw at
 /// one optimization.
@@ -280,7 +280,7 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
     stats: &mut St,
     compute_properties: F,
 ) where
-    L: TableLayout + Send,
+    L: WaveTableLayout + Send,
     M: CostModel + Sync,
     St: Stats + Default + Send,
     F: Fn(&mut SyncTableView<L>, &M, RelSet) + Sync,

@@ -19,7 +19,7 @@
 //! is generic over the layout and monomorphizes both.
 
 use crate::bitset::{RelSet, MAX_RELS};
-use std::cell::UnsafeCell;
+use std::marker::PhantomData;
 
 /// Guard against absurd allocations: `2^28` rows of 32 bytes is 8 GiB.
 pub const MAX_TABLE_RELS: usize = 28;
@@ -339,14 +339,372 @@ impl TableLayout for CompactProductTable {
     }
 }
 
-/// Shared-table wrapper for the rank-wave parallel driver: lets several
+/// Raw per-row access to a layout's buffers, for the rank-wave parallel
+/// driver. Implemented by each concrete layout.
+///
+/// Worker threads must all access the shared table, but materializing a
+/// `&mut L` (or even `&L`) to the *whole* table while another thread
+/// holds one is undefined behavior: an exclusive reference asserts
+/// alias-freedom over every byte it covers — not just the bytes actually
+/// touched — so "the written rows are disjoint" is no defense under
+/// Rust's aliasing rules (Stacked/Tree Borrows). The parallel view
+/// therefore never forms a reference into the table at all:
+/// [`raw_parts`](WaveTableLayout::raw_parts) captures the buffer base
+/// pointers once, under the caller's still-live exclusive borrow, and
+/// every accessor below performs a single in-bounds *element* read or
+/// write through those raw pointers.
+///
+/// # Safety
+///
+/// The implementor contract:
+///
+/// * `raw_parts` must return pointers into `self`'s own heap buffers,
+///   valid for element access at every in-bounds row index for as long
+///   as the exclusive borrow it was called under lives.
+/// * Every accessor must be a raw-pointer element access; it must not
+///   create a reference to the table or to a whole buffer. (A reference
+///   to the single addressed element would also be sound — disjoint rows
+///   never alias — but plain pointer reads/writes are used throughout.)
+/// * Accessors must preserve the exact semantics of the corresponding
+///   [`TableLayout`] methods (including panics on unsupported columns),
+///   so serial and parallel drivers stay bit-identical.
+pub unsafe trait WaveTableLayout: TableLayout {
+    /// Copyable bundle of raw buffer base pointers plus the table's `n`.
+    type Raw: Copy;
+
+    /// Capture the raw buffer pointers under an exclusive borrow.
+    fn raw_parts(&mut self) -> Self::Raw;
+
+    /// Relation count recorded in `raw` (plain data, always safe).
+    fn raw_rels(raw: Self::Raw) -> usize;
+
+    /// Read the `card` field of row `s`.
+    ///
+    /// # Safety
+    /// For this and every accessor below: `raw` must come from
+    /// [`raw_parts`](WaveTableLayout::raw_parts) on a table whose
+    /// exclusive borrow is still live, `s` must be in bounds for that
+    /// table, and the access must not overlap in time with an access to
+    /// the same row from another thread of which at least one is a write
+    /// (the rank-wave discipline — see [`SyncTable`]).
+    unsafe fn raw_card(raw: Self::Raw, s: RelSet) -> f64;
+    /// Write the `card` field of row `s`.
+    /// # Safety
+    /// See [`WaveTableLayout::raw_card`].
+    unsafe fn raw_set_card(raw: Self::Raw, s: RelSet, v: f64);
+    /// Read the `cost` field of row `s`.
+    /// # Safety
+    /// See [`WaveTableLayout::raw_card`].
+    unsafe fn raw_cost(raw: Self::Raw, s: RelSet) -> f32;
+    /// Write the `cost` field of row `s`.
+    /// # Safety
+    /// See [`WaveTableLayout::raw_card`].
+    unsafe fn raw_set_cost(raw: Self::Raw, s: RelSet, v: f32);
+    /// Read the `best_lhs` field of row `s`.
+    /// # Safety
+    /// See [`WaveTableLayout::raw_card`].
+    unsafe fn raw_best_lhs(raw: Self::Raw, s: RelSet) -> RelSet;
+    /// Write the `best_lhs` field of row `s`.
+    /// # Safety
+    /// See [`WaveTableLayout::raw_card`].
+    unsafe fn raw_set_best_lhs(raw: Self::Raw, s: RelSet, v: RelSet);
+    /// Read the `Π_fan` field of row `s`.
+    /// # Safety
+    /// See [`WaveTableLayout::raw_card`].
+    unsafe fn raw_pi_fan(raw: Self::Raw, s: RelSet) -> f64;
+    /// Write the `Π_fan` field of row `s`.
+    /// # Safety
+    /// See [`WaveTableLayout::raw_card`].
+    unsafe fn raw_set_pi_fan(raw: Self::Raw, s: RelSet, v: f64);
+    /// Read the cost-model memo field of row `s`.
+    /// # Safety
+    /// See [`WaveTableLayout::raw_card`].
+    unsafe fn raw_aux(raw: Self::Raw, s: RelSet) -> f32;
+    /// Write the cost-model memo field of row `s`.
+    /// # Safety
+    /// See [`WaveTableLayout::raw_card`].
+    unsafe fn raw_set_aux(raw: Self::Raw, s: RelSet, v: f32);
+}
+
+/// Raw parts of an [`AosTable`]: the row-array base pointer.
+#[derive(Copy, Clone)]
+pub struct AosRaw {
+    n: usize,
+    rows: *mut Row,
+}
+
+// SAFETY: the pointer is only dereferenced under the `WaveTableLayout`
+// accessor contract (live borrow, in-bounds row, race-free), which is
+// thread-agnostic; `Row` is plain `Copy` data.
+unsafe impl Send for AosRaw {}
+
+// SAFETY: `raw_parts` snapshots the `Vec`'s buffer pointer under `&mut
+// self`; the buffer is never reallocated while that borrow lives, and
+// every accessor is a single `ptr::add` + field read/write — no
+// reference to the table or the buffer is ever formed.
+unsafe impl WaveTableLayout for AosTable {
+    type Raw = AosRaw;
+
+    fn raw_parts(&mut self) -> AosRaw {
+        AosRaw { n: self.n, rows: self.rows.as_mut_ptr() }
+    }
+
+    #[inline]
+    fn raw_rels(raw: AosRaw) -> usize {
+        raw.n
+    }
+
+    #[inline]
+    unsafe fn raw_card(raw: AosRaw, s: RelSet) -> f64 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).card
+    }
+
+    #[inline]
+    unsafe fn raw_set_card(raw: AosRaw, s: RelSet, v: f64) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).card = v;
+    }
+
+    #[inline]
+    unsafe fn raw_cost(raw: AosRaw, s: RelSet) -> f32 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).cost
+    }
+
+    #[inline]
+    unsafe fn raw_set_cost(raw: AosRaw, s: RelSet, v: f32) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).cost = v;
+    }
+
+    #[inline]
+    unsafe fn raw_best_lhs(raw: AosRaw, s: RelSet) -> RelSet {
+        debug_assert!(s.index() < (1usize << raw.n));
+        RelSet::from_bits((*raw.rows.add(s.index())).best_lhs)
+    }
+
+    #[inline]
+    unsafe fn raw_set_best_lhs(raw: AosRaw, s: RelSet, v: RelSet) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).best_lhs = v.bits();
+    }
+
+    #[inline]
+    unsafe fn raw_pi_fan(raw: AosRaw, s: RelSet) -> f64 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).pi_fan
+    }
+
+    #[inline]
+    unsafe fn raw_set_pi_fan(raw: AosRaw, s: RelSet, v: f64) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).pi_fan = v;
+    }
+
+    #[inline]
+    unsafe fn raw_aux(raw: AosRaw, s: RelSet) -> f32 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).aux
+    }
+
+    #[inline]
+    unsafe fn raw_set_aux(raw: AosRaw, s: RelSet, v: f32) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).aux = v;
+    }
+}
+
+/// Raw parts of a [`SoaTable`]: one base pointer per column.
+#[derive(Copy, Clone)]
+pub struct SoaRaw {
+    n: usize,
+    cards: *mut f64,
+    pi_fans: *mut f64,
+    costs: *mut f32,
+    best_lhss: *mut u32,
+    auxs: *mut f32,
+}
+
+// SAFETY: as for `AosRaw` — dereferenced only under the accessor
+// contract; all columns are plain `Copy` data.
+unsafe impl Send for SoaRaw {}
+
+// SAFETY: as for `AosTable` — pointer snapshots under `&mut self`,
+// per-element access only, no references formed.
+unsafe impl WaveTableLayout for SoaTable {
+    type Raw = SoaRaw;
+
+    fn raw_parts(&mut self) -> SoaRaw {
+        SoaRaw {
+            n: self.n,
+            cards: self.cards.as_mut_ptr(),
+            pi_fans: self.pi_fans.as_mut_ptr(),
+            costs: self.costs.as_mut_ptr(),
+            best_lhss: self.best_lhss.as_mut_ptr(),
+            auxs: self.auxs.as_mut_ptr(),
+        }
+    }
+
+    #[inline]
+    fn raw_rels(raw: SoaRaw) -> usize {
+        raw.n
+    }
+
+    #[inline]
+    unsafe fn raw_card(raw: SoaRaw, s: RelSet) -> f64 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.cards.add(s.index())
+    }
+
+    #[inline]
+    unsafe fn raw_set_card(raw: SoaRaw, s: RelSet, v: f64) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.cards.add(s.index()) = v;
+    }
+
+    #[inline]
+    unsafe fn raw_cost(raw: SoaRaw, s: RelSet) -> f32 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.costs.add(s.index())
+    }
+
+    #[inline]
+    unsafe fn raw_set_cost(raw: SoaRaw, s: RelSet, v: f32) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.costs.add(s.index()) = v;
+    }
+
+    #[inline]
+    unsafe fn raw_best_lhs(raw: SoaRaw, s: RelSet) -> RelSet {
+        debug_assert!(s.index() < (1usize << raw.n));
+        RelSet::from_bits(*raw.best_lhss.add(s.index()))
+    }
+
+    #[inline]
+    unsafe fn raw_set_best_lhs(raw: SoaRaw, s: RelSet, v: RelSet) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.best_lhss.add(s.index()) = v.bits();
+    }
+
+    #[inline]
+    unsafe fn raw_pi_fan(raw: SoaRaw, s: RelSet) -> f64 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.pi_fans.add(s.index())
+    }
+
+    #[inline]
+    unsafe fn raw_set_pi_fan(raw: SoaRaw, s: RelSet, v: f64) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.pi_fans.add(s.index()) = v;
+    }
+
+    #[inline]
+    unsafe fn raw_aux(raw: SoaRaw, s: RelSet) -> f32 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.auxs.add(s.index())
+    }
+
+    #[inline]
+    unsafe fn raw_set_aux(raw: SoaRaw, s: RelSet, v: f32) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.auxs.add(s.index()) = v;
+    }
+}
+
+/// Raw parts of a [`CompactProductTable`]: the 16-byte-row base pointer.
+#[derive(Copy, Clone)]
+pub struct CompactRaw {
+    n: usize,
+    rows: *mut CompactRow,
+}
+
+// SAFETY: as for `AosRaw`.
+unsafe impl Send for CompactRaw {}
+
+// SAFETY: as for `AosTable`; the missing `Π_fan`/`aux` columns keep the
+// `TableLayout` impl's exact semantics (neutral reads, panic on
+// non-neutral writes).
+unsafe impl WaveTableLayout for CompactProductTable {
+    type Raw = CompactRaw;
+
+    fn raw_parts(&mut self) -> CompactRaw {
+        CompactRaw { n: self.n, rows: self.rows.as_mut_ptr() }
+    }
+
+    #[inline]
+    fn raw_rels(raw: CompactRaw) -> usize {
+        raw.n
+    }
+
+    #[inline]
+    unsafe fn raw_card(raw: CompactRaw, s: RelSet) -> f64 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).card
+    }
+
+    #[inline]
+    unsafe fn raw_set_card(raw: CompactRaw, s: RelSet, v: f64) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).card = v;
+    }
+
+    #[inline]
+    unsafe fn raw_cost(raw: CompactRaw, s: RelSet) -> f32 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).cost
+    }
+
+    #[inline]
+    unsafe fn raw_set_cost(raw: CompactRaw, s: RelSet, v: f32) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).cost = v;
+    }
+
+    #[inline]
+    unsafe fn raw_best_lhs(raw: CompactRaw, s: RelSet) -> RelSet {
+        debug_assert!(s.index() < (1usize << raw.n));
+        RelSet::from_bits((*raw.rows.add(s.index())).best_lhs)
+    }
+
+    #[inline]
+    unsafe fn raw_set_best_lhs(raw: CompactRaw, s: RelSet, v: RelSet) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        (*raw.rows.add(s.index())).best_lhs = v.bits();
+    }
+
+    #[inline]
+    unsafe fn raw_pi_fan(_raw: CompactRaw, _s: RelSet) -> f64 {
+        1.0
+    }
+
+    #[inline]
+    unsafe fn raw_set_pi_fan(_raw: CompactRaw, _s: RelSet, v: f64) {
+        assert!(v == 1.0, "CompactProductTable has no Π_fan column (products only)");
+    }
+
+    #[inline]
+    unsafe fn raw_aux(_raw: CompactRaw, _s: RelSet) -> f32 {
+        0.0
+    }
+
+    #[inline]
+    unsafe fn raw_set_aux(_raw: CompactRaw, _s: RelSet, v: f32) {
+        assert!(v == 0.0, "CompactProductTable has no aux column");
+    }
+}
+
+/// Shared-table handle for the rank-wave parallel driver: lets several
 /// worker threads hold mutable views of one table at the same time.
 ///
 /// # Why this is sound
 ///
-/// The rank-wave driver processes subsets in waves by cardinality
-/// (popcount). Every table access made while filling the row for a set
-/// `S` with `|S| = k` falls into one of two classes:
+/// Two hazards must be ruled out: **data races** and **reference
+/// aliasing**.
+///
+/// *Data races.* The rank-wave driver processes subsets in waves by
+/// cardinality (popcount). Every table access made while filling the row
+/// for a set `S` with `|S| = k` falls into one of two classes:
 ///
 /// * **writes** to the row of `S` itself (`set_card`/`set_cost`/
 ///   `set_best_lhs`/`set_pi_fan`/`set_aux`), and
@@ -362,29 +720,36 @@ impl TableLayout for CompactProductTable {
 /// ever accessed concurrently by a writer and anyone else: the program
 /// is data-race free even though the borrow checker cannot see it.
 ///
-/// The wrapper is `#[repr(transparent)]` over [`UnsafeCell`] so a
-/// `&mut L` can be reinterpreted as `&SyncTable<L>` (the same trick as
-/// [`std::cell::Cell::from_mut`]); the exclusive borrow of the caller
-/// guarantees nobody else can touch the table while the views exist.
-#[repr(transparent)]
-pub struct SyncTable<L> {
-    inner: UnsafeCell<L>,
+/// *Reference aliasing.* Race freedom is necessary but not sufficient:
+/// materializing a `&mut L` to the whole table on two threads — even to
+/// write disjoint rows — would be undefined behavior by itself, because
+/// exclusive references assert alias-freedom over all bytes they cover.
+/// So the parallel path never forms a reference into the table at all:
+/// [`SyncTable::from_mut`] captures raw buffer base pointers via
+/// [`WaveTableLayout::raw_parts`] while it holds the table `&mut` (and
+/// its `PhantomData` borrow keeps that exclusive borrow alive for the
+/// handle's whole lifetime, so nothing else can touch the table), and
+/// every [`SyncTableView`] accessor is a per-element raw-pointer read or
+/// write. Raw pointers carry no aliasing claims, so with the race
+/// freedom above each access is a plain, uncontended memory operation —
+/// sound under Stacked/Tree Borrows, not merely under the data-race
+/// rules.
+pub struct SyncTable<'t, L: WaveTableLayout> {
+    raw: L::Raw,
+    /// Keeps the source table exclusively borrowed while views exist.
+    _borrow: PhantomData<&'t mut L>,
 }
 
-// SAFETY: `SyncTable` hands out access to `L` across threads only via
-// `view()`, whose contract (below) forbids data races; with races ruled
-// out, sharing requires no more than `L: Send` (the data itself may move
-// between threads' cache views but is never accessed concurrently).
-unsafe impl<L: Send> Sync for SyncTable<L> {}
+// SAFETY: sharing a `&SyncTable` across threads only exposes `view()`,
+// whose contract forbids conflicting concurrent accesses; the underlying
+// row data is plain data owned by the (`Send`) borrowed table.
+unsafe impl<L: WaveTableLayout + Send> Sync for SyncTable<'_, L> {}
 
-impl<L: TableLayout> SyncTable<L> {
+impl<'t, L: WaveTableLayout> SyncTable<'t, L> {
     /// Wrap an exclusively borrowed table for the duration of a wave
-    /// computation.
-    pub fn from_mut(table: &mut L) -> &SyncTable<L> {
-        // SAFETY: `#[repr(transparent)]` guarantees identical layout, and
-        // `UnsafeCell<L>` has the same layout as `L`; the returned shared
-        // reference inherits the exclusive borrow's lifetime.
-        unsafe { &*(table as *mut L as *const SyncTable<L>) }
+    /// computation, capturing its raw buffer pointers.
+    pub fn from_mut(table: &'t mut L) -> SyncTable<'t, L> {
+        SyncTable { raw: table.raw_parts(), _borrow: PhantomData }
     }
 
     /// Create one worker's mutable view of the shared table.
@@ -397,88 +762,91 @@ impl<L: TableLayout> SyncTable<L> {
     /// one view are never written by another without an intervening
     /// synchronization point (barrier/join).
     pub unsafe fn view(&self) -> SyncTableView<L> {
-        SyncTableView { table: self.inner.get() }
+        SyncTableView { raw: self.raw }
     }
 }
 
 /// One worker's view into a [`SyncTable`]; implements [`TableLayout`] by
-/// forwarding every accessor through the shared cell, so the generic
-/// `find_best_split`/`compute_properties` code runs on it unchanged.
+/// forwarding every accessor to the layout's [`WaveTableLayout`] raw
+/// element accessors, so the generic `find_best_split`/
+/// `compute_properties` code runs on it unchanged — without ever forming
+/// a reference to the shared table.
 ///
 /// Cannot be allocated directly: [`TableLayout::with_rels`] panics.
-pub struct SyncTableView<L> {
-    table: *mut L,
+pub struct SyncTableView<L: WaveTableLayout> {
+    raw: L::Raw,
 }
 
-// SAFETY: the view is just a pointer; moving it to another thread is safe
-// because all *accesses* through it are covered by the `SyncTable::view`
-// contract (no data races), and `L: Send` permits the underlying data to
-// be manipulated from another thread.
-unsafe impl<L: Send> Send for SyncTableView<L> {}
+// SAFETY: the view is a bundle of raw pointers; moving it to another
+// thread is safe because all *accesses* through it are covered by the
+// `SyncTable::view` contract (no conflicting concurrent accesses), and
+// `L: Send` permits the underlying data to be manipulated from another
+// thread.
+unsafe impl<L: WaveTableLayout + Send> Send for SyncTableView<L> {}
 
-impl<L: TableLayout> TableLayout for SyncTableView<L> {
+impl<L: WaveTableLayout> TableLayout for SyncTableView<L> {
     fn with_rels(_n: usize) -> Self {
         unreachable!("SyncTableView is a borrowed view; allocate the underlying layout instead")
     }
 
-    // Each accessor materializes a reference to the underlying table only
-    // for the duration of the (inlined) forwarded call, per the SyncTable
-    // contract. SAFETY for every dereference below: `table` comes from
-    // `UnsafeCell::get` on a live `SyncTable` borrow, and the view
-    // contract rules out concurrent conflicting accesses.
+    // SAFETY for every forwarded call below: `raw` was captured by a
+    // `SyncTable` whose exclusive borrow of the table outlives this view
+    // (`SyncTable::view`'s contract), the drivers derive every `s` from
+    // the table's own `n` so the row is in bounds, and the view contract
+    // rules out concurrent conflicting accesses to that row.
     #[inline]
     fn rels(&self) -> usize {
-        unsafe { (*self.table).rels() }
+        L::raw_rels(self.raw)
     }
 
     #[inline]
     fn card(&self, s: RelSet) -> f64 {
-        unsafe { (*self.table).card(s) }
+        unsafe { L::raw_card(self.raw, s) }
     }
 
     #[inline]
     fn set_card(&mut self, s: RelSet, v: f64) {
-        unsafe { (*self.table).set_card(s, v) }
+        unsafe { L::raw_set_card(self.raw, s, v) }
     }
 
     #[inline]
     fn cost(&self, s: RelSet) -> f32 {
-        unsafe { (*self.table).cost(s) }
+        unsafe { L::raw_cost(self.raw, s) }
     }
 
     #[inline]
     fn set_cost(&mut self, s: RelSet, v: f32) {
-        unsafe { (*self.table).set_cost(s, v) }
+        unsafe { L::raw_set_cost(self.raw, s, v) }
     }
 
     #[inline]
     fn best_lhs(&self, s: RelSet) -> RelSet {
-        unsafe { (*self.table).best_lhs(s) }
+        unsafe { L::raw_best_lhs(self.raw, s) }
     }
 
     #[inline]
     fn set_best_lhs(&mut self, s: RelSet, v: RelSet) {
-        unsafe { (*self.table).set_best_lhs(s, v) }
+        unsafe { L::raw_set_best_lhs(self.raw, s, v) }
     }
 
     #[inline]
     fn pi_fan(&self, s: RelSet) -> f64 {
-        unsafe { (*self.table).pi_fan(s) }
+        unsafe { L::raw_pi_fan(self.raw, s) }
     }
 
     #[inline]
     fn set_pi_fan(&mut self, s: RelSet, v: f64) {
-        unsafe { (*self.table).set_pi_fan(s, v) }
+        unsafe { L::raw_set_pi_fan(self.raw, s, v) }
     }
 
     #[inline]
     fn aux(&self, s: RelSet) -> f32 {
-        unsafe { (*self.table).aux(s) }
+        unsafe { L::raw_aux(self.raw, s) }
     }
 
     #[inline]
     fn set_aux(&mut self, s: RelSet, v: f32) {
-        unsafe { (*self.table).set_aux(s, v) }
+        unsafe { L::raw_set_aux(self.raw, s, v) }
     }
 }
 
@@ -602,6 +970,78 @@ mod tests {
         }
         for bits in 1u32..64 {
             assert_eq!(t.cost(RelSet::from_bits(bits)), bits as f32);
+        }
+    }
+
+    #[test]
+    fn soa_and_compact_views_forward() {
+        let mut t = SoaTable::with_rels(4);
+        {
+            let shared = SyncTable::from_mut(&mut t);
+            // SAFETY: single-threaded use trivially satisfies the wave
+            // discipline.
+            let mut view = unsafe { shared.view() };
+            let s = RelSet::from_bits(0b0110);
+            view.set_card(s, 12.0);
+            view.set_pi_fan(s, 0.25);
+            view.set_aux(s, 2.0);
+            assert_eq!(view.pi_fan(s), 0.25);
+        }
+        let s = RelSet::from_bits(0b0110);
+        assert_eq!(t.card(s), 12.0);
+        assert_eq!(t.aux(s), 2.0);
+
+        let mut c = CompactProductTable::with_rels(4);
+        {
+            let shared = SyncTable::from_mut(&mut c);
+            // SAFETY: single-threaded use.
+            let mut view = unsafe { shared.view() };
+            let s = RelSet::from_bits(0b0011);
+            view.set_cost(s, 5.0);
+            view.set_pi_fan(s, 1.0); // neutral write accepted
+            assert_eq!(view.pi_fan(s), 1.0);
+        }
+        assert_eq!(c.cost(RelSet::from_bits(0b0011)), 5.0);
+    }
+
+    /// The wave pattern proper: both threads *read* rows of an earlier,
+    /// already-final wave while writing disjoint rows of the current one.
+    #[test]
+    fn concurrent_prior_wave_reads_with_disjoint_writes() {
+        let mut t = AosTable::with_rels(6);
+        for rel in 0..6 {
+            let s = RelSet::singleton(rel);
+            t.set_cost(s, rel as f32);
+            t.set_card(s, 1.0);
+        }
+        {
+            let shared = SyncTable::from_mut(&mut t);
+            std::thread::scope(|scope| {
+                for half in 0..2usize {
+                    // SAFETY: writes target disjoint pair rows (split by
+                    // the parity of the lower relation index); reads
+                    // target singleton rows, which no thread writes.
+                    let mut view = unsafe { shared.view() };
+                    scope.spawn(move || {
+                        for i in 0..6usize {
+                            for j in (i + 1)..6usize {
+                                if i % 2 == half {
+                                    let s = RelSet::singleton(i) | RelSet::singleton(j);
+                                    let sum = view.cost(RelSet::singleton(i))
+                                        + view.cost(RelSet::singleton(j));
+                                    view.set_cost(s, sum);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        for i in 0..6usize {
+            for j in (i + 1)..6usize {
+                let s = RelSet::singleton(i) | RelSet::singleton(j);
+                assert_eq!(t.cost(s), (i + j) as f32);
+            }
         }
     }
 

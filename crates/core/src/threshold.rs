@@ -23,7 +23,7 @@ use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
 use crate::split::DriveOptions;
 use crate::stats::{NoStats, Stats};
-use crate::table::{AosTable, TableLayout, MAX_TABLE_RELS};
+use crate::table::{AosTable, TableLayout, WaveTableLayout, MAX_TABLE_RELS};
 
 /// An escalation schedule of plan-cost thresholds.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -146,7 +146,7 @@ pub fn optimize_join_threshold_into_with<L, M, St, const PRUNE: bool>(
     stats: &mut St,
 ) -> (L, ThresholdOutcome)
 where
-    L: TableLayout + Send,
+    L: WaveTableLayout + Send,
     M: CostModel + Sync,
     St: Stats + Default + Send,
 {

@@ -249,6 +249,11 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Admission limit: queries with more relations than this answer
     /// greedily. Clamped to [`MAX_TABLE_RELS`].
+    ///
+    /// The exact path is `O(3^n)`, so every relation added here costs
+    /// roughly 3× more worst-case CPU per cache miss; keep this modest
+    /// (≤ 18) on deployments configured serial (`parallelism == 1`),
+    /// where no rank-wave fan-out absorbs the growth.
     pub max_exact_rels: usize,
     /// Schedule for requests that do not bring their own.
     pub default_schedule: ThresholdSchedule,
@@ -263,14 +268,17 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
         ServiceConfig {
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            workers: cores,
             queue_capacity: 256,
             cache_capacity: 1024,
             cache_shards: 8,
-            // With the parallel driver the exact path stretches further
-            // before degrading to greedy (was 18 when strictly serial).
-            max_exact_rels: 20,
+            // On multi-core hosts the rank-wave parallel driver (default
+            // `parallelism: 0` = auto) absorbs the exact path's O(3^n)
+            // growth, so it stretches further before degrading to
+            // greedy; a single-core host keeps the serial-era limit.
+            max_exact_rels: if cores >= 2 { 20 } else { 18 },
             default_schedule: ThresholdSchedule::default(),
             parallelism: 0,
             parallel_min_rels: 15,
@@ -316,12 +324,18 @@ impl OptimizerService {
 
     /// The [`DriveOptions`] an exact optimization of `n` relations runs
     /// under: the rank-wave parallel driver for large tables, the serial
-    /// driver (or the process-wide default policy) otherwise.
+    /// driver otherwise.
+    ///
+    /// Always config-driven, never env-driven: a service configured
+    /// serial (`parallelism == 1`) — and every query below
+    /// `parallel_min_rels` — must stay serial even when the process-wide
+    /// `BLITZ_TEST_THREADS` override (honored by
+    /// [`DriveOptions::default`]) is set.
     fn drive_options(&self, n: usize) -> DriveOptions {
         if n >= self.config.parallel_min_rels && self.config.parallelism != 1 {
             DriveOptions::parallel(self.config.parallelism)
         } else {
-            DriveOptions::default()
+            DriveOptions::serial()
         }
     }
 

@@ -27,8 +27,9 @@ use crate::{CacheOutcome, ModelId, OptimizerService, PlanSource, Request, Respon
 use blitz_core::{JoinSpec, ThresholdSchedule};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection resource limits for [`Server`]. Without them a client
 /// sending an endless line (no `\n`) grows a server-side buffer without
@@ -46,6 +47,17 @@ pub struct ServerOptions {
     pub read_timeout: Option<Duration>,
     /// Give up writing a response after this long; `None` blocks forever.
     pub write_timeout: Option<Duration>,
+    /// Wall-clock budget for receiving one complete request line.
+    /// [`read_timeout`](ServerOptions::read_timeout) only bounds each
+    /// individual `recv`, so a slow-loris client trickling one byte per
+    /// interval would otherwise hold its connection thread forever; this
+    /// bounds the whole accumulation. `None` disables the deadline.
+    pub request_deadline: Option<Duration>,
+    /// Maximum concurrently served connections. Beyond it, new accepts
+    /// are answered `ERR server at connection capacity` and closed
+    /// instead of spawning yet another connection thread. `0` disables
+    /// the cap.
+    pub max_connections: usize,
 }
 
 impl Default for ServerOptions {
@@ -54,6 +66,8 @@ impl Default for ServerOptions {
             max_line_bytes: 64 * 1024,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            request_deadline: Some(Duration::from_secs(60)),
+            max_connections: 256,
         }
     }
 }
@@ -86,13 +100,33 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serve forever on the calling thread, one thread per connection.
+    /// Serve forever on the calling thread, one thread per connection —
+    /// at most [`ServerOptions::max_connections`] at a time.
     pub fn run(self) -> io::Result<()> {
+        let live = Arc::new(AtomicUsize::new(0));
         for stream in self.listener.incoming() {
-            let stream = stream?;
+            let mut stream = stream?;
+            if self.options.max_connections > 0
+                && live.load(Ordering::Acquire) >= self.options.max_connections
+            {
+                // Refuse without spawning: best-effort ERR, then close.
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let _ = stream.write_all(b"ERR server at connection capacity\n");
+                continue;
+            }
+            live.fetch_add(1, Ordering::AcqRel);
+            let live = Arc::clone(&live);
             let service = Arc::clone(&self.service);
             let options = self.options;
             std::thread::spawn(move || {
+                // Release the slot on every exit path, panics included.
+                struct Slot(Arc<AtomicUsize>);
+                impl Drop for Slot {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                let _slot = Slot(live);
                 let _ = handle_connection(&service, stream, &options);
             });
         }
@@ -116,18 +150,34 @@ enum LineRead {
     Eof,
     /// The line exceeded the configured maximum before a `\n` arrived.
     TooLong,
+    /// The request-line deadline expired before a `\n` arrived.
+    DeadlineExpired,
 }
 
-/// Read one `\n`-terminated line of at most `max_len` bytes. Unlike
-/// `BufRead::read_line`, memory is bounded: the moment the accumulated
-/// prefix exceeds `max_len` this returns [`LineRead::TooLong`] without
-/// buffering the remainder.
+/// Read one `\n`-terminated line of at most `options.max_line_bytes`
+/// bytes within `options.request_deadline`. Unlike `BufRead::read_line`,
+/// memory is bounded — the moment the accumulated prefix exceeds the
+/// maximum this returns [`LineRead::TooLong`] without buffering the
+/// remainder — and so is wall-clock time: the deadline is checked across
+/// `recv` iterations (each socket timeout is trimmed to the remaining
+/// budget), so a slow-loris client that keeps every individual `recv`
+/// fast still cannot stretch one request past the deadline.
 fn read_request_line(
     reader: &mut BufReader<TcpStream>,
-    max_len: usize,
+    options: &ServerOptions,
 ) -> io::Result<LineRead> {
+    let max_len = options.max_line_bytes;
+    let started = Instant::now();
     let mut buf: Vec<u8> = Vec::new();
     loop {
+        if let Some(budget) = options.request_deadline {
+            let remaining = budget.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                return Ok(LineRead::DeadlineExpired);
+            }
+            let per_recv = options.read_timeout.map_or(remaining, |t| t.min(remaining));
+            reader.get_ref().set_read_timeout(Some(per_recv))?;
+        }
         let available = reader.fill_buf()?;
         if available.is_empty() {
             return Ok(if buf.is_empty() {
@@ -169,8 +219,14 @@ fn handle_connection(
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     loop {
-        match read_request_line(&mut reader, options.max_line_bytes) {
+        match read_request_line(&mut reader, options) {
             Ok(LineRead::Eof) => break,
+            Ok(LineRead::DeadlineExpired) => {
+                // The client kept the socket warm but never finished a
+                // request; reclaim the thread.
+                let _ = writer.write_all(b"ERR request deadline exceeded\n");
+                break;
+            }
             Ok(LineRead::TooLong) => {
                 // The rest of the oversized line is still in flight; the
                 // stream cannot be resynchronized, so report and close.
@@ -613,6 +669,91 @@ mod tests {
             "unexpected response {resp:?}"
         );
         assert!(start.elapsed() < Duration::from_secs(5), "server held the connection open");
+    }
+
+    /// The slow-loris client: bytes trickle in fast enough to defeat the
+    /// per-`recv` idle timeout, but the request line never completes.
+    /// The overall request deadline must reclaim the thread.
+    #[test]
+    fn slow_loris_hits_request_deadline() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            service(),
+            ServerOptions {
+                read_timeout: Some(Duration::from_secs(30)),
+                request_deadline: Some(Duration::from_millis(300)),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let (addr, _handle) = server.spawn().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let pump = std::thread::spawn(move || {
+            // One byte every 50 ms — each recv is fast, the line never
+            // ends. Stop when the server hangs up.
+            for _ in 0..100 {
+                if writer.write_all(b"x").is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let start = std::time::Instant::now();
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => assert!(resp.starts_with("ERR request deadline exceeded"), "{resp}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline did not reclaim the connection"
+        );
+        pump.join().unwrap();
+        // The server is still healthy for a fresh client.
+        let mut client = Client::connect(addr).unwrap();
+        assert!(client.ping().unwrap());
+    }
+
+    /// Beyond `max_connections`, accepts are refused instead of spawning
+    /// connection threads without bound — and slots free on disconnect.
+    #[test]
+    fn connection_cap_refuses_excess_clients() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            service(),
+            ServerOptions { max_connections: 1, ..ServerOptions::default() },
+        )
+        .unwrap();
+        let (addr, _handle) = server.spawn().unwrap();
+        let mut first = Client::connect(addr).unwrap();
+        assert!(first.ping().unwrap()); // connection 1 accepted and serving
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => {
+                assert!(resp.starts_with("ERR server at connection capacity"), "{resp}")
+            }
+        }
+        // The admitted client is unaffected...
+        assert!(first.ping().unwrap());
+        // ...and closing it eventually frees the slot.
+        drop(first);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(mut retry) = Client::connect(addr) {
+                if retry.ping().unwrap_or(false) {
+                    break;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "capacity never freed");
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 
     #[test]
