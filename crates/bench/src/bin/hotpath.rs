@@ -1,0 +1,265 @@
+//! Cache-conscious hot-path benchmark: table layouts × wave schedules.
+//!
+//! Times the κ0 join optimizer across the four workload topologies with
+//! every combination the hot-path work introduced:
+//!
+//! * **serial** driver × {AoS, SoA, hot/cold} layouts;
+//! * **parallel** rank-wave driver × {AoS, SoA, hot/cold} layouts with
+//!   the contiguous **chunked** wave schedule;
+//! * the pre-chunking **AoS × round-robin** parallel configuration, kept
+//!   as the ablation baseline every other configuration's speedup is
+//!   reported against.
+//!
+//! Before any configuration is timed, its optimizer output is verified
+//! cost-bit-, cardinality-bit-, and plan-identical to the serial
+//! `AosTable` reference; a divergence aborts the run. Results are written
+//! as JSON to `BENCH_hotpath.json` (override with `BLITZ_HOTPATH_OUT`)
+//! and summarized as an ASCII table on stdout.
+//!
+//! Environment knobs: `BLITZ_MIN_N` (default 12), `BLITZ_MAX_N`
+//! (default 16), `BLITZ_THREADS` (worker count for the parallel
+//! configurations; default = available cores clamped to [2, 8]),
+//! `BLITZ_BENCH_MIN_MS`, `BLITZ_BENCH_MAX_REPS`.
+
+use blitz_bench::json::Json;
+use blitz_bench::render::fmt_secs;
+use blitz_bench::timing::{env_usize, time_avg, TimingConfig};
+use blitz_bench::Table;
+use blitz_catalog::{Topology, Workload};
+use blitz_core::{
+    optimize_join_into_with, optimize_join_with, AosTable, Counters, DriveOptions, JoinSpec,
+    Kappa0, LayoutChoice, Optimized, TableLayout, WaveSchedule,
+};
+use std::time::Duration;
+
+/// One timed configuration of the optimizer.
+#[derive(Copy, Clone)]
+struct Config {
+    driver: &'static str,
+    layout: LayoutChoice,
+    /// `None` for the serial driver (no waves, no schedule).
+    schedule: Option<WaveSchedule>,
+    threads: usize,
+}
+
+impl Config {
+    fn options(&self) -> DriveOptions {
+        let base = match self.schedule {
+            None => DriveOptions::serial(),
+            Some(s) => DriveOptions::parallel(self.threads).with_schedule(s),
+        };
+        base.with_layout(self.layout)
+    }
+
+    fn label(&self) -> String {
+        match self.schedule {
+            None => format!("{}/{}", self.driver, self.layout.name()),
+            Some(s) => format!("{}/{}/{}", self.driver, self.layout.name(), s.name()),
+        }
+    }
+}
+
+/// Serial `AosTable` reference plus §3.3 execution counters for one
+/// workload point.
+struct Reference {
+    optimized: Optimized,
+    counters: Counters,
+}
+
+fn reference(spec: &JoinSpec) -> Reference {
+    let mut counters = Counters::default();
+    let table: AosTable = optimize_join_into_with::<AosTable, Kappa0, Counters, true>(
+        spec,
+        &Kappa0,
+        f32::INFINITY,
+        DriveOptions::serial(),
+        &mut counters,
+    );
+    let full = spec.all_rels();
+    let optimized = Optimized {
+        plan: blitz_core::Plan::extract(&table, full),
+        cost: table.cost(full),
+        card: table.card(full),
+    };
+    Reference { optimized, counters }
+}
+
+/// Panics unless `got` matches the reference bit-for-bit.
+fn verify(reference: &Reference, got: &Optimized, label: &str, topo: Topology, n: usize) {
+    let r = &reference.optimized;
+    assert_eq!(
+        got.cost.to_bits(),
+        r.cost.to_bits(),
+        "{label} cost diverged from serial aos reference at {}/{n}",
+        topo.name()
+    );
+    assert_eq!(
+        got.card.to_bits(),
+        r.card.to_bits(),
+        "{label} cardinality diverged from serial aos reference at {}/{n}",
+        topo.name()
+    );
+    assert_eq!(
+        got.plan, r.plan,
+        "{label} plan diverged from serial aos reference at {}/{n}",
+        topo.name()
+    );
+}
+
+fn counters_json(c: &Counters) -> Json {
+    Json::obj(vec![
+        ("loop_iters", Json::Num(c.loop_iters as f64)),
+        ("subsets", Json::Num(c.subsets as f64)),
+        ("kappa_ind_evals", Json::Num(c.kappa_ind_evals as f64)),
+        ("kappa_dep_evals", Json::Num(c.kappa_dep_evals as f64)),
+        ("cond_hits", Json::Num(c.cond_hits as f64)),
+        ("loops_skipped", Json::Num(c.loops_skipped as f64)),
+        ("passes", Json::Num(c.passes as f64)),
+    ])
+}
+
+fn threads_from_env(cores: usize) -> usize {
+    match std::env::var("BLITZ_THREADS") {
+        // Accept the speedup binary's comma-list form; the hot-path
+        // matrix uses a single worker count, so take the first entry.
+        Ok(v) => v
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .next()
+            .unwrap_or_else(|| cores.clamp(2, 8)),
+        Err(_) => cores.clamp(2, 8),
+    }
+}
+
+fn main() {
+    let min_n = env_usize("BLITZ_MIN_N", 12);
+    let max_n = env_usize("BLITZ_MAX_N", 16).min(20).max(min_n);
+    let cfg = TimingConfig::from_env();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = threads_from_env(cores);
+    let out_path =
+        std::env::var("BLITZ_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
+
+    let configs: Vec<Config> = {
+        let mut v = Vec::new();
+        for layout in LayoutChoice::ALL {
+            v.push(Config { driver: "serial", layout, schedule: None, threads: 1 });
+        }
+        // The baseline first among the parallel rows, so readers see the
+        // pre-chunking configuration before its replacements.
+        v.push(Config {
+            driver: "parallel",
+            layout: LayoutChoice::Aos,
+            schedule: Some(WaveSchedule::RoundRobin),
+            threads,
+        });
+        for layout in LayoutChoice::ALL {
+            v.push(Config {
+                driver: "parallel",
+                layout,
+                schedule: Some(WaveSchedule::Chunked),
+                threads,
+            });
+        }
+        v
+    };
+    let baseline = Config {
+        driver: "parallel",
+        layout: LayoutChoice::Aos,
+        schedule: Some(WaveSchedule::RoundRobin),
+        threads,
+    };
+
+    println!("Hot-path layout/schedule benchmark (kappa_0, mean card 100, var 0.5)");
+    println!("machine reports {cores} core(s); parallel configurations use {threads} worker(s)\n");
+
+    let mut groups = Vec::new();
+    for topo in Topology::ALL {
+        for n in min_n..=max_n {
+            let spec = Workload::new(n, topo, 100.0, 0.5).spec();
+            let reference = reference(&spec);
+            let subsets = (1u64 << n) as f64;
+
+            // Verify every configuration before timing anything, so a
+            // divergence cannot hide behind a completed timing run.
+            for c in &configs {
+                let got = optimize_join_with(&spec, &Kappa0, c.options()).unwrap();
+                verify(&reference, &got, &c.label(), topo, n);
+            }
+
+            let time_config = |c: &Config| -> Duration {
+                time_avg(
+                    || {
+                        let _ = optimize_join_with(&spec, &Kappa0, c.options()).unwrap();
+                    },
+                    cfg,
+                )
+            };
+            let baseline_secs = time_config(&baseline).as_secs_f64();
+
+            let mut table = Table::new(["config", "time", "ns/subset", "vs aos+rr"]);
+            let mut config_json = Vec::new();
+            for c in &configs {
+                let secs = if c.label() == baseline.label() {
+                    baseline_secs
+                } else {
+                    time_config(c).as_secs_f64()
+                };
+                let ns_total = secs * 1e9;
+                let speedup = baseline_secs / secs;
+                table.row(vec![
+                    c.label(),
+                    fmt_secs(secs),
+                    format!("{:.1}", ns_total / subsets),
+                    format!("{speedup:.2}x"),
+                ]);
+                config_json.push(Json::obj(vec![
+                    ("driver", Json::str(c.driver)),
+                    ("layout", Json::str(c.layout.name())),
+                    (
+                        "schedule",
+                        match c.schedule {
+                            None => Json::Null,
+                            Some(s) => Json::str(s.name()),
+                        },
+                    ),
+                    ("threads", Json::Num(c.threads as f64)),
+                    ("ns_total", Json::Num(ns_total)),
+                    ("ns_per_subset", Json::Num(ns_total / subsets)),
+                    ("speedup_vs_baseline", Json::Num(speedup)),
+                    ("verified", Json::Bool(true)),
+                ]));
+            }
+            println!("-- {} n={n}", topo.name());
+            println!("{}", table.render());
+
+            groups.push(Json::obj(vec![
+                ("topology", Json::str(topo.name())),
+                ("n", Json::Num(n as f64)),
+                ("cost", Json::Num(reference.optimized.cost as f64)),
+                ("cost_bits", Json::Num(reference.optimized.cost.to_bits() as f64)),
+                ("counters", counters_json(&reference.counters)),
+                ("baseline", Json::str(baseline.label())),
+                ("configs", Json::Arr(config_json)),
+            ]));
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("hotpath")),
+        ("model", Json::str("kappa0")),
+        ("cores", Json::Num(cores as f64)),
+        ("threads", Json::Num(threads as f64)),
+        (
+            "timing",
+            Json::obj(vec![
+                ("min_ms", Json::Num(cfg.min_total.as_millis() as f64)),
+                ("max_reps", Json::Num(cfg.max_reps as f64)),
+            ]),
+        ),
+        ("verified", Json::Bool(true)),
+        ("groups", Json::Arr(groups)),
+    ]);
+    std::fs::write(&out_path, doc.render()).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,188 @@
+//! Minimal JSON document builder for benchmark artifacts.
+//!
+//! The bench binaries emit machine-readable results (e.g.
+//! `BENCH_hotpath.json`) so CI and the README refresh script can consume
+//! them without scraping ASCII tables. The workspace is deliberately
+//! dependency-free, so this is a small hand-rolled writer: a [`Json`]
+//! value tree rendered with stable two-space indentation (diffable when
+//! committed) and standards-compliant string escaping.
+//!
+//! Only what the benches need is implemented — construction and
+//! serialization. Parsing is left to the consumer (CI uses
+//! `python3 -m json.tool`).
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values render as `null` (JSON has no
+    /// `NaN`/`Infinity`); integral values in the exact-`f64` range render
+    /// without a fraction.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on render.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object members.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render the value as a pretty-printed JSON document (two-space
+    /// indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    write_str(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Largest integer magnitude `f64` represents exactly (2^53).
+const EXACT_INT: f64 = 9_007_199_254_740_992.0;
+
+fn write_num(out: &mut String, x: f64) {
+    use std::fmt::Write;
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() < EXACT_INT {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x:e}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("hotpath")),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+        ]);
+        assert_eq!(
+            doc.render(),
+            "{\n  \"name\": \"hotpath\",\n  \"ok\": true,\n  \"none\": null,\n  \"xs\": [\n    1,\n    2.5e0\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn integral_floats_render_as_integers() {
+        let mut s = String::new();
+        write_num(&mut s, 1234.0);
+        assert_eq!(s, "1234");
+    }
+
+    #[test]
+    fn non_finite_renders_null() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut s = String::new();
+            write_num(&mut s, x);
+            assert_eq!(s, "null");
+        }
+    }
+
+    #[test]
+    fn huge_magnitudes_use_exponent_form() {
+        let mut s = String::new();
+        write_num(&mut s, 1.0e300);
+        assert_eq!(s, "1e300");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd\u{1}").render(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn empty_collections_are_compact() {
+        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).render(), "{}\n");
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`fit`] — least-squares fitting of the Section 3.3 performance model
 //!   `t(n) = 3^n·T_loop + (ln2/2)·n·2^n·T_cond + 2^n·T_subset`
 //!   (formula (3)) to measured points, recovering the machine constants;
-//! * [`render`] — fixed-width ASCII tables for figure output.
+//! * [`render`] — fixed-width ASCII tables for figure output;
+//! * [`json`] — a dependency-free JSON writer for machine-readable
+//!   artifacts such as `BENCH_hotpath.json`.
 //!
 //! Reproduction binaries (run with `--release`):
 //!
@@ -28,9 +30,11 @@
 
 pub mod fit;
 pub mod grid;
+pub mod json;
 pub mod render;
 pub mod timing;
 
 pub use fit::{fit_formula3, Formula3Fit};
+pub use json::Json;
 pub use render::Table;
 pub use timing::{time_avg, TimingConfig};

@@ -25,12 +25,20 @@ impl Default for TimingConfig {
 }
 
 impl TimingConfig {
-    /// Default budget, honouring `BLITZ_BENCH_MIN_MS` when set.
+    /// Default budget, honouring `BLITZ_BENCH_MIN_MS` and
+    /// `BLITZ_BENCH_MAX_REPS` when set. CI smoke runs set
+    /// `BLITZ_BENCH_MIN_MS=0 BLITZ_BENCH_MAX_REPS=1` so every point
+    /// executes exactly once.
     pub fn from_env() -> TimingConfig {
         let mut cfg = TimingConfig::default();
         if let Ok(ms) = std::env::var("BLITZ_BENCH_MIN_MS") {
             if let Ok(ms) = ms.parse::<u64>() {
                 cfg.min_total = Duration::from_millis(ms);
+            }
+        }
+        if let Ok(reps) = std::env::var("BLITZ_BENCH_MAX_REPS") {
+            if let Ok(reps) = reps.parse::<u32>() {
+                cfg.max_reps = reps.max(1);
             }
         }
         cfg

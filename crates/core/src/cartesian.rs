@@ -19,7 +19,10 @@ use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
 use crate::split::{drive, drive_parallel, init_singleton, DriveOptions};
 use crate::stats::{NoStats, Stats};
-use crate::table::{AosTable, SyncTableView, TableLayout, WaveTableLayout, MAX_TABLE_RELS};
+use crate::table::{
+    AosTable, HotColdTable, LayoutChoice, SoaTable, SyncTableView, TableLayout, WaveTableLayout,
+    MAX_TABLE_RELS,
+};
 
 /// Result of a successful optimization.
 #[derive(Clone, Debug)]
@@ -106,7 +109,7 @@ where
         model,
         n,
         cap,
-        threads,
+        options,
         stats,
         product_properties::<SyncTableView<L>, M>,
     );
@@ -132,7 +135,8 @@ pub fn optimize_products<M: CostModel + Sync>(
 }
 
 /// [`optimize_products`] with an explicit execution policy (worker-thread
-/// count for the rank-wave parallel driver; `1` = serial).
+/// count for the rank-wave parallel driver; `1` = serial) and table
+/// layout ([`DriveOptions::layout`] picks the monomorphization).
 ///
 /// # Errors
 /// Returns [`SpecError`] if `cards` is empty, oversized, or contains a
@@ -148,19 +152,30 @@ pub fn optimize_products_with<M: CostModel + Sync>(
     if n > MAX_TABLE_RELS {
         return Err(SpecError::TooManyRels(n));
     }
-    let mut stats = NoStats;
-    let table: AosTable = optimize_products_into_with::<AosTable, M, NoStats, true>(
-        cards,
-        model,
-        f32::INFINITY,
-        options,
-        &mut stats,
-    );
-    let full = RelSet::full(n);
-    Ok(Optimized {
-        plan: Plan::extract(&table, full),
-        cost: table.cost(full),
-        card: table.card(full),
+    fn run<L, M>(cards: &[f64], model: &M, options: DriveOptions) -> Optimized
+    where
+        L: WaveTableLayout + Send,
+        M: CostModel + Sync,
+    {
+        let mut stats = NoStats;
+        let table: L = optimize_products_into_with::<L, M, NoStats, true>(
+            cards,
+            model,
+            f32::INFINITY,
+            options,
+            &mut stats,
+        );
+        let full = RelSet::full(cards.len());
+        Optimized {
+            plan: Plan::extract(&table, full),
+            cost: table.cost(full),
+            card: table.card(full),
+        }
+    }
+    Ok(match options.layout {
+        LayoutChoice::Aos => run::<AosTable, M>(cards, model, options),
+        LayoutChoice::Soa => run::<SoaTable, M>(cards, model, options),
+        LayoutChoice::HotCold => run::<HotColdTable, M>(cards, model, options),
     })
 }
 

@@ -28,7 +28,10 @@ use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
 use crate::split::{drive, drive_parallel, init_singleton, DriveOptions};
 use crate::stats::{NoStats, Stats};
-use crate::table::{AosTable, SyncTableView, TableLayout, WaveTableLayout, MAX_TABLE_RELS};
+use crate::table::{
+    AosTable, HotColdTable, LayoutChoice, SoaTable, SyncTableView, TableLayout, WaveTableLayout,
+    MAX_TABLE_RELS,
+};
 
 /// `compute_properties` for joins: fan recurrence + cardinality recurrence
 /// (paper Section 5.4). Exactly three floating-point multiplications.
@@ -124,7 +127,7 @@ where
         model,
         n,
         cap,
-        threads,
+        options,
         stats,
         |t: &mut SyncTableView<L>, m, s| join_properties(t, m, spec, s),
     );
@@ -148,7 +151,9 @@ pub fn optimize_join<M: CostModel + Sync>(
 }
 
 /// [`optimize_join`] with an explicit execution policy (worker-thread
-/// count for the rank-wave parallel driver; `1` = serial).
+/// count for the rank-wave parallel driver; `1` = serial) and table
+/// layout ([`DriveOptions::layout`] picks the monomorphization). Every
+/// layout/driver combination produces bit-identical results.
 ///
 /// # Errors
 /// Returns [`SpecError::TooManyRels`] when the DP table would be too large.
@@ -161,19 +166,30 @@ pub fn optimize_join_with<M: CostModel + Sync>(
     if n > MAX_TABLE_RELS {
         return Err(SpecError::TooManyRels(n));
     }
-    let mut stats = NoStats;
-    let table: AosTable = optimize_join_into_with::<AosTable, M, NoStats, true>(
-        spec,
-        model,
-        f32::INFINITY,
-        options,
-        &mut stats,
-    );
-    let full = spec.all_rels();
-    Ok(Optimized {
-        plan: Plan::extract(&table, full),
-        cost: table.cost(full),
-        card: table.card(full),
+    fn run<L, M>(spec: &JoinSpec, model: &M, options: DriveOptions) -> Optimized
+    where
+        L: WaveTableLayout + Send,
+        M: CostModel + Sync,
+    {
+        let mut stats = NoStats;
+        let table: L = optimize_join_into_with::<L, M, NoStats, true>(
+            spec,
+            model,
+            f32::INFINITY,
+            options,
+            &mut stats,
+        );
+        let full = spec.all_rels();
+        Optimized {
+            plan: Plan::extract(&table, full),
+            cost: table.cost(full),
+            card: table.card(full),
+        }
+    }
+    Ok(match options.layout {
+        LayoutChoice::Aos => run::<AosTable, M>(spec, model, options),
+        LayoutChoice::Soa => run::<SoaTable, M>(spec, model, options),
+        LayoutChoice::HotCold => run::<HotColdTable, M>(spec, model, options),
     })
 }
 

@@ -62,11 +62,11 @@ pub use join::{optimize_join, optimize_join_into, optimize_join_into_with, optim
 pub use ordered::{optimize_ordered, optimize_ordered_naive, OrderedOptimized, OrderedPlan, OrderedSpec};
 pub use plan::{AnnotatedPlan, Plan};
 pub use spec::{JoinSpec, SpecError};
-pub use split::DriveOptions;
+pub use split::{DriveOptions, WaveSchedule};
 pub use stats::{Counters, NoStats, Stats};
 pub use table::{
-    AosTable, CompactProductTable, SoaTable, SyncTable, SyncTableView, TableLayout,
-    WaveTableLayout, MAX_TABLE_RELS,
+    AosTable, CompactProductTable, HotColdTable, LayoutChoice, SoaTable, SyncTable, SyncTableView,
+    TableLayout, WaveTableLayout, MAX_TABLE_RELS,
 };
 pub use threshold::{
     optimize_join_threshold, optimize_join_threshold_into, optimize_join_threshold_into_with,

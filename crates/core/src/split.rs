@@ -21,32 +21,96 @@
 use crate::bitset::RelSet;
 use crate::cost::CostModel;
 use crate::stats::Stats;
-use crate::table::{SyncTable, SyncTableView, TableLayout, WaveTableLayout};
+use crate::table::{LayoutChoice, SyncTable, SyncTableView, TableLayout, WaveTableLayout};
+
+/// How the rank-wave parallel driver deals a wave's rows to workers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum WaveSchedule {
+    /// Contiguous per-worker chunks of each wave, cache-line-aligned in
+    /// wave-rank space (16 rows — one line of dense hot costs — per
+    /// alignment unit). Adjacent workers write disjoint, monotone runs
+    /// of table indices, so no cache line is ever ping-ponged between
+    /// writers. The default.
+    #[default]
+    Chunked,
+    /// Historical round-robin dealing (`row % threads == worker`): every
+    /// worker walks the whole wave and neighbouring rows land on
+    /// different cores, interleaving their writes on shared cache
+    /// lines. Kept as the ablation baseline for the hotpath bench.
+    RoundRobin,
+}
+
+impl WaveSchedule {
+    /// Stable lower-case name (`chunked` / `roundrobin`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WaveSchedule::Chunked => "chunked",
+            WaveSchedule::RoundRobin => "roundrobin",
+        }
+    }
+
+    /// Inverse of [`name`](WaveSchedule::name); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<WaveSchedule> {
+        match s {
+            "chunked" => Some(WaveSchedule::Chunked),
+            "roundrobin" => Some(WaveSchedule::RoundRobin),
+            _ => None,
+        }
+    }
+}
 
 /// Execution options for the DP drivers — how much hardware to throw at
-/// one optimization.
+/// one optimization, and how the DP table is laid out in memory.
 ///
-/// The default is read once per process from the `BLITZ_TEST_THREADS`
-/// environment variable (unset or `1` ⇒ the serial driver), which lets a
-/// CI job force every default-configured optimization in the workspace
-/// through the parallel rank-wave driver without touching call sites.
+/// The default is read once per process from the environment —
+/// `BLITZ_TEST_THREADS` (unset or `1` ⇒ the serial driver) and
+/// `BLITZ_TEST_LAYOUT` (`aos`/`soa`/`hotcold`) — which lets a CI job
+/// force every default-configured optimization in the workspace through
+/// the parallel rank-wave driver and/or an alternate table layout
+/// without touching call sites.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct DriveOptions {
     /// Worker threads for the rank-wave parallel driver. `1` is the
     /// serial integer-order driver (today's default); `0` resolves to the
     /// machine's available parallelism.
     pub parallelism: usize,
+    /// Table layout used by the *non-generic* entry points
+    /// ([`crate::join::optimize_join_with`] and friends), which dispatch
+    /// to the matching monomorphization. The generic `*_into*` functions
+    /// take the layout as a type parameter and ignore this field.
+    pub layout: LayoutChoice,
+    /// Wave scheduling policy for the parallel driver (ignored by the
+    /// serial driver).
+    pub schedule: WaveSchedule,
 }
 
 impl DriveOptions {
     /// Explicit serial execution, ignoring any environment override.
     pub fn serial() -> DriveOptions {
-        DriveOptions { parallelism: 1 }
+        DriveOptions {
+            parallelism: 1,
+            layout: LayoutChoice::default(),
+            schedule: WaveSchedule::default(),
+        }
     }
 
     /// Rank-wave parallel execution on `threads` workers (`0` = auto).
     pub fn parallel(threads: usize) -> DriveOptions {
-        DriveOptions { parallelism: threads }
+        DriveOptions {
+            parallelism: threads,
+            layout: LayoutChoice::default(),
+            schedule: WaveSchedule::default(),
+        }
+    }
+
+    /// This policy with a different table layout.
+    pub fn with_layout(self, layout: LayoutChoice) -> DriveOptions {
+        DriveOptions { layout, ..self }
+    }
+
+    /// This policy with a different wave schedule.
+    pub fn with_schedule(self, schedule: WaveSchedule) -> DriveOptions {
+        DriveOptions { schedule, ..self }
     }
 
     /// The concrete worker count: resolves `0` to the machine's available
@@ -61,14 +125,19 @@ impl DriveOptions {
 
 impl Default for DriveOptions {
     fn default() -> DriveOptions {
-        static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-        let parallelism = *ENV.get_or_init(|| {
-            std::env::var("BLITZ_TEST_THREADS")
+        static ENV: std::sync::OnceLock<(usize, LayoutChoice)> = std::sync::OnceLock::new();
+        let (parallelism, layout) = *ENV.get_or_init(|| {
+            let threads = std::env::var("BLITZ_TEST_THREADS")
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(1)
+                .unwrap_or(1);
+            let layout = std::env::var("BLITZ_TEST_LAYOUT")
+                .ok()
+                .and_then(|v| LayoutChoice::parse(&v))
+                .unwrap_or_default();
+            (threads, layout)
         });
-        DriveOptions { parallelism }
+        DriveOptions { parallelism, layout, schedule: WaveSchedule::default() }
     }
 }
 
@@ -131,6 +200,17 @@ pub(crate) fn find_best_split<L, M, St, const PRUNE: bool>(
         stats.loop_iter();
         let rhs = s - lhs;
 
+        // The successor walk knows the *next* split one iteration ahead
+        // for free, so start its operands' cost lines toward L1 while
+        // the current split is judged. Purely advisory: prefetches are
+        // hints, not reads, so pruning semantics, statistics and the
+        // result bits are untouched.
+        let next_lhs = s.subset_successor(lhs);
+        if next_lhs != s {
+            table.prefetch_cost(next_lhs);
+            table.prefetch_cost(s - next_lhs);
+        }
+
         if PRUNE {
             // Nested-if structure: each test can disqualify the split
             // before the next (more expensive) quantity is touched.
@@ -178,7 +258,7 @@ pub(crate) fn find_best_split<L, M, St, const PRUNE: bool>(
             }
         }
 
-        lhs = s.subset_successor(lhs);
+        lhs = next_lhs;
     }
 
     let total = best + kappa_ind;
@@ -248,12 +328,67 @@ pub(crate) fn drive<L, M, St, F, const PRUNE: bool>(
 /// Successor of `v` in the enumeration of same-popcount bit patterns
 /// (Gosper's hack). `u64` so the final pattern's successor cannot
 /// overflow for any supported `n`.
+///
+/// The textbook form divides by `c = v & −v`; since `c` is always a
+/// power of two, the hardware divide (tens of cycles, unpipelined on
+/// most cores) is replaced by a shift by `c.trailing_zeros()` — this
+/// runs once per row per worker in every wave of the parallel driver.
 #[inline]
 fn same_popcount_successor(v: u64) -> u64 {
     let c = v & v.wrapping_neg();
     let r = v + c;
-    (((r ^ v) >> 2) / c) | r
+    ((r ^ v) >> (2 + c.trailing_zeros())) | r
 }
+
+/// Binomial coefficient `C(n, k)`, exact in `u64` for every `n` the
+/// table supports (`C(28, 14) ≈ 4·10^7`). Runs off the hot path: once
+/// per worker per wave for chunk sizing and unranking.
+pub(crate) fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // Exact at every step: the running product of `i+1` consecutive
+        // integers is divisible by `(i+1)!`.
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    acc as u64
+}
+
+/// Row count of the widest wave the parallel driver will run (waves are
+/// `k = 2..=n`); the useful upper bound on worker count.
+fn widest_wave(n: usize) -> u64 {
+    (2..=n).map(|k| binomial(n, k)).max().unwrap_or(0)
+}
+
+/// The `m`-th (0-based) `k`-subset in increasing bit-vector order —
+/// the order Gosper's successor enumerates — via the combinatorial
+/// number system (colex unranking): choosing bits from the highest
+/// down, each is the largest `c` with `C(c, j) ≤` the remaining rank.
+///
+/// Lets a worker jump straight to the start of its chunk of a wave
+/// instead of stepping the successor from the wave's first row.
+fn nth_same_popcount(k: usize, mut m: u64) -> u64 {
+    let mut bits = 0u64;
+    for j in (1..=k).rev() {
+        let mut c = j - 1;
+        while binomial(c + 1, j) <= m {
+            c += 1;
+        }
+        m -= binomial(c, j); // C(j−1, j) = 0: the lowest choice is free
+        bits |= 1 << c;
+    }
+    bits
+}
+
+/// Chunk-boundary alignment within a wave, in rows: 16 dense `f32`
+/// costs = one 64-byte cache line of [`crate::table::HotColdTable`]'s
+/// hot array, so two workers' hot-cost writes can only meet on a line
+/// at most once per wave (at a rounding-truncated final chunk), not on
+/// every line as with round-robin dealing.
+const CHUNK_ALIGN_ROWS: u64 = 16;
 
 /// Drive `compute_properties` + `find_best_split` over every non-singleton
 /// subset in **rank waves**: all subsets of cardinality `k` are processed
@@ -263,20 +398,29 @@ fn same_popcount_successor(v: u64) -> u64 {
 /// This is valid because every table access for a set `S` either writes
 /// `S`'s own row or reads rows of strict subsets of `S` — which all have
 /// smaller popcount and were completed in earlier waves. Within a wave,
-/// rows are dealt round-robin to workers, so writes are disjoint; a
-/// barrier separates waves. See [`SyncTable`] for the full safety
-/// argument.
+/// each row is assigned to exactly one worker — by default a contiguous,
+/// alignment-rounded chunk of the wave's Gosper enumeration per worker
+/// ([`WaveSchedule::Chunked`]; workers jump to their chunk with
+/// [`nth_same_popcount`]) — so writes are disjoint; a barrier separates
+/// waves. See [`SyncTable`] for the full safety argument.
 ///
-/// Produces a table bit-identical to [`drive`]'s: each row's computation
-/// is self-contained and deterministic (see the tie-break note in
-/// [`find_best_split`]), and both drivers respect the same subset-before-
-/// superset dependency order.
+/// The worker count is clamped to the widest wave's row count: surplus
+/// workers could never be handed a row and would only ever wait at
+/// barriers, so small-`n` tables on many-core hosts (`n = 4`,
+/// `threads = 16`) don't spawn 10 threads of pure synchronization.
+///
+/// Produces a table bit-identical to [`drive`]'s under *every* schedule
+/// and worker count: each row's computation is self-contained and
+/// deterministic (see the tie-break note in [`find_best_split`]), and
+/// all drivers respect the same subset-before-superset dependency order
+/// — which rows run on which worker, and in what order within a wave,
+/// cannot be observed in the output bits.
 pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
     table: &mut L,
     model: &M,
     n: usize,
     cap: f32,
-    threads: usize,
+    options: DriveOptions,
     stats: &mut St,
     compute_properties: F,
 ) where
@@ -285,37 +429,83 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
     St: Stats + Default + Send,
     F: Fn(&mut SyncTableView<L>, &M, RelSet) + Sync,
 {
+    let threads = options.effective_parallelism();
+    let schedule = options.schedule;
     debug_assert!(threads >= 2, "use `drive` for serial execution");
     stats.pass();
     let end = 1u64 << n;
+    let threads = threads.min(usize::try_from(widest_wave(n)).unwrap_or(usize::MAX)).max(1);
     let shared = SyncTable::from_mut(table);
+    if threads < 2 {
+        // Degenerate table (n ≤ 2: every wave is a single row) — fill it
+        // on this thread, still in wave order.
+        // SAFETY: exactly one view on one thread; trivially race-free.
+        let mut view = unsafe { shared.view() };
+        for k in 2..=n {
+            let mut bits = (1u64 << k) - 1;
+            while bits < end {
+                let s = RelSet::from_bits(bits as u32);
+                compute_properties(&mut view, model, s);
+                find_best_split::<SyncTableView<L>, M, St, PRUNE>(
+                    &mut view, model, s, cap, stats,
+                );
+                bits = same_popcount_successor(bits);
+            }
+        }
+        return;
+    }
     let compute_properties = &compute_properties;
     let barrier = std::sync::Barrier::new(threads);
     let barrier = &barrier;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|t| {
-                // SAFETY: round-robin row assignment within each wave
-                // (each subset handled by exactly one worker), reads
-                // confined to strictly-smaller-popcount rows from earlier
-                // waves, and a barrier between waves — the SyncTable
-                // discipline.
+                // SAFETY: within each wave every row is handled by
+                // exactly one worker (disjoint chunk ranges, or the
+                // round-robin deal), reads are confined to
+                // strictly-smaller-popcount rows from earlier waves, and
+                // a barrier separates waves — the SyncTable discipline.
                 let mut view = unsafe { shared.view() };
                 scope.spawn(move || {
                     let mut local = St::default();
                     for k in 2..=n {
-                        let mut row = 0usize;
-                        let mut bits = (1u64 << k) - 1;
-                        while bits < end {
-                            if row % threads == t {
-                                let s = RelSet::from_bits(bits as u32);
-                                compute_properties(&mut view, model, s);
-                                find_best_split::<SyncTableView<L>, M, St, PRUNE>(
-                                    &mut view, model, s, cap, &mut local,
-                                );
+                        match schedule {
+                            WaveSchedule::Chunked => {
+                                let rows = binomial(n, k);
+                                // Even deal, rounded up to whole cache
+                                // lines of hot costs; trailing workers
+                                // may come up empty on narrow waves.
+                                let per = rows.div_ceil(threads as u64);
+                                let chunk = per.div_ceil(CHUNK_ALIGN_ROWS) * CHUNK_ALIGN_ROWS;
+                                let start = t as u64 * chunk;
+                                if start < rows {
+                                    let stop = (start + chunk).min(rows);
+                                    let mut bits = nth_same_popcount(k, start);
+                                    for _ in start..stop {
+                                        let s = RelSet::from_bits(bits as u32);
+                                        compute_properties(&mut view, model, s);
+                                        find_best_split::<SyncTableView<L>, M, St, PRUNE>(
+                                            &mut view, model, s, cap, &mut local,
+                                        );
+                                        bits = same_popcount_successor(bits);
+                                    }
+                                }
                             }
-                            row += 1;
-                            bits = same_popcount_successor(bits);
+                            WaveSchedule::RoundRobin => {
+                                let mut row = 0usize;
+                                let mut bits = (1u64 << k) - 1;
+                                while bits < end {
+                                    if row % threads == t {
+                                        let s = RelSet::from_bits(bits as u32);
+                                        compute_properties(&mut view, model, s);
+                                        find_best_split::<SyncTableView<L>, M, St, PRUNE>(
+                                            &mut view, model, s, cap, &mut local,
+                                        );
+                                    }
+                                    row += 1;
+                                    bits = same_popcount_successor(bits);
+                                }
+                            }
                         }
                         barrier.wait();
                     }
@@ -327,4 +517,118 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
             stats.absorb(worker.join().expect("wave worker panicked"));
         }
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shift form of Gosper's successor must agree with the
+    /// textbook divide form on every pattern it will ever see.
+    #[test]
+    fn successor_shift_matches_divide_form() {
+        fn divide_form(v: u64) -> u64 {
+            let c = v & v.wrapping_neg();
+            let r = v + c;
+            (((r ^ v) >> 2) / c) | r
+        }
+        for n in 2..=16usize {
+            for k in 1..=n {
+                let mut bits = (1u64 << k) - 1;
+                while bits < (1u64 << n) {
+                    assert_eq!(same_popcount_successor(bits), divide_form(bits), "v={bits:#b}");
+                    bits = same_popcount_successor(bits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_matches_pascal() {
+        let mut row = vec![1u64];
+        for n in 0..=30usize {
+            for (k, &v) in row.iter().enumerate() {
+                assert_eq!(binomial(n, k), v, "C({n},{k})");
+            }
+            assert_eq!(binomial(n, n + 1), 0);
+            let mut next = vec![1u64];
+            for w in row.windows(2) {
+                next.push(w[0] + w[1]);
+            }
+            next.push(1);
+            row = next;
+        }
+        assert_eq!(binomial(28, 14), 40_116_600);
+    }
+
+    /// Unranking must land exactly where stepping the successor from the
+    /// wave's first row lands.
+    #[test]
+    fn unranking_matches_successor_walk() {
+        for n in 2..=12usize {
+            for k in 1..=n {
+                let mut bits = (1u64 << k) - 1;
+                let rows = binomial(n, k);
+                for m in 0..rows {
+                    assert_eq!(
+                        nth_same_popcount(k, m),
+                        bits,
+                        "n={n} k={k} m={m}"
+                    );
+                    bits = same_popcount_successor(bits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widest_wave_is_the_middle_binomial() {
+        assert_eq!(widest_wave(2), 1); // only the k=2 wave exists
+        assert_eq!(widest_wave(3), 3);
+        assert_eq!(widest_wave(4), 6);
+        assert_eq!(widest_wave(16), binomial(16, 8));
+    }
+
+    /// Chunked dealing must assign every row of every wave to exactly
+    /// one worker, whatever the worker count.
+    #[test]
+    fn chunks_partition_every_wave() {
+        for n in 2..=12usize {
+            for threads in 2..=17usize {
+                for k in 2..=n {
+                    let rows = binomial(n, k);
+                    let per = rows.div_ceil(threads as u64);
+                    let chunk = per.div_ceil(CHUNK_ALIGN_ROWS) * CHUNK_ALIGN_ROWS;
+                    let mut covered = 0u64;
+                    let mut prev_stop = 0u64;
+                    for t in 0..threads as u64 {
+                        let start = t * chunk;
+                        if start >= rows {
+                            continue;
+                        }
+                        let stop = (start + chunk).min(rows);
+                        assert_eq!(start, prev_stop, "gap before worker {t}");
+                        covered += stop - start;
+                        prev_stop = stop;
+                    }
+                    assert_eq!(covered, rows, "n={n} k={k} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drive_options_builders_compose() {
+        let o = DriveOptions::parallel(4)
+            .with_layout(LayoutChoice::HotCold)
+            .with_schedule(WaveSchedule::RoundRobin);
+        assert_eq!(o.parallelism, 4);
+        assert_eq!(o.layout, LayoutChoice::HotCold);
+        assert_eq!(o.schedule, WaveSchedule::RoundRobin);
+        assert_eq!(DriveOptions::serial().effective_parallelism(), 1);
+        for s in [WaveSchedule::Chunked, WaveSchedule::RoundRobin] {
+            assert_eq!(WaveSchedule::parse(s.name()), Some(s));
+        }
+        assert_eq!(WaveSchedule::parse("diagonal"), None);
+    }
 }

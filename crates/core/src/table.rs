@@ -13,13 +13,88 @@
 //!   join optimization only);
 //! * `aux` — an optional cost-model memo (e.g. the sort-merge log term).
 //!
-//! Two layouts are provided behind the [`TableLayout`] trait so that the
-//! benchmark harness can ablate the choice: [`AosTable`] (array of structs,
-//! the paper's layout) and [`SoaTable`] (struct of arrays). The optimizer
-//! is generic over the layout and monomorphizes both.
+//! Several layouts are provided behind the [`TableLayout`] trait so that
+//! the benchmark harness can ablate the choice: [`AosTable`] (array of
+//! structs, the paper's layout), [`SoaTable`] (struct of arrays),
+//! [`CompactProductTable`] (the paper's exact 16-byte product row) and
+//! [`HotColdTable`] (hot/cold split: a dense, 64-byte-aligned `cost`
+//! array feeds the pruning cascade at 4 bytes per probe, with every
+//! other column banished to cold arrays). The optimizer is generic over
+//! the layout and monomorphizes each; [`LayoutChoice`] names them for
+//! runtime dispatch at the non-generic entry points.
 
 use crate::bitset::{RelSet, MAX_RELS};
 use std::marker::PhantomData;
+
+/// Runtime name for a monomorphized table layout, used by the
+/// non-generic entry points ([`crate::join::optimize_join_with`] and
+/// friends) and the service/CLI configuration surface. The generic
+/// `*_into*` functions ignore it — there the caller picks the layout as
+/// a type parameter.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum LayoutChoice {
+    /// [`AosTable`] — the paper's array-of-structs layout.
+    #[default]
+    Aos,
+    /// [`SoaTable`] — one dense array per column.
+    Soa,
+    /// [`HotColdTable`] — dense aligned `cost` hot array, cold rest.
+    HotCold,
+}
+
+impl LayoutChoice {
+    /// All selectable layouts, for ablation sweeps.
+    pub const ALL: [LayoutChoice; 3] = [LayoutChoice::Aos, LayoutChoice::Soa, LayoutChoice::HotCold];
+
+    /// Stable lower-case name (`aos` / `soa` / `hotcold`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutChoice::Aos => "aos",
+            LayoutChoice::Soa => "soa",
+            LayoutChoice::HotCold => "hotcold",
+        }
+    }
+
+    /// Inverse of [`name`](LayoutChoice::name); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<LayoutChoice> {
+        match s {
+            "aos" => Some(LayoutChoice::Aos),
+            "soa" => Some(LayoutChoice::Soa),
+            "hotcold" => Some(LayoutChoice::HotCold),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Best-effort prefetch of the cache line holding `*p` into L1.
+///
+/// Compiles to `prefetcht0` on x86-64 and `prfm pldl1keep` elsewhere
+/// on aarch64; a no-op on other architectures. Prefetch instructions
+/// are architectural hints: they never fault and perform no observable
+/// memory access, so issuing one is not a read in the data-race sense —
+/// it is safe even for rows another thread is concurrently writing.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHT0 is a hint with no architectural effect on
+    // memory or registers; it cannot fault even on invalid addresses.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(p as *const i8, std::arch::x86_64::_MM_HINT_T0)
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM PLDL1KEEP is likewise a non-faulting hint.
+    unsafe {
+        std::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
 
 /// Guard against absurd allocations: `2^28` rows of 32 bytes is 8 GiB.
 pub const MAX_TABLE_RELS: usize = 28;
@@ -62,6 +137,14 @@ pub trait TableLayout {
     fn aux(&self, s: RelSet) -> f32;
     /// Set the cost-model memo field.
     fn set_aux(&mut self, s: RelSet, v: f32);
+
+    /// Hint that [`cost`](TableLayout::cost)`(s)` will be read shortly:
+    /// the split loop's successor walk knows the *next* iteration's
+    /// operands one step ahead, so the line can be in flight while the
+    /// current split is judged. Purely advisory — the default is a
+    /// no-op, and out-of-range sets are ignored.
+    #[inline]
+    fn prefetch_cost(&self, _s: RelSet) {}
 }
 
 fn check_rels(n: usize) {
@@ -160,6 +243,13 @@ impl TableLayout for AosTable {
     fn set_aux(&mut self, s: RelSet, v: f32) {
         self.rows[s.index()].aux = v;
     }
+
+    #[inline]
+    fn prefetch_cost(&self, s: RelSet) {
+        if let Some(row) = self.rows.get(s.index()) {
+            prefetch_read(&row.cost);
+        }
+    }
 }
 
 /// Struct-of-arrays table layout — one dense array per column. The split
@@ -242,6 +332,13 @@ impl TableLayout for SoaTable {
     #[inline]
     fn set_aux(&mut self, s: RelSet, v: f32) {
         self.auxs[s.index()] = v;
+    }
+
+    #[inline]
+    fn prefetch_cost(&self, s: RelSet) {
+        if let Some(c) = self.costs.get(s.index()) {
+            prefetch_read(c);
+        }
     }
 }
 
@@ -337,6 +434,194 @@ impl TableLayout for CompactProductTable {
     fn set_aux(&mut self, _s: RelSet, v: f32) {
         assert!(v == 0.0, "CompactProductTable has no aux column");
     }
+
+    #[inline]
+    fn prefetch_cost(&self, s: RelSet) {
+        if let Some(row) = self.rows.get(s.index()) {
+            prefetch_read(&row.cost);
+        }
+    }
+}
+
+/// Dense, 64-byte-aligned `f32` buffer for [`HotColdTable`]'s hot
+/// `cost` column.
+///
+/// `Vec<f32>` only guarantees 4-byte alignment; aligning the base to a
+/// cache-line boundary makes row-index arithmetic line arithmetic too
+/// (16 costs per 64-byte line, no straddling), which is what lets the
+/// chunked wave scheduler hand workers line-disjoint runs of the hot
+/// array.
+struct AlignedCosts {
+    ptr: std::ptr::NonNull<f32>,
+    len: usize,
+}
+
+/// Alignment of the hot cost buffer: one x86/aarch64 cache line.
+const COST_ALIGN: usize = 64;
+
+impl AlignedCosts {
+    /// Allocate `len` costs, all initialized to `+∞` (the table's "no
+    /// plan found" sentinel).
+    fn new_infinite(len: usize) -> AlignedCosts {
+        assert!(len > 0 && len <= isize::MAX as usize / 4);
+        let layout = std::alloc::Layout::from_size_align(len * 4, COST_ALIGN)
+            .expect("cost buffer layout");
+        // SAFETY: `layout` has nonzero size; allocation failure aborts
+        // via `handle_alloc_error`; every element is initialized below
+        // before the buffer is readable through safe accessors.
+        let ptr = unsafe {
+            let p = std::alloc::alloc(layout) as *mut f32;
+            let Some(nn) = std::ptr::NonNull::new(p) else {
+                std::alloc::handle_alloc_error(layout);
+            };
+            for i in 0..len {
+                nn.as_ptr().add(i).write(f32::INFINITY);
+            }
+            nn
+        };
+        AlignedCosts { ptr, len }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> f32 {
+        assert!(i < self.len);
+        // SAFETY: in-bounds index into an initialized, owned buffer.
+        unsafe { *self.ptr.as_ptr().add(i) }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: f32) {
+        assert!(i < self.len);
+        // SAFETY: in-bounds index into an owned buffer, under `&mut`.
+        unsafe { *self.ptr.as_ptr().add(i) = v }
+    }
+
+    #[inline]
+    fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.ptr.as_ptr()
+    }
+}
+
+impl Drop for AlignedCosts {
+    fn drop(&mut self) {
+        // SAFETY: same layout as the allocation in `new_infinite`.
+        unsafe {
+            let layout =
+                std::alloc::Layout::from_size_align_unchecked(self.len * 4, COST_ALIGN);
+            std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, layout);
+        }
+    }
+}
+
+// SAFETY: `AlignedCosts` uniquely owns its heap buffer of plain `f32`s
+// (no interior mutability, no shared state), exactly like `Vec<f32>`.
+unsafe impl Send for AlignedCosts {}
+// SAFETY: `&AlignedCosts` exposes only reads of plain data.
+unsafe impl Sync for AlignedCosts {}
+
+/// Hot/cold split table layout.
+///
+/// The nested-`if` pruning cascade in `find_best_split` resolves the
+/// overwhelming majority of splits on the first one or two tests —
+/// `lhs_cost < best`, then `lhs_cost + rhs_cost < best` — which need
+/// only the 4-byte `cost` field of each operand row. Under [`AosTable`]
+/// every such probe drags a full 32-byte row through the cache (half a
+/// line); under [`SoaTable`] the cost lane is dense but shares the
+/// allocator's whims with four sibling columns. `HotColdTable` gives the
+/// `cost` column its own dense, 64-byte-aligned buffer — 16 probes per
+/// cache line — and exiles `card`/`Π_fan`/`aux`/`best_lhs` to cold
+/// arrays touched only on the rare `κ''` evaluation and the per-row
+/// write path. Field semantics are identical to the other layouts, so
+/// tables are cost-bit-identical across all of them.
+pub struct HotColdTable {
+    n: usize,
+    /// Hot: the pruning cascade reads only this.
+    costs: AlignedCosts,
+    /// Cold: read only when a split survives to the `κ''` test
+    /// (`card`, `aux`) or after the row is final (`best_lhs`, `pi_fan`).
+    cards: Vec<f64>,
+    pi_fans: Vec<f64>,
+    best_lhss: Vec<u32>,
+    auxs: Vec<f32>,
+}
+
+impl TableLayout for HotColdTable {
+    fn with_rels(n: usize) -> Self {
+        check_rels(n);
+        let cap = 1usize << n;
+        HotColdTable {
+            n,
+            costs: AlignedCosts::new_infinite(cap),
+            cards: vec![0.0; cap],
+            pi_fans: vec![1.0; cap],
+            best_lhss: vec![0; cap],
+            auxs: vec![0.0; cap],
+        }
+    }
+
+    #[inline]
+    fn rels(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn card(&self, s: RelSet) -> f64 {
+        self.cards[s.index()]
+    }
+
+    #[inline]
+    fn set_card(&mut self, s: RelSet, v: f64) {
+        self.cards[s.index()] = v;
+    }
+
+    #[inline]
+    fn cost(&self, s: RelSet) -> f32 {
+        self.costs.get(s.index())
+    }
+
+    #[inline]
+    fn set_cost(&mut self, s: RelSet, v: f32) {
+        self.costs.set(s.index(), v);
+    }
+
+    #[inline]
+    fn best_lhs(&self, s: RelSet) -> RelSet {
+        RelSet::from_bits(self.best_lhss[s.index()])
+    }
+
+    #[inline]
+    fn set_best_lhs(&mut self, s: RelSet, v: RelSet) {
+        self.best_lhss[s.index()] = v.bits();
+    }
+
+    #[inline]
+    fn pi_fan(&self, s: RelSet) -> f64 {
+        self.pi_fans[s.index()]
+    }
+
+    #[inline]
+    fn set_pi_fan(&mut self, s: RelSet, v: f64) {
+        self.pi_fans[s.index()] = v;
+    }
+
+    #[inline]
+    fn aux(&self, s: RelSet) -> f32 {
+        self.auxs[s.index()]
+    }
+
+    #[inline]
+    fn set_aux(&mut self, s: RelSet, v: f32) {
+        self.auxs[s.index()] = v;
+    }
+
+    #[inline]
+    fn prefetch_cost(&self, s: RelSet) {
+        if s.index() < self.costs.len {
+            // SAFETY: in-bounds pointer arithmetic; the address is only
+            // used as a prefetch hint, never dereferenced.
+            prefetch_read(unsafe { self.costs.ptr.as_ptr().add(s.index()) });
+        }
+    }
 }
 
 /// Raw per-row access to a layout's buffers, for the rank-wave parallel
@@ -424,6 +709,19 @@ pub unsafe trait WaveTableLayout: TableLayout {
     /// # Safety
     /// See [`WaveTableLayout::raw_card`].
     unsafe fn raw_set_aux(raw: Self::Raw, s: RelSet, v: f32);
+
+    /// Advisory prefetch of the `cost` field of row `s` (see
+    /// [`TableLayout::prefetch_cost`]). Prefetches are hints, not memory
+    /// accesses, so this needs no race-freedom clause; the default does
+    /// nothing.
+    ///
+    /// # Safety
+    /// `raw` must come from [`raw_parts`](WaveTableLayout::raw_parts) on
+    /// a table whose exclusive borrow is still live, and `s` must be in
+    /// bounds for that table (the pointer arithmetic must stay inside
+    /// the buffer).
+    #[inline]
+    unsafe fn raw_prefetch_cost(_raw: Self::Raw, _s: RelSet) {}
 }
 
 /// Raw parts of an [`AosTable`]: the row-array base pointer.
@@ -512,6 +810,12 @@ unsafe impl WaveTableLayout for AosTable {
     unsafe fn raw_set_aux(raw: AosRaw, s: RelSet, v: f32) {
         debug_assert!(s.index() < (1usize << raw.n));
         (*raw.rows.add(s.index())).aux = v;
+    }
+
+    #[inline]
+    unsafe fn raw_prefetch_cost(raw: AosRaw, s: RelSet) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        prefetch_read(std::ptr::addr_of!((*raw.rows.add(s.index())).cost));
     }
 }
 
@@ -610,6 +914,12 @@ unsafe impl WaveTableLayout for SoaTable {
         debug_assert!(s.index() < (1usize << raw.n));
         *raw.auxs.add(s.index()) = v;
     }
+
+    #[inline]
+    unsafe fn raw_prefetch_cost(raw: SoaRaw, s: RelSet) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        prefetch_read(raw.costs.add(s.index()));
+    }
 }
 
 /// Raw parts of a [`CompactProductTable`]: the 16-byte-row base pointer.
@@ -691,6 +1001,117 @@ unsafe impl WaveTableLayout for CompactProductTable {
     #[inline]
     unsafe fn raw_set_aux(_raw: CompactRaw, _s: RelSet, v: f32) {
         assert!(v == 0.0, "CompactProductTable has no aux column");
+    }
+
+    #[inline]
+    unsafe fn raw_prefetch_cost(raw: CompactRaw, s: RelSet) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        prefetch_read(std::ptr::addr_of!((*raw.rows.add(s.index())).cost));
+    }
+}
+
+/// Raw parts of a [`HotColdTable`]: the hot cost base pointer plus one
+/// base pointer per cold column.
+#[derive(Copy, Clone)]
+pub struct HotColdRaw {
+    n: usize,
+    costs: *mut f32,
+    cards: *mut f64,
+    pi_fans: *mut f64,
+    best_lhss: *mut u32,
+    auxs: *mut f32,
+}
+
+// SAFETY: as for `AosRaw` — dereferenced only under the accessor
+// contract; all columns are plain `Copy` data.
+unsafe impl Send for HotColdRaw {}
+
+// SAFETY: as for `AosTable` — pointer snapshots under `&mut self`
+// (neither the aligned cost buffer nor the cold `Vec`s reallocate while
+// that borrow lives), per-element access only, no references formed.
+unsafe impl WaveTableLayout for HotColdTable {
+    type Raw = HotColdRaw;
+
+    fn raw_parts(&mut self) -> HotColdRaw {
+        HotColdRaw {
+            n: self.n,
+            costs: self.costs.as_mut_ptr(),
+            cards: self.cards.as_mut_ptr(),
+            pi_fans: self.pi_fans.as_mut_ptr(),
+            best_lhss: self.best_lhss.as_mut_ptr(),
+            auxs: self.auxs.as_mut_ptr(),
+        }
+    }
+
+    #[inline]
+    fn raw_rels(raw: HotColdRaw) -> usize {
+        raw.n
+    }
+
+    #[inline]
+    unsafe fn raw_card(raw: HotColdRaw, s: RelSet) -> f64 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.cards.add(s.index())
+    }
+
+    #[inline]
+    unsafe fn raw_set_card(raw: HotColdRaw, s: RelSet, v: f64) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.cards.add(s.index()) = v;
+    }
+
+    #[inline]
+    unsafe fn raw_cost(raw: HotColdRaw, s: RelSet) -> f32 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.costs.add(s.index())
+    }
+
+    #[inline]
+    unsafe fn raw_set_cost(raw: HotColdRaw, s: RelSet, v: f32) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.costs.add(s.index()) = v;
+    }
+
+    #[inline]
+    unsafe fn raw_best_lhs(raw: HotColdRaw, s: RelSet) -> RelSet {
+        debug_assert!(s.index() < (1usize << raw.n));
+        RelSet::from_bits(*raw.best_lhss.add(s.index()))
+    }
+
+    #[inline]
+    unsafe fn raw_set_best_lhs(raw: HotColdRaw, s: RelSet, v: RelSet) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.best_lhss.add(s.index()) = v.bits();
+    }
+
+    #[inline]
+    unsafe fn raw_pi_fan(raw: HotColdRaw, s: RelSet) -> f64 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.pi_fans.add(s.index())
+    }
+
+    #[inline]
+    unsafe fn raw_set_pi_fan(raw: HotColdRaw, s: RelSet, v: f64) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.pi_fans.add(s.index()) = v;
+    }
+
+    #[inline]
+    unsafe fn raw_aux(raw: HotColdRaw, s: RelSet) -> f32 {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.auxs.add(s.index())
+    }
+
+    #[inline]
+    unsafe fn raw_set_aux(raw: HotColdRaw, s: RelSet, v: f32) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        *raw.auxs.add(s.index()) = v;
+    }
+
+    #[inline]
+    unsafe fn raw_prefetch_cost(raw: HotColdRaw, s: RelSet) {
+        debug_assert!(s.index() < (1usize << raw.n));
+        prefetch_read(raw.costs.add(s.index()));
     }
 }
 
@@ -848,6 +1269,11 @@ impl<L: WaveTableLayout> TableLayout for SyncTableView<L> {
     fn set_aux(&mut self, s: RelSet, v: f32) {
         unsafe { L::raw_set_aux(self.raw, s, v) }
     }
+
+    #[inline]
+    fn prefetch_cost(&self, s: RelSet) {
+        unsafe { L::raw_prefetch_cost(self.raw, s) }
+    }
 }
 
 #[cfg(test)]
@@ -883,6 +1309,80 @@ mod tests {
     #[test]
     fn soa_roundtrip() {
         roundtrip::<SoaTable>();
+    }
+
+    #[test]
+    fn hotcold_roundtrip() {
+        roundtrip::<HotColdTable>();
+    }
+
+    #[test]
+    fn hotcold_cost_buffer_is_cache_line_aligned() {
+        for n in [1usize, 4, 8] {
+            let t = HotColdTable::with_rels(n);
+            assert_eq!(t.costs.ptr.as_ptr() as usize % COST_ALIGN, 0, "n={n}");
+            assert_eq!(t.costs.len, 1 << n);
+        }
+    }
+
+    #[test]
+    fn hotcold_defaults_match_other_layouts() {
+        let t = HotColdTable::with_rels(3);
+        for bits in 1u32..8 {
+            let s = RelSet::from_bits(bits);
+            assert!(t.cost(s).is_infinite());
+            assert_eq!(t.card(s), 0.0);
+            assert_eq!(t.pi_fan(s), 1.0);
+            assert_eq!(t.aux(s), 0.0);
+            assert_eq!(t.best_lhs(s), RelSet::EMPTY);
+        }
+    }
+
+    #[test]
+    fn hotcold_sync_view_forwards() {
+        let mut t = HotColdTable::with_rels(4);
+        {
+            let shared = SyncTable::from_mut(&mut t);
+            // SAFETY: single-threaded use trivially satisfies the wave
+            // discipline.
+            let mut view = unsafe { shared.view() };
+            let s = RelSet::from_bits(0b1010);
+            view.set_card(s, 44.0);
+            view.set_cost(s, 3.25);
+            view.set_pi_fan(s, 0.5);
+            view.set_aux(s, 1.5);
+            view.set_best_lhs(s, RelSet::from_bits(0b0010));
+            view.prefetch_cost(s); // hint only; must be harmless
+            assert_eq!(view.cost(s), 3.25);
+        }
+        let s = RelSet::from_bits(0b1010);
+        assert_eq!(t.card(s), 44.0);
+        assert_eq!(t.cost(s), 3.25);
+        assert_eq!(t.pi_fan(s), 0.5);
+        assert_eq!(t.aux(s), 1.5);
+        assert_eq!(t.best_lhs(s), RelSet::from_bits(0b0010));
+    }
+
+    #[test]
+    fn prefetch_cost_tolerates_any_set() {
+        // Prefetch is advisory: in-bounds sets prefetch, out-of-range
+        // sets (possible on the safe `TableLayout` surface) are ignored.
+        let t = AosTable::with_rels(3);
+        t.prefetch_cost(RelSet::from_bits(0b101));
+        t.prefetch_cost(RelSet::from_bits(u32::MAX));
+        let t = HotColdTable::with_rels(3);
+        t.prefetch_cost(RelSet::from_bits(0b101));
+        t.prefetch_cost(RelSet::from_bits(u32::MAX));
+    }
+
+    #[test]
+    fn layout_choice_names_roundtrip() {
+        for choice in LayoutChoice::ALL {
+            assert_eq!(LayoutChoice::parse(choice.name()), Some(choice));
+            assert_eq!(format!("{choice}"), choice.name());
+        }
+        assert_eq!(LayoutChoice::parse("compact"), None);
+        assert_eq!(LayoutChoice::default(), LayoutChoice::Aos);
     }
 
     #[test]

@@ -23,7 +23,9 @@ use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
 use crate::split::DriveOptions;
 use crate::stats::{NoStats, Stats};
-use crate::table::{AosTable, TableLayout, WaveTableLayout, MAX_TABLE_RELS};
+use crate::table::{
+    AosTable, HotColdTable, LayoutChoice, SoaTable, TableLayout, WaveTableLayout, MAX_TABLE_RELS,
+};
 
 /// An escalation schedule of plan-cost thresholds.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -190,7 +192,9 @@ pub fn optimize_join_threshold<M: CostModel + Sync>(
 }
 
 /// [`optimize_join_threshold`] with an explicit execution policy
-/// (worker-thread count for the rank-wave parallel driver; `1` = serial).
+/// (worker-thread count for the rank-wave parallel driver; `1` = serial)
+/// and table layout ([`DriveOptions::layout`] picks the
+/// monomorphization).
 ///
 /// # Errors
 /// Returns [`SpecError::TooManyRels`] when the DP table would be too large.
@@ -204,9 +208,26 @@ pub fn optimize_join_threshold_with<M: CostModel + Sync>(
         return Err(SpecError::TooManyRels(spec.n()));
     }
     let mut stats = NoStats;
-    let (_, outcome) = optimize_join_threshold_into_with::<AosTable, M, NoStats, true>(
-        spec, model, schedule, options, &mut stats,
-    );
+    let outcome = match options.layout {
+        LayoutChoice::Aos => {
+            optimize_join_threshold_into_with::<AosTable, M, NoStats, true>(
+                spec, model, schedule, options, &mut stats,
+            )
+            .1
+        }
+        LayoutChoice::Soa => {
+            optimize_join_threshold_into_with::<SoaTable, M, NoStats, true>(
+                spec, model, schedule, options, &mut stats,
+            )
+            .1
+        }
+        LayoutChoice::HotCold => {
+            optimize_join_threshold_into_with::<HotColdTable, M, NoStats, true>(
+                spec, model, schedule, options, &mut stats,
+            )
+            .1
+        }
+    };
     Ok(outcome)
 }
 

@@ -39,7 +39,8 @@ use blitz_baselines::goo;
 use blitz_catalog::CanonicalQuery;
 use blitz_core::{
     optimize_join_threshold_into_with, AosTable, CostModel, Counters, DiskNestedLoops, DriveOptions,
-    JoinSpec, Kappa0, Plan, SmDnl, SortMerge, ThresholdSchedule, MAX_TABLE_RELS,
+    HotColdTable, JoinSpec, Kappa0, LayoutChoice, Plan, SmDnl, SoaTable, SortMerge,
+    ThresholdSchedule, WaveTableLayout, MAX_TABLE_RELS,
 };
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -264,6 +265,11 @@ pub struct ServiceConfig {
     /// parallel driver (when [`ServiceConfig::parallelism`] allows);
     /// smaller tables fill faster serially than the waves synchronize.
     pub parallel_min_rels: usize,
+    /// DP-table layout for the exact path. Defaults to
+    /// [`LayoutChoice::HotCold`] — the cache-conscious hot/cold split —
+    /// which is bit-identical to the other layouts (the layout-
+    /// equivalence suite enforces this), so it is purely a perf knob.
+    pub layout: LayoutChoice,
 }
 
 impl Default for ServiceConfig {
@@ -282,6 +288,7 @@ impl Default for ServiceConfig {
             default_schedule: ThresholdSchedule::default(),
             parallelism: 0,
             parallel_min_rels: 15,
+            layout: LayoutChoice::HotCold,
         }
     }
 }
@@ -332,11 +339,12 @@ impl OptimizerService {
     /// `BLITZ_TEST_THREADS` override (honored by
     /// [`DriveOptions::default`]) is set.
     fn drive_options(&self, n: usize) -> DriveOptions {
-        if n >= self.config.parallel_min_rels && self.config.parallelism != 1 {
+        let options = if n >= self.config.parallel_min_rels && self.config.parallelism != 1 {
             DriveOptions::parallel(self.config.parallelism)
         } else {
             DriveOptions::serial()
-        }
+        };
+        options.with_layout(self.config.layout)
     }
 
     /// Optimize one request. Never fails: every degraded path returns a
@@ -498,24 +506,39 @@ fn run_exact(
     schedule: ThresholdSchedule,
     options: DriveOptions,
 ) -> (Plan, f32, f64, u32, Counters) {
-    fn go<M: CostModel + Sync>(
+    fn go<L: WaveTableLayout + Send, M: CostModel + Sync>(
         spec: &JoinSpec,
         model: &M,
         schedule: ThresholdSchedule,
         options: DriveOptions,
     ) -> (Plan, f32, f64, u32, Counters) {
         let mut counters = Counters::default();
-        let (_, outcome) = optimize_join_threshold_into_with::<AosTable, M, Counters, true>(
+        let (_, outcome) = optimize_join_threshold_into_with::<L, M, Counters, true>(
             spec, model, schedule, options, &mut counters,
         );
         let o = outcome.optimized;
         (o.plan, o.cost, o.card, outcome.passes, counters)
     }
+    // Static double dispatch: model × layout, all monomorphized. Every
+    // combination is bit-identical in results; the layout only moves
+    // bytes around in memory.
+    fn by_layout<M: CostModel + Sync>(
+        spec: &JoinSpec,
+        model: &M,
+        schedule: ThresholdSchedule,
+        options: DriveOptions,
+    ) -> (Plan, f32, f64, u32, Counters) {
+        match options.layout {
+            LayoutChoice::Aos => go::<AosTable, M>(spec, model, schedule, options),
+            LayoutChoice::Soa => go::<SoaTable, M>(spec, model, schedule, options),
+            LayoutChoice::HotCold => go::<HotColdTable, M>(spec, model, schedule, options),
+        }
+    }
     match model {
-        ModelId::Kappa0 => go(spec, &Kappa0, schedule, options),
-        ModelId::SortMerge => go(spec, &SortMerge, schedule, options),
-        ModelId::DiskNestedLoops => go(spec, &DiskNestedLoops::default(), schedule, options),
-        ModelId::SmDnl => go(spec, &SmDnl::default(), schedule, options),
+        ModelId::Kappa0 => by_layout(spec, &Kappa0, schedule, options),
+        ModelId::SortMerge => by_layout(spec, &SortMerge, schedule, options),
+        ModelId::DiskNestedLoops => by_layout(spec, &DiskNestedLoops::default(), schedule, options),
+        ModelId::SmDnl => by_layout(spec, &SmDnl::default(), schedule, options),
     }
 }
 

@@ -90,6 +90,26 @@ fn parallel_is_invariant_to_thread_count() {
     }
 }
 
+/// Worker counts far beyond the widest wave's row count — here n=4, whose
+/// widest wave has C(4,2) = 6 rows, driven with 16 requested workers —
+/// must clamp to the useful width, complete (no worker may wait on a
+/// barrier that the clamped crew never reaches), and still reproduce the
+/// serial table bit-for-bit.
+#[test]
+fn oversubscribed_tiny_problem_clamps_and_matches_serial() {
+    for topo in TOPOLOGIES {
+        let spec = Workload::new(4, topo, 100.0, 0.5).spec();
+        check_bit_identical(&spec, &Kappa0, 16);
+        check_bit_identical(&spec, &SortMerge, 16);
+    }
+    // n=2 and n=3 collapse to a single useful worker (widest waves of
+    // 1 and 3 rows): the driver must degrade to the serial fill.
+    for n in [2usize, 3] {
+        let spec = Workload::new(n, Topology::Chain, 100.0, 0.5).spec();
+        check_bit_identical(&spec, &Kappa0, 16);
+    }
+}
+
 /// The parallel driver against ground truth: the non-memoized recursive
 /// brute-force oracle over all bushy trees.
 #[test]
