@@ -20,6 +20,14 @@
 //! (default 16), `BLITZ_THREADS` (worker count for the parallel
 //! configurations; default = available cores clamped to [2, 8]),
 //! `BLITZ_BENCH_MIN_MS`, `BLITZ_BENCH_MAX_REPS`.
+//!
+//! With `--check`, nothing is timed and nothing is written: every
+//! configuration is verified against the serial reference as usual, and
+//! the reference's *deterministic* outputs (optimal cost bits and §3.3
+//! counters) are then compared against the committed artifact for each
+//! `(topology, n)` group the run covers. A mismatch, or a group missing
+//! from the artifact, fails the run — so CI catches result drift without
+//! churning timing numbers on every machine.
 
 use blitz_bench::json::Json;
 use blitz_bench::render::fmt_secs;
@@ -131,7 +139,45 @@ fn threads_from_env(cores: usize) -> usize {
     }
 }
 
+/// The fields of one committed `(topology, n)` group that a fresh run
+/// must reproduce exactly. Timing fields are machine-dependent and
+/// deliberately not part of this.
+fn check_group(committed: &Json, topo: Topology, n: usize, reference: &Reference) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Some(group) = committed.get("groups").and_then(Json::as_arr).and_then(|groups| {
+        groups.iter().find(|g| {
+            g.get("topology").and_then(Json::as_str) == Some(topo.name())
+                && g.get("n").and_then(Json::as_f64) == Some(n as f64)
+        })
+    }) else {
+        problems.push(format!("{}/{n}: no group in the committed artifact", topo.name()));
+        return problems;
+    };
+    let want_bits = f64::from(reference.optimized.cost.to_bits());
+    if group.get("cost_bits").and_then(Json::as_f64) != Some(want_bits) {
+        problems.push(format!(
+            "{}/{n}: cost_bits {:?} != freshly computed {want_bits}",
+            topo.name(),
+            group.get("cost_bits").and_then(Json::as_f64),
+        ));
+    }
+    let counters = counters_json(&reference.counters);
+    let Json::Obj(want) = &counters else { unreachable!("counters_json builds an object") };
+    for (key, value) in want {
+        let got = group.get("counters").and_then(|c| c.get(key)).and_then(Json::as_f64);
+        if got != value.as_f64() {
+            problems.push(format!(
+                "{}/{n}: counter `{key}` {got:?} != freshly computed {:?}",
+                topo.name(),
+                value.as_f64(),
+            ));
+        }
+    }
+    problems
+}
+
 fn main() {
+    let check_mode = std::env::args().skip(1).any(|a| a == "--check");
     let min_n = env_usize("BLITZ_MIN_N", 12);
     let max_n = env_usize("BLITZ_MAX_N", 16).min(20).max(min_n);
     let cfg = TimingConfig::from_env();
@@ -173,6 +219,21 @@ fn main() {
     println!("Hot-path layout/schedule benchmark (kappa_0, mean card 100, var 0.5)");
     println!("machine reports {cores} core(s); parallel configurations use {threads} worker(s)\n");
 
+    let committed = if check_mode {
+        let text = std::fs::read_to_string(&out_path).unwrap_or_else(|e| {
+            eprintln!("--check: cannot read committed artifact {out_path}: {e}");
+            std::process::exit(2);
+        });
+        Some(Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("--check: committed artifact {out_path} is not valid JSON: {e}");
+            std::process::exit(2);
+        }))
+    } else {
+        None
+    };
+    let mut problems: Vec<String> = Vec::new();
+    let mut checked_groups = 0usize;
+
     let mut groups = Vec::new();
     for topo in Topology::ALL {
         for n in min_n..=max_n {
@@ -185,6 +246,20 @@ fn main() {
             for c in &configs {
                 let got = optimize_join_with(&spec, &Kappa0, c.options()).unwrap();
                 verify(&reference, &got, &c.label(), topo, n);
+            }
+
+            if let Some(committed) = &committed {
+                let found = check_group(committed, topo, n, &reference);
+                if found.is_empty() {
+                    println!("-- {} n={n}: all configs verified, matches artifact", topo.name());
+                } else {
+                    for p in &found {
+                        eprintln!("--check: {p}");
+                    }
+                }
+                problems.extend(found);
+                checked_groups += 1;
+                continue;
             }
 
             let time_config = |c: &Config| -> Duration {
@@ -243,6 +318,18 @@ fn main() {
                 ("configs", Json::Arr(config_json)),
             ]));
         }
+    }
+
+    if check_mode {
+        if problems.is_empty() {
+            println!(
+                "hotpath --check: {checked_groups} group(s) verified against {out_path}; \
+                 no drift"
+            );
+            return;
+        }
+        eprintln!("hotpath --check: {} problem(s) against {out_path}", problems.len());
+        std::process::exit(1);
     }
 
     let doc = Json::obj(vec![

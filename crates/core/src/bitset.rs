@@ -57,6 +57,23 @@ impl RelSet {
         RelSet(bits)
     }
 
+    /// Construct a set from a wave-enumeration word.
+    ///
+    /// The rank-wave drivers step Gosper's successor in `u64` so that the
+    /// *final* pattern's successor cannot overflow; every pattern actually
+    /// used as a row, however, must fit the 32-bit set representation.
+    /// This is the audited narrowing point for those drivers — preferred
+    /// over ad-hoc `as u32` casts, which `cargo xtask lint` rejects in the
+    /// hot loops.
+    #[inline]
+    pub fn from_wave_bits(bits: u64) -> RelSet {
+        debug_assert!(
+            bits <= u32::MAX as u64,
+            "wave pattern {bits:#x} exceeds the 32-bit set representation"
+        );
+        RelSet(bits as u32)
+    }
+
     /// The raw bit-vector.
     #[inline]
     pub const fn bits(self) -> u32 {
@@ -368,7 +385,7 @@ impl StridedSubsets {
     /// Panics if `stride` is even.
     pub fn new(of: RelSet, stride: u32) -> StridedSubsets {
         assert!(stride % 2 == 1, "stride must be odd");
-        let m = of.len() as u32;
+        let m = of.bits().count_ones();
         StridedSubsets {
             of,
             start: 1 % (1u32 << m.min(31)),
@@ -449,6 +466,20 @@ mod tests {
     #[should_panic]
     fn full_set_overflow_panics() {
         let _ = RelSet::full(MAX_RELS + 1);
+    }
+
+    #[test]
+    fn from_wave_bits_matches_from_bits() {
+        for bits in [0u64, 1, 0b1011, 0xffff_ffff] {
+            assert_eq!(RelSet::from_wave_bits(bits), RelSet::from_bits(bits as u32));
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds the 32-bit set representation")]
+    fn from_wave_bits_rejects_oversized_patterns() {
+        let _ = RelSet::from_wave_bits(1u64 << 40);
     }
 
     #[test]

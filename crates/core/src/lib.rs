@@ -37,9 +37,13 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod bitset;
 pub mod cartesian;
+#[cfg(any(blitz_check, debug_assertions))]
+mod check;
 pub mod cost;
 pub mod hyper;
 pub mod join;

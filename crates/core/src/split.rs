@@ -383,6 +383,28 @@ fn nth_same_popcount(k: usize, mut m: u64) -> u64 {
     bits
 }
 
+/// Colex rank of `bits` within the enumeration of its own popcount class
+/// — the exact inverse of [`nth_same_popcount`]: for the `j`-th lowest
+/// set bit (1-based) at position `c`, the patterns preceding `bits` in
+/// Gosper order include all `C(c, j)` ways of placing the lowest `j` bits
+/// strictly below `c`.
+///
+/// Off the hot path: used by the checked-build wave guard to validate
+/// that a written row falls inside the worker's chunk.
+#[cfg(any(blitz_check, debug_assertions))]
+pub(crate) fn rank_same_popcount(bits: u64) -> u64 {
+    let mut rank = 0u64;
+    let mut rest = bits;
+    let mut j = 0usize;
+    while rest != 0 {
+        let c = rest.trailing_zeros() as usize;
+        j += 1;
+        rank += binomial(c, j);
+        rest &= rest - 1;
+    }
+    rank
+}
+
 /// Chunk-boundary alignment within a wave, in rows: 16 dense `f32`
 /// costs = one 64-byte cache line of [`crate::table::HotColdTable`]'s
 /// hot array, so two workers' hot-cost writes can only meet on a line
@@ -442,9 +464,10 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
         // SAFETY: exactly one view on one thread; trivially race-free.
         let mut view = unsafe { shared.view() };
         for k in 2..=n {
+            view.begin_wave(k, None);
             let mut bits = (1u64 << k) - 1;
             while bits < end {
-                let s = RelSet::from_bits(bits as u32);
+                let s = RelSet::from_wave_bits(bits);
                 compute_properties(&mut view, model, s);
                 find_best_split::<SyncTableView<L>, M, St, PRUNE>(
                     &mut view, model, s, cap, stats,
@@ -478,11 +501,12 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
                                 let per = rows.div_ceil(threads as u64);
                                 let chunk = per.div_ceil(CHUNK_ALIGN_ROWS) * CHUNK_ALIGN_ROWS;
                                 let start = t as u64 * chunk;
+                                let stop = (start + chunk).min(rows).max(start);
+                                view.begin_wave(k, Some((start, stop)));
                                 if start < rows {
-                                    let stop = (start + chunk).min(rows);
                                     let mut bits = nth_same_popcount(k, start);
                                     for _ in start..stop {
-                                        let s = RelSet::from_bits(bits as u32);
+                                        let s = RelSet::from_wave_bits(bits);
                                         compute_properties(&mut view, model, s);
                                         find_best_split::<SyncTableView<L>, M, St, PRUNE>(
                                             &mut view, model, s, cap, &mut local,
@@ -492,11 +516,15 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
                                 }
                             }
                             WaveSchedule::RoundRobin => {
+                                // No contiguous rank range to pin down:
+                                // round-robin ownership is checked only
+                                // by the shadow words' per-row owners.
+                                view.begin_wave(k, None);
                                 let mut row = 0usize;
                                 let mut bits = (1u64 << k) - 1;
                                 while bits < end {
                                     if row % threads == t {
-                                        let s = RelSet::from_bits(bits as u32);
+                                        let s = RelSet::from_wave_bits(bits);
                                         compute_properties(&mut view, model, s);
                                         find_best_split::<SyncTableView<L>, M, St, PRUNE>(
                                             &mut view, model, s, cap, &mut local,
@@ -576,6 +604,21 @@ mod tests {
                         "n={n} k={k} m={m}"
                     );
                     bits = same_popcount_successor(bits);
+                }
+            }
+        }
+    }
+
+    /// `rank_same_popcount` must be the exact inverse of
+    /// `nth_same_popcount` across every wave of every supported width.
+    #[cfg(any(blitz_check, debug_assertions))]
+    #[test]
+    fn ranking_inverts_unranking() {
+        for n in 2..=12usize {
+            for k in 1..=n {
+                for m in 0..binomial(n, k) {
+                    let bits = nth_same_popcount(k, m);
+                    assert_eq!(rank_same_popcount(bits), m, "n={n} k={k} m={m}");
                 }
             }
         }

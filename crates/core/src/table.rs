@@ -755,67 +755,79 @@ unsafe impl WaveTableLayout for AosTable {
     #[inline]
     unsafe fn raw_card(raw: AosRaw, s: RelSet) -> f64 {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).card
+        // SAFETY: the `raw_card` caller contract.
+        unsafe { (*raw.rows.add(s.index())).card }
     }
 
     #[inline]
     unsafe fn raw_set_card(raw: AosRaw, s: RelSet, v: f64) {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).card = v;
+        // SAFETY: the `raw_set_card` caller contract.
+        unsafe { (*raw.rows.add(s.index())).card = v }
     }
 
     #[inline]
     unsafe fn raw_cost(raw: AosRaw, s: RelSet) -> f32 {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).cost
+        // SAFETY: the `raw_cost` caller contract.
+        unsafe { (*raw.rows.add(s.index())).cost }
     }
 
     #[inline]
     unsafe fn raw_set_cost(raw: AosRaw, s: RelSet, v: f32) {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).cost = v;
+        // SAFETY: the `raw_set_cost` caller contract.
+        unsafe { (*raw.rows.add(s.index())).cost = v }
     }
 
     #[inline]
     unsafe fn raw_best_lhs(raw: AosRaw, s: RelSet) -> RelSet {
         debug_assert!(s.index() < (1usize << raw.n));
-        RelSet::from_bits((*raw.rows.add(s.index())).best_lhs)
+        // SAFETY: the `raw_best_lhs` caller contract.
+        RelSet::from_bits(unsafe { (*raw.rows.add(s.index())).best_lhs })
     }
 
     #[inline]
     unsafe fn raw_set_best_lhs(raw: AosRaw, s: RelSet, v: RelSet) {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).best_lhs = v.bits();
+        // SAFETY: the `raw_set_best_lhs` caller contract.
+        unsafe { (*raw.rows.add(s.index())).best_lhs = v.bits() }
     }
 
     #[inline]
     unsafe fn raw_pi_fan(raw: AosRaw, s: RelSet) -> f64 {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).pi_fan
+        // SAFETY: the `raw_pi_fan` caller contract.
+        unsafe { (*raw.rows.add(s.index())).pi_fan }
     }
 
     #[inline]
     unsafe fn raw_set_pi_fan(raw: AosRaw, s: RelSet, v: f64) {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).pi_fan = v;
+        // SAFETY: the `raw_set_pi_fan` caller contract.
+        unsafe { (*raw.rows.add(s.index())).pi_fan = v }
     }
 
     #[inline]
     unsafe fn raw_aux(raw: AosRaw, s: RelSet) -> f32 {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).aux
+        // SAFETY: the `raw_aux` caller contract.
+        unsafe { (*raw.rows.add(s.index())).aux }
     }
 
     #[inline]
     unsafe fn raw_set_aux(raw: AosRaw, s: RelSet, v: f32) {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).aux = v;
+        // SAFETY: the `raw_set_aux` caller contract.
+        unsafe { (*raw.rows.add(s.index())).aux = v }
     }
 
     #[inline]
     unsafe fn raw_prefetch_cost(raw: AosRaw, s: RelSet) {
         debug_assert!(s.index() < (1usize << raw.n));
-        prefetch_read(std::ptr::addr_of!((*raw.rows.add(s.index())).cost));
+        // SAFETY: in-bounds pointer arithmetic per the `raw_prefetch_cost`
+        // contract; the address is only used as a prefetch hint.
+        unsafe { prefetch_read(std::ptr::addr_of!((*raw.rows.add(s.index())).cost)) }
     }
 }
 
@@ -858,67 +870,79 @@ unsafe impl WaveTableLayout for SoaTable {
     #[inline]
     unsafe fn raw_card(raw: SoaRaw, s: RelSet) -> f64 {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.cards.add(s.index())
+        // SAFETY: the `raw_card` caller contract.
+        unsafe { *raw.cards.add(s.index()) }
     }
 
     #[inline]
     unsafe fn raw_set_card(raw: SoaRaw, s: RelSet, v: f64) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.cards.add(s.index()) = v;
+        // SAFETY: the `raw_set_card` caller contract.
+        unsafe { *raw.cards.add(s.index()) = v }
     }
 
     #[inline]
     unsafe fn raw_cost(raw: SoaRaw, s: RelSet) -> f32 {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.costs.add(s.index())
+        // SAFETY: the `raw_cost` caller contract.
+        unsafe { *raw.costs.add(s.index()) }
     }
 
     #[inline]
     unsafe fn raw_set_cost(raw: SoaRaw, s: RelSet, v: f32) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.costs.add(s.index()) = v;
+        // SAFETY: the `raw_set_cost` caller contract.
+        unsafe { *raw.costs.add(s.index()) = v }
     }
 
     #[inline]
     unsafe fn raw_best_lhs(raw: SoaRaw, s: RelSet) -> RelSet {
         debug_assert!(s.index() < (1usize << raw.n));
-        RelSet::from_bits(*raw.best_lhss.add(s.index()))
+        // SAFETY: the `raw_best_lhs` caller contract.
+        RelSet::from_bits(unsafe { *raw.best_lhss.add(s.index()) })
     }
 
     #[inline]
     unsafe fn raw_set_best_lhs(raw: SoaRaw, s: RelSet, v: RelSet) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.best_lhss.add(s.index()) = v.bits();
+        // SAFETY: the `raw_set_best_lhs` caller contract.
+        unsafe { *raw.best_lhss.add(s.index()) = v.bits() }
     }
 
     #[inline]
     unsafe fn raw_pi_fan(raw: SoaRaw, s: RelSet) -> f64 {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.pi_fans.add(s.index())
+        // SAFETY: the `raw_pi_fan` caller contract.
+        unsafe { *raw.pi_fans.add(s.index()) }
     }
 
     #[inline]
     unsafe fn raw_set_pi_fan(raw: SoaRaw, s: RelSet, v: f64) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.pi_fans.add(s.index()) = v;
+        // SAFETY: the `raw_set_pi_fan` caller contract.
+        unsafe { *raw.pi_fans.add(s.index()) = v }
     }
 
     #[inline]
     unsafe fn raw_aux(raw: SoaRaw, s: RelSet) -> f32 {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.auxs.add(s.index())
+        // SAFETY: the `raw_aux` caller contract.
+        unsafe { *raw.auxs.add(s.index()) }
     }
 
     #[inline]
     unsafe fn raw_set_aux(raw: SoaRaw, s: RelSet, v: f32) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.auxs.add(s.index()) = v;
+        // SAFETY: the `raw_set_aux` caller contract.
+        unsafe { *raw.auxs.add(s.index()) = v }
     }
 
     #[inline]
     unsafe fn raw_prefetch_cost(raw: SoaRaw, s: RelSet) {
         debug_assert!(s.index() < (1usize << raw.n));
-        prefetch_read(raw.costs.add(s.index()));
+        // SAFETY: in-bounds pointer arithmetic per the `raw_prefetch_cost`
+        // contract; the address is only used as a prefetch hint.
+        unsafe { prefetch_read(raw.costs.add(s.index())) }
     }
 }
 
@@ -950,37 +974,43 @@ unsafe impl WaveTableLayout for CompactProductTable {
     #[inline]
     unsafe fn raw_card(raw: CompactRaw, s: RelSet) -> f64 {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).card
+        // SAFETY: the `raw_card` caller contract.
+        unsafe { (*raw.rows.add(s.index())).card }
     }
 
     #[inline]
     unsafe fn raw_set_card(raw: CompactRaw, s: RelSet, v: f64) {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).card = v;
+        // SAFETY: the `raw_set_card` caller contract.
+        unsafe { (*raw.rows.add(s.index())).card = v }
     }
 
     #[inline]
     unsafe fn raw_cost(raw: CompactRaw, s: RelSet) -> f32 {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).cost
+        // SAFETY: the `raw_cost` caller contract.
+        unsafe { (*raw.rows.add(s.index())).cost }
     }
 
     #[inline]
     unsafe fn raw_set_cost(raw: CompactRaw, s: RelSet, v: f32) {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).cost = v;
+        // SAFETY: the `raw_set_cost` caller contract.
+        unsafe { (*raw.rows.add(s.index())).cost = v }
     }
 
     #[inline]
     unsafe fn raw_best_lhs(raw: CompactRaw, s: RelSet) -> RelSet {
         debug_assert!(s.index() < (1usize << raw.n));
-        RelSet::from_bits((*raw.rows.add(s.index())).best_lhs)
+        // SAFETY: the `raw_best_lhs` caller contract.
+        RelSet::from_bits(unsafe { (*raw.rows.add(s.index())).best_lhs })
     }
 
     #[inline]
     unsafe fn raw_set_best_lhs(raw: CompactRaw, s: RelSet, v: RelSet) {
         debug_assert!(s.index() < (1usize << raw.n));
-        (*raw.rows.add(s.index())).best_lhs = v.bits();
+        // SAFETY: the `raw_set_best_lhs` caller contract.
+        unsafe { (*raw.rows.add(s.index())).best_lhs = v.bits() }
     }
 
     #[inline]
@@ -1006,7 +1036,9 @@ unsafe impl WaveTableLayout for CompactProductTable {
     #[inline]
     unsafe fn raw_prefetch_cost(raw: CompactRaw, s: RelSet) {
         debug_assert!(s.index() < (1usize << raw.n));
-        prefetch_read(std::ptr::addr_of!((*raw.rows.add(s.index())).cost));
+        // SAFETY: in-bounds pointer arithmetic per the `raw_prefetch_cost`
+        // contract; the address is only used as a prefetch hint.
+        unsafe { prefetch_read(std::ptr::addr_of!((*raw.rows.add(s.index())).cost)) }
     }
 }
 
@@ -1051,67 +1083,79 @@ unsafe impl WaveTableLayout for HotColdTable {
     #[inline]
     unsafe fn raw_card(raw: HotColdRaw, s: RelSet) -> f64 {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.cards.add(s.index())
+        // SAFETY: the `raw_card` caller contract.
+        unsafe { *raw.cards.add(s.index()) }
     }
 
     #[inline]
     unsafe fn raw_set_card(raw: HotColdRaw, s: RelSet, v: f64) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.cards.add(s.index()) = v;
+        // SAFETY: the `raw_set_card` caller contract.
+        unsafe { *raw.cards.add(s.index()) = v }
     }
 
     #[inline]
     unsafe fn raw_cost(raw: HotColdRaw, s: RelSet) -> f32 {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.costs.add(s.index())
+        // SAFETY: the `raw_cost` caller contract.
+        unsafe { *raw.costs.add(s.index()) }
     }
 
     #[inline]
     unsafe fn raw_set_cost(raw: HotColdRaw, s: RelSet, v: f32) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.costs.add(s.index()) = v;
+        // SAFETY: the `raw_set_cost` caller contract.
+        unsafe { *raw.costs.add(s.index()) = v }
     }
 
     #[inline]
     unsafe fn raw_best_lhs(raw: HotColdRaw, s: RelSet) -> RelSet {
         debug_assert!(s.index() < (1usize << raw.n));
-        RelSet::from_bits(*raw.best_lhss.add(s.index()))
+        // SAFETY: the `raw_best_lhs` caller contract.
+        RelSet::from_bits(unsafe { *raw.best_lhss.add(s.index()) })
     }
 
     #[inline]
     unsafe fn raw_set_best_lhs(raw: HotColdRaw, s: RelSet, v: RelSet) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.best_lhss.add(s.index()) = v.bits();
+        // SAFETY: the `raw_set_best_lhs` caller contract.
+        unsafe { *raw.best_lhss.add(s.index()) = v.bits() }
     }
 
     #[inline]
     unsafe fn raw_pi_fan(raw: HotColdRaw, s: RelSet) -> f64 {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.pi_fans.add(s.index())
+        // SAFETY: the `raw_pi_fan` caller contract.
+        unsafe { *raw.pi_fans.add(s.index()) }
     }
 
     #[inline]
     unsafe fn raw_set_pi_fan(raw: HotColdRaw, s: RelSet, v: f64) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.pi_fans.add(s.index()) = v;
+        // SAFETY: the `raw_set_pi_fan` caller contract.
+        unsafe { *raw.pi_fans.add(s.index()) = v }
     }
 
     #[inline]
     unsafe fn raw_aux(raw: HotColdRaw, s: RelSet) -> f32 {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.auxs.add(s.index())
+        // SAFETY: the `raw_aux` caller contract.
+        unsafe { *raw.auxs.add(s.index()) }
     }
 
     #[inline]
     unsafe fn raw_set_aux(raw: HotColdRaw, s: RelSet, v: f32) {
         debug_assert!(s.index() < (1usize << raw.n));
-        *raw.auxs.add(s.index()) = v;
+        // SAFETY: the `raw_set_aux` caller contract.
+        unsafe { *raw.auxs.add(s.index()) = v }
     }
 
     #[inline]
     unsafe fn raw_prefetch_cost(raw: HotColdRaw, s: RelSet) {
         debug_assert!(s.index() < (1usize << raw.n));
-        prefetch_read(raw.costs.add(s.index()));
+        // SAFETY: in-bounds pointer arithmetic per the `raw_prefetch_cost`
+        // contract; the address is only used as a prefetch hint.
+        unsafe { prefetch_read(raw.costs.add(s.index())) }
     }
 }
 
@@ -1157,6 +1201,11 @@ unsafe impl WaveTableLayout for HotColdTable {
 /// rules.
 pub struct SyncTable<'t, L: WaveTableLayout> {
     raw: L::Raw,
+    /// Shadow epoch/owner words validating every view access against the
+    /// wave discipline (`--cfg blitz_check` builds only). Boxed so the
+    /// views' pointer to it survives moves of the handle itself.
+    #[cfg(blitz_check)]
+    shadow: Box<crate::check::ShadowState>,
     /// Keeps the source table exclusively borrowed while views exist.
     _borrow: PhantomData<&'t mut L>,
 }
@@ -1170,7 +1219,14 @@ impl<'t, L: WaveTableLayout> SyncTable<'t, L> {
     /// Wrap an exclusively borrowed table for the duration of a wave
     /// computation, capturing its raw buffer pointers.
     pub fn from_mut(table: &'t mut L) -> SyncTable<'t, L> {
-        SyncTable { raw: table.raw_parts(), _borrow: PhantomData }
+        #[cfg(blitz_check)]
+        let shadow = Box::new(crate::check::ShadowState::new(table.rels()));
+        SyncTable {
+            raw: table.raw_parts(),
+            #[cfg(blitz_check)]
+            shadow,
+            _borrow: PhantomData,
+        }
     }
 
     /// Create one worker's mutable view of the shared table.
@@ -1182,8 +1238,20 @@ impl<'t, L: WaveTableLayout> SyncTable<'t, L> {
     /// each table row is written by at most one of them, and rows read by
     /// one view are never written by another without an intervening
     /// synchronization point (barrier/join).
+    ///
+    /// Under `--cfg blitz_check` this discipline is additionally
+    /// *enforced*: each view gets a worker id, and once the driver calls
+    /// [`SyncTableView::begin_wave`], every access is validated against
+    /// the shared shadow table — violations panic instead of silently
+    /// racing.
     pub unsafe fn view(&self) -> SyncTableView<L> {
-        SyncTableView { raw: self.raw }
+        SyncTableView {
+            raw: self.raw,
+            #[cfg(all(debug_assertions, not(blitz_check)))]
+            guard: crate::check::WaveGuard::unconstrained(),
+            #[cfg(blitz_check)]
+            guard: crate::check::WaveGuard::unconstrained(&self.shadow),
+        }
     }
 }
 
@@ -1196,6 +1264,27 @@ impl<'t, L: WaveTableLayout> SyncTable<'t, L> {
 /// Cannot be allocated directly: [`TableLayout::with_rels`] panics.
 pub struct SyncTableView<L: WaveTableLayout> {
     raw: L::Raw,
+    /// Wave/chunk bookkeeping validating accesses in checked builds
+    /// (plain `debug_assertions`: write-side popcount/chunk assertions;
+    /// `--cfg blitz_check`: the full shadow epoch/owner protocol).
+    #[cfg(any(blitz_check, debug_assertions))]
+    guard: crate::check::WaveGuard,
+}
+
+impl<L: WaveTableLayout> SyncTableView<L> {
+    /// Tell the view which wave it is about to process, and (for the
+    /// chunked schedule) which colex rank range `[lo, hi)` of that wave
+    /// this worker owns. The wave drivers call this at the top of every
+    /// wave; in ordinary release builds it compiles to nothing, while
+    /// checked builds use it to validate every subsequent access against
+    /// the rank-wave discipline.
+    #[inline]
+    pub fn begin_wave(&mut self, k: usize, chunk: Option<(u64, u64)>) {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.begin_wave(k, chunk);
+        #[cfg(not(any(blitz_check, debug_assertions)))]
+        let _ = (k, chunk);
+    }
 }
 
 // SAFETY: the view is a bundle of raw pointers; moving it to another
@@ -1210,11 +1299,14 @@ impl<L: WaveTableLayout> TableLayout for SyncTableView<L> {
         unreachable!("SyncTableView is a borrowed view; allocate the underlying layout instead")
     }
 
-    // SAFETY for every forwarded call below: `raw` was captured by a
-    // `SyncTable` whose exclusive borrow of the table outlives this view
-    // (`SyncTable::view`'s contract), the drivers derive every `s` from
-    // the table's own `n` so the row is in bounds, and the view contract
-    // rules out concurrent conflicting accesses to that row.
+    // The safety argument for every forwarded call below: `raw` was
+    // captured by a `SyncTable` whose exclusive borrow of the table
+    // outlives this view (`SyncTable::view`'s contract), the drivers
+    // derive every `s` from the table's own `n` so the row is in bounds,
+    // and the view contract rules out concurrent conflicting accesses to
+    // that row. Checked builds verify the access against the wave guard
+    // *before* touching memory, so a discipline violation panics instead
+    // of performing the racy access.
     #[inline]
     fn rels(&self) -> usize {
         L::raw_rels(self.raw)
@@ -1222,56 +1314,91 @@ impl<L: WaveTableLayout> TableLayout for SyncTableView<L> {
 
     #[inline]
     fn card(&self, s: RelSet) -> f64 {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_read(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_card(self.raw, s) }
     }
 
     #[inline]
     fn set_card(&mut self, s: RelSet, v: f64) {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_write(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_set_card(self.raw, s, v) }
     }
 
     #[inline]
     fn cost(&self, s: RelSet) -> f32 {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_read(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_cost(self.raw, s) }
     }
 
     #[inline]
     fn set_cost(&mut self, s: RelSet, v: f32) {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_write(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_set_cost(self.raw, s, v) }
     }
 
     #[inline]
     fn best_lhs(&self, s: RelSet) -> RelSet {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_read(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_best_lhs(self.raw, s) }
     }
 
     #[inline]
     fn set_best_lhs(&mut self, s: RelSet, v: RelSet) {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_write(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_set_best_lhs(self.raw, s, v) }
     }
 
     #[inline]
     fn pi_fan(&self, s: RelSet) -> f64 {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_read(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_pi_fan(self.raw, s) }
     }
 
     #[inline]
     fn set_pi_fan(&mut self, s: RelSet, v: f64) {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_write(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_set_pi_fan(self.raw, s, v) }
     }
 
     #[inline]
     fn aux(&self, s: RelSet) -> f32 {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_read(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_aux(self.raw, s) }
     }
 
     #[inline]
     fn set_aux(&mut self, s: RelSet, v: f32) {
+        #[cfg(any(blitz_check, debug_assertions))]
+        self.guard.check_write(s);
+        // SAFETY: live borrow, in-bounds row, race-free (see above).
         unsafe { L::raw_set_aux(self.raw, s, v) }
     }
 
     #[inline]
     fn prefetch_cost(&self, s: RelSet) {
+        // Not guard-checked: prefetches are architectural hints, not
+        // memory accesses (see `prefetch_read`), and the split loop
+        // legitimately prefetches rows ahead of the guard's wave window.
+        // SAFETY: live borrow and in-bounds row (see above); prefetch
+        // needs no race-freedom clause.
         unsafe { L::raw_prefetch_cost(self.raw, s) }
     }
 }

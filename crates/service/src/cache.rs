@@ -25,6 +25,7 @@
 //! completed entries occupy LRU capacity; in-flight slots are pinned
 //! until resolved.
 
+use crate::sync;
 use blitz_core::Plan;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -64,7 +65,7 @@ impl Slot {
     }
 
     fn publish(&self, state: SlotState) {
-        let mut guard = self.state.lock().unwrap();
+        let mut guard = sync::lock(&self.state);
         if matches!(*guard, SlotState::Pending) {
             *guard = state;
             drop(guard);
@@ -77,19 +78,19 @@ impl Slot {
     /// optimization was abandoned.
     pub fn wait(&self, timeout: Option<Duration>) -> Option<Arc<ComputedPlan>> {
         let deadline = timeout.map(|t| Instant::now() + t);
-        let mut state = self.state.lock().unwrap();
+        let mut state = sync::lock(&self.state);
         loop {
             match &*state {
                 SlotState::Done(plan) => return Some(Arc::clone(plan)),
                 SlotState::Abandoned => return None,
                 SlotState::Pending => match deadline {
-                    None => state = self.done.wait(state).unwrap(),
+                    None => state = sync::wait(&self.done, state),
                     Some(d) => {
                         let now = Instant::now();
                         if now >= d {
                             return None;
                         }
-                        let (guard, _) = self.done.wait_timeout(state, d - now).unwrap();
+                        let (guard, _) = sync::wait_timeout(&self.done, state, d - now);
                         state = guard;
                     }
                 },
@@ -271,7 +272,7 @@ impl PlanCache {
     /// Look up `key`; on miss, atomically install an in-flight slot and
     /// hand the caller the obligation to resolve it.
     pub fn lookup_or_reserve(self: &Arc<Self>, key: u128) -> Lookup {
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = sync::lock(self.shard(key));
         match shard.map.get(&key) {
             Some(Entry::Ready(idx)) => {
                 let idx = *idx;
@@ -294,7 +295,7 @@ impl PlanCache {
     }
 
     fn complete(&self, key: u128, value: Arc<ComputedPlan>, insert: bool) {
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = sync::lock(self.shard(key));
         // The in-flight entry may have been dropped already (shutdown
         // races); only replace an InFlight entry for this key.
         match shard.map.get(&key) {
@@ -313,7 +314,7 @@ impl PlanCache {
     }
 
     fn abandon(&self, key: u128) {
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = sync::lock(self.shard(key));
         if let Some(Entry::InFlight(_)) = shard.map.get(&key) {
             shard.map.remove(&key);
         }
@@ -321,7 +322,7 @@ impl PlanCache {
 
     /// Completed plans currently resident (excludes in-flight slots).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().ready).sum()
+        self.shards.iter().map(|s| sync::lock(s).ready).sum()
     }
 
     /// `true` when no completed plan is resident.

@@ -29,6 +29,7 @@ pub mod cache;
 pub mod metrics;
 pub mod pool;
 pub mod server;
+mod sync;
 
 pub use cache::{ComputedPlan, Lookup, PlanCache, Reservation, Slot};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};

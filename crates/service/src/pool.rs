@@ -8,6 +8,7 @@
 //! discarded (their cache reservations resolve as abandoned on drop) and
 //! workers are joined.
 
+use crate::sync;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -51,7 +52,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("blitz-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawning worker thread")
+                    .unwrap_or_else(|e| panic!("spawning blitz-worker-{i}: {e}"))
             })
             .collect();
         WorkerPool { shared, workers: handles, capacity: queue_capacity }
@@ -60,7 +61,7 @@ impl WorkerPool {
     /// Enqueue `job`, or return it unchanged when the queue is at
     /// capacity (or the pool is shutting down). Never blocks.
     pub fn submit(&self, job: Job) -> Result<(), Job> {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = sync::lock(&self.shared.state);
         if state.shutdown || state.jobs.len() >= self.capacity {
             return Err(job);
         }
@@ -72,7 +73,7 @@ impl WorkerPool {
 
     /// Number of jobs currently waiting (not counting ones being run).
     pub fn depth(&self) -> usize {
-        self.shared.state.lock().unwrap().jobs.len()
+        sync::lock(&self.shared.state).jobs.len()
     }
 
     /// Number of worker threads.
@@ -84,7 +85,7 @@ impl WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = sync::lock(&shared.state);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -92,7 +93,7 @@ fn worker_loop(shared: &Shared) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.available.wait(state).unwrap();
+                state = sync::wait(&shared.available, state);
             }
         };
         job();
@@ -102,7 +103,7 @@ fn worker_loop(shared: &Shared) {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = sync::lock(&self.shared.state);
             state.shutdown = true;
             state.jobs.clear();
         }

@@ -1,0 +1,71 @@
+//! Poison-aware lock helpers for the request path.
+//!
+//! `Mutex::lock().unwrap()` turns one panicking worker into a cascade:
+//! every later request touching the same shard dies on the poison flag,
+//! even though the guarded data is still structurally valid. Nothing the
+//! service guards holds a broken invariant across a panic — the pool
+//! queue is a `VecDeque` of opaque jobs, the cache shards are maps plus
+//! an intrusive LRU list mutated only through O(1) link operations that
+//! don't unwind, and an in-flight [`Slot`](crate::cache::Slot) whose
+//! owner panicked is resolved as abandoned by the reservation's `Drop`.
+//! So the right response to poison here is to *recover the guard and
+//! keep serving*, which these helpers do via [`PoisonError::into_inner`].
+//!
+//! `cargo xtask lint` (rule `request-path-unwrap`) rejects bare
+//! `.unwrap()`/`.expect(` in this crate's non-test code; all lock
+//! traffic funnels through this module instead.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Lock `mutex`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `condvar`, recovering the guard on poison.
+pub(crate) fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `condvar` with a timeout, recovering the guard on poison.
+pub(crate) fn wait_timeout<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    condvar.wait_timeout(guard, timeout).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Mutex::new(7u32);
+        // Poison the mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+        *lock(&m) = 8;
+        assert_eq!(*lock(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_recovers_and_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        let guard = lock(&m);
+        let (_guard, result) = wait_timeout(&cv, guard, Duration::from_millis(1));
+        assert!(result.timed_out());
+    }
+}

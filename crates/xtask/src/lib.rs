@@ -1,0 +1,754 @@
+//! Hand-rolled static-analysis lints for the blitzsplit workspace.
+//!
+//! `cargo xtask lint` walks every `.rs` file in the workspace and enforces
+//! the safety invariants that rustc and clippy cannot express:
+//!
+//! * **`safety-comment`** — every `unsafe` block, `unsafe impl` and
+//!   `unsafe trait`/`unsafe fn` must carry an explicit audit trail: a
+//!   `// SAFETY:` comment immediately above (or trailing on the same
+//!   line), or a `# Safety` section in the doc comment for traits and
+//!   functions. `unsafe fn` items *inside* an `unsafe impl` body inherit
+//!   the trait's documented contract and are exempt.
+//! * **`whole-table-borrow`** — inside `drive_parallel`'s `thread::scope`
+//!   region (crates/core/src/split.rs) no worker may touch the whole
+//!   `table` binding; workers go through `SyncTableView` raw-pointer
+//!   views only, so that no `&`/`&mut` to the shared table is ever live
+//!   across threads.
+//! * **`request-path-unwrap`** — non-test code in `crates/service/src`
+//!   must not call `.unwrap()` or `.expect(`; the request path degrades
+//!   with explicit errors (or a deliberate `panic!` with context), never
+//!   an anonymous unwrap.
+//! * **`numeric-truncation`** — the hot loops in `bitset.rs` and
+//!   `split.rs` must not narrow integers with bare `as` casts
+//!   (`as u8/u16/u32/i8/i16/i32`); audited narrowings go through named
+//!   helpers such as `RelSet::from_wave_bits` or the allowlist.
+//! * **`deny-unsafe-op`** — every crate that contains `unsafe` code must
+//!   carry `#![deny(unsafe_op_in_unsafe_fn)]` in its crate root.
+//!
+//! Audited exceptions live in `crates/xtask/allowlist.txt`, one per line:
+//! `rule|path-suffix|line-substring|reason`.
+//!
+//! The lints are deliberately lexical: a comment/string-aware sanitizer
+//! ([`sanitize`]) blanks out comment and literal contents (preserving
+//! line structure), and the rules then run on the residual code text.
+//! That keeps the whole tool `std`-only — no syn, no rustc internals —
+//! at the price of being tuned to this workspace's idioms, which is
+//! exactly the trade a repo-local xtask should make.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired (e.g. `safety-comment`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The raw offending source line (used for allowlist matching).
+    pub source_line: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file,
+            self.line,
+            self.rule,
+            self.message,
+            self.source_line.trim()
+        )
+    }
+}
+
+/// Result of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that survived the allowlist.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of violations suppressed by allowlist entries.
+    pub suppressed: usize,
+}
+
+/// An audited-exception list: `rule|path-suffix|line-substring|reason`.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, String, String)>,
+}
+
+impl Allowlist {
+    /// Parse the pipe-delimited allowlist format. Blank lines and `#`
+    /// comments are skipped; malformed lines are an error (a typo in an
+    /// allowlist must not silently re-enable nothing).
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(4, '|');
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(needle), Some(reason))
+                    if !rule.is_empty() && !path.is_empty() && !needle.is_empty() =>
+                {
+                    entries.push((
+                        rule.to_string(),
+                        path.to_string(),
+                        needle.to_string(),
+                        reason.to_string(),
+                    ));
+                }
+                _ => {
+                    return Err(format!(
+                        "allowlist line {}: want `rule|path|needle|reason`, got `{line}`",
+                        i + 1
+                    ))
+                }
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Does an entry cover this finding?
+    pub fn permits(&self, f: &Finding) -> bool {
+        self.entries.iter().any(|(rule, path, needle, _)| {
+            rule == f.rule && f.file.ends_with(path.as_str()) && f.source_line.contains(needle.as_str())
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sanitizer
+// ---------------------------------------------------------------------------
+
+/// Blank out comment and literal contents, preserving line structure.
+///
+/// Comments (line and nested block) and string/raw-string/byte-string/
+/// char literals disappear entirely — delimiters included, and even a
+/// lifetime's `'` becomes `_`, so the output contains no quote
+/// characters at all. That
+/// totality is what makes the pass idempotent: nothing a literal could
+/// smuggle survives to confuse a second lexing. Newlines are always
+/// preserved, so line numbers computed on the sanitized text map 1:1
+/// onto the original file.
+pub fn sanitize(src: &str) -> String {
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        let peek = |k: usize| b.get(i + k).copied();
+        match st {
+            St::Code => {
+                if c == '/' && peek(1) == Some('/') {
+                    st = St::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && peek(1) == Some('*') {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Str;
+                    out.push(' ');
+                    i += 1;
+                } else if c == 'r' && matches!(peek(1), Some('"') | Some('#')) {
+                    // Possible raw string: r"..." or r#"..."# (any hashes).
+                    let mut hashes = 0usize;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        // `r#ident` raw identifier — plain code.
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == 'b' && peek(1) == Some('"') {
+                    st = St::Str;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    // Lifetime (`'a`) vs char literal (`'a'`): a lifetime's
+                    // identifier is not followed by a closing quote.
+                    let lifetime = matches!(peek(1), Some(x) if x.is_alphanumeric() || x == '_')
+                        && peek(2) != Some('\'');
+                    if lifetime {
+                        // `_` keeps the token a word without leaving a
+                        // quote char for a second lexing to misread.
+                        out.push('_');
+                        i += 1;
+                    } else {
+                        st = St::Char;
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '/' && peek(1) == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '*' && peek(1) == Some('/') {
+                    st = if depth == 1 { St::Code } else { St::BlockComment(depth - 1) };
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    // Blank the escape pair; keep an escaped newline so
+                    // line counts survive `\`-continued strings.
+                    out.push(' ');
+                    if peek(1) == Some('\n') {
+                        out.push('\n');
+                    } else if peek(1).is_some() {
+                        out.push(' ');
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#')) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes;
+                    st = St::Code;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    out.push(' ');
+                    if peek(1).is_some() {
+                        out.push(' ');
+                    }
+                    i += 2;
+                } else if c == '\'' {
+                    st = St::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of whole-word occurrences of `word` in `hay`.
+fn word_offsets(hay: &str, word: &str) -> Vec<usize> {
+    let bytes = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len().max(1);
+    }
+    out
+}
+
+/// 1-based line number of a byte offset, given precomputed line starts.
+fn line_of(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// First token (word or single symbol) at-or-after `from`, skipping
+/// whitespace.
+fn next_token(hay: &str, from: usize) -> Option<&str> {
+    let rest = hay.get(from..)?;
+    let trimmed = rest.trim_start();
+    let skipped = rest.len() - trimmed.len();
+    let start = from + skipped;
+    let mut chars = trimmed.chars();
+    let first = chars.next()?;
+    if is_ident(first) {
+        let end = trimmed.find(|c: char| !is_ident(c)).unwrap_or(trimmed.len());
+        hay.get(start..start + end)
+    } else {
+        hay.get(start..start + first.len_utf8())
+    }
+}
+
+/// Index of the `}` (or `)`) matching the opener at `open` in sanitized
+/// text. Returns `None` on imbalance.
+fn matching_close(hay: &str, open: usize) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let (o, c) = match bytes[open] {
+        b'{' => (b'{', b'}'),
+        b'(' => (b'(', b')'),
+        _ => return None,
+    };
+    let mut depth = 0i64;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == o {
+            depth += 1;
+        } else if b == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// First line (0-based) at which test-only code begins (`#[cfg(test)]`
+/// or a `mod tests`), or the file length if there is none.
+fn test_code_start(raw_lines: &[&str]) -> usize {
+    raw_lines
+        .iter()
+        .position(|l| {
+            let t = l.trim_start();
+            t.starts_with("#[cfg(test)]") || t.starts_with("mod tests") || t.starts_with("pub mod tests")
+        })
+        .unwrap_or(raw_lines.len())
+}
+
+// ---------------------------------------------------------------------------
+// Rule: safety-comment
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteKind {
+    Block,
+    Impl,
+    Trait,
+    Fn,
+    Other,
+}
+
+#[derive(Debug)]
+struct UnsafeSite {
+    kind: SiteKind,
+    offset: usize,
+    line: usize, // 1-based
+}
+
+fn unsafe_sites(san: &str, starts: &[usize]) -> Vec<UnsafeSite> {
+    word_offsets(san, "unsafe")
+        .into_iter()
+        .map(|at| {
+            let kind = match next_token(san, at + "unsafe".len()) {
+                Some("{") => SiteKind::Block,
+                Some("impl") => SiteKind::Impl,
+                Some("trait") => SiteKind::Trait,
+                Some("fn") => SiteKind::Fn,
+                _ => SiteKind::Other,
+            };
+            UnsafeSite { kind, offset: at, line: line_of(starts, at) }
+        })
+        .collect()
+}
+
+/// Byte ranges of `unsafe impl { ... }` bodies: `unsafe fn` items inside
+/// inherit the trait's documented contract.
+fn unsafe_impl_bodies(san: &str, sites: &[UnsafeSite]) -> Vec<(usize, usize)> {
+    sites
+        .iter()
+        .filter(|s| s.kind == SiteKind::Impl)
+        .filter_map(|s| {
+            let open = s.offset + san[s.offset..].find('{')?;
+            let close = matching_close(san, open)?;
+            Some((open, close))
+        })
+        .collect()
+}
+
+/// Is there a `SAFETY:`-style annotation for the construct on `line0`
+/// (0-based)? Checks the line itself (trailing comment) and the
+/// contiguous comment/attribute block immediately above.
+fn has_annotation(raw_lines: &[&str], line0: usize, needles: &[&str]) -> bool {
+    let hit = |l: &str| needles.iter().any(|n| l.contains(n));
+    if raw_lines.get(line0).is_some_and(|l| hit(l)) {
+        return true;
+    }
+    let mut j = line0;
+    while j > 0 {
+        j -= 1;
+        let t = raw_lines[j].trim_start();
+        if t.starts_with("//") {
+            if hit(raw_lines[j]) {
+                return true;
+            }
+        } else if t.starts_with('#') && (t.starts_with("#[") || t.starts_with("#![")) {
+            // Attributes between the comment and the item are fine.
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn rule_safety_comment(rel: &str, raw_lines: &[&str], san: &str, starts: &[usize]) -> Vec<Finding> {
+    let sites = unsafe_sites(san, starts);
+    let impl_bodies = unsafe_impl_bodies(san, &sites);
+    let mut findings = Vec::new();
+    for site in &sites {
+        let line0 = site.line - 1;
+        let (ok, message) = match site.kind {
+            SiteKind::Block | SiteKind::Impl | SiteKind::Other => (
+                has_annotation(raw_lines, line0, &["SAFETY:"]),
+                "`unsafe` without a `// SAFETY:` comment immediately above or trailing",
+            ),
+            SiteKind::Trait => (
+                has_annotation(raw_lines, line0, &["# Safety", "SAFETY:"]),
+                "`unsafe trait` without a `# Safety` section in its doc comment",
+            ),
+            SiteKind::Fn => {
+                if impl_bodies.iter().any(|&(o, c)| site.offset > o && site.offset < c) {
+                    // Inherits the unsafe trait's documented contract.
+                    continue;
+                }
+                (
+                    has_annotation(raw_lines, line0, &["# Safety", "SAFETY:"]),
+                    "`unsafe fn` without a `# Safety` doc section or `// SAFETY:` comment",
+                )
+            }
+        };
+        if !ok {
+            findings.push(Finding {
+                rule: "safety-comment",
+                file: rel.to_string(),
+                line: site.line,
+                message: message.to_string(),
+                source_line: raw_lines.get(line0).unwrap_or(&"").to_string(),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule: whole-table-borrow
+// ---------------------------------------------------------------------------
+
+fn rule_whole_table_borrow(rel: &str, raw_lines: &[&str], san: &str, starts: &[usize]) -> Vec<Finding> {
+    if !rel.ends_with("crates/core/src/split.rs") {
+        return Vec::new();
+    }
+    let fail = |line: usize, message: String| {
+        vec![Finding {
+            rule: "whole-table-borrow",
+            file: rel.to_string(),
+            line,
+            message,
+            source_line: raw_lines.get(line.saturating_sub(1)).unwrap_or(&"").to_string(),
+        }]
+    };
+    let Some(fn_at) = san.find("fn drive_parallel") else {
+        return fail(1, "could not locate `fn drive_parallel` — rule anchor lost".into());
+    };
+    let Some(scope_rel) = san[fn_at..].find("thread::scope") else {
+        return fail(
+            line_of(starts, fn_at),
+            "could not locate `thread::scope` inside `drive_parallel`".into(),
+        );
+    };
+    let scope_at = fn_at + scope_rel;
+    let Some(open) = san[scope_at..].find('(').map(|p| scope_at + p) else {
+        return fail(line_of(starts, scope_at), "malformed `thread::scope` call".into());
+    };
+    let Some(close) = matching_close(san, open) else {
+        return fail(line_of(starts, open), "unbalanced `thread::scope` call".into());
+    };
+    let region = &san[open..close];
+    word_offsets(region, "table")
+        .into_iter()
+        .map(|at| {
+            let line = line_of(starts, open + at);
+            Finding {
+                rule: "whole-table-borrow",
+                file: rel.to_string(),
+                line,
+                message: "reference to the whole `table` inside the `thread::scope` worker \
+                          region — workers must go through `SyncTableView` raw views only"
+                    .to_string(),
+                source_line: raw_lines.get(line - 1).unwrap_or(&"").to_string(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Rule: request-path-unwrap
+// ---------------------------------------------------------------------------
+
+fn rule_request_path_unwrap(rel: &str, raw_lines: &[&str], san: &str) -> Vec<Finding> {
+    if !rel.contains("crates/service/src/") {
+        return Vec::new();
+    }
+    let cutoff = test_code_start(raw_lines);
+    let mut findings = Vec::new();
+    for (i, line) in san.lines().enumerate().take(cutoff) {
+        for needle in [".unwrap()", ".expect("] {
+            if line.contains(needle) {
+                findings.push(Finding {
+                    rule: "request-path-unwrap",
+                    file: rel.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "`{needle}` on the service request path — handle the error or use an \
+                         explicit `panic!` with context"
+                    ),
+                    source_line: raw_lines.get(i).unwrap_or(&"").to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule: numeric-truncation
+// ---------------------------------------------------------------------------
+
+const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn rule_numeric_truncation(rel: &str, raw_lines: &[&str], san: &str) -> Vec<Finding> {
+    if !(rel.ends_with("crates/core/src/bitset.rs") || rel.ends_with("crates/core/src/split.rs")) {
+        return Vec::new();
+    }
+    let cutoff = test_code_start(raw_lines);
+    let mut findings = Vec::new();
+    for (i, line) in san.lines().enumerate().take(cutoff) {
+        for at in word_offsets(line, "as") {
+            let Some(ty) = next_token(line, at + 2) else { continue };
+            if NARROW_TYPES.contains(&ty) {
+                findings.push(Finding {
+                    rule: "numeric-truncation",
+                    file: rel.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "narrowing `as {ty}` cast in a hot-loop file — use a named audited \
+                         helper (e.g. `RelSet::from_wave_bits`) or the allowlist"
+                    ),
+                    source_line: raw_lines.get(i).unwrap_or(&"").to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule: deny-unsafe-op (cross-file, per crate)
+// ---------------------------------------------------------------------------
+
+fn rule_deny_unsafe_op(files: &[(String, String, String)]) -> Vec<Finding> {
+    // Group by crate src root: everything up to and including "src/".
+    let mut findings = Vec::new();
+    let mut roots: Vec<String> = files
+        .iter()
+        .filter_map(|(rel, _, _)| rel.find("src/").map(|p| rel[..p + 4].to_string()))
+        .collect();
+    roots.sort();
+    roots.dedup();
+    for root in roots {
+        let in_crate: Vec<_> = files.iter().filter(|(rel, _, _)| rel.starts_with(&root)).collect();
+        let has_unsafe = in_crate
+            .iter()
+            .any(|(_, _, san)| !word_offsets(san, "unsafe").is_empty());
+        if !has_unsafe {
+            continue;
+        }
+        let crate_root = in_crate
+            .iter()
+            .find(|(rel, _, _)| rel == &format!("{root}lib.rs") || rel == &format!("{root}main.rs"));
+        let ok = crate_root
+            .is_some_and(|(_, raw, _)| raw.contains("#![deny(unsafe_op_in_unsafe_fn)]"));
+        if !ok {
+            let file = crate_root
+                .map(|(rel, _, _)| rel.clone())
+                .unwrap_or_else(|| format!("{root}lib.rs"));
+            findings.push(Finding {
+                rule: "deny-unsafe-op",
+                file,
+                line: 1,
+                message: "crate contains `unsafe` but its root lacks \
+                          `#![deny(unsafe_op_in_unsafe_fn)]`"
+                    .to_string(),
+                source_line: String::new(),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Lint a single source file (all per-file rules). `rel` is the
+/// workspace-relative path with forward slashes.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let san = sanitize(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let starts = line_starts(&san);
+    let mut findings = rule_safety_comment(rel, &raw_lines, &san, &starts);
+    findings.extend(rule_whole_table_borrow(rel, &raw_lines, &san, &starts));
+    findings.extend(rule_request_path_unwrap(rel, &raw_lines, &san));
+    findings.extend(rule_numeric_truncation(rel, &raw_lines, &san));
+    findings
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                // `fixtures/` holds deliberately non-compliant sources
+                // for the lint's own tests.
+                if matches!(name.as_ref(), "target" | ".git" | "fixtures" | ".cargo") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Run every lint over the workspace rooted at `root`, applying the
+/// allowlist at `crates/xtask/allowlist.txt` if present.
+pub fn run_lints(root: &Path) -> Result<Report, String> {
+    let allowlist = match std::fs::read_to_string(root.join("crates/xtask/allowlist.txt")) {
+        Ok(text) => Allowlist::parse(&text)?,
+        Err(_) => Allowlist::default(),
+    };
+    let paths = collect_rs_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let san = sanitize(&src);
+        files.push((rel, src, san));
+    }
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut all = Vec::new();
+    for (rel, src, _) in &files {
+        all.extend(lint_source(rel, src));
+    }
+    all.extend(rule_deny_unsafe_op(&files));
+    for finding in all {
+        if allowlist.permits(&finding) {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(finding);
+        }
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,53 @@
+//! `cargo xtask <command>` — workspace automation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        cmd => {
+            eprintln!("usage: cargo xtask lint");
+            if let Some(cmd) = cmd {
+                eprintln!("unknown command `{cmd}`");
+            }
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = xtask::workspace_root(&cwd) else {
+        eprintln!("xtask lint: no workspace root above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+    match xtask::run_lints(&root) {
+        Ok(report) => {
+            for finding in &report.findings {
+                eprintln!("{finding}");
+            }
+            eprintln!(
+                "xtask lint: {} files scanned, {} finding(s), {} allowlisted",
+                report.files_scanned,
+                report.findings.len(),
+                report.suppressed
+            );
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Deliberately non-compliant source: `unsafe` with no audit trail.
+//! `cargo xtask lint` must reject every site in here (see tests/lint.rs);
+//! the fixtures directory itself is excluded from workspace lint walks.
+
+pub fn first(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub unsafe fn undocumented_contract(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub unsafe trait NoContract {}
+
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

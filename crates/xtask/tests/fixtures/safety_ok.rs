@@ -1,0 +1,34 @@
+//! Fully compliant counterpart to `safety_missing.rs`: every unsafe
+//! site carries its audit trail, so the lint must stay silent.
+
+pub fn first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: non-emptiness asserted above, so index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// Reads through `p`.
+///
+/// # Safety
+/// `p` must be non-null, aligned, and point to a live `u32`.
+pub unsafe fn documented_contract(p: *const u32) -> u32 {
+    // SAFETY: the caller contract above.
+    unsafe { *p }
+}
+
+/// A marker contract.
+///
+/// # Safety
+/// Implementors promise their pointer field is never aliased.
+pub unsafe trait Contract {}
+
+struct Wrapper(*mut u8);
+
+// SAFETY: the wrapped pointer is owned and never shared.
+unsafe impl Send for Wrapper {}
+
+// SAFETY: `Contract` is upheld: the field is unique by construction.
+unsafe impl Contract for Wrapper {
+    // An `unsafe fn` inside an `unsafe impl` would inherit the trait's
+    // documented contract; Contract has no methods, so nothing here.
+}

@@ -1,0 +1,149 @@
+//! The lint linting itself: the workspace must be clean, the lint must
+//! be deterministic, and it must actually reject the committed negative
+//! fixture — a permanent proof that the rules have teeth.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    xtask::workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = xtask::run_lints(&workspace_root()).expect("lint run");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk really covered the workspace.
+    assert!(report.files_scanned > 40, "only {} files scanned", report.files_scanned);
+}
+
+/// Running the lint twice over the same tree yields byte-identical
+/// reports: no hidden state, no ordering dependence on directory
+/// enumeration.
+#[test]
+fn lint_is_idempotent() {
+    let root = workspace_root();
+    let a = xtask::run_lints(&root).expect("first run");
+    let b = xtask::run_lints(&root).expect("second run");
+    assert_eq!(a.findings, b.findings);
+    assert_eq!(a.files_scanned, b.files_scanned);
+    assert_eq!(a.suppressed, b.suppressed);
+}
+
+/// The committed SAFETY-less fixture must be rejected — one finding per
+/// unsafe construct — while its compliant twin passes untouched.
+#[test]
+fn negative_fixture_is_rejected_and_positive_accepted() {
+    let bad = xtask::lint_source("crates/xtask/tests/fixtures/safety_missing.rs", &fixture("safety_missing.rs"));
+    let rules: Vec<_> = bad.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        vec!["safety-comment"; 5],
+        "want 5 safety-comment findings (block, unsafe fn, inner block, trait, impl), got:\n{}",
+        bad.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+
+    let good = xtask::lint_source("crates/xtask/tests/fixtures/safety_ok.rs", &fixture("safety_ok.rs"));
+    assert!(
+        good.is_empty(),
+        "compliant fixture flagged:\n{}",
+        good.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// A SAFETY comment in a *string literal* or ordinary comment must not
+/// satisfy the rule for an unrelated unsafe site, and `unsafe` in a
+/// comment or string must not create a site.
+#[test]
+fn sanitizer_blinds_rules_to_comments_and_strings() {
+    let no_site = r#"
+fn main() {
+    let s = "unsafe { }";
+    // unsafe { totally_fine() }
+    println!("{s}");
+}
+"#;
+    assert!(xtask::lint_source("x.rs", no_site).is_empty());
+
+    let smuggled = "fn main() {\n    let msg = \"SAFETY: not a comment\";\n    let _ = (msg, unsafe { std::hint::unreachable_unchecked() });\n}\n";
+    let findings = xtask::lint_source("x.rs", smuggled);
+    assert_eq!(findings.len(), 1, "SAFETY inside a string literal must not count");
+    assert_eq!(findings[0].rule, "safety-comment");
+}
+
+#[test]
+fn allowlist_rejects_malformed_lines() {
+    assert!(xtask::Allowlist::parse("numeric-truncation|only|three").is_err());
+    assert!(xtask::Allowlist::parse("# comment\n\nrule|path|needle|reason").is_ok());
+}
+
+/// Build arbitrary source-ish text from a token alphabet that includes
+/// every construct the sanitizer special-cases.
+fn token(i: u8) -> &'static str {
+    const TOKENS: [&str; 16] = [
+        "fn f() ",
+        "unsafe ",
+        "{",
+        "}",
+        "// line comment SAFETY: x\n",
+        "/* block */",
+        "/* nested /* deep */ still */",
+        "\"str with \\\" escape\"",
+        "'c'",
+        "'t",
+        "r\"raw\"",
+        "r#\"hashed \" raw\"#",
+        "\n",
+        " as u32 ",
+        "b\"bytes\"",
+        "ident_7 ",
+    ];
+    TOKENS[i as usize % TOKENS.len()]
+}
+
+proptest! {
+    // The sanitizer is a projection: applying it twice changes nothing.
+    #[test]
+    fn sanitize_is_idempotent(ts in proptest::collection::vec(0u8..16, 0..64)) {
+        let src: String = ts.iter().map(|&t| token(t)).collect();
+        let once = xtask::sanitize(&src);
+        let twice = xtask::sanitize(&once);
+        prop_assert_eq!(&once, &twice);
+    }
+
+    // Line structure survives sanitization exactly — findings reported
+    // on sanitized text must map 1:1 onto the original file.
+    #[test]
+    fn sanitize_preserves_line_count(ts in proptest::collection::vec(0u8..16, 0..64)) {
+        let src: String = ts.iter().map(|&t| token(t)).collect();
+        let san = xtask::sanitize(&src);
+        prop_assert_eq!(
+            src.chars().filter(|&c| c == '\n').count(),
+            san.chars().filter(|&c| c == '\n').count()
+        );
+    }
+
+    // Comment-free, literal-free code passes through untouched.
+    #[test]
+    fn sanitize_is_identity_on_plain_code(ts in proptest::collection::vec(0u8..8, 0..64)) {
+        // Tokens 0..4 minus the comment token: remap 4..8 to plain ones.
+        const PLAIN: [&str; 8] =
+            ["fn f() ", "unsafe ", "{", "}", "\n", " as u32 ", "ident_7 ", "x + y"];
+        let src: String = ts.iter().map(|&t| PLAIN[t as usize % PLAIN.len()]).collect();
+        prop_assert_eq!(&xtask::sanitize(&src), &src);
+    }
+}
