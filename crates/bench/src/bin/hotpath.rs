@@ -1,14 +1,18 @@
-//! Cache-conscious hot-path benchmark: table layouts × wave schedules.
+//! Cache-conscious hot-path benchmark: table layouts × wave schedules ×
+//! split kernels.
 //!
 //! Times the κ0 join optimizer across the four workload topologies with
 //! every combination the hot-path work introduced:
 //!
-//! * **serial** driver × {AoS, SoA, hot/cold} layouts;
+//! * **serial** driver × {AoS, SoA, hot/cold} layouts (scalar kernel);
+//! * **serial** driver × hot/cold layout × {batched, SIMD} split kernels
+//!   — the kernel dimension on the layout the kernels gather from;
 //! * **parallel** rank-wave driver × {AoS, SoA, hot/cold} layouts with
-//!   the contiguous **chunked** wave schedule;
-//! * the pre-chunking **AoS × round-robin** parallel configuration, kept
-//!   as the ablation baseline every other configuration's speedup is
-//!   reported against.
+//!   the contiguous **chunked** wave schedule, plus hot/cold × {batched,
+//!   SIMD} kernels on that schedule;
+//! * the pre-chunking **AoS × round-robin × scalar** parallel
+//!   configuration, kept as the ablation baseline every other
+//!   configuration's speedup is reported against.
 //!
 //! Before any configuration is timed, its optimizer output is verified
 //! cost-bit-, cardinality-bit-, and plan-identical to the serial
@@ -19,7 +23,12 @@
 //! Environment knobs: `BLITZ_MIN_N` (default 12), `BLITZ_MAX_N`
 //! (default 16), `BLITZ_THREADS` (worker count for the parallel
 //! configurations; default = available cores clamped to [2, 8]),
-//! `BLITZ_BENCH_MIN_MS`, `BLITZ_BENCH_MAX_REPS`.
+//! `BLITZ_BENCH_MIN_MS`, `BLITZ_BENCH_MAX_REPS`, and
+//! `BLITZ_BENCH_ROUNDS` (default 5): configurations are timed in
+//! interleaved rounds and each reports its minimum round, so that every
+//! configuration samples the same host-noise windows — on small shared
+//! machines, sequential per-config timing confounds the comparison with
+//! whatever the host was doing during each config's window.
 //!
 //! With `--check`, nothing is timed and nothing is written: every
 //! configuration is verified against the serial reference as usual, and
@@ -36,7 +45,7 @@ use blitz_bench::Table;
 use blitz_catalog::{Topology, Workload};
 use blitz_core::{
     optimize_join_into_with, optimize_join_with, AosTable, Counters, DriveOptions, JoinSpec,
-    Kappa0, LayoutChoice, Optimized, TableLayout, WaveSchedule,
+    Kappa0, KernelChoice, LayoutChoice, Optimized, TableLayout, WaveSchedule,
 };
 use std::time::Duration;
 
@@ -48,6 +57,7 @@ struct Config {
     /// `None` for the serial driver (no waves, no schedule).
     schedule: Option<WaveSchedule>,
     threads: usize,
+    kernel: KernelChoice,
 }
 
 impl Config {
@@ -56,13 +66,21 @@ impl Config {
             None => DriveOptions::serial(),
             Some(s) => DriveOptions::parallel(self.threads).with_schedule(s),
         };
-        base.with_layout(self.layout)
+        base.with_layout(self.layout).with_kernel(self.kernel)
     }
 
     fn label(&self) -> String {
         match self.schedule {
-            None => format!("{}/{}", self.driver, self.layout.name()),
-            Some(s) => format!("{}/{}/{}", self.driver, self.layout.name(), s.name()),
+            None => {
+                format!("{}/{}/{}", self.driver, self.layout.name(), self.kernel.name())
+            }
+            Some(s) => format!(
+                "{}/{}/{}/{}",
+                self.driver,
+                self.layout.name(),
+                s.name(),
+                self.kernel.name()
+            ),
         }
     }
 }
@@ -181,6 +199,7 @@ fn main() {
     let min_n = env_usize("BLITZ_MIN_N", 12);
     let max_n = env_usize("BLITZ_MAX_N", 16).min(20).max(min_n);
     let cfg = TimingConfig::from_env();
+    let rounds = env_usize("BLITZ_BENCH_ROUNDS", 5).max(1);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = threads_from_env(cores);
     let out_path =
@@ -189,7 +208,23 @@ fn main() {
     let configs: Vec<Config> = {
         let mut v = Vec::new();
         for layout in LayoutChoice::ALL {
-            v.push(Config { driver: "serial", layout, schedule: None, threads: 1 });
+            v.push(Config {
+                driver: "serial",
+                layout,
+                schedule: None,
+                threads: 1,
+                kernel: KernelChoice::Scalar,
+            });
+        }
+        // The kernel dimension on the layout the kernels gather from.
+        for kernel in [KernelChoice::Batched, KernelChoice::Simd] {
+            v.push(Config {
+                driver: "serial",
+                layout: LayoutChoice::HotCold,
+                schedule: None,
+                threads: 1,
+                kernel,
+            });
         }
         // The baseline first among the parallel rows, so readers see the
         // pre-chunking configuration before its replacements.
@@ -198,6 +233,7 @@ fn main() {
             layout: LayoutChoice::Aos,
             schedule: Some(WaveSchedule::RoundRobin),
             threads,
+            kernel: KernelChoice::Scalar,
         });
         for layout in LayoutChoice::ALL {
             v.push(Config {
@@ -205,6 +241,16 @@ fn main() {
                 layout,
                 schedule: Some(WaveSchedule::Chunked),
                 threads,
+                kernel: KernelChoice::Scalar,
+            });
+        }
+        for kernel in [KernelChoice::Batched, KernelChoice::Simd] {
+            v.push(Config {
+                driver: "parallel",
+                layout: LayoutChoice::HotCold,
+                schedule: Some(WaveSchedule::Chunked),
+                threads,
+                kernel,
             });
         }
         v
@@ -214,6 +260,7 @@ fn main() {
         layout: LayoutChoice::Aos,
         schedule: Some(WaveSchedule::RoundRobin),
         threads,
+        kernel: KernelChoice::Scalar,
     };
 
     println!("Hot-path layout/schedule benchmark (kappa_0, mean card 100, var 0.5)");
@@ -262,6 +309,16 @@ fn main() {
                 continue;
             }
 
+            // Interleaved timing. A 1-core container sees multi-x
+            // wall-clock swings (CPU-credit throttling, noisy
+            // neighbours) on timescales of seconds, so timing config A
+            // start-to-finish and then config B confounds the A/B
+            // comparison with whatever the host happened to be doing in
+            // each window. Instead, each round times every
+            // configuration once (a `time_avg` over the per-point
+            // budget) and each configuration reports its *minimum*
+            // round: all configs sample the same noise windows, and the
+            // minimum converges on the code's true cost.
             let time_config = |c: &Config| -> Duration {
                 time_avg(
                     || {
@@ -270,16 +327,21 @@ fn main() {
                     cfg,
                 )
             };
-            let baseline_secs = time_config(&baseline).as_secs_f64();
+            let mut best = vec![f64::INFINITY; configs.len()];
+            for _ in 0..rounds {
+                for (i, c) in configs.iter().enumerate() {
+                    best[i] = best[i].min(time_config(c).as_secs_f64());
+                }
+            }
+            let baseline_secs = configs
+                .iter()
+                .position(|c| c.label() == baseline.label())
+                .map(|i| best[i])
+                .expect("baseline config present in the sweep");
 
             let mut table = Table::new(["config", "time", "ns/subset", "vs aos+rr"]);
             let mut config_json = Vec::new();
-            for c in &configs {
-                let secs = if c.label() == baseline.label() {
-                    baseline_secs
-                } else {
-                    time_config(c).as_secs_f64()
-                };
+            for (c, &secs) in configs.iter().zip(&best) {
                 let ns_total = secs * 1e9;
                 let speedup = baseline_secs / secs;
                 table.row(vec![
@@ -299,6 +361,7 @@ fn main() {
                         },
                     ),
                     ("threads", Json::Num(c.threads as f64)),
+                    ("kernel", Json::str(c.kernel.name())),
                     ("ns_total", Json::Num(ns_total)),
                     ("ns_per_subset", Json::Num(ns_total / subsets)),
                     ("speedup_vs_baseline", Json::Num(speedup)),
@@ -342,6 +405,8 @@ fn main() {
             Json::obj(vec![
                 ("min_ms", Json::Num(cfg.min_total.as_millis() as f64)),
                 ("max_reps", Json::Num(cfg.max_reps as f64)),
+                ("rounds", Json::Num(rounds as f64)),
+                ("stat", Json::str("min over interleaved rounds of in-round averages")),
             ]),
         ),
         ("verified", Json::Bool(true)),

@@ -15,6 +15,7 @@
 
 use crate::bitset::RelSet;
 use crate::cost::CostModel;
+use crate::kernel::ResolvedKernel;
 use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
 use crate::split::{drive, drive_parallel, init_singleton, DriveOptions};
@@ -65,13 +66,38 @@ where
     M: CostModel,
     St: Stats,
 {
+    optimize_products_into_kernel::<L, M, St, PRUNE>(
+        cards,
+        model,
+        cap,
+        ResolvedKernel::Scalar,
+        stats,
+    )
+}
+
+/// Serial product optimization with an explicit, already-resolved split
+/// kernel — the common body behind [`optimize_products_into`] (scalar)
+/// and the serial arm of [`optimize_products_into_with`] (whatever
+/// [`DriveOptions::kernel`] resolves to).
+pub(crate) fn optimize_products_into_kernel<L, M, St, const PRUNE: bool>(
+    cards: &[f64],
+    model: &M,
+    cap: f32,
+    kernel: ResolvedKernel,
+    stats: &mut St,
+) -> L
+where
+    L: TableLayout,
+    M: CostModel,
+    St: Stats,
+{
     let n = cards.len();
     assert!((1..=MAX_TABLE_RELS).contains(&n), "unsupported relation count {n}");
     let mut table = L::with_rels(n);
     for (rel, &card) in cards.iter().enumerate() {
         init_singleton(&mut table, model, rel, card);
     }
-    drive::<L, M, St, _, PRUNE>(&mut table, model, n, cap, stats, product_properties);
+    drive::<L, M, St, _, PRUNE>(&mut table, model, n, cap, kernel, stats, product_properties);
     table
 }
 
@@ -96,7 +122,13 @@ where
 {
     let threads = options.effective_parallelism();
     if threads < 2 {
-        return optimize_products_into::<L, M, St, PRUNE>(cards, model, cap, stats);
+        return optimize_products_into_kernel::<L, M, St, PRUNE>(
+            cards,
+            model,
+            cap,
+            options.kernel.resolve(),
+            stats,
+        );
     }
     let n = cards.len();
     assert!((1..=MAX_TABLE_RELS).contains(&n), "unsupported relation count {n}");

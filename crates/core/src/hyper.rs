@@ -186,9 +186,15 @@ where
     for rel in 0..n {
         init_singleton(&mut table, model, rel, spec.card(rel));
     }
-    drive::<L, M, St, _, PRUNE>(&mut table, model, n, cap, stats, |t, m, s| {
-        hyper_properties(t, m, spec, s)
-    });
+    drive::<L, M, St, _, PRUNE>(
+        &mut table,
+        model,
+        n,
+        cap,
+        crate::kernel::ResolvedKernel::Scalar,
+        stats,
+        |t, m, s| hyper_properties(t, m, spec, s),
+    );
     table
 }
 

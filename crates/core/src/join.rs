@@ -24,6 +24,7 @@
 use crate::bitset::RelSet;
 use crate::cartesian::Optimized;
 use crate::cost::CostModel;
+use crate::kernel::ResolvedKernel;
 use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
 use crate::split::{drive, drive_parallel, init_singleton, DriveOptions};
@@ -81,16 +82,91 @@ where
     M: CostModel,
     St: Stats,
 {
+    optimize_join_into_kernel::<L, M, St, PRUNE>(spec, model, cap, ResolvedKernel::Scalar, stats)
+}
+
+/// Serial join optimization with an explicit, already-resolved split
+/// kernel — the common body behind [`optimize_join_into`] (scalar) and
+/// the serial arm of [`optimize_join_into_with`] (whatever
+/// [`DriveOptions::kernel`] resolves to).
+pub(crate) fn optimize_join_into_kernel<L, M, St, const PRUNE: bool>(
+    spec: &JoinSpec,
+    model: &M,
+    cap: f32,
+    kernel: ResolvedKernel,
+    stats: &mut St,
+) -> L
+where
+    L: TableLayout,
+    M: CostModel,
+    St: Stats,
+{
     let n = spec.n();
     assert!(n <= MAX_TABLE_RELS, "unsupported relation count {n}");
     let mut table = L::with_rels(n);
     for rel in 0..n {
         init_singleton(&mut table, model, rel, spec.card(rel));
     }
-    drive::<L, M, St, _, PRUNE>(&mut table, model, n, cap, stats, |t, m, s| {
+    drive::<L, M, St, _, PRUNE>(&mut table, model, n, cap, kernel, stats, |t, m, s| {
         join_properties(t, m, spec, s)
     });
     table
+}
+
+/// Fill an **existing** table for `spec` in place — the allocation-free
+/// core of both [`optimize_join_into_with`] and the table-reusing
+/// service path ([`crate::threshold::optimize_join_threshold_reusing_with`]).
+///
+/// The table is *not* cleared first, and doesn't need to be: singleton
+/// rows are re-initialized here, and every non-singleton row is fully
+/// written (`compute_properties` + the split finish) before any superset
+/// reads it — the same subset-before-superset dependency order that
+/// makes the wave driver sound. Row 0 (the empty set) is never read.
+/// Stale `f32`/`f64` bit patterns from a previous optimization are
+/// ordinary values, so a recycled table produces bit-identical results
+/// to a freshly allocated one (pinned by a dirty-table regression test
+/// in [`crate::threshold`]).
+///
+/// # Panics
+/// Panics if `table.rels() != spec.n()`.
+pub(crate) fn fill_join_table_with<L, M, St, const PRUNE: bool>(
+    table: &mut L,
+    spec: &JoinSpec,
+    model: &M,
+    cap: f32,
+    options: DriveOptions,
+    stats: &mut St,
+) where
+    L: WaveTableLayout + Send,
+    M: CostModel + Sync,
+    St: Stats + Default + Send,
+{
+    let n = spec.n();
+    assert_eq!(table.rels(), n, "table allocated for a different relation count");
+    for rel in 0..n {
+        init_singleton(table, model, rel, spec.card(rel));
+    }
+    if options.effective_parallelism() < 2 {
+        drive::<L, M, St, _, PRUNE>(
+            table,
+            model,
+            n,
+            cap,
+            options.kernel.resolve(),
+            stats,
+            |t, m, s| join_properties(t, m, spec, s),
+        );
+    } else {
+        drive_parallel::<L, M, St, _, PRUNE>(
+            table,
+            model,
+            n,
+            cap,
+            options,
+            stats,
+            |t: &mut SyncTableView<L>, m, s| join_properties(t, m, spec, s),
+        );
+    }
 }
 
 /// [`optimize_join_into`] with an explicit execution policy: when
@@ -112,25 +188,10 @@ where
     M: CostModel + Sync,
     St: Stats + Default + Send,
 {
-    let threads = options.effective_parallelism();
-    if threads < 2 {
-        return optimize_join_into::<L, M, St, PRUNE>(spec, model, cap, stats);
-    }
     let n = spec.n();
     assert!(n <= MAX_TABLE_RELS, "unsupported relation count {n}");
     let mut table = L::with_rels(n);
-    for rel in 0..n {
-        init_singleton(&mut table, model, rel, spec.card(rel));
-    }
-    drive_parallel::<L, M, St, _, PRUNE>(
-        &mut table,
-        model,
-        n,
-        cap,
-        options,
-        stats,
-        |t: &mut SyncTableView<L>, m, s| join_properties(t, m, spec, s),
-    );
+    fill_join_table_with::<L, M, St, PRUNE>(&mut table, spec, model, cap, options, stats);
     table
 }
 

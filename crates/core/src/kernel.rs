@@ -1,0 +1,619 @@
+//! Batched and SIMD split kernels for the `O(3^n)` inner loop.
+//!
+//! [`crate::split::find_best_split`] consumes the hot cost array one
+//! 4-byte probe at a time: the pruning cascade is a long chain of scalar
+//! compares, each waiting on its load. The kernels here reformulate the
+//! loop at the instruction level without changing a single output bit:
+//!
+//! 1. **Batching.** The subset-successor walk is inherently serial, but
+//!    each step is ~2 ALU ops — so the walk runs ahead and deposits up
+//!    to [`LANES`] candidate `lhs` sets into a small buffer. The batch
+//!    then has no serial dependencies left.
+//! 2. **Gather.** For layouts exposing a dense cost column
+//!    ([`TableLayout::cost_base`]), `cost[lhs]` (and, for surviving
+//!    batches, `cost[rhs]`) is gathered for the whole batch at once —
+//!    as per-lane loads feeding AVX2/NEON vectors; hardware
+//!    `vgatherdps` measured slower than pipelined scalar loads on
+//!    cache-resident tables (see [`gather_mask_avx2`]).
+//! 3. **Branchless cascade.** The cascade's first test runs as one
+//!    vector compare `lhs_cost < best` over every lane; a move-mask
+//!    turns the survivors into a bit set. Most batches produce an empty
+//!    mask and retire right there, after a single gather — mirroring the
+//!    scalar cascade, which never touches `cost[rhs]` for a failing
+//!    `lhs`. Only batches with survivors gather the `rhs` column and
+//!    apply the second compare `lhs_cost + rhs_cost < best`.
+//! 4. **Order-preserving reduction.** Surviving lanes are re-judged in
+//!    ascending lane order against the *running* best, exactly as the
+//!    scalar cascade would — preserving the first-wins tie-break
+//!    contract documented in `find_best_split` and therefore bit-for-bit
+//!    output parity (table bits, `best_lhs`, canonical plans).
+//!
+//! # Counter parity
+//!
+//! The issue planning this work expected kernel-mode [`crate::Counters`]
+//! to diverge from the scalar cascade's short-circuit counts. The
+//! re-judge pass makes that unnecessary — counters are *bit-identical*
+//! to the scalar kernel, by this argument:
+//!
+//! The scalar cascade evaluates `κ''` for a lane iff `lhs_cost < best`
+//! **and** `lhs_cost + rhs_cost < best` hold against the running best at
+//! the moment the lane is reached. The vector mask keeps a lane iff
+//! `lhs_cost < best₀` **and** `lhs_cost + rhs_cost < best₀` where
+//! `best₀` is the running best at batch entry. Since `best` only ever
+//! decreases, `best ≤ best₀` when the lane is re-judged, so every lane
+//! the scalar cascade would have accepted is in the mask (each mask
+//! condition is implied by the corresponding scalar test against the
+//! tighter running best), and the re-judge applies the scalar's two
+//! tests verbatim — in the same order, against the same running best —
+//! before counting `kappa_dep` or `cond_hit`. Masked-out lanes are
+//! exactly lanes the scalar cascade would have dropped before `κ''`.
+//! NaN costs (a pathological model) compare `false` under `<` in both
+//! the vector and scalar forms, so they drop out identically. Hence
+//! `kappa_dep_evals`, `cond_hits`, `loop_iters` (counted while the
+//! walk fills the buffer), `subsets` and `kappa_ind_evals` all match
+//! the scalar kernel exactly, and the analytic counter identities of
+//! Section 3.3 keep holding under every kernel.
+//!
+//! # Dispatch
+//!
+//! [`KernelChoice`] is the user-facing knob on
+//! [`crate::DriveOptions`]; it resolves once per drive (never per row)
+//! to a [`ResolvedKernel`]: `Simd` picks AVX2 when
+//! `is_x86_feature_detected!("avx2")` says so, NEON on aarch64, and
+//! degrades to the portable batched kernel elsewhere — so `Simd` is
+//! always safe to request. The unpruned (`PRUNE = false`) ablation
+//! variant has no cascade to vectorize — `κ''` runs on every lane by
+//! definition — so all kernels delegate it to the scalar reference.
+
+use crate::bitset::RelSet;
+use crate::cost::CostModel;
+use crate::split::find_best_split;
+use crate::stats::Stats;
+use crate::table::TableLayout;
+
+/// Batch width of the kernels: AVX2's eight `f32` lanes. The NEON path
+/// consumes the same batch as two four-lane halves, and the portable
+/// batch kernel as a plain loop the compiler can unroll.
+pub(crate) const LANES: usize = 8;
+
+/// Runtime name for the split-kernel variant used by the DP drivers,
+/// selectable per [`crate::DriveOptions`] (env `BLITZ_TEST_KERNEL`, CLI
+/// `--kernel`, service config). Every kernel produces bit-identical
+/// tables, plans and [`crate::Counters`]; they differ only in speed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// The scalar reference cascade of [`crate::split`] — the paper's
+    /// nested-`if` loop, one probe at a time. The default.
+    #[default]
+    Scalar,
+    /// Portable batched kernel: successor walk buffered [`LANES`] ahead,
+    /// cascade evaluated per batch, no explicit vector intrinsics.
+    Batched,
+    /// Runtime-dispatched SIMD kernel: AVX2 gather + vector compare on
+    /// x86-64 (when detected), NEON on aarch64, otherwise the portable
+    /// batched kernel.
+    Simd,
+}
+
+impl KernelChoice {
+    /// All selectable kernels, for ablation sweeps.
+    pub const ALL: [KernelChoice; 3] =
+        [KernelChoice::Scalar, KernelChoice::Batched, KernelChoice::Simd];
+
+    /// Stable lower-case name (`scalar` / `batched` / `simd`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelChoice::Scalar => "scalar",
+            KernelChoice::Batched => "batched",
+            KernelChoice::Simd => "simd",
+        }
+    }
+
+    /// Inverse of [`name`](KernelChoice::name); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<KernelChoice> {
+        match s {
+            "scalar" => Some(KernelChoice::Scalar),
+            "batched" => Some(KernelChoice::Batched),
+            "simd" => Some(KernelChoice::Simd),
+            _ => None,
+        }
+    }
+
+    /// Resolve the user-facing choice against the running hardware, once
+    /// per drive. `Simd` degrades gracefully: the batched kernel stands
+    /// in wherever no vector path shipped (or the CPU lacks AVX2), so
+    /// requesting `Simd` is always portable.
+    pub(crate) fn resolve(self) -> ResolvedKernel {
+        match self {
+            KernelChoice::Scalar => ResolvedKernel::Scalar,
+            KernelChoice::Batched => ResolvedKernel::Batched,
+            KernelChoice::Simd => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        return ResolvedKernel::Avx2;
+                    }
+                    ResolvedKernel::Batched
+                }
+                #[cfg(target_arch = "aarch64")]
+                {
+                    ResolvedKernel::Neon
+                }
+                #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+                {
+                    ResolvedKernel::Batched
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A [`KernelChoice`] pinned to the running hardware: the drivers
+/// resolve once per drive and hand workers this `Copy` token, so the
+/// feature detection never sits on the row path.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum ResolvedKernel {
+    /// Scalar reference cascade.
+    Scalar,
+    /// Portable batched kernel (also the `Simd` fallback).
+    Batched,
+    /// AVX2 gather + vector-compare batches.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// NEON batches (two four-lane halves per batch).
+    #[cfg(target_arch = "aarch64")]
+    Neon,
+}
+
+/// Kernel-dispatching form of [`find_best_split`]: identical contract,
+/// identical output bits and counters, with the split loop body executed
+/// by the requested kernel.
+#[inline]
+pub(crate) fn find_best_split_with<L, M, St, const PRUNE: bool>(
+    table: &mut L,
+    model: &M,
+    s: RelSet,
+    cap: f32,
+    stats: &mut St,
+    kernel: ResolvedKernel,
+) where
+    L: TableLayout,
+    M: CostModel,
+    St: Stats,
+{
+    // The unpruned ablation evaluates κ'' on every iteration — there is
+    // no cascade to shortcut, so batching buys nothing and the scalar
+    // reference runs for every kernel choice.
+    if matches!(kernel, ResolvedKernel::Scalar) || !PRUNE {
+        return find_best_split::<L, M, St, PRUNE>(table, model, s, cap, stats);
+    }
+    find_best_split_batched::<L, M, St, PRUNE>(table, model, s, cap, stats, kernel);
+}
+
+/// The batched/SIMD split kernel. Mirrors [`find_best_split`] stage for
+/// stage (κ' hoist and loop skip, split walk, cascade, finish) with the
+/// loop body batched as described in the module docs.
+fn find_best_split_batched<L, M, St, const PRUNE: bool>(
+    table: &mut L,
+    model: &M,
+    s: RelSet,
+    cap: f32,
+    stats: &mut St,
+    kernel: ResolvedKernel,
+) where
+    L: TableLayout,
+    M: CostModel,
+    St: Stats,
+{
+    stats.subset();
+    let out_card = table.card(s);
+
+    // κ'(S) hoist + loop skip — verbatim from the scalar kernel.
+    stats.kappa_ind();
+    let kappa_ind = model.kappa_ind(out_card);
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(kappa_ind < cap) {
+        table.set_cost(s, f32::INFINITY);
+        table.set_best_lhs(s, RelSet::EMPTY);
+        stats.loop_skipped();
+        return;
+    }
+
+    // SAFETY: the pointer (when present) is dereferenced only by the
+    // gather paths below, which index it with `lhs.index()` and
+    // `rhs.index()` for nonempty strict subsets of `s` — all smaller
+    // than `1 << rels()`, the extent `cost_base` guarantees — while the
+    // `&mut L` borrow held by this function keeps the buffer alive.
+    let base = unsafe { table.cost_base() };
+
+    let mut best = f32::INFINITY;
+    let mut best_lhs = RelSet::EMPTY;
+    let mut lhs_buf = [RelSet::EMPTY; LANES];
+    let mut lhs_cost = [0.0f32; LANES];
+    let mut oprnd = [0.0f32; LANES];
+
+    // Same walk, same order, same termination as the scalar kernel; the
+    // batch buffer never reorders candidates, so the first-wins
+    // tie-break is decided on exactly the scalar visit order. No
+    // software prefetch here: the batch gathers touch the very lines a
+    // hint would have requested, one batch ahead of the re-judge.
+    let mut lhs = s.lowest_singleton();
+    while lhs != s {
+        // Run the successor walk ahead, depositing up to LANES
+        // candidates. `loop_iters` counts here — once per candidate,
+        // exactly as the scalar loop head does.
+        let mut len = 0usize;
+        while len < LANES && lhs != s {
+            stats.loop_iter();
+            lhs_buf[len] = lhs;
+            len += 1;
+            lhs = s.subset_successor(lhs);
+        }
+
+        // Gather operand costs and evaluate the first two cascade tests
+        // branchlessly against best₀ (the running best at batch entry):
+        // bit i of `mask` ⇔ `lhs_cost[i] < best₀` ∧
+        // `lhs_cost[i] + rhs_cost[i] < best₀`. The rhs column is only
+        // touched when some lane survives the first test — exactly the
+        // load the scalar cascade skips for a failing lhs.
+        let mask = match (kernel, base) {
+            #[cfg(target_arch = "x86_64")]
+            (ResolvedKernel::Avx2, Some(base)) if len == LANES => {
+                // SAFETY: `Avx2` is only resolved after
+                // `is_x86_feature_detected!("avx2")`, and `base` covers
+                // every gathered index per the `cost_base` contract (all
+                // lanes hold nonempty strict subsets of `s`).
+                unsafe { gather_mask_avx2(base, s, &lhs_buf, best, &mut lhs_cost, &mut oprnd) }
+            }
+            #[cfg(target_arch = "aarch64")]
+            (ResolvedKernel::Neon, Some(base)) if len == LANES => {
+                // SAFETY: NEON is baseline on aarch64, and `base` covers
+                // every gathered index per the `cost_base` contract (all
+                // lanes hold nonempty strict subsets of `s`).
+                unsafe { gather_mask_neon(base, s, &lhs_buf, best, &mut lhs_cost, &mut oprnd) }
+            }
+            _ => gather_mask_portable(table, s, &lhs_buf, len, best, &mut lhs_cost, &mut oprnd),
+        };
+
+        // Re-judge surviving lanes in ascending (= walk) order against
+        // the *running* best, applying the scalar cascade verbatim —
+        // this is what keeps output bits, tie-breaks and counters
+        // identical to the reference (see the module docs).
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let cand = lhs_buf[i];
+            let cand_cost = lhs_cost[i];
+            if cand_cost < best {
+                let oprnd_cost = oprnd[i];
+                if oprnd_cost < best {
+                    let dpnd_cost = if M::HAS_DEP {
+                        stats.kappa_dep();
+                        let rhs = s - cand;
+                        oprnd_cost
+                            + model.kappa_dep(
+                                out_card,
+                                table.card(cand),
+                                table.card(rhs),
+                                table.aux(cand),
+                                table.aux(rhs),
+                            )
+                    } else {
+                        oprnd_cost
+                    };
+                    if dpnd_cost < best {
+                        stats.cond_hit();
+                        best = dpnd_cost;
+                        best_lhs = cand;
+                    }
+                }
+            }
+        }
+    }
+
+    // Finish — verbatim from the scalar kernel.
+    let total = best + kappa_ind;
+    if total < cap {
+        table.set_cost(s, total);
+        table.set_best_lhs(s, best_lhs);
+    } else {
+        table.set_cost(s, f32::INFINITY);
+        table.set_best_lhs(s, RelSet::EMPTY);
+    }
+}
+
+/// Portable batch evaluation through the layout's safe accessors: also
+/// the tail path (< [`LANES`] candidates), the no-dense-column path
+/// (e.g. [`crate::table::AosTable`]), and the shadow-checked path (under
+/// `--cfg blitz_check`, [`crate::table::SyncTableView::cost_base`]
+/// returns `None` so every batched read funnels through the
+/// guard-checked `cost()` accessor and the wave discipline stays
+/// machine-enforced).
+#[inline]
+fn gather_mask_portable<L: TableLayout>(
+    table: &L,
+    s: RelSet,
+    lhs_buf: &[RelSet; LANES],
+    len: usize,
+    best: f32,
+    lhs_cost: &mut [f32; LANES],
+    oprnd: &mut [f32; LANES],
+) -> u32 {
+    let mut first = 0u32;
+    for i in 0..len {
+        let lc = table.cost(lhs_buf[i]);
+        lhs_cost[i] = lc;
+        first |= u32::from(lc < best) << i;
+    }
+    if first == 0 {
+        return 0;
+    }
+    let mut mask = 0u32;
+    let mut m = first;
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        m &= m - 1;
+        let oc = lhs_cost[i] + table.cost(s - lhs_buf[i]);
+        oprnd[i] = oc;
+        mask |= u32::from(oc < best) << i;
+    }
+    mask
+}
+
+/// AVX2 batch evaluation: the eight lhs costs are loaded lane-by-lane
+/// from the dense cost column into a vector and hit with one
+/// ordered-less-than compare against best₀; only if some lane survives
+/// are the rhs costs loaded, added, and re-compared. Most batches
+/// retire after the first compare with an empty mask, matching the
+/// scalar cascade's habit of never loading `cost[rhs]` for a failing
+/// lhs.
+///
+/// The lane loads are deliberately scalar: `vgatherdps` was measured
+/// *slower* here — on cache-resident tables a hardware gather's ~20+
+/// cycle latency lands on the critical path to the survivors branch,
+/// while eight independent scalar loads pipeline through the load
+/// ports and let the out-of-order core run batches ahead. The vector
+/// win comes from the branchless eight-wide compare, not from how the
+/// lanes are fetched. `_CMP_LT_OQ` is ordered and quiet: NaN lanes
+/// compare `false`, exactly like the scalar `<`.
+///
+/// # Safety
+///
+/// Callers must ensure the `avx2` target feature is available on the
+/// running CPU, and that `base` is valid for reads at offset
+/// `lhs.index()` and `(s - lhs).index()` (in `f32` units) for every
+/// `lhs` in `lhs_buf` — which the [`TableLayout::cost_base`] contract
+/// provides for any nonempty strict subset of an in-bounds `s`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_mask_avx2(
+    base: *const f32,
+    s: RelSet,
+    lhs_buf: &[RelSet; LANES],
+    best: f32,
+    lhs_cost: &mut [f32; LANES],
+    oprnd: &mut [f32; LANES],
+) -> u32 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_cmp_ps, _mm256_loadu_ps, _mm256_movemask_ps, _mm256_set1_ps,
+        _mm256_storeu_ps, _CMP_LT_OQ,
+    };
+    let mut lc8 = [0.0f32; LANES];
+    for i in 0..LANES {
+        // SAFETY: every `lhs_buf` index is in bounds for `base` per this
+        // function's contract.
+        lc8[i] = unsafe { *base.add(lhs_buf[i].index()) };
+    }
+    // SAFETY: unaligned loads from properly sized local arrays.
+    let lc = unsafe { _mm256_loadu_ps(lc8.as_ptr()) };
+    let best_v = _mm256_set1_ps(best);
+    let first = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(lc, best_v)) as u32;
+    if first == 0 {
+        return 0;
+    }
+    let mut rc8 = [0.0f32; LANES];
+    for i in 0..LANES {
+        // SAFETY: every rhs index is in bounds for `base` per this
+        // function's contract.
+        rc8[i] = unsafe { *base.add((s - lhs_buf[i]).index()) };
+    }
+    // SAFETY: unaligned loads/stores on properly sized local arrays.
+    unsafe {
+        let op = _mm256_add_ps(lc, _mm256_loadu_ps(rc8.as_ptr()));
+        let survivors = _mm256_cmp_ps::<_CMP_LT_OQ>(op, best_v);
+        _mm256_storeu_ps(lhs_cost.as_mut_ptr(), lc);
+        _mm256_storeu_ps(oprnd.as_mut_ptr(), op);
+        first & _mm256_movemask_ps(survivors) as u32
+    }
+}
+
+/// NEON batch evaluation: the eight-lane batch is consumed as two
+/// four-lane halves. aarch64 has no gather instruction, so lanes are
+/// loaded individually into stack arrays and lifted into vectors; the
+/// two-stage compare then mirrors the AVX2 path — a half whose four lhs
+/// costs all fail `< best₀` retires without touching the rhs column,
+/// like the scalar cascade. `vcltq_f32` is an ordered compare: NaN
+/// lanes produce all-zero masks, like scalar `<`.
+///
+/// # Safety
+///
+/// `base` must be valid for reads at offset `lhs.index()` and
+/// `(s - lhs).index()` (in `f32` units) for every `lhs` in `lhs_buf` —
+/// which the [`TableLayout::cost_base`] contract provides for any
+/// nonempty strict subset of an in-bounds `s`. (NEON is baseline on
+/// every aarch64 target this crate builds for.)
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn gather_mask_neon(
+    base: *const f32,
+    s: RelSet,
+    lhs_buf: &[RelSet; LANES],
+    best: f32,
+    lhs_cost: &mut [f32; LANES],
+    oprnd: &mut [f32; LANES],
+) -> u32 {
+    use std::arch::aarch64::{
+        vaddq_f32, vcltq_f32, vdupq_n_f32, vld1q_f32, vst1q_f32, vst1q_u32,
+    };
+    let best_v = vdupq_n_f32(best);
+    let mut mask = 0u32;
+    for half in 0..2usize {
+        let o = half * 4;
+        let mut lc4 = [0.0f32; 4];
+        for i in 0..4 {
+            // SAFETY: in-bounds offsets per this function's contract.
+            unsafe {
+                lc4[i] = *base.add(lhs_buf[o + i].index());
+            }
+        }
+        // First cascade test on the whole half; a half with no survivor
+        // retires before any rhs load.
+        let mut first = 0u32;
+        // SAFETY: 16-byte loads/stores on properly sized local arrays.
+        unsafe {
+            let lc = vld1q_f32(lc4.as_ptr());
+            let lt1 = vcltq_f32(lc, best_v);
+            let mut bits4 = [0u32; 4];
+            vst1q_u32(bits4.as_mut_ptr(), lt1);
+            for (i, b) in bits4.iter().enumerate() {
+                first |= (b & 1) << i;
+            }
+        }
+        if first == 0 {
+            continue;
+        }
+        let mut rc4 = [0.0f32; 4];
+        for i in 0..4 {
+            // SAFETY: in-bounds offsets per this function's contract.
+            unsafe {
+                rc4[i] = *base.add((s - lhs_buf[o + i]).index());
+            }
+        }
+        // SAFETY: 16-byte loads/stores on properly sized local arrays.
+        unsafe {
+            let lc = vld1q_f32(lc4.as_ptr());
+            let op = vaddq_f32(lc, vld1q_f32(rc4.as_ptr()));
+            let lt = vcltq_f32(op, best_v);
+            vst1q_f32(lhs_cost.as_mut_ptr().add(o), lc);
+            vst1q_f32(oprnd.as_mut_ptr().add(o), op);
+            let mut bits4 = [0u32; 4];
+            vst1q_u32(bits4.as_mut_ptr(), lt);
+            for (i, b) in bits4.iter().enumerate() {
+                mask |= ((first >> i) & b & 1) << (o + i);
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{DiskNestedLoops, Kappa0, SmDnl, SortMerge};
+    use crate::spec::JoinSpec;
+    use crate::stats::Counters;
+    use crate::table::{AosTable, HotColdTable, SoaTable};
+
+    #[test]
+    fn kernel_choice_names_roundtrip() {
+        for choice in KernelChoice::ALL {
+            assert_eq!(KernelChoice::parse(choice.name()), Some(choice));
+            assert_eq!(format!("{choice}"), choice.name());
+        }
+        assert_eq!(KernelChoice::parse("avx512"), None);
+        assert_eq!(KernelChoice::default(), KernelChoice::Scalar);
+    }
+
+    #[test]
+    fn simd_resolves_without_panicking_anywhere() {
+        // Whatever the host, `Simd` must resolve to *something* runnable.
+        let r = KernelChoice::Simd.resolve();
+        assert_ne!(r, ResolvedKernel::Scalar, "Simd should at least batch");
+        assert_eq!(KernelChoice::Scalar.resolve(), ResolvedKernel::Scalar);
+        assert_eq!(KernelChoice::Batched.resolve(), ResolvedKernel::Batched);
+    }
+
+    /// Every kernel × every layout must reproduce the scalar AoS rows,
+    /// `best_lhs`, *and* counters bit-for-bit — including under a model
+    /// with κ'' (the cascade's third stage) and one with aux memos.
+    #[test]
+    fn kernels_are_bit_identical_to_scalar_reference() {
+        let spec = JoinSpec::new(
+            &[120.0, 7.0, 3300.0, 42.0, 9.0, 260.0, 18.0],
+            &[
+                (0, 1, 0.01),
+                (1, 2, 0.5),
+                (2, 3, 0.002),
+                (3, 4, 0.9),
+                (0, 5, 0.03),
+                (4, 6, 0.25),
+            ],
+        )
+        .unwrap();
+        check_spec_against_reference(&spec);
+    }
+
+    /// Tie-heavy catalog: uniform cardinalities and selectivities make
+    /// many splits cost-equal, so any reduction that does not preserve
+    /// the first-wins order shows up as a different `best_lhs`.
+    #[test]
+    fn kernels_preserve_first_wins_ties() {
+        let spec = JoinSpec::cartesian(&[10.0; 9]).unwrap();
+        check_spec_against_reference(&spec);
+    }
+
+    /// Overflowing costs must reject identically through every kernel
+    /// (the κ' loop skip and the `+∞` finish path).
+    #[test]
+    fn kernels_agree_on_overflow() {
+        let spec = JoinSpec::cartesian(&[1e30, 1e30, 1e32, 1e28, 1e30]).unwrap();
+        check_spec_against_reference(&spec);
+    }
+
+    fn check_spec_against_reference(spec: &JoinSpec) {
+        fn snapshot<L: TableLayout, M: CostModel>(
+            spec: &JoinSpec,
+            model: &M,
+            kernel: ResolvedKernel,
+        ) -> (Vec<(u64, u32, u32)>, Counters) {
+            let mut counters = Counters::default();
+            let table: L = crate::join::optimize_join_into_kernel::<L, M, Counters, true>(
+                spec,
+                model,
+                f32::INFINITY,
+                kernel,
+                &mut counters,
+            );
+            let rows = (1u32..(1u32 << spec.n()))
+                .map(|b| {
+                    let s = RelSet::from_bits(b);
+                    (table.card(s).to_bits(), table.cost(s).to_bits(), table.best_lhs(s).bits())
+                })
+                .collect();
+            (rows, counters)
+        }
+        fn check_model<M: CostModel>(spec: &JoinSpec, model: &M) {
+            let reference = snapshot::<AosTable, M>(spec, model, ResolvedKernel::Scalar);
+            for kernel in [ResolvedKernel::Batched, KernelChoice::Simd.resolve()] {
+                let a = snapshot::<AosTable, M>(spec, model, kernel);
+                let b = snapshot::<SoaTable, M>(spec, model, kernel);
+                let c = snapshot::<HotColdTable, M>(spec, model, kernel);
+                for got in [&a, &b, &c] {
+                    assert_eq!(got.0, reference.0, "{} rows via {kernel:?}", model.name());
+                    assert_eq!(got.1, reference.1, "{} counters via {kernel:?}", model.name());
+                }
+            }
+        }
+        check_model(spec, &Kappa0);
+        check_model(spec, &SortMerge);
+        check_model(spec, &DiskNestedLoops::default());
+        check_model(spec, &SmDnl::default());
+    }
+}

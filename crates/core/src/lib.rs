@@ -47,6 +47,7 @@ mod check;
 pub mod cost;
 pub mod hyper;
 pub mod join;
+pub mod kernel;
 pub mod ordered;
 pub mod plan;
 pub mod spec;
@@ -63,6 +64,7 @@ pub use cartesian::{
 pub use cost::{CostModel, DiskNestedLoops, JoinAlgorithm, Kappa0, SmDnl, SortMerge};
 pub use hyper::{optimize_hyper, optimize_hyper_into, HyperSpec};
 pub use join::{optimize_join, optimize_join_into, optimize_join_into_with, optimize_join_with};
+pub use kernel::KernelChoice;
 pub use ordered::{optimize_ordered, optimize_ordered_naive, OrderedOptimized, OrderedPlan, OrderedSpec};
 pub use plan::{AnnotatedPlan, Plan};
 pub use spec::{JoinSpec, SpecError};
@@ -74,5 +76,6 @@ pub use table::{
 };
 pub use threshold::{
     optimize_join_threshold, optimize_join_threshold_into, optimize_join_threshold_into_with,
-    optimize_join_threshold_with, ThresholdOutcome, ThresholdSchedule,
+    optimize_join_threshold_reusing_with, optimize_join_threshold_with, ThresholdOutcome,
+    ThresholdSchedule,
 };

@@ -20,6 +20,7 @@
 
 use crate::bitset::RelSet;
 use crate::cost::CostModel;
+use crate::kernel::{find_best_split_with, KernelChoice, ResolvedKernel};
 use crate::stats::Stats;
 use crate::table::{LayoutChoice, SyncTable, SyncTableView, TableLayout, WaveTableLayout};
 
@@ -63,11 +64,12 @@ impl WaveSchedule {
 /// one optimization, and how the DP table is laid out in memory.
 ///
 /// The default is read once per process from the environment —
-/// `BLITZ_TEST_THREADS` (unset or `1` ⇒ the serial driver) and
-/// `BLITZ_TEST_LAYOUT` (`aos`/`soa`/`hotcold`) — which lets a CI job
-/// force every default-configured optimization in the workspace through
-/// the parallel rank-wave driver and/or an alternate table layout
-/// without touching call sites.
+/// `BLITZ_TEST_THREADS` (unset or `1` ⇒ the serial driver),
+/// `BLITZ_TEST_LAYOUT` (`aos`/`soa`/`hotcold`) and `BLITZ_TEST_KERNEL`
+/// (`scalar`/`batched`/`simd`) — which lets a CI job force every
+/// default-configured optimization in the workspace through the parallel
+/// rank-wave driver, an alternate table layout and/or an alternate split
+/// kernel without touching call sites.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct DriveOptions {
     /// Worker threads for the rank-wave parallel driver. `1` is the
@@ -82,6 +84,11 @@ pub struct DriveOptions {
     /// Wave scheduling policy for the parallel driver (ignored by the
     /// serial driver).
     pub schedule: WaveSchedule,
+    /// Split kernel for the `find_best_split` inner loop — scalar
+    /// reference, portable batched, or runtime-dispatched SIMD. Resolved
+    /// against the hardware once per drive; all kernels produce
+    /// bit-identical tables, plans and counters (see [`crate::kernel`]).
+    pub kernel: KernelChoice,
 }
 
 impl DriveOptions {
@@ -91,6 +98,7 @@ impl DriveOptions {
             parallelism: 1,
             layout: LayoutChoice::default(),
             schedule: WaveSchedule::default(),
+            kernel: KernelChoice::default(),
         }
     }
 
@@ -100,6 +108,7 @@ impl DriveOptions {
             parallelism: threads,
             layout: LayoutChoice::default(),
             schedule: WaveSchedule::default(),
+            kernel: KernelChoice::default(),
         }
     }
 
@@ -111,6 +120,11 @@ impl DriveOptions {
     /// This policy with a different wave schedule.
     pub fn with_schedule(self, schedule: WaveSchedule) -> DriveOptions {
         DriveOptions { schedule, ..self }
+    }
+
+    /// This policy with a different split kernel.
+    pub fn with_kernel(self, kernel: KernelChoice) -> DriveOptions {
+        DriveOptions { kernel, ..self }
     }
 
     /// The concrete worker count: resolves `0` to the machine's available
@@ -125,8 +139,9 @@ impl DriveOptions {
 
 impl Default for DriveOptions {
     fn default() -> DriveOptions {
-        static ENV: std::sync::OnceLock<(usize, LayoutChoice)> = std::sync::OnceLock::new();
-        let (parallelism, layout) = *ENV.get_or_init(|| {
+        static ENV: std::sync::OnceLock<(usize, LayoutChoice, KernelChoice)> =
+            std::sync::OnceLock::new();
+        let (parallelism, layout, kernel) = *ENV.get_or_init(|| {
             let threads = std::env::var("BLITZ_TEST_THREADS")
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
@@ -135,9 +150,13 @@ impl Default for DriveOptions {
                 .ok()
                 .and_then(|v| LayoutChoice::parse(&v))
                 .unwrap_or_default();
-            (threads, layout)
+            let kernel = std::env::var("BLITZ_TEST_KERNEL")
+                .ok()
+                .and_then(|v| KernelChoice::parse(&v))
+                .unwrap_or_default();
+            (threads, layout, kernel)
         });
-        DriveOptions { parallelism, layout, schedule: WaveSchedule::default() }
+        DriveOptions { parallelism, layout, schedule: WaveSchedule::default(), kernel }
     }
 }
 
@@ -204,9 +223,12 @@ pub(crate) fn find_best_split<L, M, St, const PRUNE: bool>(
         // for free, so start its operands' cost lines toward L1 while
         // the current split is judged. Purely advisory: prefetches are
         // hints, not reads, so pruning semantics, statistics and the
-        // result bits are untouched.
+        // result bits are untouched. Gated on `L::PREFETCHES` so layouts
+        // whose `prefetch_cost` is a no-op (AoS today) don't pay for the
+        // `s - next_lhs` subtraction and two dead calls per iteration —
+        // the constant folds the whole block away at monomorphization.
         let next_lhs = s.subset_successor(lhs);
-        if next_lhs != s {
+        if L::PREFETCHES && next_lhs != s {
             table.prefetch_cost(next_lhs);
             table.prefetch_cost(s - next_lhs);
         }
@@ -303,6 +325,7 @@ pub(crate) fn drive<L, M, St, F, const PRUNE: bool>(
     model: &M,
     n: usize,
     cap: f32,
+    kernel: ResolvedKernel,
     stats: &mut St,
     mut compute_properties: F,
 ) where
@@ -319,7 +342,7 @@ pub(crate) fn drive<L, M, St, F, const PRUNE: bool>(
         // Skip powers of two: those are singletons, already initialized.
         if !s.is_singleton() {
             compute_properties(table, model, s);
-            find_best_split::<L, M, St, PRUNE>(table, model, s, cap, stats);
+            find_best_split_with::<L, M, St, PRUNE>(table, model, s, cap, stats, kernel);
         }
         bits += 1;
     }
@@ -453,6 +476,10 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
 {
     let threads = options.effective_parallelism();
     let schedule = options.schedule;
+    // Resolve the kernel once, before any worker spawns: feature
+    // detection stays off the row path and every worker dispatches on
+    // the same `Copy` token.
+    let kernel = options.kernel.resolve();
     debug_assert!(threads >= 2, "use `drive` for serial execution");
     stats.pass();
     let end = 1u64 << n;
@@ -469,8 +496,8 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
             while bits < end {
                 let s = RelSet::from_wave_bits(bits);
                 compute_properties(&mut view, model, s);
-                find_best_split::<SyncTableView<L>, M, St, PRUNE>(
-                    &mut view, model, s, cap, stats,
+                find_best_split_with::<SyncTableView<L>, M, St, PRUNE>(
+                    &mut view, model, s, cap, stats, kernel,
                 );
                 bits = same_popcount_successor(bits);
             }
@@ -508,8 +535,8 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
                                     for _ in start..stop {
                                         let s = RelSet::from_wave_bits(bits);
                                         compute_properties(&mut view, model, s);
-                                        find_best_split::<SyncTableView<L>, M, St, PRUNE>(
-                                            &mut view, model, s, cap, &mut local,
+                                        find_best_split_with::<SyncTableView<L>, M, St, PRUNE>(
+                                            &mut view, model, s, cap, &mut local, kernel,
                                         );
                                         bits = same_popcount_successor(bits);
                                     }
@@ -526,8 +553,8 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
                                     if row % threads == t {
                                         let s = RelSet::from_wave_bits(bits);
                                         compute_properties(&mut view, model, s);
-                                        find_best_split::<SyncTableView<L>, M, St, PRUNE>(
-                                            &mut view, model, s, cap, &mut local,
+                                        find_best_split_with::<SyncTableView<L>, M, St, PRUNE>(
+                                            &mut view, model, s, cap, &mut local, kernel,
                                         );
                                     }
                                     row += 1;
@@ -664,11 +691,14 @@ mod tests {
     fn drive_options_builders_compose() {
         let o = DriveOptions::parallel(4)
             .with_layout(LayoutChoice::HotCold)
-            .with_schedule(WaveSchedule::RoundRobin);
+            .with_schedule(WaveSchedule::RoundRobin)
+            .with_kernel(KernelChoice::Simd);
         assert_eq!(o.parallelism, 4);
         assert_eq!(o.layout, LayoutChoice::HotCold);
         assert_eq!(o.schedule, WaveSchedule::RoundRobin);
+        assert_eq!(o.kernel, KernelChoice::Simd);
         assert_eq!(DriveOptions::serial().effective_parallelism(), 1);
+        assert_eq!(DriveOptions::serial().kernel, KernelChoice::Scalar);
         for s in [WaveSchedule::Chunked, WaveSchedule::RoundRobin] {
             assert_eq!(WaveSchedule::parse(s.name()), Some(s));
         }

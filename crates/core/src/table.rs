@@ -31,7 +31,7 @@ use std::marker::PhantomData;
 /// friends) and the service/CLI configuration surface. The generic
 /// `*_into*` functions ignore it — there the caller picks the layout as
 /// a type parameter.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum LayoutChoice {
     /// [`AosTable`] — the paper's array-of-structs layout.
     #[default]
@@ -138,6 +138,14 @@ pub trait TableLayout {
     /// Set the cost-model memo field.
     fn set_aux(&mut self, s: RelSet, v: f32);
 
+    /// Whether [`prefetch_cost`](TableLayout::prefetch_cost) can do
+    /// anything at all on this layout/target. The split loop consults
+    /// this compile-time constant before computing prefetch operands
+    /// (`s - next_lhs`) and issuing hints, so layouts with a no-op
+    /// `prefetch_cost` — the default, or any layout on an architecture
+    /// without prefetch instructions — pay nothing per iteration.
+    const PREFETCHES: bool = false;
+
     /// Hint that [`cost`](TableLayout::cost)`(s)` will be read shortly:
     /// the split loop's successor walk knows the *next* iteration's
     /// operands one step ahead, so the line can be in flight while the
@@ -145,6 +153,27 @@ pub trait TableLayout {
     /// no-op, and out-of-range sets are ignored.
     #[inline]
     fn prefetch_cost(&self, _s: RelSet) {}
+
+    /// Base pointer of a dense `cost` column indexed by
+    /// [`RelSet::index`], if this layout has one — the batched/SIMD
+    /// split kernels gather operand costs straight from it. The default
+    /// `None` routes kernels through the safe
+    /// [`cost`](TableLayout::cost) accessor instead (AoS has no dense
+    /// column; checked-build views decline on purpose so every read
+    /// stays guard-validated).
+    ///
+    /// # Safety
+    ///
+    /// Implementors returning `Some(p)` guarantee `p` is valid for reads
+    /// of `1 << rels()` consecutive `f32`s (the whole cost column, one
+    /// per row index) for as long as `self` is borrowed. Callers must
+    /// not read through the pointer beyond that extent or after the
+    /// borrow ends, and — on shared views — must respect the same
+    /// race-freedom discipline as [`cost`](TableLayout::cost) reads.
+    #[inline]
+    unsafe fn cost_base(&self) -> Option<*const f32> {
+        None
+    }
 }
 
 fn check_rels(n: usize) {
@@ -184,6 +213,11 @@ pub struct AosTable {
 }
 
 impl TableLayout for AosTable {
+    // `prefetch_cost` below issues real hints only where the target has
+    // prefetch instructions; elsewhere the split loop should skip the
+    // operand computation entirely.
+    const PREFETCHES: bool = cfg!(any(target_arch = "x86_64", target_arch = "aarch64"));
+
     fn with_rels(n: usize) -> Self {
         check_rels(n);
         AosTable { n, rows: vec![Row::default(); 1usize << n] }
@@ -266,6 +300,9 @@ pub struct SoaTable {
 }
 
 impl TableLayout for SoaTable {
+    // See `AosTable`: hints are real only on prefetch-capable targets.
+    const PREFETCHES: bool = cfg!(any(target_arch = "x86_64", target_arch = "aarch64"));
+
     fn with_rels(n: usize) -> Self {
         check_rels(n);
         let cap = 1usize << n;
@@ -340,6 +377,15 @@ impl TableLayout for SoaTable {
             prefetch_read(c);
         }
     }
+
+    // SAFETY: (implementor-side guarantee) `costs` is a `Vec<f32>` of
+    // exactly `1 << n` elements, fully initialized at allocation and
+    // never reallocated, so its base pointer is valid for the whole
+    // column while `self` is borrowed.
+    #[inline]
+    unsafe fn cost_base(&self) -> Option<*const f32> {
+        Some(self.costs.as_ptr())
+    }
 }
 
 /// One row of the paper-exact 16-byte layout (Section 4.1):
@@ -375,6 +421,9 @@ pub struct CompactProductTable {
 }
 
 impl TableLayout for CompactProductTable {
+    // See `AosTable`: hints are real only on prefetch-capable targets.
+    const PREFETCHES: bool = cfg!(any(target_arch = "x86_64", target_arch = "aarch64"));
+
     fn with_rels(n: usize) -> Self {
         check_rels(n);
         CompactProductTable { n, rows: vec![CompactRow::default(); 1usize << n] }
@@ -546,6 +595,9 @@ pub struct HotColdTable {
 }
 
 impl TableLayout for HotColdTable {
+    // See `AosTable`: hints are real only on prefetch-capable targets.
+    const PREFETCHES: bool = cfg!(any(target_arch = "x86_64", target_arch = "aarch64"));
+
     fn with_rels(n: usize) -> Self {
         check_rels(n);
         let cap = 1usize << n;
@@ -621,6 +673,15 @@ impl TableLayout for HotColdTable {
             // used as a prefetch hint, never dereferenced.
             prefetch_read(unsafe { self.costs.ptr.as_ptr().add(s.index()) });
         }
+    }
+
+    // SAFETY: (implementor-side guarantee) the aligned buffer holds
+    // exactly `1 << n` initialized `f32`s and is never reallocated, so
+    // its base pointer is valid for the whole column while `self` is
+    // borrowed.
+    #[inline]
+    unsafe fn cost_base(&self) -> Option<*const f32> {
+        Some(self.costs.ptr.as_ptr())
     }
 }
 
@@ -722,6 +783,19 @@ pub unsafe trait WaveTableLayout: TableLayout {
     /// the buffer).
     #[inline]
     unsafe fn raw_prefetch_cost(_raw: Self::Raw, _s: RelSet) {}
+
+    /// Base pointer of the dense `cost` column captured in `raw`, if the
+    /// layout has one (see [`TableLayout::cost_base`]); `None` — the
+    /// default — otherwise. Returning the pointer is safe; *reads*
+    /// through it fall under this `unsafe trait`'s implementor contract:
+    /// `Some(p)` guarantees `p` addresses `1 << raw_rels(raw)`
+    /// consecutive `f32`s valid exactly as long, and under the same
+    /// wave discipline, as [`raw_cost`](WaveTableLayout::raw_cost)
+    /// reads.
+    #[inline]
+    fn raw_cost_base(_raw: Self::Raw) -> Option<*const f32> {
+        None
+    }
 }
 
 /// Raw parts of an [`AosTable`]: the row-array base pointer.
@@ -944,6 +1018,14 @@ unsafe impl WaveTableLayout for SoaTable {
         // contract; the address is only used as a prefetch hint.
         unsafe { prefetch_read(raw.costs.add(s.index())) }
     }
+
+    #[inline]
+    fn raw_cost_base(raw: SoaRaw) -> Option<*const f32> {
+        // The dense cost column's base; the `raw_cost_base` implementor
+        // contract (extent, lifetime, wave discipline) is met because
+        // `raw.costs` is the same pointer `raw_cost` reads through.
+        Some(raw.costs as *const f32)
+    }
 }
 
 /// Raw parts of a [`CompactProductTable`]: the 16-byte-row base pointer.
@@ -1157,6 +1239,14 @@ unsafe impl WaveTableLayout for HotColdTable {
         // contract; the address is only used as a prefetch hint.
         unsafe { prefetch_read(raw.costs.add(s.index())) }
     }
+
+    #[inline]
+    fn raw_cost_base(raw: HotColdRaw) -> Option<*const f32> {
+        // The dense hot array's base; the `raw_cost_base` implementor
+        // contract (extent, lifetime, wave discipline) is met because
+        // `raw.costs` is the same pointer `raw_cost` reads through.
+        Some(raw.costs as *const f32)
+    }
 }
 
 /// Shared-table handle for the rank-wave parallel driver: lets several
@@ -1295,6 +1385,9 @@ impl<L: WaveTableLayout> SyncTableView<L> {
 unsafe impl<L: WaveTableLayout + Send> Send for SyncTableView<L> {}
 
 impl<L: WaveTableLayout> TableLayout for SyncTableView<L> {
+    // Prefetch capability is a property of the underlying layout.
+    const PREFETCHES: bool = L::PREFETCHES;
+
     fn with_rels(_n: usize) -> Self {
         unreachable!("SyncTableView is a borrowed view; allocate the underlying layout instead")
     }
@@ -1400,6 +1493,25 @@ impl<L: WaveTableLayout> TableLayout for SyncTableView<L> {
         // SAFETY: live borrow and in-bounds row (see above); prefetch
         // needs no race-freedom clause.
         unsafe { L::raw_prefetch_cost(self.raw, s) }
+    }
+
+    // SAFETY: (implementor-side guarantee) forwarded from the layout's
+    // `raw_cost_base`, whose extent/lifetime/discipline contract
+    // matches this view's `cost()` reads.
+    #[inline]
+    unsafe fn cost_base(&self) -> Option<*const f32> {
+        // Under the shadow checker, decline the dense column on purpose:
+        // the batched kernels then read every cost through the
+        // guard-checked `cost()` accessor above, so the wave discipline
+        // stays machine-enforced for the batched access pattern too.
+        #[cfg(blitz_check)]
+        {
+            None
+        }
+        #[cfg(not(blitz_check))]
+        {
+            L::raw_cost_base(self.raw)
+        }
     }
 }
 

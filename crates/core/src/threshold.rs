@@ -18,7 +18,7 @@
 use crate::bitset::RelSet;
 use crate::cartesian::Optimized;
 use crate::cost::CostModel;
-use crate::join::{optimize_join_into, optimize_join_into_with};
+use crate::join::{fill_join_table_with, optimize_join_into};
 use crate::plan::Plan;
 use crate::spec::{JoinSpec, SpecError};
 use crate::split::DriveOptions;
@@ -152,6 +152,40 @@ where
     M: CostModel + Sync,
     St: Stats + Default + Send,
 {
+    assert!(spec.n() <= MAX_TABLE_RELS, "unsupported relation count {}", spec.n());
+    let mut table = L::with_rels(spec.n());
+    let outcome = optimize_join_threshold_reusing_with::<L, M, St, PRUNE>(
+        &mut table, spec, model, schedule, options, stats,
+    );
+    (table, outcome)
+}
+
+/// [`optimize_join_threshold_into_with`] over a **caller-provided** table:
+/// every pass (and any escalation re-pass) fills `table` in place, so a
+/// multi-pass optimization allocates nothing and a caller holding a table
+/// pool — e.g. the service — can recycle `O(2^n)` allocations across
+/// requests.
+///
+/// The table does not need to be cleared between uses: singleton rows are
+/// re-initialized each pass and every non-singleton row is fully written
+/// before any superset reads it, so results are bit-identical to a run on
+/// a freshly allocated table (pinned by the dirty-table test below).
+///
+/// # Panics
+/// Panics if `table.rels() != spec.n()`.
+pub fn optimize_join_threshold_reusing_with<L, M, St, const PRUNE: bool>(
+    table: &mut L,
+    spec: &JoinSpec,
+    model: &M,
+    schedule: ThresholdSchedule,
+    options: DriveOptions,
+    stats: &mut St,
+) -> ThresholdOutcome
+where
+    L: WaveTableLayout + Send,
+    M: CostModel + Sync,
+    St: Stats + Default + Send,
+{
     let full = spec.all_rels();
     let mut cap = schedule.initial;
     let mut passes = 0u32;
@@ -159,12 +193,11 @@ where
         passes += 1;
         let capped = passes <= schedule.max_passes;
         let eff_cap = if capped { cap } else { f32::INFINITY };
-        let table: L =
-            optimize_join_into_with::<L, M, St, PRUNE>(spec, model, eff_cap, options, stats);
+        fill_join_table_with::<L, M, St, PRUNE>(table, spec, model, eff_cap, options, stats);
         let cost = table.cost(full);
         if cost.is_finite() || !capped {
             let optimized = if cost.is_finite() {
-                Optimized { plan: Plan::extract(&table, full), cost, card: table.card(full) }
+                Optimized { plan: Plan::extract(table, full), cost, card: table.card(full) }
             } else {
                 let mut plan = Plan::scan(0);
                 for rel in 1..spec.n() {
@@ -172,7 +205,7 @@ where
                 }
                 Optimized { plan, cost: f32::INFINITY, card: table.card(full) }
             };
-            return (table, ThresholdOutcome { optimized, passes, final_cap: eff_cap });
+            return ThresholdOutcome { optimized, passes, final_cap: eff_cap };
         }
         cap *= schedule.factor;
     }
@@ -347,6 +380,67 @@ mod tests {
         );
         let rejected = rejected_subsets(&table, spec.n());
         assert!(rejected > 0);
+    }
+
+    #[test]
+    fn reused_dirty_table_is_bit_identical_to_fresh() {
+        let dirty_spec = chain_spec(8, 5000.0, 0.9);
+        let spec = chain_spec(8, 100.0, 0.01);
+        let schedule = ThresholdSchedule::new(1.0, 100.0, 10);
+        let options = DriveOptions::serial();
+
+        // Dirty the table with a different query's DP rows, then reuse it
+        // through a schedule that forces escalation re-passes.
+        let mut table: AosTable = {
+            let mut stats = NoStats;
+            optimize_join_threshold_into_with::<AosTable, _, _, true>(
+                &dirty_spec,
+                &Kappa0,
+                ThresholdSchedule::default(),
+                options,
+                &mut stats,
+            )
+            .0
+        };
+        let mut stats = NoStats;
+        let reused = optimize_join_threshold_reusing_with::<AosTable, _, _, true>(
+            &mut table, &spec, &Kappa0, schedule, options, &mut stats,
+        );
+
+        let mut stats = NoStats;
+        let (fresh_table, fresh) = optimize_join_threshold_into_with::<AosTable, _, _, true>(
+            &spec, &Kappa0, schedule, options, &mut stats,
+        );
+
+        assert!(reused.passes > 1, "schedule should force escalation");
+        assert_eq!(reused.passes, fresh.passes);
+        assert_eq!(reused.final_cap.to_bits(), fresh.final_cap.to_bits());
+        assert_eq!(reused.optimized.cost.to_bits(), fresh.optimized.cost.to_bits());
+        assert_eq!(reused.optimized.plan.canonical(), fresh.optimized.plan.canonical());
+        for bits in 1u32..(1u32 << spec.n()) {
+            let s = RelSet::from_bits(bits);
+            assert_eq!(table.card(s).to_bits(), fresh_table.card(s).to_bits(), "card {bits:#b}");
+            assert_eq!(table.cost(s).to_bits(), fresh_table.cost(s).to_bits(), "cost {bits:#b}");
+            assert_eq!(table.best_lhs(s), fresh_table.best_lhs(s), "best_lhs {bits:#b}");
+        }
+    }
+
+    #[test]
+    fn reusing_rejects_mismatched_table() {
+        let spec = chain_spec(5, 100.0, 0.1);
+        let mut table = AosTable::with_rels(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut stats = NoStats;
+            optimize_join_threshold_reusing_with::<AosTable, _, _, true>(
+                &mut table,
+                &spec,
+                &Kappa0,
+                ThresholdSchedule::default(),
+                DriveOptions::serial(),
+                &mut stats,
+            )
+        }));
+        assert!(result.is_err(), "size-mismatched table must be rejected");
     }
 
     #[test]

@@ -30,18 +30,20 @@ pub mod metrics;
 pub mod pool;
 pub mod server;
 mod sync;
+pub mod tables;
 
 pub use cache::{ComputedPlan, Lookup, PlanCache, Reservation, Slot};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pool::WorkerPool;
 pub use server::{Client, Server, ServerOptions};
+pub use tables::{AnyTable, PoolSlot, TablePool};
 
 use blitz_baselines::goo;
 use blitz_catalog::CanonicalQuery;
 use blitz_core::{
-    optimize_join_threshold_into_with, AosTable, CostModel, Counters, DiskNestedLoops, DriveOptions,
-    HotColdTable, JoinSpec, Kappa0, LayoutChoice, Plan, SmDnl, SoaTable, SortMerge,
-    ThresholdSchedule, WaveTableLayout, MAX_TABLE_RELS,
+    optimize_join_threshold_reusing_with, AosTable, CostModel, Counters, DiskNestedLoops,
+    DriveOptions, HotColdTable, JoinSpec, Kappa0, KernelChoice, LayoutChoice, Plan, SmDnl,
+    SoaTable, SortMerge, ThresholdSchedule, MAX_TABLE_RELS,
 };
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -271,6 +273,12 @@ pub struct ServiceConfig {
     /// which is bit-identical to the other layouts (the layout-
     /// equivalence suite enforces this), so it is purely a perf knob.
     pub layout: LayoutChoice,
+    /// Split kernel for the exact path. Defaults to
+    /// [`KernelChoice::Simd`], which resolves to the best kernel the
+    /// host supports (falling back to the portable batched kernel, and
+    /// always bit-identical to scalar — the kernel-equivalence suite
+    /// enforces this), so it too is purely a perf knob.
+    pub kernel: KernelChoice,
 }
 
 impl Default for ServiceConfig {
@@ -290,6 +298,7 @@ impl Default for ServiceConfig {
             parallelism: 0,
             parallel_min_rels: 15,
             layout: LayoutChoice::HotCold,
+            kernel: KernelChoice::Simd,
         }
     }
 }
@@ -300,6 +309,7 @@ pub struct OptimizerService {
     config: ServiceConfig,
     cache: Arc<PlanCache>,
     pool: WorkerPool,
+    tables: Arc<TablePool>,
     metrics: Arc<Metrics>,
 }
 
@@ -309,7 +319,13 @@ impl OptimizerService {
         config.max_exact_rels = config.max_exact_rels.min(MAX_TABLE_RELS);
         let cache = PlanCache::new(config.cache_capacity, config.cache_shards);
         let pool = WorkerPool::new(config.workers.max(1), config.queue_capacity);
-        OptimizerService { config, cache, pool, metrics: Arc::new(Metrics::default()) }
+        OptimizerService {
+            config,
+            cache,
+            pool,
+            tables: Arc::new(TablePool::default()),
+            metrics: Arc::new(Metrics::default()),
+        }
     }
 
     /// The effective configuration (after clamping).
@@ -345,7 +361,7 @@ impl OptimizerService {
         } else {
             DriveOptions::serial()
         };
-        options.with_layout(self.config.layout)
+        options.with_layout(self.config.layout).with_kernel(self.config.kernel)
     }
 
     /// Optimize one request. Never fails: every degraded path returns a
@@ -407,10 +423,12 @@ impl OptimizerService {
         let model = req.model;
         let canon = canon.clone();
         let metrics = Arc::clone(&self.metrics);
+        let tables = Arc::clone(&self.tables);
         let options = self.drive_options(spec.n());
         Box::new(move || {
             let started = Instant::now();
-            let (plan, cost, card, passes, counters) = run_exact(&spec, model, schedule, options);
+            let (plan, cost, card, passes, counters) =
+                run_exact(&spec, model, schedule, options, &tables, &metrics);
             metrics.record_optimization(&counters, passes, started.elapsed());
             reservation.fulfill_cached(ComputedPlan {
                 plan: canon.to_canonical(&plan),
@@ -506,17 +524,26 @@ fn run_exact(
     model: ModelId,
     schedule: ThresholdSchedule,
     options: DriveOptions,
+    tables: &TablePool,
+    metrics: &Metrics,
 ) -> (Plan, f32, f64, u32, Counters) {
-    fn go<L: WaveTableLayout + Send, M: CostModel + Sync>(
+    fn go<L: PoolSlot, M: CostModel + Sync>(
         spec: &JoinSpec,
         model: &M,
         schedule: ThresholdSchedule,
         options: DriveOptions,
+        tables: &TablePool,
+        metrics: &Metrics,
     ) -> (Plan, f32, f64, u32, Counters) {
+        let (mut table, recycled) = tables.take::<L>(spec.n());
+        let counter =
+            if recycled { &metrics.table_pool_hits } else { &metrics.table_pool_misses };
+        counter.fetch_add(1, Relaxed);
         let mut counters = Counters::default();
-        let (_, outcome) = optimize_join_threshold_into_with::<L, M, Counters, true>(
-            spec, model, schedule, options, &mut counters,
+        let outcome = optimize_join_threshold_reusing_with::<L, M, Counters, true>(
+            &mut table, spec, model, schedule, options, &mut counters,
         );
+        tables.put(table);
         let o = outcome.optimized;
         (o.plan, o.cost, o.card, outcome.passes, counters)
     }
@@ -528,18 +555,24 @@ fn run_exact(
         model: &M,
         schedule: ThresholdSchedule,
         options: DriveOptions,
+        tables: &TablePool,
+        metrics: &Metrics,
     ) -> (Plan, f32, f64, u32, Counters) {
         match options.layout {
-            LayoutChoice::Aos => go::<AosTable, M>(spec, model, schedule, options),
-            LayoutChoice::Soa => go::<SoaTable, M>(spec, model, schedule, options),
-            LayoutChoice::HotCold => go::<HotColdTable, M>(spec, model, schedule, options),
+            LayoutChoice::Aos => go::<AosTable, M>(spec, model, schedule, options, tables, metrics),
+            LayoutChoice::Soa => go::<SoaTable, M>(spec, model, schedule, options, tables, metrics),
+            LayoutChoice::HotCold => {
+                go::<HotColdTable, M>(spec, model, schedule, options, tables, metrics)
+            }
         }
     }
     match model {
-        ModelId::Kappa0 => by_layout(spec, &Kappa0, schedule, options),
-        ModelId::SortMerge => by_layout(spec, &SortMerge, schedule, options),
-        ModelId::DiskNestedLoops => by_layout(spec, &DiskNestedLoops::default(), schedule, options),
-        ModelId::SmDnl => by_layout(spec, &SmDnl::default(), schedule, options),
+        ModelId::Kappa0 => by_layout(spec, &Kappa0, schedule, options, tables, metrics),
+        ModelId::SortMerge => by_layout(spec, &SortMerge, schedule, options, tables, metrics),
+        ModelId::DiskNestedLoops => {
+            by_layout(spec, &DiskNestedLoops::default(), schedule, options, tables, metrics)
+        }
+        ModelId::SmDnl => by_layout(spec, &SmDnl::default(), schedule, options, tables, metrics),
     }
 }
 
@@ -614,6 +647,27 @@ mod tests {
         .unwrap();
         assert_eq!(resp.cost, direct.optimized.cost);
         assert_eq!(resp.plan.canonical(), direct.optimized.plan.canonical());
+    }
+
+    #[test]
+    fn table_pool_recycles_across_requests() {
+        // Two *different* queries of the same shape (layout, n): the
+        // first allocates the DP table, the second recycles it — and
+        // the recycled run must still match the direct optimizer.
+        let spec_a =
+            JoinSpec::new(&[10.0, 20.0, 30.0], &[(0, 1, 0.1), (1, 2, 0.2)]).unwrap();
+        let spec_b = JoinSpec::new(&[5.0, 6.0, 7.0], &[(0, 1, 0.5), (1, 2, 0.5)]).unwrap();
+        let service = OptimizerService::new(ServiceConfig { workers: 1, ..Default::default() });
+        let r1 = service.optimize(&Request::new(spec_a));
+        let r2 = service.optimize(&Request::new(spec_b.clone()));
+        assert_eq!(r1.source, PlanSource::Exact);
+        assert_eq!(r2.source, PlanSource::Exact);
+        let direct = blitz_core::optimize_join(&spec_b, &Kappa0).unwrap();
+        assert_eq!(r2.cost, direct.cost);
+        assert_eq!(r2.plan.canonical(), direct.plan.canonical());
+        let snap = service.snapshot();
+        assert_eq!(snap.table_pool_misses, 1);
+        assert_eq!(snap.table_pool_hits, 1);
     }
 
     #[test]

@@ -128,6 +128,11 @@ pub struct Metrics {
     /// Subsets whose split loop was skipped by overflow/threshold
     /// pruning, summed over all exact optimizations.
     pub subsets_pruned: AtomicU64,
+    /// Exact optimizations served by a recycled DP table from the
+    /// [`crate::TablePool`].
+    pub table_pool_hits: AtomicU64,
+    /// Exact optimizations that had to allocate a fresh DP table.
+    pub table_pool_misses: AtomicU64,
     /// Latency of the exact optimization itself.
     pub optimize_latency: LatencyHistogram,
     /// End-to-end request latency (including queueing and cache waits).
@@ -161,6 +166,8 @@ impl Metrics {
             threshold_passes: self.threshold_passes.load(Relaxed),
             split_loop_iters: self.split_loop_iters.load(Relaxed),
             subsets_pruned: self.subsets_pruned.load(Relaxed),
+            table_pool_hits: self.table_pool_hits.load(Relaxed),
+            table_pool_misses: self.table_pool_misses.load(Relaxed),
             queue_depth: queue_depth as u64,
             cached_plans: cached_plans as u64,
             optimize_latency: self.optimize_latency.snapshot(),
@@ -196,6 +203,10 @@ pub struct MetricsSnapshot {
     pub split_loop_iters: u64,
     /// See [`Metrics::subsets_pruned`].
     pub subsets_pruned: u64,
+    /// See [`Metrics::table_pool_hits`].
+    pub table_pool_hits: u64,
+    /// See [`Metrics::table_pool_misses`].
+    pub table_pool_misses: u64,
     /// Jobs waiting in the worker queue at snapshot time.
     pub queue_depth: u64,
     /// Completed plans resident in the cache at snapshot time.
@@ -213,7 +224,8 @@ impl MetricsSnapshot {
             "requests={} cache_hits={} cache_misses={} cache_shared={} cache_bypass={} \
              optimizations={} fallback_over_limit={} fallback_queue_full={} \
              fallback_deadline={} threshold_passes={} split_loop_iters={} \
-             subsets_pruned={} queue_depth={} cached_plans={} \
+             subsets_pruned={} table_pool_hits={} table_pool_misses={} \
+             queue_depth={} cached_plans={} \
              optimize_p50_us={} optimize_p99_us={} request_mean_us={:.0}",
             self.requests,
             self.cache_hits,
@@ -227,6 +239,8 @@ impl MetricsSnapshot {
             self.threshold_passes,
             self.split_loop_iters,
             self.subsets_pruned,
+            self.table_pool_hits,
+            self.table_pool_misses,
             self.queue_depth,
             self.cached_plans,
             self.optimize_latency.quantile_upper_micros(0.5),
@@ -254,6 +268,11 @@ impl std::fmt::Display for MetricsSnapshot {
         writeln!(f, "threshold passes:    {}", self.threshold_passes)?;
         writeln!(f, "split-loop iters:    {}", self.split_loop_iters)?;
         writeln!(f, "subsets pruned:      {}", self.subsets_pruned)?;
+        writeln!(
+            f,
+            "table pool:          {} hit / {} miss",
+            self.table_pool_hits, self.table_pool_misses
+        )?;
         writeln!(f, "queue depth:         {}", self.queue_depth)?;
         writeln!(
             f,
@@ -304,7 +323,13 @@ mod tests {
         let c = Counters { loop_iters: 100, loops_skipped: 7, ..Counters::default() };
         m.record_optimization(&c, 2, Duration::from_micros(50));
         m.record_optimization(&c, 1, Duration::from_micros(70));
+        m.table_pool_hits.fetch_add(1, Relaxed);
+        m.table_pool_misses.fetch_add(1, Relaxed);
         let s = m.snapshot(3, 9);
+        assert_eq!(s.table_pool_hits, 1);
+        assert_eq!(s.table_pool_misses, 1);
+        assert!(s.to_line().contains("table_pool_hits=1"));
+        assert!(format!("{s}").contains("table pool:          1 hit / 1 miss"));
         assert_eq!(s.optimizations, 2);
         assert_eq!(s.threshold_passes, 3);
         assert_eq!(s.split_loop_iters, 200);

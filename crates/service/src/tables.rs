@@ -1,0 +1,185 @@
+//! A free list of DP tables, recycled across service requests.
+//!
+//! The exact path allocates an `O(2^n)`-row table per optimization; at
+//! service request rates that is the dominant allocator traffic. Since
+//! [`blitz_core::optimize_join_threshold_reusing_with`] fills a
+//! caller-provided table in place — with results bit-identical to a
+//! fresh allocation — the service can keep finished tables on a shelf
+//! keyed by `(layout, n_rels)` and hand them to the next request of the
+//! same shape.
+//!
+//! The pool is deliberately dumb: a mutex-guarded map of bounded
+//! vectors. One lock round-trip per take/put is noise next to the
+//! `O(3^n)` optimization the table is for, and the per-key bound keeps
+//! resident memory proportional to the *concurrency* of each query
+//! shape rather than its history.
+
+use crate::sync::lock;
+use blitz_core::{AosTable, HotColdTable, LayoutChoice, SoaTable, WaveTableLayout};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Tables kept per `(layout, n_rels)` shelf. Matching the worker-pool
+/// default would retain more memory than recycling usually saves; two
+/// covers the common case of back-to-back same-shape requests while an
+/// occasional burst just allocates.
+const SHELF_CAPACITY: usize = 2;
+
+/// A pooled table of any supported layout. The layout is part of the
+/// shelf key, so a [`TablePool::take`] for layout `L` only ever sees
+/// the matching variant.
+pub enum AnyTable {
+    /// An array-of-structs table.
+    Aos(AosTable),
+    /// A struct-of-arrays table.
+    Soa(SoaTable),
+    /// A hot/cold split table.
+    HotCold(HotColdTable),
+}
+
+/// A table layout the pool can shelve: pairs the static
+/// [`LayoutChoice`] tag with the [`AnyTable`] wrap/unwrap glue.
+pub trait PoolSlot: WaveTableLayout + Send + Sized {
+    /// The layout tag used in the shelf key.
+    const LAYOUT: LayoutChoice;
+    /// Box this table into the pool's uniform variant.
+    fn wrap(self) -> AnyTable;
+    /// Recover this layout from a pooled variant; `None` on a layout
+    /// mismatch (impossible when the shelf key includes the layout, but
+    /// the pool stays defensive rather than panicking on a service
+    /// request path).
+    fn reclaim(table: AnyTable) -> Option<Self>;
+}
+
+impl PoolSlot for AosTable {
+    const LAYOUT: LayoutChoice = LayoutChoice::Aos;
+    fn wrap(self) -> AnyTable {
+        AnyTable::Aos(self)
+    }
+    fn reclaim(table: AnyTable) -> Option<AosTable> {
+        match table {
+            AnyTable::Aos(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl PoolSlot for SoaTable {
+    const LAYOUT: LayoutChoice = LayoutChoice::Soa;
+    fn wrap(self) -> AnyTable {
+        AnyTable::Soa(self)
+    }
+    fn reclaim(table: AnyTable) -> Option<SoaTable> {
+        match table {
+            AnyTable::Soa(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl PoolSlot for HotColdTable {
+    const LAYOUT: LayoutChoice = LayoutChoice::HotCold;
+    fn wrap(self) -> AnyTable {
+        AnyTable::HotCold(self)
+    }
+    fn reclaim(table: AnyTable) -> Option<HotColdTable> {
+        match table {
+            AnyTable::HotCold(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// The free list itself: shelves of finished tables keyed by
+/// `(layout, n_rels)`, each bounded to [`SHELF_CAPACITY`].
+#[derive(Default)]
+pub struct TablePool {
+    shelves: Mutex<HashMap<(LayoutChoice, usize), Vec<AnyTable>>>,
+}
+
+impl TablePool {
+    /// A table for `rels` relations in layout `L`, recycled when the
+    /// shelf has one (`true`) or freshly allocated (`false`). Recycled
+    /// tables are *not* cleared — the reusing optimizer entry points
+    /// re-initialize every row they read.
+    pub fn take<L: PoolSlot>(&self, rels: usize) -> (L, bool) {
+        {
+            let mut shelves = lock(&self.shelves);
+            if let Some(shelf) = shelves.get_mut(&(L::LAYOUT, rels)) {
+                while let Some(any) = shelf.pop() {
+                    if let Some(table) = L::reclaim(any) {
+                        return (table, true);
+                    }
+                }
+            }
+        }
+        (L::with_rels(rels), false)
+    }
+
+    /// Shelve a finished table for reuse; silently dropped when its
+    /// shelf is full (bounded memory beats a perfect hit rate).
+    pub fn put<L: PoolSlot>(&self, table: L) {
+        let key = (L::LAYOUT, table.rels());
+        let mut shelves = lock(&self.shelves);
+        let shelf = shelves.entry(key).or_default();
+        if shelf.len() < SHELF_CAPACITY {
+            shelf.push(table.wrap());
+        }
+    }
+
+    /// Total tables currently shelved, across all keys.
+    pub fn len(&self) -> usize {
+        lock(&self.shelves).values().map(Vec::len).sum()
+    }
+
+    /// Whether the pool holds no tables at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blitz_core::TableLayout;
+
+    #[test]
+    fn take_put_take_recycles_by_shape() {
+        let pool = TablePool::default();
+        let (t, hit) = pool.take::<AosTable>(6);
+        assert!(!hit, "empty pool must allocate");
+        pool.put(t);
+        assert_eq!(pool.len(), 1);
+        let (t, hit) = pool.take::<AosTable>(6);
+        assert!(hit, "same shape must recycle");
+        assert_eq!(t.rels(), 6);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn shapes_do_not_cross() {
+        let pool = TablePool::default();
+        let (t, _) = pool.take::<AosTable>(6);
+        pool.put(t);
+        // Different size: miss.
+        let (_, hit) = pool.take::<AosTable>(7);
+        assert!(!hit);
+        // Different layout, same size: miss (shelf key includes layout).
+        let (_, hit) = pool.take::<HotColdTable>(6);
+        assert!(!hit);
+        // The original is still shelved.
+        let (_, hit) = pool.take::<AosTable>(6);
+        assert!(hit);
+    }
+
+    #[test]
+    fn shelves_are_bounded() {
+        let pool = TablePool::default();
+        let tables: Vec<AosTable> =
+            (0..4).map(|_| pool.take::<AosTable>(5).0).collect();
+        for t in tables {
+            pool.put(t);
+        }
+        assert_eq!(pool.len(), SHELF_CAPACITY, "overflow beyond the cap is dropped");
+    }
+}

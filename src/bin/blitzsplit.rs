@@ -3,11 +3,11 @@
 //! ```text
 //! blitzsplit optimize --cards 10,20,30,40 --pred 0:1:0.1 --pred 0:2:0.2 \
 //!                     [--model k0|sm|dnl|smdnl] [--threshold 1e9] [--threads N] \
-//!                     [--layout aos|soa|hotcold] [--dot]
+//!                     [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] [--dot]
 //! blitzsplit sql "SELECT * FROM sales s, customer c WHERE s.custkey = c.custkey"
 //! blitzsplit workload --topology chain|cycle3|star|clique --n 15 --mu 100 --var 0.5 [--time]
 //! blitzsplit serve  [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--max-rels N] \
-//!                   [--threads N] [--layout aos|soa|hotcold]
+//!                   [--threads N] [--layout aos|soa|hotcold] [--kernel scalar|batched|simd]
 //! blitzsplit client --addr HOST:PORT --cards 10,20,30 [--pred i:j:sel]... [--model ...]
 //! blitzsplit client --addr HOST:PORT --metrics
 //! ```
@@ -24,7 +24,7 @@ use blitzsplit::service::server::{format_optimize_request, response_field};
 use blitzsplit::service::{Client, ModelId, OptimizerService, Server, ServiceConfig};
 use blitzsplit::{
     optimize_join_threshold_with, optimize_join_with, DiskNestedLoops, DriveOptions, JoinSpec,
-    Kappa0, LayoutChoice, SmDnl, SortMerge, ThresholdSchedule,
+    Kappa0, KernelChoice, LayoutChoice, SmDnl, SortMerge, ThresholdSchedule,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -35,12 +35,13 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!("usage:");
     eprintln!("  blitzsplit optimize --cards C1,C2,... [--pred i:j:sel]... \\");
     eprintln!("             [--model k0|sm|dnl|smdnl] [--threshold T] [--threads N] \\");
-    eprintln!("             [--layout aos|soa|hotcold] [--dot]");
+    eprintln!("             [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] [--dot]");
     eprintln!("  blitzsplit sql \"SELECT ...\" [--model ...] [--dot]");
     eprintln!("  blitzsplit workload --topology chain|cycle3|star|clique \\");
     eprintln!("             --n N [--mu M] [--var V] [--model ...] [--threads N] [--time]");
     eprintln!("  blitzsplit serve [--addr 127.0.0.1:7878] [--workers N] [--cache N] \\");
-    eprintln!("             [--max-rels N] [--threads N] [--layout aos|soa|hotcold]");
+    eprintln!("             [--max-rels N] [--threads N] [--layout aos|soa|hotcold] \\");
+    eprintln!("             [--kernel scalar|batched|simd]");
     eprintln!("  blitzsplit client --addr HOST:PORT (--metrics | --cards C1,C2,... \\");
     eprintln!("             [--pred i:j:sel]... [--model ...] [--deadline-ms N])");
     ExitCode::FAILURE
@@ -204,6 +205,15 @@ fn main() -> ExitCode {
         Some(l) => drive_options.with_layout(l),
         None => drive_options,
     };
+    let kernel = match args.get("kernel").map(KernelChoice::parse) {
+        None => None,
+        Some(Some(k)) => Some(k),
+        Some(None) => return fail("--kernel must be one of scalar|batched|simd"),
+    };
+    let drive_options = match kernel {
+        Some(k) => drive_options.with_kernel(k),
+        None => drive_options,
+    };
 
     match cmd.as_str() {
         "optimize" => {
@@ -298,6 +308,9 @@ fn main() -> ExitCode {
             }
             if let Some(l) = layout {
                 config.layout = l;
+            }
+            if let Some(k) = kernel {
+                config.kernel = k;
             }
             let service = Arc::new(OptimizerService::new(config));
             let server = match Server::bind(addr.as_str(), service) {
