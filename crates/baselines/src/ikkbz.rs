@@ -98,9 +98,26 @@ impl std::error::Error for IkkbzError {}
 /// the *supplied* model for comparability; optimality is guaranteed only
 /// when that model is `κ0`-like (ASI).
 pub fn optimize_ikkbz<M: CostModel>(spec: &JoinSpec, model: &M) -> Result<IkkbzResult, IkkbzError> {
+    let (order, root) = ikkbz_order(spec)?;
+    let mut plan = Plan::scan(order[0]);
+    for &r in &order[1..] {
+        plan = Plan::join(plan, Plan::scan(r));
+    }
+    let (_, cost) = plan.cost(spec, model);
+    Ok(IkkbzResult { plan, cost, root })
+}
+
+/// The IKKBZ-optimal *relation order* (and winning root) without building
+/// a plan: the `C_out`-cheapest left-deep sequence over all root choices.
+///
+/// This is the seeding entry point for hybrid optimizers: the ladder's
+/// rung-2 iterative DP linearizes the query with this order and then runs
+/// exact DP over windows of it. Same preconditions as [`optimize_ikkbz`]
+/// (connected, acyclic join graph).
+pub fn ikkbz_order(spec: &JoinSpec) -> Result<(Vec<usize>, usize), IkkbzError> {
     let n = spec.n();
     if n == 1 {
-        return Ok(IkkbzResult { plan: Plan::scan(0), cost: 0.0, root: 0 });
+        return Ok((vec![0], 0));
     }
     // Validate shape: connected + acyclic ⇔ exactly n−1 edges + connected.
     if !spec.is_connected(spec.all_rels()) {
@@ -119,12 +136,7 @@ pub fn optimize_ikkbz<M: CostModel>(spec: &JoinSpec, model: &M) -> Result<IkkbzR
         }
     }
     let (order, _, root) = best.expect("n ≥ 2 has at least one root");
-    let mut plan = Plan::scan(order[0]);
-    for &r in &order[1..] {
-        plan = Plan::join(plan, Plan::scan(r));
-    }
-    let (_, cost) = plan.cost(spec, model);
-    Ok(IkkbzResult { plan, cost, root })
+    Ok((order, root))
 }
 
 /// `C_out` of a left-deep order: the sum of all intermediate-result

@@ -41,10 +41,10 @@ pub use dpccp::{chain_ccp_count, clique_ccp_count, optimize_dpccp, DpCcpResult};
 pub use dpsize::{optimize_dpsize, CrossProducts, DpSizeResult};
 pub use dpsub::{optimize_dpsub, Connectivity, DpSubResult};
 pub use greedy::{goo, min_selectivity_left_deep};
-pub use ikkbz::{optimize_ikkbz, IkkbzError, IkkbzResult};
+pub use ikkbz::{ikkbz_order, optimize_ikkbz, IkkbzError, IkkbzResult};
 pub use leftdeep::{optimize_left_deep, LeftDeepResult, ProductPolicy};
 pub use topdown::{optimize_topdown, TopDownResult};
 pub use stochastic::{
-    apply_move, hybrid_dp_local, iterated_improvement, quickpick, random_bushy_plan,
-    simulated_annealing, IiParams, Move, SaParams,
+    anneal_from, apply_move, hybrid_dp_local, improve_from, iterated_improvement, quickpick,
+    random_bushy_plan, simulated_annealing, IiParams, Move, SaParams, SearchOutcome,
 };

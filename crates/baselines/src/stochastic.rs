@@ -136,6 +136,123 @@ pub fn quickpick<M: CostModel>(
     best.expect("at least one sample")
 }
 
+/// Result of a budget-bounded local-search run ([`improve_from`] /
+/// [`anneal_from`]): the best plan seen, its cost, and the number of
+/// proposal steps consumed.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Best plan seen (never worse than the initial plan).
+    pub plan: Plan,
+    /// Cost of [`SearchOutcome::plan`] under the caller's evaluator.
+    pub cost: f32,
+    /// Move proposals consumed (one per attempted transformation,
+    /// whether or not it applied).
+    pub steps: u64,
+}
+
+/// Seeded, budget-bounded hill climb from an explicit starting plan.
+///
+/// Proposes random [`Move`]s (target join node and move kind drawn from
+/// `rng`), accepts a candidate only when `eval` reports a strictly lower
+/// cost, and stops after `max_consecutive_failures` rejected proposals
+/// in a row or `max_steps` total proposals — whichever comes first. The
+/// returned plan is therefore **never worse than the initial plan**, and
+/// for a fixed RNG stream the first `k` proposals of a longer run are
+/// exactly the `k`-proposal run (the anytime prefix property the ladder
+/// and its monotonicity tests rely on).
+///
+/// The evaluator abstracts the cost function, so callers can search plan
+/// spaces the [`JoinSpec`] types cannot represent (e.g. the ladder's
+/// 100-relation specs): `eval` receives each candidate and returns its
+/// cost; `+∞`/NaN results are never accepted.
+pub fn improve_from<F: FnMut(&Plan) -> f32>(
+    initial: Plan,
+    initial_cost: f32,
+    rng: &mut StdRng,
+    max_steps: u64,
+    max_consecutive_failures: usize,
+    eval: &mut F,
+) -> SearchOutcome {
+    let joins = initial.num_joins();
+    if joins == 0 {
+        return SearchOutcome { plan: initial, cost: initial_cost, steps: 0 };
+    }
+    let mut plan = initial;
+    let mut cost = initial_cost;
+    let mut failures = 0usize;
+    let mut steps = 0u64;
+    while failures < max_consecutive_failures && steps < max_steps {
+        let target = rng.random_range(0..joins);
+        let mv = Move::ALL[rng.random_range(0..Move::ALL.len())];
+        steps += 1;
+        match apply_move(&plan, target, mv) {
+            Some(candidate) => {
+                let c = eval(&candidate);
+                if c < cost {
+                    plan = candidate;
+                    cost = c;
+                    failures = 0;
+                } else {
+                    failures += 1;
+                }
+            }
+            None => failures += 1,
+        }
+    }
+    SearchOutcome { plan, cost, steps }
+}
+
+/// Seeded, budget-bounded simulated annealing from an explicit starting
+/// plan.
+///
+/// Runs the cooling schedule of `params` (whose `seed` field is ignored
+/// — the caller-supplied `rng` drives the stream) for at most
+/// `max_steps` proposals. The *current* plan may move uphill, but the
+/// returned plan is the best seen, so the result is never worse than the
+/// initial plan and obeys the same anytime prefix property as
+/// [`improve_from`].
+pub fn anneal_from<F: FnMut(&Plan) -> f32>(
+    initial: Plan,
+    initial_cost: f32,
+    rng: &mut StdRng,
+    params: &SaParams,
+    max_steps: u64,
+    eval: &mut F,
+) -> SearchOutcome {
+    let joins = initial.num_joins();
+    if joins == 0 {
+        return SearchOutcome { plan: initial, cost: initial_cost, steps: 0 };
+    }
+    let mut plan = initial.clone();
+    let mut cost = initial_cost;
+    let mut best = (initial, initial_cost);
+    let t0 = (initial_cost as f64).abs().max(1.0) * params.initial_temperature_factor;
+    let mut temp = t0;
+    let mut steps = 0u64;
+    'cooling: while temp > t0 * params.min_temperature_ratio {
+        for _ in 0..params.moves_per_stage {
+            if steps >= max_steps {
+                break 'cooling;
+            }
+            let target = rng.random_range(0..joins);
+            let mv = Move::ALL[rng.random_range(0..Move::ALL.len())];
+            steps += 1;
+            let Some(candidate) = apply_move(&plan, target, mv) else { continue };
+            let c = eval(&candidate);
+            let delta = c as f64 - cost as f64;
+            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+                plan = candidate;
+                cost = c;
+                if cost < best.1 {
+                    best = (plan.clone(), cost);
+                }
+            }
+        }
+        temp *= params.cooling;
+    }
+    SearchOutcome { plan: best.0, cost: best.1, steps }
+}
+
 /// Parameters for [`iterated_improvement`].
 #[derive(Copy, Clone, Debug)]
 pub struct IiParams {
@@ -166,31 +283,21 @@ pub fn iterated_improvement<M: CostModel>(
     if full.is_singleton() {
         return (Plan::scan(0), 0.0);
     }
+    let mut eval = |p: &Plan| p.cost(spec, model).1;
     let mut best: Option<(Plan, f32)> = None;
     for _ in 0..params.restarts.max(1) {
-        let mut plan = random_bushy_plan(full, &mut rng);
-        let (_, mut cost) = plan.cost(spec, model);
-        let mut failures = 0usize;
-        let joins = plan.num_joins();
-        while failures < params.max_consecutive_failures {
-            let target = rng.random_range(0..joins);
-            let mv = Move::ALL[rng.random_range(0..Move::ALL.len())];
-            match apply_move(&plan, target, mv) {
-                Some(candidate) => {
-                    let (_, c) = candidate.cost(spec, model);
-                    if c < cost {
-                        plan = candidate;
-                        cost = c;
-                        failures = 0;
-                    } else {
-                        failures += 1;
-                    }
-                }
-                None => failures += 1,
-            }
-        }
-        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
-            best = Some((plan, cost));
+        let plan = random_bushy_plan(full, &mut rng);
+        let cost = eval(&plan);
+        let out = improve_from(
+            plan,
+            cost,
+            &mut rng,
+            u64::MAX,
+            params.max_consecutive_failures,
+            &mut eval,
+        );
+        if best.as_ref().is_none_or(|(_, b)| out.cost < *b) {
+            best = Some((out.plan, out.cost));
         }
     }
     best.expect("at least one restart")
@@ -236,30 +343,11 @@ pub fn simulated_annealing<M: CostModel>(
     if full.is_singleton() {
         return (Plan::scan(0), 0.0);
     }
-    let mut plan = random_bushy_plan(full, &mut rng);
-    let (_, mut cost) = plan.cost(spec, model);
-    let mut best = (plan.clone(), cost);
-    let t0 = (cost as f64).abs().max(1.0) * params.initial_temperature_factor;
-    let mut temp = t0;
-    let joins = plan.num_joins();
-    while temp > t0 * params.min_temperature_ratio {
-        for _ in 0..params.moves_per_stage {
-            let target = rng.random_range(0..joins);
-            let mv = Move::ALL[rng.random_range(0..Move::ALL.len())];
-            let Some(candidate) = apply_move(&plan, target, mv) else { continue };
-            let (_, c) = candidate.cost(spec, model);
-            let delta = c as f64 - cost as f64;
-            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
-                plan = candidate;
-                cost = c;
-                if cost < best.1 {
-                    best = (plan.clone(), cost);
-                }
-            }
-        }
-        temp *= params.cooling;
-    }
-    best
+    let plan = random_bushy_plan(full, &mut rng);
+    let (_, cost) = plan.cost(spec, model);
+    let mut eval = |p: &Plan| p.cost(spec, model).1;
+    let out = anneal_from(plan, cost, &mut rng, &params, u64::MAX, &mut eval);
+    (out.plan, out.cost)
 }
 
 /// Extract the sub-problem induced by `rels` (order defines the new

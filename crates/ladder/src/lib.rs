@@ -1,0 +1,37 @@
+//! # blitz-ladder — the anytime optimality ladder
+//!
+//! The paper's `O(3^n)` exact search "is the method of choice for `n`
+//! into the mid-teens"; past that, a serving system has to degrade. This
+//! crate replaces the cliff from exact DP straight to an unflagged
+//! greedy plan with a *ladder* of planning rungs, each running under a
+//! shared budget and each handing its best plan to the next:
+//!
+//! | rung | method | scope |
+//! |------|--------|-------|
+//! | 0 | GOO greedy seed | always |
+//! | 1 | exact blitzsplit DP | `n ≤ max_exact_rels` |
+//! | 2 | IKKBZ-seeded sliding-window block DP | any `n ≤ 128` |
+//! | 3 | stochastic refinement (II + SA) | any `n ≤ 128` |
+//!
+//! The result ([`LadderReport`]) carries provenance — the rung that
+//! produced the plan, the budget spent, and an optimality gap measured
+//! against the exact optimum when rung 1 ran, else against the greedy
+//! seed — so callers (the service wire protocol, the CLI, benchmarks)
+//! can report *how good* a plan is, not just return one.
+//!
+//! Queries larger than `blitz-core`'s [`blitz_core::MAX_RELS`] bit-set
+//! cap are represented by [`BigSpec`], a `u128`-set specification with
+//! plan re-costing but no DP table; the ladder's rung 2 carves
+//! table-sized [`blitz_core::JoinSpec`] sub-problems out of it so the
+//! exact optimizer still does the local heavy lifting.
+
+#![warn(missing_docs)]
+
+pub mod anytime;
+pub mod bigspec;
+
+pub use anytime::{
+    goo_big, linear_order, optimize_ladder, BudgetSpent, GapBasis, LadderConfig, LadderReport,
+    Rung, RungTrace,
+};
+pub use bigspec::{BigSpec, MAX_BIG_RELS};

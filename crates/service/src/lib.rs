@@ -32,6 +32,7 @@ pub mod server;
 mod sync;
 pub mod tables;
 
+pub use blitz_ladder::{BigSpec, GapBasis, LadderConfig, LadderReport, Rung};
 pub use cache::{ComputedPlan, Lookup, PlanCache, Reservation, Slot};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pool::WorkerPool;
@@ -45,6 +46,7 @@ use blitz_core::{
     DriveOptions, HotColdTable, JoinSpec, Kappa0, KernelChoice, LayoutChoice, Plan, SmDnl,
     SoaTable, SortMerge, ThresholdSchedule, MAX_TABLE_RELS,
 };
+use blitz_ladder::{goo_big, optimize_ladder};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -118,6 +120,11 @@ pub enum PlanSource {
     Exact,
     /// The greedy `goo` baseline, with the reason for degrading.
     Greedy(FallbackReason),
+    /// The anytime ladder, tagged with the rung that produced the plan.
+    /// Unlike [`PlanSource::Greedy`], this is a *serviced* over-limit
+    /// query, not a degradation: [`Response::ladder`] carries the full
+    /// optimality accounting.
+    Ladder(Rung),
 }
 
 impl PlanSource {
@@ -129,6 +136,26 @@ impl PlanSource {
             PlanSource::Greedy(FallbackReason::QueueFull) => "greedy_queue_full",
             PlanSource::Greedy(FallbackReason::DeadlineExceeded) => "greedy_deadline",
             PlanSource::Greedy(FallbackReason::Abandoned) => "greedy_abandoned",
+            PlanSource::Ladder(Rung::Greedy) => "ladder_greedy",
+            PlanSource::Ladder(Rung::Exact) => "ladder_exact",
+            PlanSource::Ladder(Rung::HybridDp) => "ladder_hybrid_dp",
+            PlanSource::Ladder(Rung::Stochastic) => "ladder_stochastic",
+        }
+    }
+
+    /// The provenance detail alone, without the family prefix: the
+    /// fallback reason for greedy plans (`queue_full` vs `deadline` —
+    /// previously only distinguishable by scraping metrics), the rung
+    /// for ladder plans, `exact` for exact plans. Emitted as the wire
+    /// response's `source_detail=` field.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            PlanSource::Exact => "exact",
+            PlanSource::Greedy(FallbackReason::OverLimit) => "over_limit",
+            PlanSource::Greedy(FallbackReason::QueueFull) => "queue_full",
+            PlanSource::Greedy(FallbackReason::DeadlineExceeded) => "deadline",
+            PlanSource::Greedy(FallbackReason::Abandoned) => "abandoned",
+            PlanSource::Ladder(rung) => rung.name(),
         }
     }
 }
@@ -232,12 +259,74 @@ pub struct Response {
     pub card: f64,
     /// Threshold passes run (0 when the plan is greedy).
     pub passes: u32,
-    /// Exact or flagged-greedy provenance.
+    /// Exact, flagged-greedy, or ladder provenance.
     pub source: PlanSource,
     /// The cache's role in this response.
     pub cache: CacheOutcome,
+    /// Ladder accounting when the plan came from the anytime ladder
+    /// ([`PlanSource::Ladder`]); `None` on every other path.
+    pub ladder: Option<LadderInfo>,
     /// End-to-end service time for this request.
     pub elapsed: Duration,
+}
+
+/// The anytime ladder's optimality accounting, surfaced on the wire so
+/// clients learn *how good* an over-limit plan is, not just that the
+/// exact path was skipped.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LadderInfo {
+    /// The rung that produced the returned plan.
+    pub rung: Rung,
+    /// The highest rung that ran (≥ `rung`).
+    pub rung_reached: Rung,
+    /// Optimality gap: 0 against the exact optimum when rung 1 ran,
+    /// else `cost / greedy − 1 ≤ 0` against the greedy seed.
+    pub gap: f32,
+    /// Which bound `gap` is measured against.
+    pub gap_basis: GapBasis,
+    /// Cost of the greedy seed the ladder started from (what the bare
+    /// over-limit degradation would have returned).
+    pub greedy_cost: f32,
+    /// Rung-3 move proposals consumed.
+    pub refine_steps: u64,
+    /// Rung-2 block sub-problems solved exactly.
+    pub dp_blocks: u64,
+    /// Wall-clock time spent inside the ladder itself.
+    pub spent: Duration,
+}
+
+/// An optimization request for a query too large for [`JoinSpec`]'s
+/// bit-set representation (`n > MAX_RELS`). Big requests always bypass
+/// the plan cache and are answered by the anytime ladder when
+/// [`ServiceConfig::ladder`] is set, else by the flagged greedy
+/// baseline.
+#[derive(Clone, Debug)]
+pub struct BigRequest {
+    /// The query statistics (up to [`blitz_ladder::MAX_BIG_RELS`]).
+    pub spec: BigSpec,
+    /// Cost model to optimize under.
+    pub model: ModelId,
+    /// Wall-clock budget for the ladder (intersected with the
+    /// configured per-request ladder budget); `None` leaves the
+    /// configured budget alone.
+    pub deadline: Option<Duration>,
+}
+
+impl BigRequest {
+    /// Request with the default model (κ₀) and no deadline.
+    pub fn new(spec: BigSpec) -> BigRequest {
+        BigRequest { spec, model: ModelId::Kappa0, deadline: None }
+    }
+
+    /// Service-boundary validation, mirroring [`Request::validate`].
+    pub fn validate(&self) -> Result<(), RequestError> {
+        for (i, j, sel) in self.spec.edges() {
+            if !(sel > 0.0 && sel <= 1.0) {
+                return Err(RequestError::SelectivityOutOfRange { i, j, sel });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Construction-time knobs for [`OptimizerService`].
@@ -279,6 +368,46 @@ pub struct ServiceConfig {
     /// always bit-identical to scalar — the kernel-equivalence suite
     /// enforces this), so it too is purely a perf knob.
     pub kernel: KernelChoice,
+    /// Anytime-ladder settings for queries over
+    /// [`max_exact_rels`](ServiceConfig::max_exact_rels). `None` (the
+    /// default, preserving prior behavior) degrades such queries to the
+    /// bare greedy baseline; `Some` routes them through the anytime
+    /// ladder instead, answering with ladder provenance and an
+    /// optimality gap rather than an unqualified greedy plan.
+    pub ladder: Option<LadderSettings>,
+}
+
+/// Per-request budgets for the service's anytime ladder (see
+/// [`ServiceConfig::ladder`]). These map onto [`LadderConfig`]; the
+/// rung-1 gate always follows [`ServiceConfig::max_exact_rels`].
+#[derive(Clone, Debug)]
+pub struct LadderSettings {
+    /// Rung-2 block-DP window size (each block is an exact `O(3^k)`
+    /// sub-problem; keep it in the low teens).
+    pub dp_window: usize,
+    /// Rung-2 boundary-shifted sweeps; `0` disables the rung.
+    pub dp_rounds: usize,
+    /// Rung-3 stochastic proposal budget; `0` disables the rung.
+    pub refine_steps: u64,
+    /// PRNG seed for rung 3 (fixed per service for reproducibility).
+    pub seed: u64,
+    /// Wall-clock ceiling per ladder run, intersected with the
+    /// request's own deadline; `None` trusts the work budgets alone and
+    /// keeps the ladder fully deterministic.
+    pub budget: Option<Duration>,
+}
+
+impl Default for LadderSettings {
+    fn default() -> LadderSettings {
+        let d = LadderConfig::default();
+        LadderSettings {
+            dp_window: d.dp_window,
+            dp_rounds: d.dp_rounds,
+            refine_steps: d.refine_steps,
+            seed: d.seed,
+            budget: Some(Duration::from_millis(250)),
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -299,6 +428,7 @@ impl Default for ServiceConfig {
             parallel_min_rels: 15,
             layout: LayoutChoice::HotCold,
             kernel: KernelChoice::Simd,
+            ladder: None,
         }
     }
 }
@@ -370,9 +500,16 @@ impl OptimizerService {
         let start = Instant::now();
         self.metrics.requests.fetch_add(1, Relaxed);
 
-        // Admission control: too-large queries never reach the DP path.
+        // Admission control: too-large queries never reach the full DP
+        // path. With a ladder configured they are *served* (block DP +
+        // stochastic refinement, with provenance); without one they
+        // degrade to the flagged greedy baseline as before.
         if req.spec.n() > self.config.max_exact_rels {
             self.metrics.cache_bypass.fetch_add(1, Relaxed);
+            if let Some(settings) = &self.config.ladder {
+                let big = BigSpec::from_spec(&req.spec);
+                return self.ladder_response(&big, req.model, settings, req.deadline, start);
+            }
             self.metrics.fallback_over_limit.fetch_add(1, Relaxed);
             return self.greedy_response(req, FallbackReason::OverLimit, CacheOutcome::Bypass, start);
         }
@@ -407,6 +544,116 @@ impl OptimizerService {
                 }
                 self.await_slot(req, &canon, &slot, CacheOutcome::Miss, start)
             }
+        }
+    }
+
+    /// [`optimize_big`](OptimizerService::optimize_big) with
+    /// service-boundary validation, mirroring
+    /// [`try_optimize`](OptimizerService::try_optimize).
+    pub fn try_optimize_big(&self, req: &BigRequest) -> Result<Response, RequestError> {
+        req.validate()?;
+        Ok(self.optimize_big(req))
+    }
+
+    /// Optimize a query of any size up to [`blitz_ladder::MAX_BIG_RELS`]
+    /// relations. Queries that fit [`JoinSpec`] *and* the admission
+    /// limit delegate to the cached exact path
+    /// ([`optimize`](OptimizerService::optimize)); larger ones bypass
+    /// the cache and run the anytime ladder when configured, else the
+    /// flagged greedy baseline. Never fails.
+    pub fn optimize_big(&self, req: &BigRequest) -> Response {
+        if let Some(spec) = req.spec.to_join_spec() {
+            if spec.n() <= self.config.max_exact_rels {
+                let small =
+                    Request { spec, model: req.model, schedule: None, deadline: req.deadline };
+                return self.optimize(&small);
+            }
+        }
+        let start = Instant::now();
+        self.metrics.requests.fetch_add(1, Relaxed);
+        self.metrics.cache_bypass.fetch_add(1, Relaxed);
+        if let Some(settings) = &self.config.ladder {
+            return self.ladder_response(&req.spec, req.model, settings, req.deadline, start);
+        }
+        self.metrics.fallback_over_limit.fetch_add(1, Relaxed);
+        self.greedy_big_response(&req.spec, req.model, FallbackReason::OverLimit, start)
+    }
+
+    /// Run the anytime ladder inline on the calling thread (its budgets
+    /// bound the work; over-limit queries bypass the worker pool the
+    /// same way the greedy fallback always has) and package the report.
+    fn ladder_response(
+        &self,
+        spec: &BigSpec,
+        model: ModelId,
+        settings: &LadderSettings,
+        deadline: Option<Duration>,
+        start: Instant,
+    ) -> Response {
+        let wall_clock = match (settings.budget, deadline) {
+            (Some(b), Some(d)) => Some(b.min(d)),
+            (b, d) => b.or(d),
+        };
+        let cfg = LadderConfig {
+            max_exact_rels: self.config.max_exact_rels,
+            dp_window: settings.dp_window,
+            dp_rounds: settings.dp_rounds,
+            refine_steps: settings.refine_steps,
+            seed: settings.seed,
+            wall_clock,
+            ..LadderConfig::default()
+        };
+        let report = run_ladder(spec, model, &cfg);
+        self.metrics.record_ladder(
+            report.rung.index(),
+            report.spent.refine_steps,
+            report.spent.dp_blocks,
+            report.spent.elapsed,
+        );
+        let elapsed = start.elapsed();
+        self.metrics.request_latency.record(elapsed);
+        Response {
+            cost: report.cost,
+            card: report.card,
+            passes: 0,
+            source: PlanSource::Ladder(report.rung),
+            cache: CacheOutcome::Bypass,
+            ladder: Some(LadderInfo {
+                rung: report.rung,
+                rung_reached: report.rung_reached,
+                gap: report.gap,
+                gap_basis: report.gap_basis,
+                greedy_cost: report.greedy_cost,
+                refine_steps: report.spent.refine_steps,
+                dp_blocks: report.spent.dp_blocks,
+                spent: report.spent.elapsed,
+            }),
+            elapsed,
+            plan: report.plan,
+        }
+    }
+
+    /// Inline greedy fallback for a big query with no ladder configured.
+    fn greedy_big_response(
+        &self,
+        spec: &BigSpec,
+        model: ModelId,
+        reason: FallbackReason,
+        start: Instant,
+    ) -> Response {
+        let (plan, cost) = run_goo_big(spec, model);
+        let (card, _) = big_plan_cost(spec, &plan, model);
+        let elapsed = start.elapsed();
+        self.metrics.request_latency.record(elapsed);
+        Response {
+            plan,
+            cost,
+            card,
+            passes: 0,
+            source: PlanSource::Greedy(reason),
+            cache: CacheOutcome::Bypass,
+            ladder: None,
+            elapsed,
         }
     }
 
@@ -490,6 +737,7 @@ impl OptimizerService {
             passes: cp.passes,
             source,
             cache,
+            ladder: None,
             elapsed,
         }
     }
@@ -514,6 +762,7 @@ impl OptimizerService {
             passes: 0,
             source: PlanSource::Greedy(reason),
             cache,
+            ladder: None,
             elapsed,
         }
     }
@@ -582,6 +831,33 @@ fn run_greedy(spec: &JoinSpec, model: ModelId) -> (Plan, f32) {
         ModelId::SortMerge => goo(spec, &SortMerge),
         ModelId::DiskNestedLoops => goo(spec, &DiskNestedLoops::default()),
         ModelId::SmDnl => goo(spec, &SmDnl::default()),
+    }
+}
+
+fn run_ladder(spec: &BigSpec, model: ModelId, cfg: &LadderConfig) -> LadderReport {
+    match model {
+        ModelId::Kappa0 => optimize_ladder(spec, &Kappa0, cfg),
+        ModelId::SortMerge => optimize_ladder(spec, &SortMerge, cfg),
+        ModelId::DiskNestedLoops => optimize_ladder(spec, &DiskNestedLoops::default(), cfg),
+        ModelId::SmDnl => optimize_ladder(spec, &SmDnl::default(), cfg),
+    }
+}
+
+fn run_goo_big(spec: &BigSpec, model: ModelId) -> (Plan, f32) {
+    match model {
+        ModelId::Kappa0 => goo_big(spec, &Kappa0),
+        ModelId::SortMerge => goo_big(spec, &SortMerge),
+        ModelId::DiskNestedLoops => goo_big(spec, &DiskNestedLoops::default()),
+        ModelId::SmDnl => goo_big(spec, &SmDnl::default()),
+    }
+}
+
+fn big_plan_cost(spec: &BigSpec, plan: &Plan, model: ModelId) -> (f64, f32) {
+    match model {
+        ModelId::Kappa0 => spec.plan_cost(plan, &Kappa0),
+        ModelId::SortMerge => spec.plan_cost(plan, &SortMerge),
+        ModelId::DiskNestedLoops => spec.plan_cost(plan, &DiskNestedLoops::default()),
+        ModelId::SmDnl => spec.plan_cost(plan, &SmDnl::default()),
     }
 }
 
@@ -668,6 +944,89 @@ mod tests {
         let snap = service.snapshot();
         assert_eq!(snap.table_pool_misses, 1);
         assert_eq!(snap.table_pool_hits, 1);
+    }
+
+    /// Over-limit requests with a configured ladder are *served* (with
+    /// provenance and a gap) instead of silently degraded to greedy —
+    /// and the ladder's plan is never costlier than that greedy seed.
+    #[test]
+    fn over_limit_requests_ride_the_ladder_when_configured() {
+        let n = 24; // over every default max_exact_rels, within MAX_RELS
+        let cards: Vec<f64> = (0..n).map(|i| 10.0 + i as f64).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 0.01)).collect();
+        let spec = JoinSpec::new(&cards, &edges).unwrap();
+        let service = OptimizerService::new(ServiceConfig {
+            workers: 1,
+            ladder: Some(LadderSettings {
+                refine_steps: 2_000,
+                budget: None, // deterministic: work budgets only
+                ..LadderSettings::default()
+            }),
+            ..Default::default()
+        });
+        let resp = service.optimize(&Request::new(spec.clone()));
+        assert!(matches!(resp.source, PlanSource::Ladder(_)), "{:?}", resp.source);
+        assert_eq!(resp.cache, CacheOutcome::Bypass);
+        let info = resp.ladder.expect("ladder response must carry LadderInfo");
+        assert_eq!(info.gap_basis, GapBasis::Greedy);
+        assert!(resp.cost <= info.greedy_cost, "{} > {}", resp.cost, info.greedy_cost);
+        assert!(info.gap <= 0.0, "greedy-basis gap must be ≤ 0, got {}", info.gap);
+        assert!(info.rung_reached >= info.rung);
+        let (greedy_plan, greedy_cost) = run_greedy(&spec, ModelId::Kappa0);
+        assert_eq!(info.greedy_cost, greedy_cost);
+        assert!(resp.cost <= greedy_cost, "ladder worse than goo on {greedy_plan:?}");
+        let snap = service.snapshot();
+        assert_eq!(snap.ladder_runs, 1);
+        assert_eq!(snap.fallback_over_limit, 0, "a ladder run is not a greedy fallback");
+        assert_eq!(snap.cache_bypass, 1);
+    }
+
+    /// `optimize_big` spans the whole size range: small specs delegate
+    /// to the cached exact path, big ones (n > MAX_RELS) run the ladder.
+    #[test]
+    fn optimize_big_serves_every_size() {
+        let service = OptimizerService::new(ServiceConfig {
+            workers: 1,
+            ladder: Some(LadderSettings {
+                refine_steps: 1_000,
+                budget: None,
+                ..LadderSettings::default()
+            }),
+            ..Default::default()
+        });
+
+        // Small: delegates to the exact path, cache and all.
+        let small = BigSpec::new(&[10.0, 20.0, 30.0], &[(0, 1, 0.1), (1, 2, 0.2)]).unwrap();
+        let resp = service.optimize_big(&BigRequest::new(small));
+        assert_eq!(resp.source, PlanSource::Exact);
+        assert_eq!(resp.cache, CacheOutcome::Miss);
+        assert!(resp.ladder.is_none());
+
+        // Big: 40 relations cannot fit a JoinSpec at all.
+        let n = 40;
+        let cards: Vec<f64> = (0..n).map(|i| 5.0 + i as f64).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 0.05)).collect();
+        let big = BigSpec::new(&cards, &edges).unwrap();
+        let resp = service.optimize_big(&BigRequest::new(big));
+        assert!(matches!(resp.source, PlanSource::Ladder(_)), "{:?}", resp.source);
+        let info = resp.ladder.expect("big ladder response must carry LadderInfo");
+        assert!(resp.cost <= info.greedy_cost);
+        assert!(resp.cost.is_finite() && resp.card.is_finite());
+    }
+
+    /// Without a ladder, big requests keep the flagged-greedy contract.
+    #[test]
+    fn optimize_big_degrades_greedily_without_ladder() {
+        let n = 40;
+        let cards: Vec<f64> = (0..n).map(|i| 5.0 + i as f64).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 0.05)).collect();
+        let big = BigSpec::new(&cards, &edges).unwrap();
+        let service = OptimizerService::new(ServiceConfig { workers: 1, ..Default::default() });
+        let resp = service.optimize_big(&BigRequest::new(big));
+        assert_eq!(resp.source, PlanSource::Greedy(FallbackReason::OverLimit));
+        assert_eq!(resp.cache, CacheOutcome::Bypass);
+        assert!(resp.ladder.is_none());
+        assert_eq!(service.snapshot().fallback_over_limit, 1);
     }
 
     #[test]

@@ -133,6 +133,24 @@ pub struct Metrics {
     pub table_pool_hits: AtomicU64,
     /// Exact optimizations that had to allocate a fresh DP table.
     pub table_pool_misses: AtomicU64,
+    /// Over-limit requests answered by the anytime ladder (instead of
+    /// the bare greedy fallback).
+    pub ladder_runs: AtomicU64,
+    /// Ladder runs whose winning plan came from rung 0 (greedy seed).
+    pub ladder_rung_greedy: AtomicU64,
+    /// Ladder runs whose winning plan came from rung 1 (exact DP).
+    pub ladder_rung_exact: AtomicU64,
+    /// Ladder runs whose winning plan came from rung 2 (block DP).
+    pub ladder_rung_hybrid_dp: AtomicU64,
+    /// Ladder runs whose winning plan came from rung 3 (stochastic).
+    pub ladder_rung_stochastic: AtomicU64,
+    /// Rung-3 move proposals summed over all ladder runs.
+    pub ladder_refine_steps: AtomicU64,
+    /// Rung-2 block sub-problems solved exactly, summed over all
+    /// ladder runs.
+    pub ladder_dp_blocks: AtomicU64,
+    /// Latency of the ladder run itself (budget actually spent).
+    pub ladder_latency: LatencyHistogram,
     /// Latency of the exact optimization itself.
     pub optimize_latency: LatencyHistogram,
     /// End-to-end request latency (including queueing and cache waits).
@@ -147,6 +165,22 @@ impl Metrics {
         self.split_loop_iters.fetch_add(counters.loop_iters, Relaxed);
         self.subsets_pruned.fetch_add(counters.loops_skipped, Relaxed);
         self.optimize_latency.record(elapsed);
+    }
+
+    /// Fold one anytime-ladder run into the registry. `rung` is the
+    /// winning rung's index (0–3, see `blitz_ladder::Rung::index`).
+    pub fn record_ladder(&self, rung: u8, refine_steps: u64, dp_blocks: u64, elapsed: Duration) {
+        self.ladder_runs.fetch_add(1, Relaxed);
+        let winner = match rung {
+            0 => &self.ladder_rung_greedy,
+            1 => &self.ladder_rung_exact,
+            2 => &self.ladder_rung_hybrid_dp,
+            _ => &self.ladder_rung_stochastic,
+        };
+        winner.fetch_add(1, Relaxed);
+        self.ladder_refine_steps.fetch_add(refine_steps, Relaxed);
+        self.ladder_dp_blocks.fetch_add(dp_blocks, Relaxed);
+        self.ladder_latency.record(elapsed);
     }
 
     /// Point-in-time copy of every counter. `queue_depth` and
@@ -168,8 +202,16 @@ impl Metrics {
             subsets_pruned: self.subsets_pruned.load(Relaxed),
             table_pool_hits: self.table_pool_hits.load(Relaxed),
             table_pool_misses: self.table_pool_misses.load(Relaxed),
+            ladder_runs: self.ladder_runs.load(Relaxed),
+            ladder_rung_greedy: self.ladder_rung_greedy.load(Relaxed),
+            ladder_rung_exact: self.ladder_rung_exact.load(Relaxed),
+            ladder_rung_hybrid_dp: self.ladder_rung_hybrid_dp.load(Relaxed),
+            ladder_rung_stochastic: self.ladder_rung_stochastic.load(Relaxed),
+            ladder_refine_steps: self.ladder_refine_steps.load(Relaxed),
+            ladder_dp_blocks: self.ladder_dp_blocks.load(Relaxed),
             queue_depth: queue_depth as u64,
             cached_plans: cached_plans as u64,
+            ladder_latency: self.ladder_latency.snapshot(),
             optimize_latency: self.optimize_latency.snapshot(),
             request_latency: self.request_latency.snapshot(),
         }
@@ -207,10 +249,26 @@ pub struct MetricsSnapshot {
     pub table_pool_hits: u64,
     /// See [`Metrics::table_pool_misses`].
     pub table_pool_misses: u64,
+    /// See [`Metrics::ladder_runs`].
+    pub ladder_runs: u64,
+    /// See [`Metrics::ladder_rung_greedy`].
+    pub ladder_rung_greedy: u64,
+    /// See [`Metrics::ladder_rung_exact`].
+    pub ladder_rung_exact: u64,
+    /// See [`Metrics::ladder_rung_hybrid_dp`].
+    pub ladder_rung_hybrid_dp: u64,
+    /// See [`Metrics::ladder_rung_stochastic`].
+    pub ladder_rung_stochastic: u64,
+    /// See [`Metrics::ladder_refine_steps`].
+    pub ladder_refine_steps: u64,
+    /// See [`Metrics::ladder_dp_blocks`].
+    pub ladder_dp_blocks: u64,
     /// Jobs waiting in the worker queue at snapshot time.
     pub queue_depth: u64,
     /// Completed plans resident in the cache at snapshot time.
     pub cached_plans: u64,
+    /// See [`Metrics::ladder_latency`].
+    pub ladder_latency: HistogramSnapshot,
     /// See [`Metrics::optimize_latency`].
     pub optimize_latency: HistogramSnapshot,
     /// See [`Metrics::request_latency`].
@@ -225,8 +283,11 @@ impl MetricsSnapshot {
              optimizations={} fallback_over_limit={} fallback_queue_full={} \
              fallback_deadline={} threshold_passes={} split_loop_iters={} \
              subsets_pruned={} table_pool_hits={} table_pool_misses={} \
+             ladder_runs={} ladder_rung_greedy={} ladder_rung_exact={} \
+             ladder_rung_hybrid_dp={} ladder_rung_stochastic={} \
+             ladder_refine_steps={} ladder_dp_blocks={} \
              queue_depth={} cached_plans={} \
-             optimize_p50_us={} optimize_p99_us={} request_mean_us={:.0}",
+             ladder_p99_us={} optimize_p50_us={} optimize_p99_us={} request_mean_us={:.0}",
             self.requests,
             self.cache_hits,
             self.cache_misses,
@@ -241,8 +302,16 @@ impl MetricsSnapshot {
             self.subsets_pruned,
             self.table_pool_hits,
             self.table_pool_misses,
+            self.ladder_runs,
+            self.ladder_rung_greedy,
+            self.ladder_rung_exact,
+            self.ladder_rung_hybrid_dp,
+            self.ladder_rung_stochastic,
+            self.ladder_refine_steps,
+            self.ladder_dp_blocks,
             self.queue_depth,
             self.cached_plans,
+            self.ladder_latency.quantile_upper_micros(0.99),
             self.optimize_latency.quantile_upper_micros(0.5),
             self.optimize_latency.quantile_upper_micros(0.99),
             self.request_latency.mean_micros(),
@@ -272,6 +341,22 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "table pool:          {} hit / {} miss",
             self.table_pool_hits, self.table_pool_misses
+        )?;
+        writeln!(
+            f,
+            "ladder runs:         {} (won by {} greedy / {} exact / {} hybrid-dp / {} stochastic)",
+            self.ladder_runs,
+            self.ladder_rung_greedy,
+            self.ladder_rung_exact,
+            self.ladder_rung_hybrid_dp,
+            self.ladder_rung_stochastic
+        )?;
+        writeln!(
+            f,
+            "ladder budget:       {} refine steps, {} dp blocks, p99 ≤ {} µs",
+            self.ladder_refine_steps,
+            self.ladder_dp_blocks,
+            self.ladder_latency.quantile_upper_micros(0.99)
         )?;
         writeln!(f, "queue depth:         {}", self.queue_depth)?;
         writeln!(

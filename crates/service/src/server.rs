@@ -16,15 +16,24 @@
 //! expression contains spaces):
 //!
 //! ```text
-//! OK cost=2.410000e5 card=2.400000e4 passes=1 source=exact cache=miss \
-//!    micros=412 plan=((R0 x R1) x R2)
+//! OK cost=2.410000e5 card=2.400000e4 passes=1 source=exact \
+//!    source_detail=exact cache=miss micros=412 plan=((R0 x R1) x R2)
 //! ```
+//!
+//! Queries with more than `MAX_RELS` relations are accepted too: they
+//! bypass the cache and run the anytime ladder (when configured),
+//! whose responses add `rung= rung_reached= gap= gap_basis=
+//! greedy_cost= refine_steps= dp_blocks= ladder_micros=` before
+//! `plan=`.
 //!
 //! The server spawns one thread per connection — admission control
 //! lives in the service (bounded worker queue), not the listener.
 
-use crate::{CacheOutcome, ModelId, OptimizerService, PlanSource, Request, Response};
-use blitz_core::{JoinSpec, ThresholdSchedule};
+use crate::{
+    BigRequest, BigSpec, CacheOutcome, ModelId, OptimizerService, PlanSource, Request, Response,
+    Rung,
+};
+use blitz_core::{JoinSpec, ThresholdSchedule, MAX_RELS};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -272,7 +281,11 @@ pub fn handle_line(service: &OptimizerService, line: &str) -> String {
         "PING" => "OK pong".to_string(),
         "METRICS" => format!("OK {}", service.snapshot().to_line()),
         "OPTIMIZE" => match parse_optimize(rest) {
-            Ok(req) => match service.try_optimize(&req) {
+            Ok(WireRequest::Small(req)) => match service.try_optimize(&req) {
+                Ok(resp) => format_response(&resp),
+                Err(e) => format!("ERR {e}"),
+            },
+            Ok(WireRequest::Big(req)) => match service.try_optimize_big(&req) {
                 Ok(resp) => format_response(&resp),
                 Err(e) => format!("ERR {e}"),
             },
@@ -282,8 +295,20 @@ pub fn handle_line(service: &OptimizerService, line: &str) -> String {
     }
 }
 
-/// Parse the argument list of an `OPTIMIZE` line into a [`Request`].
-pub fn parse_optimize(args: &str) -> Result<Request, String> {
+/// A parsed `OPTIMIZE` line: queries that fit [`JoinSpec`]'s bit-set
+/// representation take the cached exact path, larger ones the
+/// cache-bypassing big path (anytime ladder or flagged greedy).
+#[derive(Clone, Debug)]
+pub enum WireRequest {
+    /// At most [`MAX_RELS`] relations — [`OptimizerService::optimize`].
+    Small(Request),
+    /// More than [`MAX_RELS`] relations —
+    /// [`OptimizerService::optimize_big`].
+    Big(BigRequest),
+}
+
+/// Parse the argument list of an `OPTIMIZE` line into a [`WireRequest`].
+pub fn parse_optimize(args: &str) -> Result<WireRequest, String> {
     let mut cards: Option<Vec<f64>> = None;
     let mut preds: Vec<(usize, usize, f64)> = Vec::new();
     let mut model = ModelId::Kappa0;
@@ -378,22 +403,56 @@ pub fn parse_optimize(args: &str) -> Result<Request, String> {
         }
     }
 
+    if cards.len() > MAX_RELS {
+        // Beyond the bit-set cap: the cached exact path can't represent
+        // the query, so it goes to the big path (ladder or flagged
+        // greedy). Threshold schedules only apply to the exact DP.
+        if schedule.is_some() {
+            return Err(format!(
+                "threshold= applies to the exact path only (queries over {MAX_RELS} relations)"
+            ));
+        }
+        let spec = BigSpec::new(&cards, &preds).map_err(|e| e.to_string())?;
+        return Ok(WireRequest::Big(BigRequest { spec, model, deadline }));
+    }
     let spec = JoinSpec::new(&cards, &preds).map_err(|e| e.to_string())?;
-    Ok(Request { spec, model, schedule, deadline })
+    Ok(WireRequest::Small(Request { spec, model, schedule, deadline }))
 }
 
-/// Render a [`Response`] as an `OK` protocol line.
+/// Render a [`Response`] as an `OK` protocol line. `source_detail=`
+/// carries the provenance detail alone (`queue_full` vs `deadline` for
+/// greedy fallbacks, the winning rung for ladder plans); ladder
+/// responses additionally report the rung reached, the optimality gap
+/// and its basis, and the budget spent, before the trailing `plan=`.
 pub fn format_response(resp: &Response) -> String {
-    format!(
-        "OK cost={:.6e} card={:.6e} passes={} source={} cache={} micros={} plan={}",
+    use std::fmt::Write as _;
+    let mut line = format!(
+        "OK cost={:.6e} card={:.6e} passes={} source={} source_detail={} cache={} micros={}",
         resp.cost,
         resp.card,
         resp.passes,
         resp.source.name(),
+        resp.source.detail(),
         resp.cache.name(),
         resp.elapsed.as_micros(),
-        resp.plan.to_expr(),
-    )
+    );
+    if let Some(info) = &resp.ladder {
+        let _ = write!(
+            line,
+            " rung={} rung_reached={} gap={:.6e} gap_basis={} greedy_cost={:.6e} \
+             refine_steps={} dp_blocks={} ladder_micros={}",
+            info.rung.name(),
+            info.rung_reached.name(),
+            info.gap,
+            info.gap_basis.name(),
+            info.greedy_cost,
+            info.refine_steps,
+            info.dp_blocks,
+            info.spent.as_micros(),
+        );
+    }
+    let _ = write!(line, " plan={}", resp.plan.to_expr());
+    line
 }
 
 /// Extract one `key=value` field from a response line; `plan` returns
@@ -488,6 +547,10 @@ pub fn response_outcomes(line: &str) -> Option<(PlanSource, CacheOutcome)> {
         "greedy_queue_full" => PlanSource::Greedy(QueueFull),
         "greedy_deadline" => PlanSource::Greedy(DeadlineExceeded),
         "greedy_abandoned" => PlanSource::Greedy(Abandoned),
+        "ladder_greedy" => PlanSource::Ladder(Rung::Greedy),
+        "ladder_exact" => PlanSource::Ladder(Rung::Exact),
+        "ladder_hybrid_dp" => PlanSource::Ladder(Rung::HybridDp),
+        "ladder_stochastic" => PlanSource::Ladder(Rung::Stochastic),
         _ => return None,
     };
     let cache = match response_field(line, "cache")? {
@@ -764,10 +827,35 @@ mod tests {
             ModelId::SortMerge,
             Some(Duration::from_millis(250)),
         );
-        let req = parse_optimize(line.strip_prefix("OPTIMIZE ").unwrap()).unwrap();
+        let req = match parse_optimize(line.strip_prefix("OPTIMIZE ").unwrap()).unwrap() {
+            WireRequest::Small(req) => req,
+            WireRequest::Big(req) => panic!("2-relation request parsed as big: {req:?}"),
+        };
         assert_eq!(req.spec.n(), 2);
         assert_eq!(req.model, ModelId::SortMerge);
         assert_eq!(req.deadline, Some(Duration::from_millis(250)));
+    }
+
+    /// A request over `MAX_RELS` relations parses to the big path and
+    /// round-trips through the service (greedy-flagged here — no ladder
+    /// configured), instead of dying with a spec error at the boundary.
+    #[test]
+    fn oversized_request_takes_the_big_path() {
+        let n = MAX_RELS + 9;
+        let cards: Vec<f64> = (0..n).map(|i| 10.0 + i as f64).collect();
+        let preds: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 0.01)).collect();
+        let line = format_optimize_request(&cards, &preds, ModelId::Kappa0, None);
+        let parsed = parse_optimize(line.strip_prefix("OPTIMIZE ").unwrap()).unwrap();
+        assert!(matches!(parsed, WireRequest::Big(ref req) if req.spec.n() == n), "{parsed:?}");
+        let s = service();
+        let resp = handle_line(&s, &line);
+        assert!(resp.starts_with("OK "), "{resp}");
+        assert_eq!(response_field(&resp, "source"), Some("greedy_over_limit"));
+        assert_eq!(response_field(&resp, "source_detail"), Some("over_limit"));
+        assert_eq!(response_field(&resp, "cache"), Some("bypass"));
+        // Threshold schedules are an exact-path knob.
+        let with_threshold = format!("{line} threshold=100");
+        assert!(handle_line(&s, &with_threshold).starts_with("ERR "));
     }
 
     #[test]

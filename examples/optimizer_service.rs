@@ -56,7 +56,7 @@ fn main() {
                     let resp = service.optimize(req);
                     match resp.source {
                         PlanSource::Exact => exact += 1,
-                        PlanSource::Greedy(_) => greedy += 1,
+                        PlanSource::Greedy(_) | PlanSource::Ladder(_) => greedy += 1,
                     }
                 }
                 (exact, greedy)

@@ -4,24 +4,36 @@
 //! blitzsplit optimize --cards 10,20,30,40 --pred 0:1:0.1 --pred 0:2:0.2 \
 //!                     [--model k0|sm|dnl|smdnl] [--threshold 1e9] [--threads N] \
 //!                     [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] [--dot]
+//! blitzsplit optimize --ladder --cards ... [--pred i:j:sel]... [--budget-ms N] \
+//!                     [--refine-steps N] [--dp-window K] [--dp-rounds R] [--seed S]
 //! blitzsplit sql "SELECT * FROM sales s, customer c WHERE s.custkey = c.custkey"
 //! blitzsplit workload --topology chain|cycle3|star|clique --n 15 --mu 100 --var 0.5 [--time]
 //! blitzsplit serve  [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--max-rels N] \
-//!                   [--threads N] [--layout aos|soa|hotcold] [--kernel scalar|batched|simd]
+//!                   [--threads N] [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] \
+//!                   [--ladder] [--budget-ms N] [--refine-steps N] [--dp-window K] \
+//!                   [--dp-rounds R] [--seed S]
 //! blitzsplit client --addr HOST:PORT --cards 10,20,30 [--pred i:j:sel]... [--model ...]
 //! blitzsplit client --addr HOST:PORT --metrics
 //! ```
 //!
-//! `optimize` takes an explicit problem; `sql` parses against the built-in
-//! demo retail catalog; `workload` generates a paper-Appendix benchmark
+//! `optimize` takes an explicit problem; with `--ladder` it runs the
+//! anytime optimality ladder (exact → block DP → stochastic under a
+//! budget, any size up to 128 relations) and reports the rung reached
+//! and the optimality gap. `sql` parses against the built-in demo
+//! retail catalog; `workload` generates a paper-Appendix benchmark
 //! point and optionally times its optimization; `serve` runs the
 //! concurrent optimizer service (plan cache, worker pool, admission
-//! control, metrics) on a TCP line protocol, and `client` talks to it.
+//! control, metrics — with `--ladder`, over-limit queries are served by
+//! the ladder instead of degrading to greedy) on a TCP line protocol,
+//! and `client` talks to it.
 
 use blitzsplit::catalog::{demo_retail_catalog, parse_query, Topology, Workload};
-use blitzsplit::core::CostModel;
+use blitzsplit::core::{CostModel, MAX_RELS};
+use blitzsplit::ladder::{optimize_ladder, BigSpec, LadderConfig};
 use blitzsplit::service::server::{format_optimize_request, response_field};
-use blitzsplit::service::{Client, ModelId, OptimizerService, Server, ServiceConfig};
+use blitzsplit::service::{
+    Client, LadderSettings, ModelId, OptimizerService, Server, ServiceConfig,
+};
 use blitzsplit::{
     optimize_join_threshold_with, optimize_join_with, DiskNestedLoops, DriveOptions, JoinSpec,
     Kappa0, KernelChoice, LayoutChoice, SmDnl, SortMerge, ThresholdSchedule,
@@ -36,12 +48,16 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!("  blitzsplit optimize --cards C1,C2,... [--pred i:j:sel]... \\");
     eprintln!("             [--model k0|sm|dnl|smdnl] [--threshold T] [--threads N] \\");
     eprintln!("             [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] [--dot]");
+    eprintln!("  blitzsplit optimize --ladder --cards C1,C2,... [--pred i:j:sel]... \\");
+    eprintln!("             [--model ...] [--budget-ms N] [--refine-steps N] \\");
+    eprintln!("             [--dp-window K] [--dp-rounds R] [--seed S] [--max-rels N]");
     eprintln!("  blitzsplit sql \"SELECT ...\" [--model ...] [--dot]");
     eprintln!("  blitzsplit workload --topology chain|cycle3|star|clique \\");
     eprintln!("             --n N [--mu M] [--var V] [--model ...] [--threads N] [--time]");
     eprintln!("  blitzsplit serve [--addr 127.0.0.1:7878] [--workers N] [--cache N] \\");
     eprintln!("             [--max-rels N] [--threads N] [--layout aos|soa|hotcold] \\");
-    eprintln!("             [--kernel scalar|batched|simd]");
+    eprintln!("             [--kernel scalar|batched|simd] [--ladder] [--budget-ms N] \\");
+    eprintln!("             [--refine-steps N] [--dp-window K] [--dp-rounds R] [--seed S]");
     eprintln!("  blitzsplit client --addr HOST:PORT (--metrics | --cards C1,C2,... \\");
     eprintln!("             [--pred i:j:sel]... [--model ...] [--deadline-ms N])");
     ExitCode::FAILURE
@@ -62,7 +78,7 @@ impl Args {
             let arg = &argv[i];
             if let Some(key) = arg.strip_prefix("--") {
                 // Switches take no value.
-                if matches!(key, "dot" | "time" | "metrics") {
+                if matches!(key, "dot" | "time" | "metrics" | "ladder") {
                     a.switches.push(key.to_string());
                     i += 1;
                 } else if i + 1 < argv.len() {
@@ -161,6 +177,95 @@ fn report<M: CostModel + Sync>(
     ExitCode::SUCCESS
 }
 
+fn ladder_report<M: CostModel + Sync>(
+    spec: &BigSpec,
+    model: &M,
+    cfg: &LadderConfig,
+    dot: bool,
+) -> ExitCode {
+    let report = optimize_ladder(spec, model, cfg);
+    println!("model:          {}", model.name());
+    println!("relations:      {}", spec.n());
+    println!("predicates:     {}", spec.edge_count());
+    println!("plan:           {}", report.plan);
+    println!("cost:           {:.6e}", report.cost);
+    println!("result rows:    {:.6e}", report.card);
+    println!("rung:           {} (reached {})", report.rung.name(), report.rung_reached.name());
+    println!("gap:            {:+.4e} vs {}", report.gap, report.gap_basis.name());
+    println!("greedy cost:    {:.6e}", report.greedy_cost);
+    println!(
+        "budget spent:   {} refine steps, {} dp blocks, {:?}",
+        report.spent.refine_steps, report.spent.dp_blocks, report.spent.elapsed
+    );
+    if dot {
+        if spec.n() <= MAX_RELS {
+            println!("\n{}", report.plan.to_dot());
+        } else {
+            eprintln!("note: --dot is unavailable beyond {MAX_RELS} relations");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn with_ladder_model(
+    name: &str,
+    spec: &BigSpec,
+    cfg: &LadderConfig,
+    dot: bool,
+) -> Result<ExitCode, String> {
+    match name {
+        "k0" => Ok(ladder_report(spec, &Kappa0, cfg, dot)),
+        "sm" => Ok(ladder_report(spec, &SortMerge, cfg, dot)),
+        "dnl" => Ok(ladder_report(spec, &DiskNestedLoops::default(), cfg, dot)),
+        "smdnl" => Ok(ladder_report(spec, &SmDnl::default(), cfg, dot)),
+        other => Err(format!("unknown cost model {other:?} (expected k0|sm|dnl|smdnl)")),
+    }
+}
+
+/// Parse the ladder budget flags shared by `optimize --ladder` and
+/// `serve --ladder` into one config; `None` on a malformed flag (the
+/// caller reports which).
+fn parse_ladder_flags(args: &Args) -> Result<LadderConfig, String> {
+    let mut cfg = LadderConfig::default();
+    if let Some(b) = args.get("budget-ms") {
+        match b.parse::<u64>() {
+            Ok(ms) => cfg.wall_clock = Some(std::time::Duration::from_millis(ms)),
+            Err(_) => return Err("--budget-ms must be an integer".to_string()),
+        }
+    }
+    if let Some(r) = args.get("refine-steps") {
+        match r.parse::<u64>() {
+            Ok(r) => cfg.refine_steps = r,
+            Err(_) => return Err("--refine-steps must be a non-negative integer".to_string()),
+        }
+    }
+    if let Some(w) = args.get("dp-window") {
+        match w.parse::<usize>() {
+            Ok(w) if w >= 2 => cfg.dp_window = w,
+            _ => return Err("--dp-window must be an integer ≥ 2".to_string()),
+        }
+    }
+    if let Some(r) = args.get("dp-rounds") {
+        match r.parse::<usize>() {
+            Ok(r) => cfg.dp_rounds = r,
+            Err(_) => return Err("--dp-rounds must be a non-negative integer".to_string()),
+        }
+    }
+    if let Some(s) = args.get("seed") {
+        match s.parse::<u64>() {
+            Ok(s) => cfg.seed = s,
+            Err(_) => return Err("--seed must be an integer".to_string()),
+        }
+    }
+    if let Some(m) = args.get("max-rels") {
+        match m.parse::<usize>() {
+            Ok(m) if m >= 1 => cfg.max_exact_rels = m,
+            _ => return Err("--max-rels must be a positive integer".to_string()),
+        }
+    }
+    Ok(cfg)
+}
+
 fn with_model(
     name: &str,
     spec: &JoinSpec,
@@ -228,6 +333,17 @@ fn main() -> ExitCode {
                 Ok(p) => p,
                 Err(e) => return fail(&e),
             };
+            if args.has("ladder") {
+                let spec = match BigSpec::new(&cards, &preds) {
+                    Ok(s) => s,
+                    Err(e) => return fail(&e.to_string()),
+                };
+                let cfg = match parse_ladder_flags(&args) {
+                    Ok(c) => c,
+                    Err(e) => return fail(&e),
+                };
+                return with_ladder_model(&model, &spec, &cfg, dot).unwrap_or_else(|e| fail(&e));
+            }
             let spec = match JoinSpec::new(&cards, &preds) {
                 Ok(s) => s,
                 Err(e) => return fail(&e.to_string()),
@@ -312,6 +428,19 @@ fn main() -> ExitCode {
             if let Some(k) = kernel {
                 config.kernel = k;
             }
+            if args.has("ladder") {
+                let lc = match parse_ladder_flags(&args) {
+                    Ok(c) => c,
+                    Err(e) => return fail(&e),
+                };
+                config.ladder = Some(LadderSettings {
+                    dp_window: lc.dp_window,
+                    dp_rounds: lc.dp_rounds,
+                    refine_steps: lc.refine_steps,
+                    seed: lc.seed,
+                    budget: lc.wall_clock.or(LadderSettings::default().budget),
+                });
+            }
             let service = Arc::new(OptimizerService::new(config));
             let server = match Server::bind(addr.as_str(), service) {
                 Ok(s) => s,
@@ -378,6 +507,7 @@ fn main() -> ExitCode {
                 ("cost:          ", "cost"),
                 ("result rows:   ", "card"),
                 ("source:        ", "source"),
+                ("source detail: ", "source_detail"),
                 ("cache:         ", "cache"),
                 ("passes:        ", "passes"),
                 ("server micros: ", "micros"),
@@ -385,6 +515,21 @@ fn main() -> ExitCode {
                 match response_field(&resp, key) {
                     Some(value) => println!("{label} {value}"),
                     None => return fail(&format!("malformed server response: {resp}")),
+                }
+            }
+            // Ladder provenance, when the server ran the anytime ladder.
+            for (label, key) in [
+                ("rung:          ", "rung"),
+                ("rung reached:  ", "rung_reached"),
+                ("gap:           ", "gap"),
+                ("gap basis:     ", "gap_basis"),
+                ("greedy cost:   ", "greedy_cost"),
+                ("refine steps:  ", "refine_steps"),
+                ("dp blocks:     ", "dp_blocks"),
+                ("ladder micros: ", "ladder_micros"),
+            ] {
+                if let Some(value) = response_field(&resp, key) {
+                    println!("{label} {value}");
                 }
             }
             ExitCode::SUCCESS

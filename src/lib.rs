@@ -12,6 +12,10 @@
 //!   greedy and stochastic comparison optimizers;
 //! * [`exec`] (`blitz-exec`) — an in-memory execution engine that runs
 //!   optimized plans over synthetic data;
+//! * [`ladder`] (`blitz-ladder`) — the anytime optimality ladder: exact
+//!   DP, IKKBZ-seeded block DP, and stochastic refinement under a shared
+//!   budget, serving every query size up to `n = 100` with a reported
+//!   optimality gap;
 //! * [`service`] (`blitz-service`) — a concurrent optimizer service:
 //!   fingerprint-keyed plan cache with single-flight deduplication, a
 //!   bounded worker pool with admission control and greedy degradation,
@@ -43,6 +47,9 @@ pub use blitz_baselines as baselines;
 
 /// The execution engine (`blitz-exec`).
 pub use blitz_exec as exec;
+
+/// The anytime optimality ladder (`blitz-ladder`).
+pub use blitz_ladder as ladder;
 
 /// The concurrent optimizer service (`blitz-service`).
 pub use blitz_service as service;

@@ -1,12 +1,13 @@
 //! Integration tests for the concurrent optimizer service: single-flight
-//! deduplication, admission-control fallbacks, relabeling-invariant cache
-//! hits, and the TCP frontend (library and CLI).
+//! deduplication, admission-control fallbacks, the anytime-ladder path
+//! for over-limit queries, relabeling-invariant cache hits, and the TCP
+//! frontend (library and CLI).
 
 use blitzsplit::catalog::{Topology, Workload};
-use blitzsplit::service::server::response_field;
+use blitzsplit::service::server::{format_optimize_request, handle_line, response_field};
 use blitzsplit::service::{
-    CacheOutcome, Client, FallbackReason, ModelId, OptimizerService, PlanSource, Request, Server,
-    ServiceConfig,
+    CacheOutcome, Client, FallbackReason, LadderSettings, ModelId, OptimizerService, PlanSource,
+    Request, Server, ServiceConfig,
 };
 use blitzsplit::{optimize_join, JoinSpec, Kappa0};
 use std::sync::{Arc, Barrier};
@@ -171,6 +172,98 @@ fn per_model_cache_entries_do_not_collide() {
     assert_eq!(k0.cache, CacheOutcome::Miss);
     assert_eq!(sm.cache, CacheOutcome::Miss, "different model must be a distinct cache entry");
     assert_eq!(service.snapshot().optimizations, 2);
+}
+
+/// Regression (the `source_detail` satellite): a wire client must be
+/// able to tell a queue-full greedy fallback from a deadline one without
+/// scraping metrics. Both detail strings ride a dedicated field.
+#[test]
+fn source_detail_distinguishes_queue_full_from_deadline_on_the_wire() {
+    // Queue full: capacity 0 makes every fresh miss degrade.
+    let full = OptimizerService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    let resp = handle_line(&full, "OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05");
+    assert!(resp.starts_with("OK "), "{resp}");
+    assert_eq!(response_field(&resp, "source"), Some("greedy_queue_full"));
+    assert_eq!(response_field(&resp, "source_detail"), Some("queue_full"));
+
+    // Deadline: a heavy query with a zero deadline degrades while the
+    // optimization keeps running on the worker.
+    let slow = OptimizerService::new(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let spec = heavy_spec();
+    let cards = spec.cards().to_vec();
+    let preds: Vec<(usize, usize, f64)> = spec.edges().collect();
+    let line = format_optimize_request(&cards, &preds, ModelId::Kappa0, Some(Duration::ZERO));
+    let resp = handle_line(&slow, &line);
+    assert!(resp.starts_with("OK "), "{resp}");
+    assert_eq!(response_field(&resp, "source"), Some("greedy_deadline"));
+    assert_eq!(response_field(&resp, "source_detail"), Some("deadline"));
+
+    // The exact path names itself too.
+    let resp = handle_line(&slow, "OPTIMIZE cards=10,20 preds=0:1:0.5");
+    assert_eq!(response_field(&resp, "source_detail"), Some("exact"));
+}
+
+/// The acceptance criterion: a ladder-configured service answers a
+/// 100-relation request within its deadline with a plan that is *not*
+/// flagged as a bare greedy fallback, and reports the rung reached, the
+/// budget spent, and the achieved optimality gap on the wire.
+#[test]
+fn ladder_serves_hundred_relation_requests_on_the_wire() {
+    let deadline = Duration::from_secs(30);
+    let service = OptimizerService::new(ServiceConfig {
+        workers: 1,
+        ladder: Some(LadderSettings {
+            refine_steps: 4_000,
+            budget: Some(Duration::from_secs(5)),
+            ..LadderSettings::default()
+        }),
+        ..ServiceConfig::default()
+    });
+    let n = 100;
+    let cards: Vec<f64> = (0..n).map(|i| 10.0 + i as f64).collect();
+    let preds: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 0.01)).collect();
+    let line = format_optimize_request(&cards, &preds, ModelId::Kappa0, Some(deadline));
+
+    let start = std::time::Instant::now();
+    let resp = handle_line(&service, &line);
+    let elapsed = start.elapsed();
+    assert!(elapsed < deadline, "answer took {elapsed:?}, over the {deadline:?} deadline");
+
+    assert!(resp.starts_with("OK "), "{resp}");
+    let source = response_field(&resp, "source").unwrap();
+    assert!(source.starts_with("ladder_"), "expected ladder provenance, got {source}");
+    assert!(!source.starts_with("greedy_"), "100-relation plan must not be greedy-flagged");
+    assert_eq!(response_field(&resp, "cache"), Some("bypass"));
+
+    // Full provenance on the wire: rung reached, gap + basis, budget.
+    let rung = response_field(&resp, "rung").unwrap();
+    assert!(["greedy", "exact", "hybrid_dp", "stochastic"].contains(&rung), "{rung}");
+    let reached = response_field(&resp, "rung_reached").unwrap();
+    assert_eq!(reached, "stochastic", "all rungs should run at n=100");
+    assert_eq!(response_field(&resp, "gap_basis"), Some("greedy"));
+    let gap: f32 = response_field(&resp, "gap").unwrap().parse().unwrap();
+    assert!(gap <= 0.0, "greedy-basis gap must be ≤ 0, got {gap}");
+    let cost: f32 = response_field(&resp, "cost").unwrap().parse().unwrap();
+    let greedy_cost: f32 = response_field(&resp, "greedy_cost").unwrap().parse().unwrap();
+    assert!(cost <= greedy_cost, "ladder cost {cost} worse than greedy {greedy_cost}");
+    let _: u64 = response_field(&resp, "refine_steps").unwrap().parse().unwrap();
+    let _: u64 = response_field(&resp, "dp_blocks").unwrap().parse().unwrap();
+    let ladder_us: u64 = response_field(&resp, "ladder_micros").unwrap().parse().unwrap();
+    assert!(ladder_us as u128 <= deadline.as_micros());
+
+    // The plan really spans all 100 relations.
+    let plan = response_field(&resp, "plan").unwrap();
+    assert!(plan.contains("R0 ") || plan.contains("R0)"), "{plan}");
+    assert!(plan.contains("R99"), "{plan}");
+
+    // Metrics surfaced the run.
+    let snap = service.snapshot();
+    assert_eq!(snap.ladder_runs, 1);
+    assert_eq!(snap.fallback_over_limit, 0);
 }
 
 #[test]
