@@ -241,11 +241,18 @@ pub fn optimize_join_with<M: CostModel + Sync>(
             &mut stats,
         );
         let full = spec.all_rels();
-        Optimized {
-            plan: Plan::extract(&table, full),
-            cost: table.cost(full),
-            card: table.card(full),
-        }
+        let cost = table.cost(full);
+        // A spec whose every join order overflows the f32 cost scale
+        // leaves the table without a ranked split: `inf < inf` never
+        // updates a row, so `best_lhs` stays empty and extraction would
+        // panic. All plans cost the same infinity then, so degrade to
+        // the canonical left-deep order instead of crashing the caller.
+        let plan = if cost.is_finite() || full.is_singleton() {
+            Plan::extract(&table, full)
+        } else {
+            (1..spec.n()).fold(Plan::scan(0), |acc, r| Plan::join(acc, Plan::scan(r)))
+        };
+        Optimized { plan, cost, card: table.card(full) }
     }
     Ok(match options.layout {
         LayoutChoice::Aos => run::<AosTable, M>(spec, model, options),
@@ -258,6 +265,20 @@ pub fn optimize_join_with<M: CostModel + Sync>(
 mod tests {
     use super::*;
     use crate::cost::{DiskNestedLoops, Kappa0, SmDnl, SortMerge};
+
+    /// Regression: cardinalities big enough that every plan costs
+    /// `f32::INFINITY` used to panic in plan extraction (no row ever
+    /// beat the `inf` initializer, so no split was recorded). The
+    /// optimizer must return a complete (left-deep) plan instead.
+    #[test]
+    fn all_overflowing_costs_yield_a_plan_instead_of_panicking() {
+        let spec =
+            JoinSpec::new(&[1e30, 1e30, 1e30, 1e30], &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)])
+                .unwrap();
+        let opt = optimize_join(&spec, &Kappa0).unwrap();
+        assert!(opt.cost.is_infinite(), "{}", opt.cost);
+        assert_eq!(opt.plan.rel_set(), spec.all_rels(), "plan must still cover every relation");
+    }
     use crate::stats::Counters;
     use crate::table::SoaTable;
 

@@ -564,7 +564,7 @@ pub fn optimize_ladder<M: CostModel + Sync>(
     }
 
     let (card, _) = spec.plan_cost(&best, model);
-    let gap = if greedy_cost > 0.0 { best_cost / greedy_cost - 1.0 } else { 0.0 };
+    let gap = finite_gap(best_cost, greedy_cost);
     spent.elapsed = start.elapsed();
     LadderReport {
         plan: best,
@@ -580,6 +580,38 @@ pub fn optimize_ladder<M: CostModel + Sync>(
     }
 }
 
+/// The greedy-basis gap `best / basis − 1`, guaranteed finite.
+///
+/// Overflowing cost models routinely drive both the ladder's best cost
+/// and its greedy basis to `f32::INFINITY`; the raw ratio is then
+/// `inf / inf = NaN`, which would leak a non-numeric `gap=` token onto
+/// the wire (and poison any client arithmetic on it). The clamp policy:
+///
+/// * a basis that is not strictly positive (zero, negative, or NaN)
+///   reports `0` — there is no meaningful ratio to take;
+/// * equal costs report `0`, *including* `inf == inf` — the ladder did
+///   not move off the greedy seed, so the gap is zero by definition;
+/// * a finite best against an infinite basis reports `-1`, the maximal
+///   improvement the ratio scale can express;
+/// * an infinite best over a finite basis clamps to `f32::MAX` instead
+///   of `+inf`.
+fn finite_gap(best_cost: f32, basis: f32) -> f32 {
+    if basis.is_nan() || basis <= 0.0 {
+        return 0.0;
+    }
+    if best_cost == basis {
+        return 0.0;
+    }
+    let raw = best_cost / basis - 1.0;
+    if raw.is_finite() {
+        raw
+    } else if best_cost < basis {
+        -1.0
+    } else {
+        f32::MAX
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,6 +621,29 @@ mod tests {
         let cards: Vec<f64> = (0..n).map(|i| 10.0 * (i + 1) as f64).collect();
         let preds: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 0.05)).collect();
         BigSpec::new(&cards, &preds).unwrap()
+    }
+
+    /// Regression: `inf / inf` used to leak NaN into `LadderReport::gap`
+    /// when a cost-model overflow drove both the best and greedy costs
+    /// to infinity. Every clamp branch must yield a finite number.
+    #[test]
+    fn finite_gap_never_returns_non_finite() {
+        const INF: f32 = f32::INFINITY;
+        // The ordinary case passes through untouched.
+        assert_eq!(finite_gap(90.0, 100.0), 90.0 / 100.0 - 1.0);
+        // Both infinite: the ladder never moved off greedy — gap 0.
+        assert_eq!(finite_gap(INF, INF), 0.0);
+        // Finite best, infinite basis: maximal expressible improvement.
+        assert_eq!(finite_gap(1.0e30, INF), -1.0);
+        // Infinite best over a finite basis clamps instead of +inf.
+        assert_eq!(finite_gap(INF, 1.0), f32::MAX);
+        // Degenerate bases report no gap at all.
+        assert_eq!(finite_gap(5.0, 0.0), 0.0);
+        assert_eq!(finite_gap(5.0, -1.0), 0.0);
+        assert_eq!(finite_gap(5.0, f32::NAN), 0.0);
+        // Overflow of the *ratio itself* (huge best over tiny basis)
+        // still comes back finite.
+        assert!(finite_gap(f32::MAX, f32::MIN_POSITIVE).is_finite());
     }
 
     #[test]

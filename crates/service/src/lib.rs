@@ -24,9 +24,12 @@
 //! than failing. Every path is visible in the metrics.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cache;
 pub mod metrics;
+#[cfg(unix)]
+pub mod net;
 pub mod pool;
 pub mod server;
 mod sync;
@@ -36,7 +39,7 @@ pub use blitz_ladder::{BigSpec, GapBasis, LadderConfig, LadderReport, Rung};
 pub use cache::{ComputedPlan, Lookup, PlanCache, Reservation, Slot};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pool::WorkerPool;
-pub use server::{Client, Server, ServerOptions};
+pub use server::{Client, Frontend, Server, ServerOptions};
 pub use tables::{AnyTable, PoolSlot, TablePool};
 
 use blitz_baselines::goo;
@@ -465,7 +468,17 @@ impl OptimizerService {
 
     /// Point-in-time metrics, including queue-depth and cache gauges.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.pool.depth(), self.cache.len())
+        let mut snap = self.metrics.snapshot(self.pool.depth(), self.cache.len());
+        snap.pool_steals = self.pool.steals();
+        snap
+    }
+
+    /// The live metrics registry. Frontends record connection-level
+    /// events (accepts, refusals, transient accept errors, batches)
+    /// here; tests read it to assert on behavior without scraping the
+    /// wire.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     /// [`optimize`](OptimizerService::optimize) with service-boundary

@@ -149,6 +149,25 @@ pub struct Metrics {
     /// Rung-2 block sub-problems solved exactly, summed over all
     /// ladder runs.
     pub ladder_dp_blocks: AtomicU64,
+    /// Connections the frontend accepted and began serving.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused at the capacity cap (answered `ERR server at
+    /// connection capacity`, best effort, and closed).
+    pub connections_refused: AtomicU64,
+    /// Transient accept-path errors (EMFILE/ENFILE/ECONNABORTED/…)
+    /// absorbed by the frontend instead of killing the listener.
+    pub accept_transient_errors: AtomicU64,
+    /// Gauge: connections currently being served (accepted minus
+    /// closed). Maintained by both frontends.
+    pub live_connections: AtomicU64,
+    /// Request batches the readiness-loop frontend dispatched to its
+    /// protocol workers (one batch groups the lines a connection had
+    /// pending at dispatch time).
+    pub frontend_batches: AtomicU64,
+    /// Protocol lines carried by those batches. `frontend_batch_lines /
+    /// frontend_batches` is the amortization factor pipelined clients
+    /// achieve.
+    pub frontend_batch_lines: AtomicU64,
     /// Latency of the ladder run itself (budget actually spent).
     pub ladder_latency: LatencyHistogram,
     /// Latency of the exact optimization itself.
@@ -209,6 +228,13 @@ impl Metrics {
             ladder_rung_stochastic: self.ladder_rung_stochastic.load(Relaxed),
             ladder_refine_steps: self.ladder_refine_steps.load(Relaxed),
             ladder_dp_blocks: self.ladder_dp_blocks.load(Relaxed),
+            connections_accepted: self.connections_accepted.load(Relaxed),
+            connections_refused: self.connections_refused.load(Relaxed),
+            accept_transient_errors: self.accept_transient_errors.load(Relaxed),
+            live_connections: self.live_connections.load(Relaxed),
+            frontend_batches: self.frontend_batches.load(Relaxed),
+            frontend_batch_lines: self.frontend_batch_lines.load(Relaxed),
+            pool_steals: 0,
             queue_depth: queue_depth as u64,
             cached_plans: cached_plans as u64,
             ladder_latency: self.ladder_latency.snapshot(),
@@ -263,6 +289,22 @@ pub struct MetricsSnapshot {
     pub ladder_refine_steps: u64,
     /// See [`Metrics::ladder_dp_blocks`].
     pub ladder_dp_blocks: u64,
+    /// See [`Metrics::connections_accepted`].
+    pub connections_accepted: u64,
+    /// See [`Metrics::connections_refused`].
+    pub connections_refused: u64,
+    /// See [`Metrics::accept_transient_errors`].
+    pub accept_transient_errors: u64,
+    /// See [`Metrics::live_connections`] (gauge at snapshot time).
+    pub live_connections: u64,
+    /// See [`Metrics::frontend_batches`].
+    pub frontend_batches: u64,
+    /// See [`Metrics::frontend_batch_lines`].
+    pub frontend_batch_lines: u64,
+    /// Jobs a worker-pool thread took from a sibling's queue shard.
+    /// Owned by the pool, not the registry; the service fills it in
+    /// after [`Metrics::snapshot`] the same way as the gauges.
+    pub pool_steals: u64,
     /// Jobs waiting in the worker queue at snapshot time.
     pub queue_depth: u64,
     /// Completed plans resident in the cache at snapshot time.
@@ -286,7 +328,9 @@ impl MetricsSnapshot {
              ladder_runs={} ladder_rung_greedy={} ladder_rung_exact={} \
              ladder_rung_hybrid_dp={} ladder_rung_stochastic={} \
              ladder_refine_steps={} ladder_dp_blocks={} \
-             queue_depth={} cached_plans={} \
+             connections_accepted={} connections_refused={} accept_transient_errors={} \
+             live_connections={} frontend_batches={} frontend_batch_lines={} \
+             pool_steals={} queue_depth={} cached_plans={} \
              ladder_p99_us={} optimize_p50_us={} optimize_p99_us={} request_mean_us={:.0}",
             self.requests,
             self.cache_hits,
@@ -309,6 +353,13 @@ impl MetricsSnapshot {
             self.ladder_rung_stochastic,
             self.ladder_refine_steps,
             self.ladder_dp_blocks,
+            self.connections_accepted,
+            self.connections_refused,
+            self.accept_transient_errors,
+            self.live_connections,
+            self.frontend_batches,
+            self.frontend_batch_lines,
+            self.pool_steals,
             self.queue_depth,
             self.cached_plans,
             self.ladder_latency.quantile_upper_micros(0.99),
@@ -358,6 +409,20 @@ impl std::fmt::Display for MetricsSnapshot {
             self.ladder_dp_blocks,
             self.ladder_latency.quantile_upper_micros(0.99)
         )?;
+        writeln!(
+            f,
+            "connections:         {} accepted / {} refused / {} live ({} transient accept errors)",
+            self.connections_accepted,
+            self.connections_refused,
+            self.live_connections,
+            self.accept_transient_errors
+        )?;
+        writeln!(
+            f,
+            "frontend batches:    {} ({} lines)",
+            self.frontend_batches, self.frontend_batch_lines
+        )?;
+        writeln!(f, "pool steals:         {}", self.pool_steals)?;
         writeln!(f, "queue depth:         {}", self.queue_depth)?;
         writeln!(
             f,
@@ -424,5 +489,33 @@ mod tests {
         assert_eq!(s.optimize_latency.count, 2);
         assert!(s.to_line().contains("optimizations=2"));
         assert!(format!("{s}").contains("exact optimizations: 2"));
+    }
+
+    #[test]
+    fn frontend_counters_reach_the_wire_line() {
+        let m = Metrics::default();
+        m.connections_accepted.fetch_add(5, Relaxed);
+        m.connections_refused.fetch_add(2, Relaxed);
+        m.accept_transient_errors.fetch_add(3, Relaxed);
+        m.live_connections.fetch_add(4, Relaxed);
+        m.frontend_batches.fetch_add(6, Relaxed);
+        m.frontend_batch_lines.fetch_add(9, Relaxed);
+        let mut s = m.snapshot(0, 0);
+        s.pool_steals = 7;
+        let line = s.to_line();
+        for field in [
+            "connections_accepted=5",
+            "connections_refused=2",
+            "accept_transient_errors=3",
+            "live_connections=4",
+            "frontend_batches=6",
+            "frontend_batch_lines=9",
+            "pool_steals=7",
+        ] {
+            assert!(line.contains(field), "{field} missing from {line}");
+        }
+        assert!(line.starts_with("requests=0 "), "{line}");
+        let pretty = format!("{s}");
+        assert!(pretty.contains("5 accepted / 2 refused / 4 live"), "{pretty}");
     }
 }

@@ -1,0 +1,558 @@
+//! The readiness-loop frontend: every connection multiplexed on one
+//! event loop over a [`Poller`](crate::net::Poller).
+//!
+//! ## Architecture
+//!
+//! One thread owns the poller, the nonblocking listener, and every
+//! connection's state machine. Protocol work (parsing + optimization)
+//! never runs on that thread for remote clients: complete request
+//! lines are grouped into per-connection *batches* and dispatched to a
+//! sharded [`WorkerPool`]; finished batches come back through a
+//! completion queue plus a [`Waker`](crate::net::Waker) nudge. At most
+//! one batch per connection is in flight, so responses stay in request
+//! order and a pipelining client amortizes dispatch overhead across up
+//! to [`BATCH_MAX`] lines per hop.
+//!
+//! ## Accept-error policy
+//!
+//! Accept results are classified by
+//! [`is_transient_accept_error`](crate::server::is_transient_accept_error):
+//! transient failures (fd exhaustion, aborted handshakes, signal
+//! interruptions) are counted in the metrics and the listener is
+//! *paused* — deregistered from the poller for a doubling backoff
+//! (1 ms … 100 ms), so a level-triggered poller does not busy-spin on
+//! a listener it cannot drain — then resumed. Only an unrecoverable
+//! listener error exits the loop. At the connection cap, accepts are
+//! answered `ERR server at connection capacity` with a single
+//! nonblocking write and closed, never stalling the acceptor.
+//!
+//! ## Resource limits
+//!
+//! The same contract as the threads frontend, enforced by the loop's
+//! timer sweep instead of socket timeouts: `max_line_bytes` bounds the
+//! per-connection read buffer, `read_timeout` reaps connections with
+//! no bytes arriving, and `request_deadline` bounds how long a request
+//! line may take to complete — so a slow-loris client trickling bytes
+//! cannot hold a slot past the deadline. Timers only run while a
+//! connection is *waiting for the client*; a connection whose batch is
+//! being optimized or whose response is still flushing is never reaped
+//! for the server's own latency.
+
+use crate::net::{Event, Interest, Poller, WakeHandle, Waker};
+use crate::pool::WorkerPool;
+use crate::server::{
+    handle_line, is_transient_accept_error, refuse_connection, Server, ServerOptions,
+    ACCEPT_BACKOFF_MAX, ACCEPT_BACKOFF_MIN,
+};
+use crate::sync;
+use crate::OptimizerService;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Reserved poller token for the listener.
+const LISTENER: usize = 0;
+/// Reserved poller token for the waker.
+const WAKER: usize = 1;
+/// First token handed to a connection. Tokens increase monotonically
+/// and are never reused, so a completion for a closed connection can
+/// never be misdelivered to a newer one.
+const FIRST_CONN: usize = 2;
+
+/// Most protocol lines one batch carries. Bounds both per-hop latency
+/// (a huge pipeline doesn't monopolize a worker) and the response
+/// bytes buffered per connection.
+const BATCH_MAX: usize = 64;
+
+/// Read scratch size. Level-triggered readiness re-reports leftovers,
+/// so a small buffer costs extra loop turns, not correctness.
+const READ_CHUNK: usize = 4096;
+
+/// One finished batch: the responses (newline-terminated, in request
+/// order) for the connection registered under `token`.
+struct Completion {
+    token: usize,
+    responses: String,
+}
+
+/// Why a connection is being torn down with a final protocol line.
+enum Teardown {
+    TooLong,
+    IdleTimeout,
+    DeadlineExpired,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes of the current (incomplete) request line.
+    read_buf: Vec<u8>,
+    /// Response bytes not yet written to the socket.
+    write_buf: Vec<u8>,
+    /// Complete lines awaiting dispatch.
+    pending: VecDeque<String>,
+    /// A batch of this connection's lines is on the worker pool.
+    in_flight: bool,
+    /// No more requests will be read (QUIT, EOF, teardown); close once
+    /// in-flight work and buffered output drain.
+    closing: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// When the last byte arrived (feeds `read_timeout`).
+    last_byte: Instant,
+    /// When the connection last became idle-waiting for a request
+    /// (feeds `request_deadline`); reset on every complete line and
+    /// every batch completion, *not* by partial-line bytes.
+    wait_started: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            pending: VecDeque::new(),
+            in_flight: false,
+            closing: false,
+            interest: Interest::READABLE,
+            last_byte: now,
+            wait_started: now,
+        }
+    }
+
+    /// Whether the loop's timers apply right now: only while the
+    /// server is waiting on the client, never while the server itself
+    /// is the reason the connection sits open.
+    fn waiting_for_client(&self) -> bool {
+        !self.in_flight && self.pending.is_empty() && self.write_buf.is_empty() && !self.closing
+    }
+
+    /// The interest this connection's state wants registered.
+    fn desired_interest(&self) -> Interest {
+        Interest { readable: !self.closing, writable: !self.write_buf.is_empty() }
+    }
+
+    /// Fully closed-out: nothing left to read, run, or write.
+    fn drained(&self) -> bool {
+        self.closing && !self.in_flight && self.pending.is_empty() && self.write_buf.is_empty()
+    }
+}
+
+/// Serve `server` on the calling thread with the readiness loop.
+/// Returns only on an unrecoverable listener or poller error.
+pub(crate) fn run(server: Server) -> io::Result<()> {
+    let Server { listener, service, options, accept_fault } = server;
+    listener.set_nonblocking(true)?;
+    let mut poller = Poller::new()?;
+    poller.add(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+    let mut waker = Waker::new(&mut poller, WAKER)?;
+
+    // Protocol workers: sized to the host, bounded queue. The inline
+    // fallback below keeps a full queue from dropping batches.
+    let protocol_workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8);
+    let pool = WorkerPool::new(protocol_workers, 1024);
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+    let wake = waker.handle();
+
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN;
+    let mut events: Vec<Event> = Vec::new();
+    let mut accept_backoff = ACCEPT_BACKOFF_MIN;
+    // While Some, the listener is deregistered and accepts resume at
+    // the stored instant.
+    let mut accept_paused_until: Option<Instant> = None;
+
+    loop {
+        let timeout = next_timeout(&conns, &options, accept_paused_until);
+        events.clear();
+        poller.wait(&mut events, timeout)?;
+        let now = Instant::now();
+
+        // Resume a paused listener whose backoff has elapsed.
+        if accept_paused_until.is_some_and(|t| now >= t) {
+            accept_paused_until = None;
+            poller.add(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+        }
+
+        let mut saw_listener = false;
+        let mut saw_waker = false;
+        let mut ready_conns: Vec<(usize, Event)> = Vec::new();
+        for ev in &events {
+            match ev.token {
+                LISTENER => saw_listener = true,
+                WAKER => saw_waker = true,
+                token => ready_conns.push((token, *ev)),
+            }
+        }
+        if saw_waker {
+            waker.drain();
+        }
+
+        if saw_listener && accept_paused_until.is_none() {
+            accept_ready(
+                &listener,
+                &accept_fault,
+                &options,
+                &service,
+                &mut poller,
+                &mut conns,
+                &mut next_token,
+                &mut accept_backoff,
+                &mut accept_paused_until,
+            )?;
+        }
+
+        for (token, ev) in ready_conns {
+            let Some(conn) = conns.get_mut(&token) else { continue };
+            let mut dead = false;
+            if ev.readable && !conn.closing {
+                dead = !read_ready(conn, &options, now);
+            }
+            if !dead && ev.writable {
+                dead = flush(conn).is_err();
+            }
+            if dead {
+                close_conn(&mut poller, &mut conns, &service, token);
+            } else {
+                dispatch_and_settle(
+                    &mut poller, &mut conns, &service, &pool, &completions, &wake, token, now,
+                );
+            }
+        }
+
+        // Apply finished batches every turn (the waker byte guarantees
+        // we woke; applying unconditionally also absorbs inline runs).
+        let done: Vec<Completion> = std::mem::take(&mut *sync::lock(&completions));
+        for Completion { token, responses } in done {
+            let Some(conn) = conns.get_mut(&token) else { continue }; // closed while in flight
+            conn.in_flight = false;
+            conn.write_buf.extend_from_slice(responses.as_bytes());
+            conn.wait_started = now;
+            dispatch_and_settle(
+                &mut poller, &mut conns, &service, &pool, &completions, &wake, token, now,
+            );
+        }
+
+        sweep_timers(&mut poller, &mut conns, &service, &options, now);
+    }
+}
+
+/// The wait timeout: the soonest pending timer across the accept pause
+/// and every timer-eligible connection; `None` blocks until an event.
+fn next_timeout(
+    conns: &HashMap<usize, Conn>,
+    options: &ServerOptions,
+    accept_paused_until: Option<Instant>,
+) -> Option<Duration> {
+    let now = Instant::now();
+    let mut soonest: Option<Instant> = accept_paused_until;
+    let mut consider = |t: Instant| {
+        soonest = Some(match soonest {
+            Some(s) => s.min(t),
+            None => t,
+        });
+    };
+    for conn in conns.values() {
+        if !conn.waiting_for_client() {
+            continue;
+        }
+        if let Some(idle) = options.read_timeout {
+            consider(conn.last_byte + idle);
+        }
+        if let Some(deadline) = options.request_deadline {
+            consider(conn.wait_started + deadline);
+        }
+    }
+    soonest.map(|t| t.saturating_duration_since(now))
+}
+
+/// Drain the listener: accept until `WouldBlock`, refusing at the cap
+/// and classifying errors. Transient errors pause the listener for the
+/// current backoff; only unrecoverable ones propagate.
+#[allow(clippy::too_many_arguments)]
+fn accept_ready(
+    listener: &std::net::TcpListener,
+    accept_fault: &Option<crate::server::AcceptFault>,
+    options: &ServerOptions,
+    service: &Arc<OptimizerService>,
+    poller: &mut Poller,
+    conns: &mut HashMap<usize, Conn>,
+    next_token: &mut usize,
+    accept_backoff: &mut Duration,
+    accept_paused_until: &mut Option<Instant>,
+) -> io::Result<()> {
+    let metrics = service.metrics();
+    loop {
+        let accepted = match accept_fault.as_ref().and_then(|f| f()) {
+            Some(err) => Err(err),
+            None => listener.accept().map(|(stream, _)| stream),
+        };
+        let stream = match accepted {
+            Ok(stream) => {
+                *accept_backoff = ACCEPT_BACKOFF_MIN;
+                stream
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if is_transient_accept_error(&e) => {
+                metrics.accept_transient_errors.fetch_add(1, Relaxed);
+                // Pause instead of sleeping: a level-triggered poller
+                // would otherwise report the undrained listener every
+                // turn and spin the loop through the pressure.
+                poller.remove(listener.as_raw_fd())?;
+                *accept_paused_until = Some(Instant::now() + *accept_backoff);
+                *accept_backoff = (*accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        if options.max_connections > 0 && conns.len() >= options.max_connections {
+            refuse_connection(stream, metrics);
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        // Tiny request/response lines: without TCP_NODELAY, Nagle plus
+        // the peer's delayed ACK adds ~40 ms to every round trip.
+        let _ = stream.set_nodelay(true);
+        let token = *next_token;
+        *next_token += 1;
+        if poller.add(stream.as_raw_fd(), token, Interest::READABLE).is_err() {
+            continue;
+        }
+        conns.insert(token, Conn::new(stream, Instant::now()));
+        metrics.connections_accepted.fetch_add(1, Relaxed);
+        metrics.live_connections.fetch_add(1, Relaxed);
+    }
+    Ok(())
+}
+
+/// Pull everything the socket has, splitting complete lines into
+/// `pending`. Returns `false` when the connection died mid-read.
+fn read_ready(conn: &mut Conn, options: &ServerOptions, now: Instant) -> bool {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                // EOF. Pinned behavior (see `read_request_line`): an
+                // unterminated trailing line is a complete request —
+                // serve it, then close.
+                if !conn.read_buf.is_empty() {
+                    let tail = String::from_utf8_lossy(&conn.read_buf).into_owned();
+                    conn.read_buf.clear();
+                    accept_line(conn, tail, now);
+                }
+                conn.closing = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.last_byte = now;
+                if !ingest(conn, &chunk[..n], options.max_line_bytes, now) {
+                    begin_teardown(conn, Teardown::TooLong, options);
+                    return true;
+                }
+                if conn.closing {
+                    // QUIT mid-stream: everything after it is ignored.
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Append a chunk and split out complete lines; `false` means the line
+/// limit was breached (teardown follows). Memory stays bounded by
+/// `max_line_bytes + READ_CHUNK` however much the client sends.
+fn ingest(conn: &mut Conn, chunk: &[u8], max_line_bytes: usize, now: Instant) -> bool {
+    conn.read_buf.extend_from_slice(chunk);
+    while let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') {
+        if pos > max_line_bytes {
+            return false;
+        }
+        let line = String::from_utf8_lossy(&conn.read_buf[..pos]).into_owned();
+        conn.read_buf.drain(..=pos);
+        accept_line(conn, line, now);
+        if conn.closing {
+            return true;
+        }
+    }
+    conn.read_buf.len() <= max_line_bytes
+}
+
+/// Route one complete request line: empty lines only reset the request
+/// deadline, `QUIT` starts teardown, everything else queues.
+fn accept_line(conn: &mut Conn, line: String, now: Instant) {
+    conn.wait_started = now;
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    if trimmed.eq_ignore_ascii_case("QUIT") {
+        conn.closing = true;
+        return;
+    }
+    conn.pending.push_back(trimmed.to_string());
+}
+
+/// Start closing with a final protocol line (already-queued work still
+/// completes and flushes first — matching the threads frontend, which
+/// only reaches its error writes between requests).
+fn begin_teardown(conn: &mut Conn, why: Teardown, options: &ServerOptions) {
+    let msg = match why {
+        Teardown::TooLong => {
+            format!("ERR request line exceeds {} bytes\n", options.max_line_bytes)
+        }
+        Teardown::IdleTimeout => "ERR connection idle timeout\n".to_string(),
+        Teardown::DeadlineExpired => "ERR request deadline exceeded\n".to_string(),
+    };
+    // An oversized or timed-out line can't be answered; drop the
+    // partial input but keep responses already owed.
+    conn.read_buf.clear();
+    conn.write_buf.extend_from_slice(msg.as_bytes());
+    conn.closing = true;
+}
+
+/// Write as much buffered output as the socket takes right now.
+fn flush(conn: &mut Conn) -> io::Result<()> {
+    while !conn.write_buf.is_empty() {
+        match (&conn.stream).write(&conn.write_buf) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                conn.write_buf.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Dispatch the next batch if the connection is ready for one, flush
+/// output, update poller interest, and close the connection when it is
+/// fully drained. The single post-I/O settling point for a connection.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_and_settle(
+    poller: &mut Poller,
+    conns: &mut HashMap<usize, Conn>,
+    service: &Arc<OptimizerService>,
+    pool: &WorkerPool,
+    completions: &Arc<Mutex<Vec<Completion>>>,
+    wake: &WakeHandle,
+    token: usize,
+    now: Instant,
+) {
+    let Some(conn) = conns.get_mut(&token) else { return };
+
+    // Dispatch: one batch in flight per connection, and only once the
+    // previous responses fully flushed — write-buffer flow control, so
+    // a slow reader throttles its own request stream instead of
+    // ballooning server-side buffers.
+    if !conn.in_flight && !conn.pending.is_empty() && conn.write_buf.is_empty() {
+        let take = conn.pending.len().min(BATCH_MAX);
+        let batch: Vec<String> = conn.pending.drain(..take).collect();
+        let metrics = service.metrics();
+        metrics.frontend_batches.fetch_add(1, Relaxed);
+        metrics.frontend_batch_lines.fetch_add(batch.len() as u64, Relaxed);
+        conn.in_flight = true;
+        let service_for_job = Arc::clone(service);
+        let completions_for_job = Arc::clone(completions);
+        let wake_for_job = wake.clone();
+        let job = Box::new(move || {
+            let mut responses = String::new();
+            for line in &batch {
+                responses.push_str(&handle_line(&service_for_job, line));
+                responses.push('\n');
+            }
+            sync::lock(&completions_for_job).push(Completion { token, responses });
+            wake_for_job.wake();
+        });
+        if let Err(job) = pool.submit(job) {
+            // Queue full: run inline rather than drop. The completion
+            // lands on the shared queue and is applied this same turn.
+            job();
+        }
+    }
+
+    if flush(conn).is_err() {
+        close_conn(poller, conns, service, token);
+        return;
+    }
+    let conn = match conns.get_mut(&token) {
+        Some(c) => c,
+        None => return,
+    };
+    if conn.drained() {
+        close_conn(poller, conns, service, token);
+        return;
+    }
+    let desired = conn.desired_interest();
+    if desired != conn.interest {
+        let fd = conn.stream.as_raw_fd();
+        conn.interest = desired;
+        let _ = poller.modify(fd, token, desired);
+    }
+    let _ = now;
+}
+
+/// Reap connections whose client-side timers fired. Only
+/// `waiting_for_client` connections are eligible, so a request being
+/// optimized or a response mid-flush never times out server-side.
+fn sweep_timers(
+    poller: &mut Poller,
+    conns: &mut HashMap<usize, Conn>,
+    service: &Arc<OptimizerService>,
+    options: &ServerOptions,
+    now: Instant,
+) {
+    let mut expired: Vec<(usize, Teardown)> = Vec::new();
+    for (&token, conn) in conns.iter() {
+        if !conn.waiting_for_client() {
+            continue;
+        }
+        if options.read_timeout.is_some_and(|t| now.duration_since(conn.last_byte) >= t) {
+            expired.push((token, Teardown::IdleTimeout));
+        } else if options
+            .request_deadline
+            .is_some_and(|t| now.duration_since(conn.wait_started) >= t)
+        {
+            expired.push((token, Teardown::DeadlineExpired));
+        }
+    }
+    for (token, why) in expired {
+        let Some(conn) = conns.get_mut(&token) else { continue };
+        begin_teardown(conn, why, options);
+        if flush(conn).is_err() || conn.drained() {
+            close_conn(poller, conns, service, token);
+        } else if let Some(conn) = conns.get_mut(&token) {
+            let desired = conn.desired_interest();
+            let fd = conn.stream.as_raw_fd();
+            conn.interest = desired;
+            let _ = poller.modify(fd, token, desired);
+        }
+    }
+}
+
+/// Deregister and drop one connection, maintaining the live gauge.
+fn close_conn(
+    poller: &mut Poller,
+    conns: &mut HashMap<usize, Conn>,
+    service: &Arc<OptimizerService>,
+    token: usize,
+) {
+    if let Some(conn) = conns.remove(&token) {
+        // Remove before close: kernel interest tables key on the open
+        // file description.
+        let _ = poller.remove(conn.stream.as_raw_fd());
+        service.metrics().live_connections.fetch_sub(1, Relaxed);
+    }
+}

@@ -1,113 +1,191 @@
-//! A fixed-size worker pool over a bounded job queue.
+//! A fixed-size worker pool over sharded, work-stealing job queues.
 //!
 //! Plain `std::thread` + `Mutex<VecDeque>` + `Condvar`; no external
-//! dependencies. The queue bound is the service's back-pressure signal:
-//! [`WorkerPool::submit`] never blocks — when the queue is full it hands
-//! the job *back* to the caller, which degrades to the greedy fallback
-//! instead of waiting. Dropping the pool shuts it down: queued jobs are
-//! discarded (their cache reservations resolve as abandoned on drop) and
-//! workers are joined.
+//! dependencies. Each worker owns one queue shard: submissions
+//! round-robin across shards, a worker serves its own shard first and
+//! steals from siblings when it runs dry, so one slow job cannot
+//! strand work queued behind it on the same shard. The *total* queue
+//! bound is the service's back-pressure signal, enforced by one shared
+//! counter: [`WorkerPool::submit`] never blocks — when the pool holds
+//! `queue_capacity` waiting jobs it hands the job *back* to the caller,
+//! which degrades to the greedy fallback instead of waiting. Dropping
+//! the pool shuts it down: queued jobs are discarded (their cache
+//! reservations resolve as abandoned on drop) and workers are joined.
 
 use crate::sync;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A unit of work for the pool.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
-struct State {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
-}
+/// How long an idle worker sleeps between steal scans. A worker parks
+/// on its *own* shard's condvar, so a job submitted to a sibling shard
+/// while it sleeps is only discovered on wake-up; the timeout bounds
+/// that discovery latency without a global wake broadcast per submit.
+const STEAL_PARK: Duration = Duration::from_millis(10);
 
-struct Shared {
-    state: Mutex<State>,
+struct Shard {
+    jobs: Mutex<VecDeque<Job>>,
     available: Condvar,
 }
 
-/// Fixed-size thread pool with a bounded, non-blocking submission queue.
+struct Shared {
+    shards: Vec<Shard>,
+    /// Jobs waiting across all shards (not counting ones being run).
+    /// This single counter is what enforces `queue_capacity` exactly,
+    /// whatever shard the jobs landed on.
+    queued: AtomicUsize,
+    capacity: usize,
+    shutdown: AtomicBool,
+    steals: AtomicU64,
+}
+
+/// Fixed-size thread pool with bounded, non-blocking submission and
+/// per-worker queue shards balanced by work stealing.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    capacity: usize,
+    next: AtomicUsize,
 }
 
 impl WorkerPool {
-    /// Spawn `workers` threads sharing a queue of at most `queue_capacity`
-    /// waiting jobs (0 is allowed: every submission beyond the workers'
-    /// immediate grab is rejected).
+    /// Spawn `workers` threads, each owning one queue shard, together
+    /// holding at most `queue_capacity` waiting jobs (0 is allowed:
+    /// every submission beyond the workers' immediate grab is
+    /// rejected).
     ///
     /// # Panics
     /// Panics if `workers == 0`.
     pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
         assert!(workers >= 1, "a worker pool needs at least one thread");
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { jobs: VecDeque::new(), shutdown: false }),
-            available: Condvar::new(),
+            shards: (0..workers)
+                .map(|_| Shard { jobs: Mutex::new(VecDeque::new()), available: Condvar::new() })
+                .collect(),
+            queued: AtomicUsize::new(0),
+            capacity: queue_capacity,
+            shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("blitz-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .unwrap_or_else(|e| panic!("spawning blitz-worker-{i}: {e}"))
             })
             .collect();
-        WorkerPool { shared, workers: handles, capacity: queue_capacity }
+        WorkerPool { shared, workers: handles, next: AtomicUsize::new(0) }
     }
 
-    /// Enqueue `job`, or return it unchanged when the queue is at
-    /// capacity (or the pool is shutting down). Never blocks.
+    /// Enqueue `job`, or return it unchanged when the pool already
+    /// holds `queue_capacity` waiting jobs (or is shutting down). Never
+    /// blocks.
     pub fn submit(&self, job: Job) -> Result<(), Job> {
-        let mut state = sync::lock(&self.shared.state);
-        if state.shutdown || state.jobs.len() >= self.capacity {
+        if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(job);
         }
-        state.jobs.push_back(job);
-        drop(state);
-        self.shared.available.notify_one();
+        // Reserve a queue slot against the shared bound first; only a
+        // successful reservation touches a shard lock.
+        let mut queued = self.shared.queued.load(Ordering::Relaxed);
+        loop {
+            if queued >= self.shared.capacity {
+                return Err(job);
+            }
+            match self.shared.queued.compare_exchange_weak(
+                queued,
+                queued + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => queued = seen,
+            }
+        }
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        let shard = &self.shared.shards[idx];
+        sync::lock(&shard.jobs).push_back(job);
+        shard.available.notify_one();
         Ok(())
     }
 
-    /// Number of jobs currently waiting (not counting ones being run).
+    /// Number of jobs currently waiting across all shards (not counting
+    /// ones being run).
     pub fn depth(&self) -> usize {
-        sync::lock(&self.shared.state).jobs.len()
+        self.shared.queued.load(Ordering::Acquire)
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (= number of queue shards).
     pub fn workers(&self) -> usize {
         self.workers.len()
     }
+
+    /// Jobs taken from a sibling's shard rather than the worker's own —
+    /// how often stealing actually rebalanced load.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Pop one job from `shard` without blocking.
+fn pop(shard: &Shard) -> Option<Job> {
+    sync::lock(&shard.jobs).pop_front()
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    let n = shared.shards.len();
     loop {
-        let job = {
-            let mut state = sync::lock(&shared.state);
-            loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Own shard first, then a steal scan over the siblings.
+        let mut job = pop(&shared.shards[me]);
+        if job.is_none() {
+            for k in 1..n {
+                if let Some(stolen) = pop(&shared.shards[(me + k) % n]) {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    job = Some(stolen);
+                    break;
                 }
-                if state.shutdown {
-                    return;
-                }
-                state = sync::wait(&shared.available, state);
             }
-        };
-        job();
+        }
+        match job {
+            Some(job) => {
+                shared.queued.fetch_sub(1, Ordering::AcqRel);
+                job();
+            }
+            None => {
+                // Nothing anywhere: park on the own-shard condvar. The
+                // timeout (see [`STEAL_PARK`]) re-runs the steal scan
+                // for work that landed on a sibling while parked.
+                let guard = sync::lock(&shared.shards[me].jobs);
+                if !guard.is_empty() || shared.shutdown.load(Ordering::Acquire) {
+                    continue;
+                }
+                let _ = sync::wait_timeout(&shared.shards[me].available, guard, STEAL_PARK);
+            }
+        }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut state = sync::lock(&self.shared.state);
-            state.shutdown = true;
-            state.jobs.clear();
+        self.shared.shutdown.store(true, Ordering::Release);
+        for shard in &self.shared.shards {
+            let discarded = {
+                let mut jobs = sync::lock(&shard.jobs);
+                let discarded = jobs.len();
+                jobs.clear();
+                discarded
+            };
+            self.shared.queued.fetch_sub(discarded, Ordering::AcqRel);
+            shard.available.notify_all();
         }
-        self.shared.available.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -173,6 +251,36 @@ mod tests {
         assert!(queued, "queue slot never freed");
         // Queue now holds 1 job (the worker is still blocked) — full.
         assert!(pool.submit(Box::new(|| {})).is_err());
+        block_tx.send(()).unwrap();
+    }
+
+    /// The rebalancing contract: with one worker pinned by a slow job,
+    /// jobs round-robined onto *its* shard must still run — the idle
+    /// sibling steals them.
+    #[test]
+    fn idle_worker_steals_from_busy_sibling() {
+        let pool = WorkerPool::new(2, 16);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            let _ = block_rx.recv();
+        }))
+        .ok()
+        .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Four quick jobs round-robin across both shards — two of them
+        // land behind the blocked worker and can only run by theft.
+        let (done_tx, done_rx) = mpsc::channel();
+        for _ in 0..4 {
+            let done_tx = done_tx.clone();
+            pool.submit(Box::new(move || done_tx.send(()).unwrap())).ok().unwrap();
+        }
+        for _ in 0..4 {
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(pool.steals() >= 1, "no steals despite a pinned sibling");
+        assert_eq!(pool.depth(), 0);
         block_tx.send(()).unwrap();
     }
 

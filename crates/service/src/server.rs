@@ -26,9 +26,19 @@
 //! greedy_cost= refine_steps= dp_blocks= ladder_micros=` before
 //! `plan=`.
 //!
-//! The server spawns one thread per connection — admission control
-//! lives in the service (bounded worker queue), not the listener.
+//! Two interchangeable frontends serve the protocol (selected by
+//! [`ServerOptions::frontend`]): the default readiness-loop frontend
+//! ([`Frontend::Poll`], see [`crate::net`]) multiplexes every
+//! connection on one event loop and scales to tens of thousands of
+//! idle sockets, while the classic thread-per-connection frontend
+//! ([`Frontend::Threads`]) spawns one thread per accepted socket.
+//! Both share the same wire semantics, resource limits, and
+//! accept-error policy: transient accept failures (fd exhaustion,
+//! aborted handshakes) are counted and retried with backoff, never
+//! fatal. Admission control for optimization work lives in the service
+//! (bounded worker queue), not the listener.
 
+use crate::metrics::Metrics;
 use crate::{
     BigRequest, BigSpec, CacheOutcome, ModelId, OptimizerService, PlanSource, Request, Response,
     Rung,
@@ -36,9 +46,97 @@ use crate::{
 use blitz_core::{JoinSpec, ThresholdSchedule, MAX_RELS};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which serving architecture [`Server::run`] uses.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Frontend {
+    /// One nonblocking event loop over an OS readiness poller
+    /// ([`crate::net::Poller`]): per-connection state machines, request
+    /// batching, and capacity for tens of thousands of idle sockets.
+    #[default]
+    Poll,
+    /// One thread per accepted connection, blocking I/O. Simpler to
+    /// reason about; capped by thread cost at a few hundred
+    /// connections.
+    Threads,
+}
+
+impl Frontend {
+    /// Stable CLI/wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frontend::Poll => "poll",
+            Frontend::Threads => "threads",
+        }
+    }
+
+    /// Inverse of [`Frontend::name`].
+    pub fn parse(s: &str) -> Option<Frontend> {
+        match s {
+            "poll" => Some(Frontend::Poll),
+            "threads" => Some(Frontend::Threads),
+            _ => None,
+        }
+    }
+
+    /// Both frontends, for test parameterization.
+    pub fn all() -> [Frontend; 2] {
+        [Frontend::Poll, Frontend::Threads]
+    }
+}
+
+/// First pause after a transient accept error; doubles per consecutive
+/// failure up to [`ACCEPT_BACKOFF_MAX`], resetting on the next success.
+pub(crate) const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+/// Ceiling for the accept-error backoff. Under sustained fd exhaustion
+/// the listener retries ~10×/s instead of spinning — new sockets get
+/// served the moment pressure lifts.
+pub(crate) const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+
+/// Classify an accept-path error: `true` means count it, back off
+/// briefly, and keep accepting (resource pressure or a peer that gave
+/// up mid-handshake); `false` means the listener itself is broken and
+/// the frontend should surface the error.
+///
+/// Transient by kind: aborted/reset handshakes, signal interruptions,
+/// timeouts, spurious wakeups. Transient by errno (resource pressure
+/// `ErrorKind` doesn't portably name): `ENOMEM`, `ENFILE`, `EMFILE`,
+/// `EPROTO`, `ENOBUFS`.
+pub(crate) fn is_transient_accept_error(e: &io::Error) -> bool {
+    use io::ErrorKind::*;
+    if matches!(
+        e.kind(),
+        ConnectionAborted | ConnectionReset | Interrupted | TimedOut | WouldBlock
+    ) {
+        return true;
+    }
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const TRANSIENT_ERRNOS: &[i32] = &[12, 23, 24, 71, 105];
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const TRANSIENT_ERRNOS: &[i32] = &[12, 23, 24, 55, 100];
+    e.raw_os_error().is_some_and(|code| TRANSIENT_ERRNOS.contains(&code))
+}
+
+/// Refuse a connection at the capacity cap: count it and send the
+/// courtesy `ERR` line *nonblocking* — one write attempt into the
+/// fresh socket's empty send buffer (which virtually always takes the
+/// whole line), never a stall of the accept path. The socket closes on
+/// drop either way.
+pub(crate) fn refuse_connection(stream: TcpStream, metrics: &Metrics) {
+    metrics.connections_refused.fetch_add(1, Relaxed);
+    if stream.set_nonblocking(true).is_ok() {
+        let _ = (&stream).write(b"ERR server at connection capacity\n");
+    }
+}
+
+/// Test hook: called before every real `accept`; returning `Some(err)`
+/// makes the frontend treat `err` as that accept's outcome. Lets tests
+/// inject fd-pressure failures (`EMFILE`, `ECONNABORTED`, …) without
+/// destabilizing the whole process with real rlimit games.
+pub type AcceptFault = Arc<dyn Fn() -> Option<io::Error> + Send + Sync>;
 
 /// Per-connection resource limits for [`Server`]. Without them a client
 /// sending an endless line (no `\n`) grows a server-side buffer without
@@ -63,10 +161,13 @@ pub struct ServerOptions {
     /// bounds the whole accumulation. `None` disables the deadline.
     pub request_deadline: Option<Duration>,
     /// Maximum concurrently served connections. Beyond it, new accepts
-    /// are answered `ERR server at connection capacity` and closed
-    /// instead of spawning yet another connection thread. `0` disables
-    /// the cap.
+    /// are answered `ERR server at connection capacity` (best effort,
+    /// nonblocking) and closed instead of occupying a serving slot. `0`
+    /// disables the cap.
     pub max_connections: usize,
+    /// Which serving architecture [`Server::run`] uses; the readiness
+    /// loop by default.
+    pub frontend: Frontend,
 }
 
 impl Default for ServerOptions {
@@ -77,15 +178,17 @@ impl Default for ServerOptions {
             write_timeout: Some(Duration::from_secs(30)),
             request_deadline: Some(Duration::from_secs(60)),
             max_connections: 256,
+            frontend: Frontend::Poll,
         }
     }
 }
 
 /// TCP server wrapping a shared [`OptimizerService`].
 pub struct Server {
-    listener: TcpListener,
-    service: Arc<OptimizerService>,
-    options: ServerOptions,
+    pub(crate) listener: TcpListener,
+    pub(crate) service: Arc<OptimizerService>,
+    pub(crate) options: ServerOptions,
+    pub(crate) accept_fault: Option<AcceptFault>,
 }
 
 impl Server {
@@ -101,7 +204,7 @@ impl Server {
         service: Arc<OptimizerService>,
         options: ServerOptions,
     ) -> io::Result<Server> {
-        Ok(Server { listener: TcpListener::bind(addr)?, service, options })
+        Ok(Server { listener: TcpListener::bind(addr)?, service, options, accept_fault: None })
     }
 
     /// The bound address (useful with port 0).
@@ -109,37 +212,83 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serve forever on the calling thread, one thread per connection —
-    /// at most [`ServerOptions::max_connections`] at a time.
+    /// Install an accept-path fault injector (see [`AcceptFault`]).
+    /// Test-only plumbing: kept public so integration tests can drive
+    /// both frontends through synthetic fd pressure.
+    #[doc(hidden)]
+    pub fn set_accept_fault(&mut self, fault: AcceptFault) {
+        self.accept_fault = Some(fault);
+    }
+
+    /// Serve forever on the calling thread with the configured
+    /// [`Frontend`] — at most [`ServerOptions::max_connections`]
+    /// connections at a time. Transient accept errors are counted in
+    /// the service metrics and retried with backoff; only an
+    /// unrecoverable listener error returns.
     pub fn run(self) -> io::Result<()> {
+        match self.options.frontend {
+            #[cfg(unix)]
+            Frontend::Poll => crate::net::frontend::run(self),
+            // Readiness polling needs the unix fd surface; elsewhere
+            // the flag degrades to the portable threads frontend.
+            #[cfg(not(unix))]
+            Frontend::Poll => self.run_threads(),
+            Frontend::Threads => self.run_threads(),
+        }
+    }
+
+    /// The thread-per-connection frontend.
+    fn run_threads(self) -> io::Result<()> {
+        let metrics = Arc::clone(self.service.metrics());
         let live = Arc::new(AtomicUsize::new(0));
-        for stream in self.listener.incoming() {
-            let mut stream = stream?;
+        let mut backoff = ACCEPT_BACKOFF_MIN;
+        loop {
+            let accepted = match self.accept_fault.as_ref().and_then(|f| f()) {
+                Some(err) => Err(err),
+                None => self.listener.accept().map(|(stream, _)| stream),
+            };
+            let stream = match accepted {
+                Ok(stream) => {
+                    backoff = ACCEPT_BACKOFF_MIN;
+                    stream
+                }
+                Err(e) if is_transient_accept_error(&e) => {
+                    // Resource pressure or a peer that gave up: count
+                    // it, breathe, keep accepting. Returning here is
+                    // what used to kill the whole frontend on EMFILE.
+                    metrics.accept_transient_errors.fetch_add(1, Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if self.options.max_connections > 0
                 && live.load(Ordering::Acquire) >= self.options.max_connections
             {
-                // Refuse without spawning: best-effort ERR, then close.
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                let _ = stream.write_all(b"ERR server at connection capacity\n");
+                refuse_connection(stream, &metrics);
                 continue;
             }
+            metrics.connections_accepted.fetch_add(1, Relaxed);
+            metrics.live_connections.fetch_add(1, Relaxed);
             live.fetch_add(1, Ordering::AcqRel);
             let live = Arc::clone(&live);
+            let conn_metrics = Arc::clone(&metrics);
             let service = Arc::clone(&self.service);
             let options = self.options;
             std::thread::spawn(move || {
                 // Release the slot on every exit path, panics included.
-                struct Slot(Arc<AtomicUsize>);
+                struct Slot(Arc<AtomicUsize>, Arc<Metrics>);
                 impl Drop for Slot {
                     fn drop(&mut self) {
                         self.0.fetch_sub(1, Ordering::AcqRel);
+                        self.1.live_connections.fetch_sub(1, Relaxed);
                     }
                 }
-                let _slot = Slot(live);
+                let _slot = Slot(live, conn_metrics);
                 let _ = handle_connection(&service, stream, &options);
             });
         }
-        Ok(())
     }
 
     /// Serve on a background thread; returns the bound address and the
@@ -171,6 +320,16 @@ enum LineRead {
 /// `recv` iterations (each socket timeout is trimmed to the remaining
 /// budget), so a slow-loris client that keeps every individual `recv`
 /// fast still cannot stretch one request past the deadline.
+///
+/// **Partial line at EOF — pinned protocol behavior.** A client that
+/// sends a request and closes its write side without a final `\n`
+/// (`printf 'PING' | nc`, piped files missing a trailing newline) gets
+/// that unterminated tail treated as a complete request: it is served,
+/// the response is written, and the connection then closes on the EOF.
+/// The alternative — silently discarding the tail — would make the
+/// most common interop mistake vanish without a trace. Both frontends
+/// implement this identically; `partial_line_at_eof_is_served` in the
+/// integration suite holds them to it.
 fn read_request_line(
     reader: &mut BufReader<TcpStream>,
     options: &ServerOptions,
@@ -223,6 +382,9 @@ fn handle_connection(
     stream: TcpStream,
     options: &ServerOptions,
 ) -> io::Result<()> {
+    // Request/response lines are tiny; without TCP_NODELAY, Nagle plus
+    // the peer's delayed ACK adds ~40 ms to every round trip.
+    let _ = stream.set_nodelay(true);
     stream.set_read_timeout(options.read_timeout)?;
     stream.set_write_timeout(options.write_timeout)?;
     let mut writer = stream.try_clone()?;
@@ -474,6 +636,8 @@ impl Client {
     /// Connect to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        // One-line requests: don't let Nagle hold them for the ACK.
+        let _ = stream.set_nodelay(true);
         Ok(Client { reader: BufReader::new(stream) })
     }
 
@@ -575,6 +739,21 @@ mod tests {
         }))
     }
 
+    /// Run a socket-level test against both frontends: the wire
+    /// contract must be indistinguishable between them.
+    fn each_frontend(options: ServerOptions, test: impl Fn(std::net::SocketAddr, Frontend)) {
+        for frontend in Frontend::all() {
+            let server = Server::bind_with(
+                "127.0.0.1:0",
+                service(),
+                ServerOptions { frontend, ..options },
+            )
+            .unwrap();
+            let (addr, _handle) = server.spawn().unwrap();
+            test(addr, frontend);
+        }
+    }
+
     #[test]
     fn ping_and_unknown_verbs() {
         let s = service();
@@ -647,29 +826,53 @@ mod tests {
         assert!(ok.starts_with("OK "), "{ok}");
     }
 
+    /// Pinned protocol behavior: an unterminated trailing line at EOF is
+    /// a complete request. A client that writes `PING` (no newline) and
+    /// half-closes still gets its pong before the server hangs up —
+    /// on both frontends.
+    #[test]
+    fn partial_line_at_eof_is_served() {
+        each_frontend(ServerOptions::default(), |addr, frontend| {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            (&stream).write_all(b"PING").unwrap();
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            assert_eq!(resp, "OK pong\n", "{frontend:?}: {resp:?}");
+            // And the connection closes after the final response.
+            resp.clear();
+            assert_eq!(reader.read_line(&mut resp).unwrap(), 0, "{frontend:?}: {resp:?}");
+        });
+    }
+
     /// A request line longer than the configured maximum draws a
     /// protocol `ERR` and a closed connection — with memory bounded by
     /// `max_line_bytes`, not by what the client sends.
     #[test]
     fn overlong_line_gets_err_and_close() {
-        let server = Server::bind_with(
-            "127.0.0.1:0",
-            service(),
-            ServerOptions { max_line_bytes: 64, ..ServerOptions::default() },
-        )
-        .unwrap();
-        let (addr, _handle) = server.spawn().unwrap();
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        stream.write_all(&[b'x'; 500]).unwrap();
-        stream.write_all(b"\n").unwrap();
-        let mut reader = BufReader::new(stream.try_clone().unwrap());
-        let mut resp = String::new();
-        reader.read_line(&mut resp).unwrap();
-        assert!(resp.starts_with("ERR request line exceeds 64 bytes"), "{resp}");
-        // Connection must be closed after the ERR.
-        resp.clear();
-        assert_eq!(reader.read_line(&mut resp).unwrap(), 0, "expected EOF, got {resp:?}");
+        let options = ServerOptions { max_line_bytes: 64, ..ServerOptions::default() };
+        each_frontend(options, |addr, frontend| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            stream.write_all(&[b'x'; 500]).unwrap();
+            stream.write_all(b"\n").unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            assert!(
+                resp.starts_with("ERR request line exceeds 64 bytes"),
+                "{frontend:?}: {resp}"
+            );
+            // Connection must be closed after the ERR.
+            resp.clear();
+            assert_eq!(
+                reader.read_line(&mut resp).unwrap(),
+                0,
+                "{frontend:?}: expected EOF, got {resp:?}"
+            );
+        });
     }
 
     /// The acceptance-criteria malicious client: a 10 MB line. The
@@ -677,61 +880,61 @@ mod tests {
     /// buffering the payload, and keep serving other clients.
     #[test]
     fn survives_ten_megabyte_line() {
-        let server = Server::bind("127.0.0.1:0", service()).unwrap();
-        let (addr, _handle) = server.spawn().unwrap();
-        let stream = TcpStream::connect(addr).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-        let mut writer = stream.try_clone().unwrap();
-        // The server closes mid-upload, so writes may fail with
-        // EPIPE/ECONNRESET once its ERR is in flight; that's the point.
-        let pump = std::thread::spawn(move || {
-            let chunk = vec![b'y'; 64 * 1024];
-            for _ in 0..160 {
-                if writer.write_all(&chunk).is_err() {
-                    break;
+        each_frontend(ServerOptions::default(), |addr, _frontend| {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            // The server closes mid-upload, so writes may fail with
+            // EPIPE/ECONNRESET once its ERR is in flight; that's the point.
+            let pump = std::thread::spawn(move || {
+                let chunk = vec![b'y'; 64 * 1024];
+                for _ in 0..160 {
+                    if writer.write_all(&chunk).is_err() {
+                        break;
+                    }
                 }
+                let _ = writer.write_all(b"\n");
+            });
+            let mut reader = BufReader::new(stream);
+            let mut resp = String::new();
+            // Either the ERR line arrives, or the reset beats it; both prove
+            // the server cut the connection instead of buffering 10 MB.
+            match reader.read_line(&mut resp) {
+                Ok(0) => {}
+                Ok(_) => assert!(resp.starts_with("ERR request line exceeds"), "{resp}"),
+                Err(_) => {}
             }
-            let _ = writer.write_all(b"\n");
+            pump.join().unwrap();
+            // The server is still healthy for a fresh client.
+            let mut client = Client::connect(addr).unwrap();
+            assert!(client.ping().unwrap());
         });
-        let mut reader = BufReader::new(stream);
-        let mut resp = String::new();
-        // Either the ERR line arrives, or the reset beats it; both prove
-        // the server cut the connection instead of buffering 10 MB.
-        match reader.read_line(&mut resp) {
-            Ok(0) => {}
-            Ok(_) => assert!(resp.starts_with("ERR request line exceeds"), "{resp}"),
-            Err(_) => {}
-        }
-        pump.join().unwrap();
-        // The server is still healthy for a fresh client.
-        let mut client = Client::connect(addr).unwrap();
-        assert!(client.ping().unwrap());
     }
 
     /// A client that connects and goes silent must not pin its
     /// connection thread forever: the read timeout reclaims it.
     #[test]
     fn silent_connection_times_out() {
-        let server = Server::bind_with(
-            "127.0.0.1:0",
-            service(),
-            ServerOptions { read_timeout: Some(Duration::from_millis(100)), ..Default::default() },
-        )
-        .unwrap();
-        let (addr, _handle) = server.spawn().unwrap();
-        let stream = TcpStream::connect(addr).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        let start = std::time::Instant::now();
-        let mut reader = BufReader::new(stream);
-        let mut resp = String::new();
-        // Send nothing. Within the deadline the server must either say
-        // why it's hanging up or close outright.
-        let n = reader.read_line(&mut resp).unwrap();
-        assert!(
-            n == 0 || resp.starts_with("ERR connection idle timeout"),
-            "unexpected response {resp:?}"
-        );
-        assert!(start.elapsed() < Duration::from_secs(5), "server held the connection open");
+        let options =
+            ServerOptions { read_timeout: Some(Duration::from_millis(100)), ..Default::default() };
+        each_frontend(options, |addr, frontend| {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let start = std::time::Instant::now();
+            let mut reader = BufReader::new(stream);
+            let mut resp = String::new();
+            // Send nothing. Within the deadline the server must either say
+            // why it's hanging up or close outright.
+            let n = reader.read_line(&mut resp).unwrap();
+            assert!(
+                n == 0 || resp.starts_with("ERR connection idle timeout"),
+                "{frontend:?}: unexpected response {resp:?}"
+            );
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "{frontend:?}: server held the connection open"
+            );
+        });
     }
 
     /// The slow-loris client: bytes trickle in fast enough to defeat the
@@ -739,84 +942,85 @@ mod tests {
     /// The overall request deadline must reclaim the thread.
     #[test]
     fn slow_loris_hits_request_deadline() {
-        let server = Server::bind_with(
-            "127.0.0.1:0",
-            service(),
-            ServerOptions {
-                read_timeout: Some(Duration::from_secs(30)),
-                request_deadline: Some(Duration::from_millis(300)),
-                ..ServerOptions::default()
-            },
-        )
-        .unwrap();
-        let (addr, _handle) = server.spawn().unwrap();
-        let stream = TcpStream::connect(addr).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-        let mut writer = stream.try_clone().unwrap();
-        let pump = std::thread::spawn(move || {
-            // One byte every 50 ms — each recv is fast, the line never
-            // ends. Stop when the server hangs up.
-            for _ in 0..100 {
-                if writer.write_all(b"x").is_err() {
-                    break;
+        let options = ServerOptions {
+            read_timeout: Some(Duration::from_secs(30)),
+            request_deadline: Some(Duration::from_millis(300)),
+            ..ServerOptions::default()
+        };
+        each_frontend(options, |addr, frontend| {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let pump = std::thread::spawn(move || {
+                // One byte every 50 ms — each recv is fast, the line never
+                // ends. Stop when the server hangs up.
+                for _ in 0..100 {
+                    if writer.write_all(b"x").is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
                 }
-                std::thread::sleep(Duration::from_millis(50));
+            });
+            let start = std::time::Instant::now();
+            let mut reader = BufReader::new(stream);
+            let mut resp = String::new();
+            match reader.read_line(&mut resp) {
+                Ok(0) | Err(_) => {}
+                Ok(_) => assert!(
+                    resp.starts_with("ERR request deadline exceeded"),
+                    "{frontend:?}: {resp}"
+                ),
             }
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "{frontend:?}: deadline did not reclaim the connection"
+            );
+            pump.join().unwrap();
+            // The server is still healthy for a fresh client.
+            let mut client = Client::connect(addr).unwrap();
+            assert!(client.ping().unwrap());
         });
-        let start = std::time::Instant::now();
-        let mut reader = BufReader::new(stream);
-        let mut resp = String::new();
-        match reader.read_line(&mut resp) {
-            Ok(0) | Err(_) => {}
-            Ok(_) => assert!(resp.starts_with("ERR request deadline exceeded"), "{resp}"),
-        }
-        assert!(
-            start.elapsed() < Duration::from_secs(5),
-            "deadline did not reclaim the connection"
-        );
-        pump.join().unwrap();
-        // The server is still healthy for a fresh client.
-        let mut client = Client::connect(addr).unwrap();
-        assert!(client.ping().unwrap());
     }
 
     /// Beyond `max_connections`, accepts are refused instead of spawning
     /// connection threads without bound — and slots free on disconnect.
     #[test]
     fn connection_cap_refuses_excess_clients() {
-        let server = Server::bind_with(
-            "127.0.0.1:0",
-            service(),
-            ServerOptions { max_connections: 1, ..ServerOptions::default() },
-        )
-        .unwrap();
-        let (addr, _handle) = server.spawn().unwrap();
-        let mut first = Client::connect(addr).unwrap();
-        assert!(first.ping().unwrap()); // connection 1 accepted and serving
-        let stream = TcpStream::connect(addr).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        let mut reader = BufReader::new(stream);
-        let mut resp = String::new();
-        match reader.read_line(&mut resp) {
-            Ok(0) | Err(_) => {}
-            Ok(_) => {
-                assert!(resp.starts_with("ERR server at connection capacity"), "{resp}")
-            }
-        }
-        // The admitted client is unaffected...
-        assert!(first.ping().unwrap());
-        // ...and closing it eventually frees the slot.
-        drop(first);
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        loop {
-            if let Ok(mut retry) = Client::connect(addr) {
-                if retry.ping().unwrap_or(false) {
-                    break;
+        let options = ServerOptions { max_connections: 1, ..ServerOptions::default() };
+        each_frontend(options, |addr, frontend| {
+            let mut first = Client::connect(addr).unwrap();
+            assert!(first.ping().unwrap()); // connection 1 accepted and serving
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut resp = String::new();
+            match reader.read_line(&mut resp) {
+                Ok(0) | Err(_) => {}
+                Ok(_) => {
+                    assert!(
+                        resp.starts_with("ERR server at connection capacity"),
+                        "{frontend:?}: {resp}"
+                    )
                 }
             }
-            assert!(std::time::Instant::now() < deadline, "capacity never freed");
-            std::thread::sleep(Duration::from_millis(20));
-        }
+            // The admitted client is unaffected...
+            assert!(first.ping().unwrap());
+            // ...and closing it eventually frees the slot.
+            drop(first);
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                if let Ok(mut retry) = Client::connect(addr) {
+                    if retry.ping().unwrap_or(false) {
+                        break;
+                    }
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "{frontend:?}: capacity never freed"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
     }
 
     #[test]
@@ -860,21 +1064,25 @@ mod tests {
 
     #[test]
     fn tcp_round_trip() {
-        let server = Server::bind("127.0.0.1:0", service()).unwrap();
-        let (addr, _handle) = server.spawn().unwrap();
-        let mut client = Client::connect(addr).unwrap();
-        assert!(client.ping().unwrap());
-        let resp = client
-            .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05")
-            .unwrap();
-        assert!(resp.starts_with("OK "), "{resp}");
-        let spec =
-            JoinSpec::new(&[10.0, 20.0, 30.0, 40.0], &[(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.05)])
+        each_frontend(ServerOptions::default(), |addr, frontend| {
+            let mut client = Client::connect(addr).unwrap();
+            assert!(client.ping().unwrap());
+            let resp = client
+                .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05")
                 .unwrap();
-        let direct = blitz_core::optimize_join(&spec, &blitz_core::Kappa0).unwrap();
-        assert_eq!(response_field(&resp, "cost"), Some(format!("{:.6e}", direct.cost).as_str()));
-        let metrics = client.metrics().unwrap();
-        assert!(metrics.contains("requests=1"), "{metrics}");
-        assert!(client.request("QUIT").is_err() || client.request("PING").is_err());
+            assert!(resp.starts_with("OK "), "{frontend:?}: {resp}");
+            let spec =
+                JoinSpec::new(&[10.0, 20.0, 30.0, 40.0], &[(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.05)])
+                    .unwrap();
+            let direct = blitz_core::optimize_join(&spec, &blitz_core::Kappa0).unwrap();
+            assert_eq!(
+                response_field(&resp, "cost"),
+                Some(format!("{:.6e}", direct.cost).as_str()),
+                "{frontend:?}"
+            );
+            let metrics = client.metrics().unwrap();
+            assert!(metrics.contains("requests=1"), "{frontend:?}: {metrics}");
+            assert!(client.request("QUIT").is_err() || client.request("PING").is_err());
+        });
     }
 }

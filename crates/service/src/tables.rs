@@ -8,15 +8,20 @@
 //! keyed by `(layout, n_rels)` and hand them to the next request of the
 //! same shape.
 //!
-//! The pool is deliberately dumb: a mutex-guarded map of bounded
-//! vectors. One lock round-trip per take/put is noise next to the
-//! `O(3^n)` optimization the table is for, and the per-key bound keeps
-//! resident memory proportional to the *concurrency* of each query
-//! shape rather than its history.
+//! The pool is deliberately simple: mutex-guarded maps of bounded
+//! vectors, sharded by key hash so concurrent workers recycling
+//! *different* query shapes never contend on one lock. The shard is a
+//! pure function of the `(layout, n_rels)` key — same shape, same
+//! shard — so recycling behavior is deterministic regardless of which
+//! worker thread takes or puts. One lock round-trip per take/put is
+//! noise next to the `O(3^n)` optimization the table is for, and the
+//! per-key bound keeps resident memory proportional to the
+//! *concurrency* of each query shape rather than its history.
 
 use crate::sync::lock;
 use blitz_core::{AosTable, HotColdTable, LayoutChoice, SoaTable, WaveTableLayout};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
 /// Tables kept per `(layout, n_rels)` shelf. Matching the worker-pool
@@ -24,6 +29,10 @@ use std::sync::Mutex;
 /// covers the common case of back-to-back same-shape requests while an
 /// occasional burst just allocates.
 const SHELF_CAPACITY: usize = 2;
+
+/// Lock shards. A small fixed power of two: the pool's contention
+/// comes from a handful of worker threads, not from key cardinality.
+const SHARD_COUNT: usize = 8;
 
 /// A pooled table of any supported layout. The layout is part of the
 /// shelf key, so a [`TablePool::take`] for layout `L` only ever sees
@@ -90,22 +99,42 @@ impl PoolSlot for HotColdTable {
     }
 }
 
+/// One shard's shelves: finished tables keyed by `(layout, n_rels)`.
+type Shelves = HashMap<(LayoutChoice, usize), Vec<AnyTable>>;
+
 /// The free list itself: shelves of finished tables keyed by
-/// `(layout, n_rels)`, each bounded to [`SHELF_CAPACITY`].
-#[derive(Default)]
+/// `(layout, n_rels)`, each bounded to [`SHELF_CAPACITY`], spread over
+/// [`SHARD_COUNT`] hash-sharded locks.
 pub struct TablePool {
-    shelves: Mutex<HashMap<(LayoutChoice, usize), Vec<AnyTable>>>,
+    shards: Vec<Mutex<Shelves>>,
+}
+
+impl Default for TablePool {
+    fn default() -> TablePool {
+        TablePool { shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
 }
 
 impl TablePool {
+    /// The lock shard owning `key`. `DefaultHasher::new()` uses fixed
+    /// keys, so the mapping is deterministic within (and across)
+    /// processes — a given query shape always recycles through the
+    /// same shard no matter the thread.
+    fn shard_for(&self, key: &(LayoutChoice, usize)) -> &Mutex<Shelves> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
     /// A table for `rels` relations in layout `L`, recycled when the
     /// shelf has one (`true`) or freshly allocated (`false`). Recycled
     /// tables are *not* cleared — the reusing optimizer entry points
     /// re-initialize every row they read.
     pub fn take<L: PoolSlot>(&self, rels: usize) -> (L, bool) {
+        let key = (L::LAYOUT, rels);
         {
-            let mut shelves = lock(&self.shelves);
-            if let Some(shelf) = shelves.get_mut(&(L::LAYOUT, rels)) {
+            let mut shelves = lock(self.shard_for(&key));
+            if let Some(shelf) = shelves.get_mut(&key) {
                 while let Some(any) = shelf.pop() {
                     if let Some(table) = L::reclaim(any) {
                         return (table, true);
@@ -120,16 +149,16 @@ impl TablePool {
     /// shelf is full (bounded memory beats a perfect hit rate).
     pub fn put<L: PoolSlot>(&self, table: L) {
         let key = (L::LAYOUT, table.rels());
-        let mut shelves = lock(&self.shelves);
+        let mut shelves = lock(self.shard_for(&key));
         let shelf = shelves.entry(key).or_default();
         if shelf.len() < SHELF_CAPACITY {
             shelf.push(table.wrap());
         }
     }
 
-    /// Total tables currently shelved, across all keys.
+    /// Total tables currently shelved, across all keys and shards.
     pub fn len(&self) -> usize {
-        lock(&self.shelves).values().map(Vec::len).sum()
+        self.shards.iter().map(|s| lock(s).values().map(Vec::len).sum::<usize>()).sum()
     }
 
     /// Whether the pool holds no tables at all.
@@ -142,6 +171,7 @@ impl TablePool {
 mod tests {
     use super::*;
     use blitz_core::TableLayout;
+    use std::sync::Arc;
 
     #[test]
     fn take_put_take_recycles_by_shape() {
@@ -170,6 +200,43 @@ mod tests {
         // The original is still shelved.
         let (_, hit) = pool.take::<AosTable>(6);
         assert!(hit);
+    }
+
+    /// Sharding must not change observable recycling: shapes spread
+    /// over many shards each keep their own shelf, and concurrent
+    /// same-shape traffic still round-trips.
+    #[test]
+    fn sharded_shelves_recycle_independently() {
+        let pool = Arc::new(TablePool::default());
+        for rels in 3..3 + 2 * SHARD_COUNT {
+            let (t, hit) = pool.take::<AosTable>(rels);
+            assert!(!hit);
+            pool.put(t);
+        }
+        assert_eq!(pool.len(), 2 * SHARD_COUNT);
+        for rels in 3..3 + 2 * SHARD_COUNT {
+            let (t, hit) = pool.take::<AosTable>(rels);
+            assert!(hit, "shape {rels} lost its shelf");
+            assert_eq!(t.rels(), rels);
+        }
+        assert!(pool.is_empty());
+        // Concurrent put/take across threads never panics or loses the
+        // bound (the exact hit pattern is timing-dependent).
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let (t, _) = pool.take::<AosTable>(6);
+                        pool.put(t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.len() <= SHELF_CAPACITY);
     }
 
     #[test]

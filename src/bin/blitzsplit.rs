@@ -8,8 +8,9 @@
 //!                     [--refine-steps N] [--dp-window K] [--dp-rounds R] [--seed S]
 //! blitzsplit sql "SELECT * FROM sales s, customer c WHERE s.custkey = c.custkey"
 //! blitzsplit workload --topology chain|cycle3|star|clique --n 15 --mu 100 --var 0.5 [--time]
-//! blitzsplit serve  [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--max-rels N] \
-//!                   [--threads N] [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] \
+//! blitzsplit serve  [--addr 127.0.0.1:7878] [--frontend poll|threads] [--max-conns N] \
+//!                   [--workers N] [--cache N] [--max-rels N] [--threads N] \
+//!                   [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] \
 //!                   [--ladder] [--budget-ms N] [--refine-steps N] [--dp-window K] \
 //!                   [--dp-rounds R] [--seed S]
 //! blitzsplit client --addr HOST:PORT --cards 10,20,30 [--pred i:j:sel]... [--model ...]
@@ -24,15 +25,17 @@
 //! point and optionally times its optimization; `serve` runs the
 //! concurrent optimizer service (plan cache, worker pool, admission
 //! control, metrics — with `--ladder`, over-limit queries are served by
-//! the ladder instead of degrading to greedy) on a TCP line protocol,
-//! and `client` talks to it.
+//! the ladder instead of degrading to greedy) on a TCP line protocol —
+//! the readiness-loop frontend by default, thread-per-connection with
+//! `--frontend threads` — and `client` talks to it.
 
 use blitzsplit::catalog::{demo_retail_catalog, parse_query, Topology, Workload};
 use blitzsplit::core::{CostModel, MAX_RELS};
 use blitzsplit::ladder::{optimize_ladder, BigSpec, LadderConfig};
 use blitzsplit::service::server::{format_optimize_request, response_field};
 use blitzsplit::service::{
-    Client, LadderSettings, ModelId, OptimizerService, Server, ServiceConfig,
+    Client, Frontend, LadderSettings, ModelId, OptimizerService, Server, ServerOptions,
+    ServiceConfig,
 };
 use blitzsplit::{
     optimize_join_threshold_with, optimize_join_with, DiskNestedLoops, DriveOptions, JoinSpec,
@@ -54,7 +57,8 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!("  blitzsplit sql \"SELECT ...\" [--model ...] [--dot]");
     eprintln!("  blitzsplit workload --topology chain|cycle3|star|clique \\");
     eprintln!("             --n N [--mu M] [--var V] [--model ...] [--threads N] [--time]");
-    eprintln!("  blitzsplit serve [--addr 127.0.0.1:7878] [--workers N] [--cache N] \\");
+    eprintln!("  blitzsplit serve [--addr 127.0.0.1:7878] [--frontend poll|threads] \\");
+    eprintln!("             [--max-conns N] [--workers N] [--cache N] \\");
     eprintln!("             [--max-rels N] [--threads N] [--layout aos|soa|hotcold] \\");
     eprintln!("             [--kernel scalar|batched|simd] [--ladder] [--budget-ms N] \\");
     eprintln!("             [--refine-steps N] [--dp-window K] [--dp-rounds R] [--seed S]");
@@ -441,13 +445,28 @@ fn main() -> ExitCode {
                     budget: lc.wall_clock.or(LadderSettings::default().budget),
                 });
             }
+            let mut options = ServerOptions::default();
+            if let Some(f) = args.get("frontend") {
+                match Frontend::parse(f) {
+                    Some(f) => options.frontend = f,
+                    None => return fail("--frontend must be poll or threads"),
+                }
+            }
+            if let Some(m) = args.get("max-conns") {
+                match m.parse::<usize>() {
+                    Ok(m) => options.max_connections = m,
+                    _ => return fail("--max-conns must be a non-negative integer (0 = no cap)"),
+                }
+            }
             let service = Arc::new(OptimizerService::new(config));
-            let server = match Server::bind(addr.as_str(), service) {
+            let server = match Server::bind_with(addr.as_str(), service, options) {
                 Ok(s) => s,
                 Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
             };
             match server.local_addr() {
-                Ok(bound) => println!("listening on {bound}"),
+                Ok(bound) => {
+                    println!("listening on {bound} (frontend: {})", options.frontend.name())
+                }
                 Err(e) => return fail(&e.to_string()),
             }
             match server.run() {

@@ -100,10 +100,14 @@ fn serve_and_client_agree_with_one_shot_optimize() {
     BufReader::new(server.stdout.take().expect("piped stdout"))
         .read_line(&mut first_line)
         .expect("server announces its address");
+    // The announcement is `listening on ADDR (frontend: NAME)`.
     let addr = first_line
         .trim()
         .strip_prefix("listening on ")
         .unwrap_or_else(|| panic!("unexpected announcement {first_line:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
         .to_string();
 
     // Kill the server even when an assertion below panics.

@@ -4,12 +4,17 @@
 //! frontend (library and CLI).
 
 use blitzsplit::catalog::{Topology, Workload};
-use blitzsplit::service::server::{format_optimize_request, handle_line, response_field};
+use blitzsplit::service::server::{
+    format_optimize_request, handle_line, response_field, AcceptFault,
+};
 use blitzsplit::service::{
-    CacheOutcome, Client, FallbackReason, LadderSettings, ModelId, OptimizerService, PlanSource,
-    Request, Server, ServiceConfig,
+    CacheOutcome, Client, FallbackReason, Frontend, LadderSettings, ModelId, OptimizerService,
+    PlanSource, Request, Server, ServerOptions, ServiceConfig,
 };
 use blitzsplit::{optimize_join, JoinSpec, Kappa0};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -266,37 +271,246 @@ fn ladder_serves_hundred_relation_requests_on_the_wire() {
     assert_eq!(snap.fallback_over_limit, 0);
 }
 
+/// Bind a fresh server for `frontend` and serve it from a background
+/// thread, returning the bound address.
+fn spawn_frontend(
+    service: Arc<OptimizerService>,
+    options: ServerOptions,
+    frontend: Frontend,
+) -> SocketAddr {
+    let server =
+        Server::bind_with("127.0.0.1:0", service, ServerOptions { frontend, ..options }).unwrap();
+    let (addr, _serving) = server.spawn().unwrap();
+    addr
+}
+
+/// Poll the wire `METRICS` line until `ok(field value)` holds (or the
+/// deadline passes), returning the last observed value. Note the
+/// probing connection itself shows up in connection gauges — callers
+/// comparing `live_connections` must allow for one extra.
+fn await_metric(
+    addr: SocketAddr,
+    field: &str,
+    patience: Duration,
+    ok: impl Fn(u64) -> bool,
+) -> u64 {
+    let deadline = std::time::Instant::now() + patience;
+    loop {
+        let mut client = Client::connect(addr).unwrap();
+        let metrics = client.metrics().unwrap();
+        let got: u64 = response_field(&metrics, field)
+            .unwrap_or_else(|| panic!("no {field}= in {metrics}"))
+            .parse()
+            .unwrap();
+        if ok(got) || std::time::Instant::now() >= deadline {
+            return got;
+        }
+        drop(client);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 #[test]
 fn tcp_server_returns_one_shot_costs() {
+    for frontend in Frontend::all() {
+        let service = Arc::new(OptimizerService::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        }));
+        let addr = spawn_frontend(service, ServerOptions::default(), frontend);
+
+        let mut client = Client::connect(addr).unwrap();
+        assert!(client.ping().unwrap());
+
+        let spec = small_spec();
+        let direct = optimize_join(&spec, &Kappa0).unwrap();
+        let resp = client
+            .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05 model=k0")
+            .unwrap();
+        assert!(resp.starts_with("OK "), "{frontend:?}: {resp}");
+        assert_eq!(
+            response_field(&resp, "cost"),
+            Some(format!("{:.6e}", direct.cost).as_str()),
+            "{frontend:?}: served cost must equal the one-shot optimizer's"
+        );
+        assert_eq!(response_field(&resp, "source"), Some("exact"), "{frontend:?}");
+
+        // A second connection sees the shared cache.
+        let mut other = Client::connect(addr).unwrap();
+        let resp2 = other
+            .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05 model=k0")
+            .unwrap();
+        assert_eq!(response_field(&resp2, "cache"), Some("hit"), "{frontend:?}");
+        let metrics = other.metrics().unwrap();
+        assert!(metrics.contains("cache_hits=1"), "{frontend:?}: {metrics}");
+    }
+}
+
+/// Regression for the fatal accept-path crash: a burst of transient
+/// accept errors (fd exhaustion, aborted handshakes — the classic
+/// `EMFILE`/`ECONNABORTED` pair) must not kill either frontend. The
+/// listener counts them, backs off, and serves the very next client.
+#[test]
+fn accept_fd_pressure_does_not_kill_either_frontend() {
+    const FAULTS: usize = 6;
+    for frontend in Frontend::all() {
+        let service = Arc::new(OptimizerService::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        }));
+        let mut server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            ServerOptions { frontend, ..ServerOptions::default() },
+        )
+        .unwrap();
+        // The first FAULTS accept attempts fail, alternating the two
+        // real-world shapes: raw EMFILE (errno 24) and ECONNABORTED.
+        let remaining = Arc::new(AtomicUsize::new(FAULTS));
+        let fault: AcceptFault = {
+            let remaining = Arc::clone(&remaining);
+            Arc::new(move || {
+                let left = remaining.load(Ordering::Relaxed);
+                if left == 0 {
+                    return None;
+                }
+                remaining.store(left - 1, Ordering::Relaxed);
+                Some(if left.is_multiple_of(2) {
+                    std::io::Error::from_raw_os_error(24) // EMFILE
+                } else {
+                    std::io::Error::from(std::io::ErrorKind::ConnectionAborted)
+                })
+            })
+        };
+        server.set_accept_fault(fault);
+        let (addr, _serving) = server.spawn().unwrap();
+
+        // The faults fire on the accept attempts this connect provokes;
+        // the frontend must absorb all of them and still serve us.
+        let mut client = Client::connect(addr).unwrap();
+        assert!(client.ping().unwrap(), "{frontend:?}: frontend died under fd pressure");
+        let resp = client
+            .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05")
+            .unwrap();
+        assert!(resp.starts_with("OK "), "{frontend:?}: {resp}");
+        assert_eq!(remaining.load(Ordering::Relaxed), 0, "{frontend:?}: faults not consumed");
+
+        // And the errors are visible operationally, not swallowed.
+        let metrics = client.metrics().unwrap();
+        let counted: u64 =
+            response_field(&metrics, "accept_transient_errors").unwrap().parse().unwrap();
+        assert_eq!(counted, FAULTS as u64, "{frontend:?}: {metrics}");
+    }
+}
+
+/// Connection-slot accounting under churn: after waves of short-lived
+/// clients disconnect, the live gauge returns to zero and the accepted
+/// counter equals the number of clients served — on both frontends.
+#[test]
+fn connection_churn_returns_live_gauge_to_zero() {
+    const WAVES: usize = 3;
+    const PER_WAVE: usize = 20;
+    for frontend in Frontend::all() {
+        let service = Arc::new(OptimizerService::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        }));
+        let addr = spawn_frontend(service, ServerOptions::default(), frontend);
+        for _ in 0..WAVES {
+            let mut batch: Vec<Client> =
+                (0..PER_WAVE).map(|_| Client::connect(addr).unwrap()).collect();
+            for client in &mut batch {
+                assert!(client.ping().unwrap(), "{frontend:?}");
+            }
+            drop(batch);
+        }
+        // The probe connection itself is the remaining 1.
+        let live = await_metric(addr, "live_connections", Duration::from_secs(5), |v| v <= 1);
+        assert!(live <= 1, "{frontend:?}: {live} connections leaked after churn");
+        let accepted = await_metric(addr, "connections_accepted", Duration::ZERO, |_| true);
+        assert!(
+            accepted >= (WAVES * PER_WAVE) as u64,
+            "{frontend:?}: only {accepted} accepts recorded"
+        );
+    }
+}
+
+/// The readiness-loop scaling criterion: one event loop holds 1000
+/// concurrently idle connections (no per-connection threads) while
+/// still serving active OPTIMIZE traffic, and every idle socket is
+/// still usable afterwards.
+#[test]
+fn poll_frontend_sustains_a_thousand_idle_connections() {
+    const IDLE: usize = 1000;
     let service = Arc::new(OptimizerService::new(ServiceConfig {
         workers: 2,
         ..ServiceConfig::default()
     }));
-    let server = Server::bind("127.0.0.1:0", service).unwrap();
-    let (addr, _serving) = server.spawn().unwrap();
+    let options = ServerOptions {
+        // Idle is the point: no timeouts reaping the parked sockets.
+        read_timeout: None,
+        request_deadline: None,
+        max_connections: 2 * IDLE,
+        ..ServerOptions::default()
+    };
+    let addr = spawn_frontend(service, options, Frontend::Poll);
 
+    let idle: Vec<TcpStream> = (0..IDLE).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let live =
+        await_metric(addr, "live_connections", Duration::from_secs(30), |v| v >= IDLE as u64);
+    assert!(live >= IDLE as u64, "only {live} of {IDLE} idle connections accepted");
+
+    // Active traffic flows through the same loop while they sit parked.
     let mut client = Client::connect(addr).unwrap();
-    assert!(client.ping().unwrap());
+    for _ in 0..4 {
+        let resp = client
+            .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05")
+            .unwrap();
+        assert!(resp.starts_with("OK "), "{resp}");
+    }
 
-    let spec = small_spec();
-    let direct = optimize_join(&spec, &Kappa0).unwrap();
-    let resp = client
-        .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05 model=k0")
-        .unwrap();
+    // Sampled idle sockets are still live end-to-end.
+    for stream in idle.iter().step_by(IDLE / 10) {
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        (&*stream).write_all(b"PING\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert_eq!(resp, "OK pong\n", "idle socket went stale: {resp:?}");
+    }
+    drop(idle);
+    drop(client);
+    let drained = await_metric(addr, "live_connections", Duration::from_secs(10), |v| v <= 1);
+    assert!(drained <= 1, "{drained} connections leaked after the idle swarm left");
+}
+
+/// Regression for the non-finite ladder gap: when a cost-model overflow
+/// drives both the ladder's best cost and its greedy basis to `inf`,
+/// the raw ratio is NaN — the wire `gap=` field must stay a finite
+/// number anyway.
+#[test]
+fn ladder_gap_stays_finite_when_costs_overflow() {
+    let service = OptimizerService::new(ServiceConfig {
+        workers: 1,
+        ladder: Some(LadderSettings {
+            refine_steps: 64,
+            ..LadderSettings::default()
+        }),
+        ..ServiceConfig::default()
+    });
+    // 1e30 cardinalities overflow f32 on the very first join
+    // (1e30 · 1e30 · 0.5 ≫ f32::MAX), so every candidate plan costs inf.
+    let n = 40;
+    let cards: Vec<f64> = vec![1.0e30; n];
+    let preds: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 0.5)).collect();
+    let line = format_optimize_request(&cards, &preds, ModelId::Kappa0, None);
+    let resp = handle_line(&service, &line);
     assert!(resp.starts_with("OK "), "{resp}");
-    assert_eq!(
-        response_field(&resp, "cost"),
-        Some(format!("{:.6e}", direct.cost).as_str()),
-        "served cost must equal the one-shot optimizer's"
-    );
-    assert_eq!(response_field(&resp, "source"), Some("exact"));
-
-    // A second connection sees the shared cache.
-    let mut other = Client::connect(addr).unwrap();
-    let resp2 = other
-        .request("OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05 model=k0")
-        .unwrap();
-    assert_eq!(response_field(&resp2, "cache"), Some("hit"));
-    let metrics = other.metrics().unwrap();
-    assert!(metrics.contains("cache_hits=1"), "{metrics}");
+    let source = response_field(&resp, "source").unwrap();
+    assert!(source.starts_with("ladder_"), "{source}");
+    let gap_text = response_field(&resp, "gap").unwrap();
+    let gap: f32 = gap_text.parse().unwrap_or(f32::NAN);
+    assert!(gap.is_finite(), "non-finite gap leaked onto the wire: gap={gap_text} in {resp}");
+    // inf == inf: the ladder never moved off greedy, so the gap is 0.
+    assert_eq!(gap, 0.0, "{resp}");
 }
