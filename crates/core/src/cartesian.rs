@@ -14,6 +14,7 @@
 //! intermediate-result cardinalities are computed.
 
 use crate::bitset::RelSet;
+use crate::conv::RowEngine;
 use crate::cost::CostModel;
 use crate::kernel::ResolvedKernel;
 use crate::plan::Plan;
@@ -97,7 +98,15 @@ where
     for (rel, &card) in cards.iter().enumerate() {
         init_singleton(&mut table, model, rel, card);
     }
-    drive::<L, M, St, _, PRUNE>(&mut table, model, n, cap, kernel, stats, product_properties);
+    drive::<L, M, St, _, PRUNE>(
+        &mut table,
+        model,
+        n,
+        cap,
+        RowEngine::with_kernel(kernel),
+        stats,
+        product_properties,
+    );
     table
 }
 
@@ -122,13 +131,22 @@ where
 {
     let threads = options.effective_parallelism();
     if threads < 2 {
-        return optimize_products_into_kernel::<L, M, St, PRUNE>(
-            cards,
+        let n = cards.len();
+        assert!((1..=MAX_TABLE_RELS).contains(&n), "unsupported relation count {n}");
+        let mut table = L::with_rels(n);
+        for (rel, &card) in cards.iter().enumerate() {
+            init_singleton(&mut table, model, rel, card);
+        }
+        drive::<L, M, St, _, PRUNE>(
+            &mut table,
             model,
+            n,
             cap,
-            options.kernel.resolve(),
+            RowEngine::resolve(options, model, n),
             stats,
+            product_properties,
         );
+        return table;
     }
     let n = cards.len();
     assert!((1..=MAX_TABLE_RELS).contains(&n), "unsupported relation count {n}");

@@ -61,6 +61,22 @@ pub trait CostModel {
         0.0
     }
 
+    /// Whether the layered-convolution driver ([`crate::DriverChoice::Conv`])
+    /// is exact for this model.
+    ///
+    /// The convolution driver evaluates each unordered split `{L, R}`
+    /// once (anchored on the lowest relation of the set) instead of both
+    /// ordered orientations. That halving is exact precisely when the
+    /// candidate cost is a *symmetric* function of the two operands down
+    /// to f32 bit level — i.e. when `κ'' ≡ 0`, so a candidate's cost is
+    /// the single commutative addition `cost(L) + cost(R)` (κ0 /
+    /// C_out-shaped models). Models with a split-dependent `κ''` return
+    /// `false` and transparently fall back to the split driver.
+    #[inline]
+    fn supports_conv(&self) -> bool {
+        false
+    }
+
     /// Human-readable model name, used by the benchmark harness.
     fn name(&self) -> &'static str;
 
@@ -92,6 +108,14 @@ impl CostModel for Kappa0 {
     #[inline]
     fn kappa_dep(&self, _out: f64, _lhs: f64, _rhs: f64, _la: f32, _ra: f32) -> f32 {
         0.0
+    }
+
+    #[inline]
+    fn supports_conv(&self) -> bool {
+        // κ0'' ≡ 0: a candidate's cost is the commutative f32 addition
+        // `cost(L) + cost(R)`, so the anchored half-enumeration of the
+        // convolution driver sees the exact same value multiset.
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -23,6 +23,7 @@
 
 use crate::bitset::RelSet;
 use crate::cartesian::Optimized;
+use crate::conv::RowEngine;
 use crate::cost::CostModel;
 use crate::kernel::ResolvedKernel;
 use crate::plan::Plan;
@@ -37,7 +38,7 @@ use crate::table::{
 /// `compute_properties` for joins: fan recurrence + cardinality recurrence
 /// (paper Section 5.4). Exactly three floating-point multiplications.
 #[inline]
-fn join_properties<L: TableLayout, M: CostModel>(
+pub(crate) fn join_properties<L: TableLayout, M: CostModel>(
     table: &mut L,
     model: &M,
     spec: &JoinSpec,
@@ -107,9 +108,15 @@ where
     for rel in 0..n {
         init_singleton(&mut table, model, rel, spec.card(rel));
     }
-    drive::<L, M, St, _, PRUNE>(&mut table, model, n, cap, kernel, stats, |t, m, s| {
-        join_properties(t, m, spec, s)
-    });
+    drive::<L, M, St, _, PRUNE>(
+        &mut table,
+        model,
+        n,
+        cap,
+        RowEngine::with_kernel(kernel),
+        stats,
+        |t, m, s| join_properties(t, m, spec, s),
+    );
     table
 }
 
@@ -152,7 +159,7 @@ pub(crate) fn fill_join_table_with<L, M, St, const PRUNE: bool>(
             model,
             n,
             cap,
-            options.kernel.resolve(),
+            RowEngine::resolve(options, model, n),
             stats,
             |t, m, s| join_properties(t, m, spec, s),
         );

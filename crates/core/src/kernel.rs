@@ -337,7 +337,7 @@ fn find_best_split_batched<L, M, St, const PRUNE: bool>(
 /// guard-checked `cost()` accessor and the wave discipline stays
 /// machine-enforced).
 #[inline]
-fn gather_mask_portable<L: TableLayout>(
+pub(crate) fn gather_mask_portable<L: TableLayout>(
     table: &L,
     s: RelSet,
     lhs_buf: &[RelSet; LANES],
@@ -393,7 +393,7 @@ fn gather_mask_portable<L: TableLayout>(
 /// provides for any nonempty strict subset of an in-bounds `s`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn gather_mask_avx2(
+pub(crate) unsafe fn gather_mask_avx2(
     base: *const f32,
     s: RelSet,
     lhs_buf: &[RelSet; LANES],
@@ -451,7 +451,7 @@ unsafe fn gather_mask_avx2(
 /// every aarch64 target this crate builds for.)
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
-unsafe fn gather_mask_neon(
+pub(crate) unsafe fn gather_mask_neon(
     base: *const f32,
     s: RelSet,
     lhs_buf: &[RelSet; LANES],

@@ -44,6 +44,7 @@ pub mod bitset;
 pub mod cartesian;
 #[cfg(any(blitz_check, debug_assertions))]
 mod check;
+pub mod conv;
 pub mod cost;
 pub mod hyper;
 pub mod join;
@@ -61,12 +62,13 @@ pub use cartesian::{
     optimize_products, optimize_products_into, optimize_products_into_with,
     optimize_products_with, Optimized,
 };
+pub use conv::{DriverChoice, CONV_AUTO_MIN_RELS, DEFAULT_SCALAR_WAVE_FLOOR};
 pub use cost::{CostModel, DiskNestedLoops, JoinAlgorithm, Kappa0, SmDnl, SortMerge};
 pub use hyper::{optimize_hyper, optimize_hyper_into, HyperSpec};
 pub use join::{optimize_join, optimize_join_into, optimize_join_into_with, optimize_join_with};
 pub use kernel::KernelChoice;
 pub use ordered::{optimize_ordered, optimize_ordered_naive, OrderedOptimized, OrderedPlan, OrderedSpec};
-pub use plan::{AnnotatedPlan, Plan};
+pub use plan::{AnnotatedPlan, Plan, PlanArena, PlanNodeId};
 pub use spec::{JoinSpec, SpecError};
 pub use split::{DriveOptions, WaveSchedule};
 pub use stats::{Counters, NoStats, Stats};
@@ -75,7 +77,7 @@ pub use table::{
     TableLayout, WaveTableLayout, MAX_TABLE_RELS,
 };
 pub use threshold::{
-    optimize_join_threshold, optimize_join_threshold_into, optimize_join_threshold_into_with,
-    optimize_join_threshold_reusing_with, optimize_join_threshold_with, ThresholdOutcome,
-    ThresholdSchedule,
+    optimize_join_threshold, optimize_join_threshold_arena_with, optimize_join_threshold_into,
+    optimize_join_threshold_into_with, optimize_join_threshold_reusing_with,
+    optimize_join_threshold_with, ArenaThresholdOutcome, ThresholdOutcome, ThresholdSchedule,
 };

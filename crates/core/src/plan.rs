@@ -260,6 +260,181 @@ impl std::fmt::Display for Plan {
     }
 }
 
+/// Handle to a node inside a [`PlanArena`].
+///
+/// Only meaningful for the arena that produced it; indexing another
+/// arena with it yields an unrelated node (or a panic).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PlanNodeId(u32);
+
+const ARENA_NIL: u32 = u32::MAX;
+
+/// One arena node: a scan (`left == ARENA_NIL`) or a join.
+#[derive(Copy, Clone, Debug)]
+struct ArenaNode {
+    /// Base-relation index for scans; unused for joins.
+    rel: u32,
+    /// Left child, or [`ARENA_NIL`] for a scan.
+    left: u32,
+    /// Right child, or [`ARENA_NIL`] for a scan.
+    right: u32,
+}
+
+/// A reusable, flat node store for plan extraction.
+///
+/// [`Plan::extract`] allocates two `Box`es per join node — `2n − 1`
+/// heap allocations for an `n`-relation query, paid on every
+/// extraction. A `PlanArena` replaces them with appends into one
+/// recycled `Vec`: after the first extraction of a given size warms the
+/// backing storage, [`PlanArena::extract`] (and
+/// [`PlanArena::clear`]) performs **zero** heap allocations — pinned by
+/// the `no_alloc` integration suite. The service keeps a pool of warm
+/// arenas and recycles them across requests the same way it recycles DP
+/// tables.
+///
+/// The arena owns only shapes; convert a root to an owned [`Plan`] with
+/// [`PlanArena::to_plan`] (which allocates, for callers that need the
+/// boxed form, e.g. to share a plan beyond the arena's lifetime) or
+/// render it directly with [`PlanArena::write_expr`].
+#[derive(Clone, Debug, Default)]
+pub struct PlanArena {
+    nodes: Vec<ArenaNode>,
+}
+
+impl PlanArena {
+    /// An empty arena. The first extraction grows it; prefer
+    /// [`PlanArena::with_node_capacity`] when the plan size is known.
+    pub fn new() -> PlanArena {
+        PlanArena::default()
+    }
+
+    /// An arena pre-sized for `nodes` plan nodes (a plan over `n`
+    /// relations has `2n − 1`).
+    pub fn with_node_capacity(nodes: usize) -> PlanArena {
+        PlanArena { nodes: Vec::with_capacity(nodes) }
+    }
+
+    /// Drop all nodes, keeping the backing storage for reuse. Every
+    /// previously issued [`PlanNodeId`] is invalidated.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes the arena can hold before reallocating.
+    pub fn capacity(&self) -> usize {
+        self.nodes.capacity()
+    }
+
+    fn push(&mut self, node: ArenaNode) -> PlanNodeId {
+        let id = u32::try_from(self.nodes.len()).expect("plan arena node count fits u32");
+        self.nodes.push(node);
+        PlanNodeId(id)
+    }
+
+    /// Append a scan leaf.
+    pub fn scan(&mut self, rel: usize) -> PlanNodeId {
+        let rel = u32::try_from(rel).expect("relation index fits u32");
+        self.push(ArenaNode { rel, left: ARENA_NIL, right: ARENA_NIL })
+    }
+
+    /// Append a join over two existing nodes.
+    pub fn join(&mut self, left: PlanNodeId, right: PlanNodeId) -> PlanNodeId {
+        self.push(ArenaNode { rel: 0, left: left.0, right: right.0 })
+    }
+
+    /// [`Plan::extract`] into the arena: append the optimal plan for
+    /// subset `s` from a filled DP table and return its root. Does not
+    /// clear first, so several plans can share one arena; recycle with
+    /// [`PlanArena::clear`].
+    ///
+    /// # Panics
+    /// Panics if `s` is empty or if the table rows for `s` or any
+    /// required subset were never filled in (e.g. a threshold pass
+    /// failed).
+    pub fn extract<L: TableLayout>(&mut self, table: &L, s: RelSet) -> PlanNodeId {
+        assert!(!s.is_empty(), "cannot extract a plan for the empty set");
+        if s.is_singleton() {
+            return self.scan(s.min_rel().unwrap());
+        }
+        let lhs = table.best_lhs(s);
+        assert!(
+            !lhs.is_empty() && lhs.is_subset_of(s) && lhs != s,
+            "table row for {s:?} holds no valid split (best_lhs = {lhs:?}); \
+             was optimization successful?"
+        );
+        let left = self.extract(table, lhs);
+        let right = self.extract(table, s - lhs);
+        self.join(left, right)
+    }
+
+    /// Append a degenerate left-deep vine over relations `0..n` in input
+    /// order — the fallback shape used when every plan's cost overflows.
+    pub fn left_deep_vine(&mut self, n: usize) -> PlanNodeId {
+        assert!(n >= 1, "a plan needs at least one relation");
+        let mut root = self.scan(0);
+        for rel in 1..n {
+            let leaf = self.scan(rel);
+            root = self.join(root, leaf);
+        }
+        root
+    }
+
+    /// The set of base relations covered by the subtree at `id`.
+    pub fn rel_set(&self, id: PlanNodeId) -> RelSet {
+        let node = self.nodes[id.0 as usize];
+        if node.left == ARENA_NIL {
+            RelSet::singleton(node.rel as usize)
+        } else {
+            self.rel_set(PlanNodeId(node.left)) | self.rel_set(PlanNodeId(node.right))
+        }
+    }
+
+    /// Convert the subtree at `id` into an owned boxed [`Plan`]. This is
+    /// the one allocating escape hatch — use it when the plan must
+    /// outlive the arena (e.g. for caching), not per request.
+    pub fn to_plan(&self, id: PlanNodeId) -> Plan {
+        let node = self.nodes[id.0 as usize];
+        if node.left == ARENA_NIL {
+            Plan::scan(node.rel as usize)
+        } else {
+            Plan::join(self.to_plan(PlanNodeId(node.left)), self.to_plan(PlanNodeId(node.right)))
+        }
+    }
+
+    /// Render the subtree at `id` in [`Plan::to_expr`] syntax, appending
+    /// to `out` (no intermediate allocations beyond `out`'s growth).
+    pub fn write_expr(&self, id: PlanNodeId, out: &mut String) {
+        use std::fmt::Write;
+        let node = self.nodes[id.0 as usize];
+        if node.left == ARENA_NIL {
+            let _ = write!(out, "R{}", node.rel);
+        } else {
+            out.push('(');
+            self.write_expr(PlanNodeId(node.left), out);
+            out.push_str(" x ");
+            self.write_expr(PlanNodeId(node.right), out);
+            out.push(')');
+        }
+    }
+
+    /// [`PlanArena::write_expr`] into a fresh string.
+    pub fn expr(&self, id: PlanNodeId) -> String {
+        let mut out = String::new();
+        self.write_expr(id, &mut out);
+        out
+    }
+}
+
 /// A plan tree annotated with per-node statistics; see [`Plan::annotate`].
 #[derive(Clone, Debug)]
 pub struct AnnotatedPlan {
@@ -437,5 +612,61 @@ mod tests {
         let p = Plan::join(Plan::scan(0), Plan::scan(1));
         let a = p.annotate_algorithms(&spec, &model);
         assert!(a.algorithm.is_some());
+    }
+
+    #[test]
+    fn arena_extract_matches_boxed_extract() {
+        let spec = JoinSpec::new(
+            &[10.0, 20.0, 30.0, 40.0, 50.0],
+            &[(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.05), (0, 4, 0.5)],
+        )
+        .unwrap();
+        let table = crate::join::optimize_join_into::<crate::table::AosTable, _, _, true>(
+            &spec,
+            &Kappa0,
+            f32::INFINITY,
+            &mut crate::stats::NoStats,
+        );
+        let full = spec.all_rels();
+        let boxed = Plan::extract(&table, full);
+
+        let mut arena = PlanArena::new();
+        let root = arena.extract(&table, full);
+        assert_eq!(arena.len(), 2 * spec.n() - 1);
+        assert_eq!(arena.rel_set(root), full);
+        assert_eq!(arena.to_plan(root), boxed);
+        assert_eq!(arena.expr(root), boxed.to_expr());
+
+        // Recycling: clear keeps storage, and a re-extraction lands on
+        // the identical shape without growing the arena.
+        let warmed = arena.capacity();
+        arena.clear();
+        assert!(arena.is_empty());
+        let root = arena.extract(&table, full);
+        assert_eq!(arena.capacity(), warmed);
+        assert_eq!(arena.to_plan(root), boxed);
+    }
+
+    #[test]
+    fn arena_vine_matches_boxed_fallback() {
+        let mut arena = PlanArena::with_node_capacity(7);
+        let root = arena.left_deep_vine(4);
+        let mut boxed = Plan::scan(0);
+        for rel in 1..4 {
+            boxed = Plan::join(boxed, Plan::scan(rel));
+        }
+        assert_eq!(arena.to_plan(root), boxed);
+        assert!(arena.to_plan(root).is_left_deep());
+        assert_eq!(arena.expr(root), "(((R0 x R1) x R2) x R3)");
+    }
+
+    #[test]
+    fn arena_rejects_empty_set() {
+        let table = crate::table::AosTable::with_rels(2);
+        let mut arena = PlanArena::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            arena.extract(&table, RelSet::EMPTY)
+        }));
+        assert!(result.is_err());
     }
 }

@@ -19,8 +19,9 @@
 //! and the `PRUNE` switch (the ablation benches compile both variants).
 
 use crate::bitset::RelSet;
+use crate::conv::{RowEngine, DriverChoice, DEFAULT_SCALAR_WAVE_FLOOR};
 use crate::cost::CostModel;
-use crate::kernel::{find_best_split_with, KernelChoice, ResolvedKernel};
+use crate::kernel::KernelChoice;
 use crate::stats::Stats;
 use crate::table::{LayoutChoice, SyncTable, SyncTableView, TableLayout, WaveTableLayout};
 
@@ -65,11 +66,12 @@ impl WaveSchedule {
 ///
 /// The default is read once per process from the environment —
 /// `BLITZ_TEST_THREADS` (unset or `1` ⇒ the serial driver),
-/// `BLITZ_TEST_LAYOUT` (`aos`/`soa`/`hotcold`) and `BLITZ_TEST_KERNEL`
-/// (`scalar`/`batched`/`simd`) — which lets a CI job force every
+/// `BLITZ_TEST_LAYOUT` (`aos`/`soa`/`hotcold`), `BLITZ_TEST_KERNEL`
+/// (`scalar`/`batched`/`simd`) and `BLITZ_TEST_DRIVER`
+/// (`split`/`conv`/`auto`) — which lets a CI job force every
 /// default-configured optimization in the workspace through the parallel
-/// rank-wave driver, an alternate table layout and/or an alternate split
-/// kernel without touching call sites.
+/// rank-wave driver, an alternate table layout, an alternate split
+/// kernel and/or the convolution driver without touching call sites.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct DriveOptions {
     /// Worker threads for the rank-wave parallel driver. `1` is the
@@ -89,6 +91,17 @@ pub struct DriveOptions {
     /// against the hardware once per drive; all kernels produce
     /// bit-identical tables, plans and counters (see [`crate::kernel`]).
     pub kernel: KernelChoice,
+    /// DP driver filling each row: the reference split enumeration, the
+    /// anchored layered-convolution driver, or an automatic pick.
+    /// Resolved against the cost model's [`CostModel::supports_conv`]
+    /// capability once per drive; on supported models the drivers are
+    /// cost-bit-identical (see [`crate::conv`]).
+    pub driver: DriverChoice,
+    /// Popcount below which rows run the scalar cascade regardless of
+    /// [`DriveOptions::kernel`]: small waves cannot fill a batch, so
+    /// batching them is pure overhead. Kernels are bit-identical, so
+    /// this is pure scheduling. `0` disables the floor.
+    pub scalar_wave_floor: u8,
 }
 
 impl DriveOptions {
@@ -99,6 +112,8 @@ impl DriveOptions {
             layout: LayoutChoice::default(),
             schedule: WaveSchedule::default(),
             kernel: KernelChoice::default(),
+            driver: DriverChoice::default(),
+            scalar_wave_floor: DEFAULT_SCALAR_WAVE_FLOOR,
         }
     }
 
@@ -109,6 +124,8 @@ impl DriveOptions {
             layout: LayoutChoice::default(),
             schedule: WaveSchedule::default(),
             kernel: KernelChoice::default(),
+            driver: DriverChoice::default(),
+            scalar_wave_floor: DEFAULT_SCALAR_WAVE_FLOOR,
         }
     }
 
@@ -127,6 +144,16 @@ impl DriveOptions {
         DriveOptions { kernel, ..self }
     }
 
+    /// This policy with a different DP driver.
+    pub fn with_driver(self, driver: DriverChoice) -> DriveOptions {
+        DriveOptions { driver, ..self }
+    }
+
+    /// This policy with a different scalar wave floor (`0` disables).
+    pub fn with_scalar_wave_floor(self, scalar_wave_floor: u8) -> DriveOptions {
+        DriveOptions { scalar_wave_floor, ..self }
+    }
+
     /// The concrete worker count: resolves `0` to the machine's available
     /// parallelism and never returns 0.
     pub fn effective_parallelism(&self) -> usize {
@@ -139,9 +166,9 @@ impl DriveOptions {
 
 impl Default for DriveOptions {
     fn default() -> DriveOptions {
-        static ENV: std::sync::OnceLock<(usize, LayoutChoice, KernelChoice)> =
+        static ENV: std::sync::OnceLock<(usize, LayoutChoice, KernelChoice, DriverChoice)> =
             std::sync::OnceLock::new();
-        let (parallelism, layout, kernel) = *ENV.get_or_init(|| {
+        let (parallelism, layout, kernel, driver) = *ENV.get_or_init(|| {
             let threads = std::env::var("BLITZ_TEST_THREADS")
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
@@ -154,9 +181,20 @@ impl Default for DriveOptions {
                 .ok()
                 .and_then(|v| KernelChoice::parse(&v))
                 .unwrap_or_default();
-            (threads, layout, kernel)
+            let driver = std::env::var("BLITZ_TEST_DRIVER")
+                .ok()
+                .and_then(|v| DriverChoice::parse(&v))
+                .unwrap_or_default();
+            (threads, layout, kernel, driver)
         });
-        DriveOptions { parallelism, layout, schedule: WaveSchedule::default(), kernel }
+        DriveOptions {
+            parallelism,
+            layout,
+            schedule: WaveSchedule::default(),
+            kernel,
+            driver,
+            scalar_wave_floor: DEFAULT_SCALAR_WAVE_FLOOR,
+        }
     }
 }
 
@@ -325,7 +363,7 @@ pub(crate) fn drive<L, M, St, F, const PRUNE: bool>(
     model: &M,
     n: usize,
     cap: f32,
-    kernel: ResolvedKernel,
+    engine: RowEngine,
     stats: &mut St,
     mut compute_properties: F,
 ) where
@@ -342,7 +380,7 @@ pub(crate) fn drive<L, M, St, F, const PRUNE: bool>(
         // Skip powers of two: those are singletons, already initialized.
         if !s.is_singleton() {
             compute_properties(table, model, s);
-            find_best_split_with::<L, M, St, PRUNE>(table, model, s, cap, stats, kernel);
+            engine.run_row::<L, M, St, PRUNE>(table, model, s, cap, stats);
         }
         bits += 1;
     }
@@ -476,10 +514,10 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
 {
     let threads = options.effective_parallelism();
     let schedule = options.schedule;
-    // Resolve the kernel once, before any worker spawns: feature
-    // detection stays off the row path and every worker dispatches on
-    // the same `Copy` token.
-    let kernel = options.kernel.resolve();
+    // Resolve the kernel, driver and wave floor once, before any worker
+    // spawns: feature detection and the model capability probe stay off
+    // the row path and every worker dispatches on the same `Copy` token.
+    let engine = RowEngine::resolve(options, model, n);
     debug_assert!(threads >= 2, "use `drive` for serial execution");
     stats.pass();
     let end = 1u64 << n;
@@ -496,9 +534,7 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
             while bits < end {
                 let s = RelSet::from_wave_bits(bits);
                 compute_properties(&mut view, model, s);
-                find_best_split_with::<SyncTableView<L>, M, St, PRUNE>(
-                    &mut view, model, s, cap, stats, kernel,
-                );
+                engine.run_row::<SyncTableView<L>, M, St, PRUNE>(&mut view, model, s, cap, stats);
                 bits = same_popcount_successor(bits);
             }
         }
@@ -535,8 +571,8 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
                                     for _ in start..stop {
                                         let s = RelSet::from_wave_bits(bits);
                                         compute_properties(&mut view, model, s);
-                                        find_best_split_with::<SyncTableView<L>, M, St, PRUNE>(
-                                            &mut view, model, s, cap, &mut local, kernel,
+                                        engine.run_row::<SyncTableView<L>, M, St, PRUNE>(
+                                            &mut view, model, s, cap, &mut local,
                                         );
                                         bits = same_popcount_successor(bits);
                                     }
@@ -553,8 +589,8 @@ pub(crate) fn drive_parallel<L, M, St, F, const PRUNE: bool>(
                                     if row % threads == t {
                                         let s = RelSet::from_wave_bits(bits);
                                         compute_properties(&mut view, model, s);
-                                        find_best_split_with::<SyncTableView<L>, M, St, PRUNE>(
-                                            &mut view, model, s, cap, &mut local, kernel,
+                                        engine.run_row::<SyncTableView<L>, M, St, PRUNE>(
+                                            &mut view, model, s, cap, &mut local,
                                         );
                                     }
                                     row += 1;
@@ -692,13 +728,19 @@ mod tests {
         let o = DriveOptions::parallel(4)
             .with_layout(LayoutChoice::HotCold)
             .with_schedule(WaveSchedule::RoundRobin)
-            .with_kernel(KernelChoice::Simd);
+            .with_kernel(KernelChoice::Simd)
+            .with_driver(DriverChoice::Conv)
+            .with_scalar_wave_floor(0);
         assert_eq!(o.parallelism, 4);
         assert_eq!(o.layout, LayoutChoice::HotCold);
         assert_eq!(o.schedule, WaveSchedule::RoundRobin);
         assert_eq!(o.kernel, KernelChoice::Simd);
+        assert_eq!(o.driver, DriverChoice::Conv);
+        assert_eq!(o.scalar_wave_floor, 0);
         assert_eq!(DriveOptions::serial().effective_parallelism(), 1);
         assert_eq!(DriveOptions::serial().kernel, KernelChoice::Scalar);
+        assert_eq!(DriveOptions::serial().driver, DriverChoice::Split);
+        assert_eq!(DriveOptions::serial().scalar_wave_floor, DEFAULT_SCALAR_WAVE_FLOOR);
         for s in [WaveSchedule::Chunked, WaveSchedule::RoundRobin] {
             assert_eq!(WaveSchedule::parse(s.name()), Some(s));
         }

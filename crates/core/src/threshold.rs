@@ -19,7 +19,7 @@ use crate::bitset::RelSet;
 use crate::cartesian::Optimized;
 use crate::cost::CostModel;
 use crate::join::{fill_join_table_with, optimize_join_into};
-use crate::plan::Plan;
+use crate::plan::{Plan, PlanArena, PlanNodeId};
 use crate::spec::{JoinSpec, SpecError};
 use crate::split::DriveOptions;
 use crate::stats::{NoStats, Stats};
@@ -186,6 +186,55 @@ where
     M: CostModel + Sync,
     St: Stats + Default + Send,
 {
+    let mut arena = PlanArena::with_node_capacity(2 * spec.n() - 1);
+    let out = optimize_join_threshold_arena_with::<L, M, St, PRUNE>(
+        table, &mut arena, spec, model, schedule, options, stats,
+    );
+    let optimized =
+        Optimized { plan: arena.to_plan(out.root), cost: out.cost, card: out.card };
+    ThresholdOutcome { optimized, passes: out.passes, final_cap: out.final_cap }
+}
+
+/// A thresholded optimization outcome whose plan lives in a caller's
+/// [`PlanArena`] — see [`optimize_join_threshold_arena_with`].
+#[derive(Copy, Clone, Debug)]
+pub struct ArenaThresholdOutcome {
+    /// Root of the extracted plan in the arena passed to the call.
+    pub root: PlanNodeId,
+    /// Cost of the plan (`+∞` when even the uncapped pass overflowed;
+    /// the root is then a degenerate input-order left-deep vine).
+    pub cost: f32,
+    /// Result cardinality of the full join.
+    pub card: f64,
+    /// Total optimization passes executed.
+    pub passes: u32,
+    /// The cost cap in force during the successful pass.
+    pub final_cap: f32,
+}
+
+/// [`optimize_join_threshold_reusing_with`] with plan extraction into a
+/// **caller-provided** [`PlanArena`]: together with the recycled table
+/// this makes the whole optimize-and-extract path allocation-free once
+/// both are warm (pinned by the `no_alloc` integration suite). The
+/// arena is not cleared first — recycle it with [`PlanArena::clear`]
+/// between requests.
+///
+/// # Panics
+/// Panics if `table.rels() != spec.n()`.
+pub fn optimize_join_threshold_arena_with<L, M, St, const PRUNE: bool>(
+    table: &mut L,
+    arena: &mut PlanArena,
+    spec: &JoinSpec,
+    model: &M,
+    schedule: ThresholdSchedule,
+    options: DriveOptions,
+    stats: &mut St,
+) -> ArenaThresholdOutcome
+where
+    L: WaveTableLayout + Send,
+    M: CostModel + Sync,
+    St: Stats + Default + Send,
+{
     let full = spec.all_rels();
     let mut cap = schedule.initial;
     let mut passes = 0u32;
@@ -196,16 +245,23 @@ where
         fill_join_table_with::<L, M, St, PRUNE>(table, spec, model, eff_cap, options, stats);
         let cost = table.cost(full);
         if cost.is_finite() || !capped {
-            let optimized = if cost.is_finite() {
-                Optimized { plan: Plan::extract(table, full), cost, card: table.card(full) }
+            let root = if cost.is_finite() {
+                arena.extract(table, full)
             } else {
-                let mut plan = Plan::scan(0);
-                for rel in 1..spec.n() {
-                    plan = Plan::join(plan, Plan::scan(rel));
-                }
-                Optimized { plan, cost: f32::INFINITY, card: table.card(full) }
+                // Even uncapped, every plan overflowed f32. Surface the
+                // failure as an infinite-cost result with a degenerate
+                // plan of the full set joined in input order so callers
+                // can still execute *something*.
+                arena.left_deep_vine(spec.n())
             };
-            return ThresholdOutcome { optimized, passes, final_cap: eff_cap };
+            let cost = if cost.is_finite() { cost } else { f32::INFINITY };
+            return ArenaThresholdOutcome {
+                root,
+                cost,
+                card: table.card(full),
+                passes,
+                final_cap: eff_cap,
+            };
         }
         cap *= schedule.factor;
     }

@@ -36,7 +36,9 @@
 
 use crate::bigspec::BigSpec;
 use blitz_baselines::{anneal_from, ikkbz_order, improve_from, SaParams};
-use blitz_core::{optimize_join, CostModel, Plan, MAX_TABLE_RELS};
+use blitz_core::{
+    optimize_join, optimize_join_with, CostModel, DriveOptions, DriverChoice, Plan, MAX_TABLE_RELS,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -133,6 +135,14 @@ pub struct LadderConfig {
     /// Optional wall-clock ceiling over the whole ladder (best-effort;
     /// see the module docs on determinism).
     pub wall_clock: Option<Duration>,
+    /// DP driver for the rung-1 exact step ([`DriverChoice::Split`],
+    /// [`DriverChoice::Conv`], or [`DriverChoice::Auto`]). Defaults to
+    /// whatever [`DriveOptions::default`] resolves (honoring the
+    /// process-wide `BLITZ_TEST_DRIVER` override), so ladder runs follow
+    /// the same driver policy as direct optimizations. Rung-2 block DPs
+    /// stay on the default driver: their windows sit below any sensible
+    /// conv crossover.
+    pub driver: DriverChoice,
 }
 
 impl Default for LadderConfig {
@@ -146,6 +156,7 @@ impl Default for LadderConfig {
             sa: SaParams::default(),
             seed: 0x01ad_de12,
             wall_clock: None,
+            driver: DriveOptions::default().driver,
         }
     }
 }
@@ -423,7 +434,8 @@ pub fn optimize_ladder<M: CostModel + Sync>(
     // ladder is done: no later rung can improve on it.
     if n <= cfg.max_exact_rels.min(MAX_TABLE_RELS) && !past(deadline) {
         if let Some(js) = spec.to_join_spec() {
-            if let Ok(opt) = optimize_join(&js, model) {
+            let options = DriveOptions::default().with_driver(cfg.driver);
+            if let Ok(opt) = optimize_join_with(&js, model, options) {
                 reached = Rung::Exact;
                 let improved = opt.cost < best_cost;
                 // Take the exact plan even on a cost tie: rung-1 output

@@ -44,6 +44,10 @@ pub struct ComputedPlan {
     pub passes: u32,
     /// `true` for exact DP results, `false` for greedy fallbacks.
     pub exact: bool,
+    /// The DP driver that produced an exact result; `None` for greedy
+    /// fallbacks. Cached so later hits report the same provenance as
+    /// the miss that ran the optimization.
+    pub driver: Option<crate::ExactDriver>,
 }
 
 enum SlotState {
@@ -347,6 +351,7 @@ mod tests {
             card: 1.0,
             passes: 1,
             exact: true,
+            driver: Some(crate::ExactDriver::Split),
         }
     }
 

@@ -45,9 +45,9 @@ pub use tables::{AnyTable, PoolSlot, TablePool};
 use blitz_baselines::goo;
 use blitz_catalog::CanonicalQuery;
 use blitz_core::{
-    optimize_join_threshold_reusing_with, AosTable, CostModel, Counters, DiskNestedLoops,
-    DriveOptions, HotColdTable, JoinSpec, Kappa0, KernelChoice, LayoutChoice, Plan, SmDnl,
-    SoaTable, SortMerge, ThresholdSchedule, MAX_TABLE_RELS,
+    optimize_join_threshold_arena_with, AosTable, CostModel, Counters, DiskNestedLoops,
+    DriveOptions, DriverChoice, HotColdTable, JoinSpec, Kappa0, KernelChoice, LayoutChoice, Plan,
+    SmDnl, SoaTable, SortMerge, ThresholdSchedule, MAX_TABLE_RELS,
 };
 use blitz_ladder::{goo_big, optimize_ladder};
 use std::sync::atomic::Ordering::Relaxed;
@@ -163,6 +163,37 @@ impl PlanSource {
     }
 }
 
+/// Which DP driver actually ran an exact optimization, after
+/// [`DriverChoice`] resolution against the cost model and query size.
+/// Carried on [`Response`] (and cached plans) so clients can tell a
+/// convolution-driven answer from a split-driven one without scraping
+/// metrics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExactDriver {
+    /// The O(3^n) subset-split driver.
+    Split,
+    /// The layered-convolution driver.
+    Conv,
+    /// The request asked for [`DriverChoice::Conv`] but the cost model
+    /// does not support the convolution reduction, so the split driver
+    /// ran instead. Distinct from [`ExactDriver::Split`] so the silent
+    /// fallback is visible on the wire (`source_detail=conv_fallback`).
+    ConvFallback,
+}
+
+impl ExactDriver {
+    /// The `source_detail=` string for an exact response. Split keeps
+    /// the historical `exact` so existing wire consumers see no change
+    /// unless they opt into the conv driver.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            ExactDriver::Split => "exact",
+            ExactDriver::Conv => "conv",
+            ExactDriver::ConvFallback => "conv_fallback",
+        }
+    }
+}
+
 /// How the cache participated in a response.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum CacheOutcome {
@@ -200,12 +231,17 @@ pub struct Request {
     /// Give up waiting after this long and answer greedily; `None`
     /// waits until the optimization finishes.
     pub deadline: Option<Duration>,
+    /// Per-request DP-driver override for the exact path; `None` uses
+    /// [`ServiceConfig::driver`]. Overridden requests are fingerprinted
+    /// separately, so a `driver=conv` answer is never served from a
+    /// split-cached entry (and vice versa).
+    pub driver: Option<DriverChoice>,
 }
 
 impl Request {
-    /// Request with default model (κ₀), schedule and no deadline.
+    /// Request with default model (κ₀), schedule, driver and no deadline.
     pub fn new(spec: JoinSpec) -> Request {
-        Request { spec, model: ModelId::Kappa0, schedule: None, deadline: None }
+        Request { spec, model: ModelId::Kappa0, schedule: None, deadline: None, driver: None }
     }
 
     /// Service-boundary validation beyond what [`JoinSpec`] enforces at
@@ -264,6 +300,10 @@ pub struct Response {
     pub passes: u32,
     /// Exact, flagged-greedy, or ladder provenance.
     pub source: PlanSource,
+    /// Which DP driver produced an exact plan ([`PlanSource::Exact`]
+    /// only; `None` on greedy and ladder paths). Cache hits report the
+    /// driver that ran the original optimization.
+    pub driver: Option<ExactDriver>,
     /// The cache's role in this response.
     pub cache: CacheOutcome,
     /// Ladder accounting when the plan came from the anytime ladder
@@ -371,6 +411,14 @@ pub struct ServiceConfig {
     /// always bit-identical to scalar — the kernel-equivalence suite
     /// enforces this), so it too is purely a perf knob.
     pub kernel: KernelChoice,
+    /// DP driver for the exact path. Defaults to [`DriverChoice::Auto`],
+    /// which picks the layered-convolution driver when the cost model
+    /// supports the reduction exactly and the query is large enough to
+    /// benefit, and the split driver otherwise. Cost columns are
+    /// bit-identical either way (the driver-equivalence suite enforces
+    /// this), so this is purely a perf knob; requests can still override
+    /// it per query via [`Request::driver`].
+    pub driver: DriverChoice,
     /// Anytime-ladder settings for queries over
     /// [`max_exact_rels`](ServiceConfig::max_exact_rels). `None` (the
     /// default, preserving prior behavior) degrades such queries to the
@@ -431,6 +479,7 @@ impl Default for ServiceConfig {
             parallel_min_rels: 15,
             layout: LayoutChoice::HotCold,
             kernel: KernelChoice::Simd,
+            driver: DriverChoice::Auto,
             ladder: None,
         }
     }
@@ -504,7 +553,10 @@ impl OptimizerService {
         } else {
             DriveOptions::serial()
         };
-        options.with_layout(self.config.layout).with_kernel(self.config.kernel)
+        options
+            .with_layout(self.config.layout)
+            .with_kernel(self.config.kernel)
+            .with_driver(self.config.driver)
     }
 
     /// Optimize one request. Never fails: every degraded path returns a
@@ -528,7 +580,17 @@ impl OptimizerService {
         }
 
         let schedule = req.schedule.unwrap_or(self.config.default_schedule);
-        let canon = CanonicalQuery::new(&req.spec, req.model.name(), Some(&schedule));
+        // Driver overrides change nothing about optimal cost, but they
+        // do change the provenance a response reports, so overridden
+        // requests get their own fingerprint namespace rather than
+        // sharing cache entries with default-driver traffic.
+        let canon = match req.driver {
+            None => CanonicalQuery::new(&req.spec, req.model.name(), Some(&schedule)),
+            Some(d) => {
+                let tag = format!("{}+driver={}", req.model.name(), d.name());
+                CanonicalQuery::new(&req.spec, &tag, Some(&schedule))
+            }
+        };
 
         match self.cache.lookup_or_reserve(canon.fingerprint()) {
             Lookup::Hit(cp) => {
@@ -577,8 +639,13 @@ impl OptimizerService {
     pub fn optimize_big(&self, req: &BigRequest) -> Response {
         if let Some(spec) = req.spec.to_join_spec() {
             if spec.n() <= self.config.max_exact_rels {
-                let small =
-                    Request { spec, model: req.model, schedule: None, deadline: req.deadline };
+                let small = Request {
+                    spec,
+                    model: req.model,
+                    schedule: None,
+                    deadline: req.deadline,
+                    driver: None,
+                };
                 return self.optimize(&small);
             }
         }
@@ -614,6 +681,10 @@ impl OptimizerService {
             refine_steps: settings.refine_steps,
             seed: settings.seed,
             wall_clock,
+            // Config-driven like the exact path: the ladder's rung-1
+            // gate must not pick up the BLITZ_TEST_DRIVER env override
+            // that LadderConfig::default() honors for tests.
+            driver: self.config.driver,
             ..LadderConfig::default()
         };
         let report = run_ladder(spec, model, &cfg);
@@ -630,6 +701,7 @@ impl OptimizerService {
             card: report.card,
             passes: 0,
             source: PlanSource::Ladder(report.rung),
+            driver: None,
             cache: CacheOutcome::Bypass,
             ladder: Some(LadderInfo {
                 rung: report.rung,
@@ -664,6 +736,7 @@ impl OptimizerService {
             card,
             passes: 0,
             source: PlanSource::Greedy(reason),
+            driver: None,
             cache: CacheOutcome::Bypass,
             ladder: None,
             elapsed,
@@ -684,10 +757,13 @@ impl OptimizerService {
         let canon = canon.clone();
         let metrics = Arc::clone(&self.metrics);
         let tables = Arc::clone(&self.tables);
-        let options = self.drive_options(spec.n());
+        let mut options = self.drive_options(spec.n());
+        if let Some(d) = req.driver {
+            options = options.with_driver(d);
+        }
         Box::new(move || {
             let started = Instant::now();
-            let (plan, cost, card, passes, counters) =
+            let (plan, cost, card, passes, counters, driver) =
                 run_exact(&spec, model, schedule, options, &tables, &metrics);
             metrics.record_optimization(&counters, passes, started.elapsed());
             reservation.fulfill_cached(ComputedPlan {
@@ -696,6 +772,7 @@ impl OptimizerService {
                 card,
                 passes,
                 exact: true,
+                driver: Some(driver),
             });
         })
     }
@@ -749,6 +826,7 @@ impl OptimizerService {
             card: cp.card,
             passes: cp.passes,
             source,
+            driver: cp.driver,
             cache,
             ladder: None,
             elapsed,
@@ -774,6 +852,7 @@ impl OptimizerService {
             card,
             passes: 0,
             source: PlanSource::Greedy(reason),
+            driver: None,
             cache,
             ladder: None,
             elapsed,
@@ -788,7 +867,7 @@ fn run_exact(
     options: DriveOptions,
     tables: &TablePool,
     metrics: &Metrics,
-) -> (Plan, f32, f64, u32, Counters) {
+) -> (Plan, f32, f64, u32, Counters, ExactDriver) {
     fn go<L: PoolSlot, M: CostModel + Sync>(
         spec: &JoinSpec,
         model: &M,
@@ -796,18 +875,40 @@ fn run_exact(
         options: DriveOptions,
         tables: &TablePool,
         metrics: &Metrics,
-    ) -> (Plan, f32, f64, u32, Counters) {
+    ) -> (Plan, f32, f64, u32, Counters, ExactDriver) {
+        // Resolve the driver exactly as the core will, so provenance
+        // and metrics report what actually runs. A Conv *request*
+        // falling back (unsupported model) is flagged distinctly; Auto
+        // resolving to Split is just Split.
+        let resolved = options.driver.resolve(model.supports_conv(), spec.n());
+        let driver = if resolved == DriverChoice::Conv {
+            metrics.driver_conv.fetch_add(1, Relaxed);
+            ExactDriver::Conv
+        } else {
+            metrics.driver_split.fetch_add(1, Relaxed);
+            if options.driver == DriverChoice::Conv {
+                ExactDriver::ConvFallback
+            } else {
+                ExactDriver::Split
+            }
+        };
         let (mut table, recycled) = tables.take::<L>(spec.n());
         let counter =
             if recycled { &metrics.table_pool_hits } else { &metrics.table_pool_misses };
         counter.fetch_add(1, Relaxed);
+        let mut arena = tables.take_arena();
         let mut counters = Counters::default();
-        let outcome = optimize_join_threshold_reusing_with::<L, M, Counters, true>(
-            &mut table, spec, model, schedule, options, &mut counters,
+        let out = optimize_join_threshold_arena_with::<L, M, Counters, true>(
+            &mut table, &mut arena, spec, model, schedule, options, &mut counters,
         );
+        // The one allocation left on a warm hot path: the owned plan the
+        // cache keeps across requests. It happens once per cache miss;
+        // the optimize-and-extract work itself is allocation-free (the
+        // `no_alloc` suite pins that).
+        let plan = arena.to_plan(out.root);
         tables.put(table);
-        let o = outcome.optimized;
-        (o.plan, o.cost, o.card, outcome.passes, counters)
+        tables.put_arena(arena);
+        (plan, out.cost, out.card, out.passes, counters, driver)
     }
     // Static double dispatch: model × layout, all monomorphized. Every
     // combination is bit-identical in results; the layout only moves
@@ -819,7 +920,7 @@ fn run_exact(
         options: DriveOptions,
         tables: &TablePool,
         metrics: &Metrics,
-    ) -> (Plan, f32, f64, u32, Counters) {
+    ) -> (Plan, f32, f64, u32, Counters, ExactDriver) {
         match options.layout {
             LayoutChoice::Aos => go::<AosTable, M>(spec, model, schedule, options, tables, metrics),
             LayoutChoice::Soa => go::<SoaTable, M>(spec, model, schedule, options, tables, metrics),
@@ -913,7 +1014,11 @@ mod tests {
     #[test]
     fn large_requests_take_the_parallel_exact_path() {
         // 16 relations ≥ parallel_min_rels: must still answer exactly
-        // (not greedily) and agree with the serial optimizer bit-for-bit.
+        // (not greedily) and agree with the serial optimizer on cost
+        // bit-for-bit. At this size the default `driver: Auto` picks the
+        // convolution driver (κ₀ supports it), whose cost-equal plan may
+        // break ties differently from split — so the plan itself is
+        // checked by re-costing, not by shape.
         let n = 16;
         let cards: Vec<f64> = (0..n).map(|i| 10.0 + i as f64).collect();
         let edges: Vec<(usize, usize, f64)> =
@@ -927,15 +1032,25 @@ mod tests {
         assert!(service.drive_options(n).effective_parallelism() >= 2);
         let resp = service.optimize(&Request::new(spec.clone()));
         assert_eq!(resp.source, PlanSource::Exact);
+        assert_eq!(resp.driver, Some(ExactDriver::Conv), "Auto must pick conv at n=16 on κ₀");
         let direct = blitz_core::optimize_join_threshold_with(
             &spec,
             &Kappa0,
             ThresholdSchedule::default(),
-            DriveOptions::serial(),
+            DriveOptions::serial().with_driver(DriverChoice::Split),
         )
         .unwrap();
         assert_eq!(resp.cost, direct.optimized.cost);
-        assert_eq!(resp.plan.canonical(), direct.optimized.plan.canonical());
+        let (_, recosted) = resp.plan.cost(&spec, &Kappa0);
+        assert_eq!(recosted, direct.optimized.cost, "conv plan must be optimal too");
+
+        // Pinning the driver to split restores plan-shape equality with
+        // the serial reference.
+        let split_req = Request { driver: Some(DriverChoice::Split), ..Request::new(spec) };
+        let split_resp = service.optimize(&split_req);
+        assert_eq!(split_resp.driver, Some(ExactDriver::Split));
+        assert_eq!(split_resp.cache, CacheOutcome::Miss, "driver override is its own cache key");
+        assert_eq!(split_resp.plan.canonical(), direct.optimized.plan.canonical());
     }
 
     #[test]

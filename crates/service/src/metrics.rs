@@ -133,6 +133,11 @@ pub struct Metrics {
     pub table_pool_hits: AtomicU64,
     /// Exact optimizations that had to allocate a fresh DP table.
     pub table_pool_misses: AtomicU64,
+    /// Exact optimizations run by the layered-convolution driver.
+    pub driver_conv: AtomicU64,
+    /// Exact optimizations run by the subset-split driver (including
+    /// conv requests that fell back on an unsupported cost model).
+    pub driver_split: AtomicU64,
     /// Over-limit requests answered by the anytime ladder (instead of
     /// the bare greedy fallback).
     pub ladder_runs: AtomicU64,
@@ -221,6 +226,8 @@ impl Metrics {
             subsets_pruned: self.subsets_pruned.load(Relaxed),
             table_pool_hits: self.table_pool_hits.load(Relaxed),
             table_pool_misses: self.table_pool_misses.load(Relaxed),
+            driver_conv: self.driver_conv.load(Relaxed),
+            driver_split: self.driver_split.load(Relaxed),
             ladder_runs: self.ladder_runs.load(Relaxed),
             ladder_rung_greedy: self.ladder_rung_greedy.load(Relaxed),
             ladder_rung_exact: self.ladder_rung_exact.load(Relaxed),
@@ -275,6 +282,10 @@ pub struct MetricsSnapshot {
     pub table_pool_hits: u64,
     /// See [`Metrics::table_pool_misses`].
     pub table_pool_misses: u64,
+    /// See [`Metrics::driver_conv`].
+    pub driver_conv: u64,
+    /// See [`Metrics::driver_split`].
+    pub driver_split: u64,
     /// See [`Metrics::ladder_runs`].
     pub ladder_runs: u64,
     /// See [`Metrics::ladder_rung_greedy`].
@@ -325,6 +336,7 @@ impl MetricsSnapshot {
              optimizations={} fallback_over_limit={} fallback_queue_full={} \
              fallback_deadline={} threshold_passes={} split_loop_iters={} \
              subsets_pruned={} table_pool_hits={} table_pool_misses={} \
+             driver_conv={} driver_split={} \
              ladder_runs={} ladder_rung_greedy={} ladder_rung_exact={} \
              ladder_rung_hybrid_dp={} ladder_rung_stochastic={} \
              ladder_refine_steps={} ladder_dp_blocks={} \
@@ -346,6 +358,8 @@ impl MetricsSnapshot {
             self.subsets_pruned,
             self.table_pool_hits,
             self.table_pool_misses,
+            self.driver_conv,
+            self.driver_split,
             self.ladder_runs,
             self.ladder_rung_greedy,
             self.ladder_rung_exact,
@@ -392,6 +406,11 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "table pool:          {} hit / {} miss",
             self.table_pool_hits, self.table_pool_misses
+        )?;
+        writeln!(
+            f,
+            "exact drivers:       {} conv / {} split",
+            self.driver_conv, self.driver_split
         )?;
         writeln!(
             f,
@@ -475,11 +494,17 @@ mod tests {
         m.record_optimization(&c, 1, Duration::from_micros(70));
         m.table_pool_hits.fetch_add(1, Relaxed);
         m.table_pool_misses.fetch_add(1, Relaxed);
+        m.driver_conv.fetch_add(1, Relaxed);
+        m.driver_split.fetch_add(2, Relaxed);
         let s = m.snapshot(3, 9);
         assert_eq!(s.table_pool_hits, 1);
         assert_eq!(s.table_pool_misses, 1);
+        assert_eq!(s.driver_conv, 1);
+        assert_eq!(s.driver_split, 2);
         assert!(s.to_line().contains("table_pool_hits=1"));
+        assert!(s.to_line().contains("driver_conv=1 driver_split=2"));
         assert!(format!("{s}").contains("table pool:          1 hit / 1 miss"));
+        assert!(format!("{s}").contains("exact drivers:       1 conv / 2 split"));
         assert_eq!(s.optimizations, 2);
         assert_eq!(s.threshold_passes, 3);
         assert_eq!(s.split_loop_iters, 200);

@@ -6,6 +6,7 @@
 //! ```text
 //! OPTIMIZE cards=10,20,30 preds=0:1:0.1;1:2:0.2 [model=k0|sm|dnl|smdnl]
 //!          [threshold=T | threshold=init,factor,passes] [deadline_ms=N]
+//!          [driver=split|conv|auto]
 //! METRICS
 //! PING
 //! QUIT
@@ -43,7 +44,7 @@ use crate::{
     BigRequest, BigSpec, CacheOutcome, ModelId, OptimizerService, PlanSource, Request, Response,
     Rung,
 };
-use blitz_core::{JoinSpec, ThresholdSchedule, MAX_RELS};
+use blitz_core::{DriverChoice, JoinSpec, ThresholdSchedule, MAX_RELS};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicUsize, Ordering, Ordering::Relaxed};
@@ -476,6 +477,7 @@ pub fn parse_optimize(args: &str) -> Result<WireRequest, String> {
     let mut model = ModelId::Kappa0;
     let mut schedule: Option<ThresholdSchedule> = None;
     let mut deadline: Option<Duration> = None;
+    let mut driver: Option<DriverChoice> = None;
 
     for token in args.split_whitespace() {
         let (key, value) =
@@ -539,6 +541,11 @@ pub fn parse_optimize(args: &str) -> Result<WireRequest, String> {
                 let ms: u64 = value.parse().map_err(|_| format!("bad deadline_ms {value:?}"))?;
                 deadline = Some(Duration::from_millis(ms));
             }
+            "driver" => {
+                driver = Some(DriverChoice::parse(value).ok_or_else(|| {
+                    format!("unknown driver {value:?} (expected split|conv|auto)")
+                })?);
+            }
             other => return Err(format!("unknown key {other:?}")),
         }
     }
@@ -574,11 +581,16 @@ pub fn parse_optimize(args: &str) -> Result<WireRequest, String> {
                 "threshold= applies to the exact path only (queries over {MAX_RELS} relations)"
             ));
         }
+        if driver.is_some() {
+            return Err(format!(
+                "driver= applies to the exact path only (queries over {MAX_RELS} relations)"
+            ));
+        }
         let spec = BigSpec::new(&cards, &preds).map_err(|e| e.to_string())?;
         return Ok(WireRequest::Big(BigRequest { spec, model, deadline }));
     }
     let spec = JoinSpec::new(&cards, &preds).map_err(|e| e.to_string())?;
-    Ok(WireRequest::Small(Request { spec, model, schedule, deadline }))
+    Ok(WireRequest::Small(Request { spec, model, schedule, deadline, driver }))
 }
 
 /// Render a [`Response`] as an `OK` protocol line. `source_detail=`
@@ -588,13 +600,21 @@ pub fn parse_optimize(args: &str) -> Result<WireRequest, String> {
 /// and its basis, and the budget spent, before the trailing `plan=`.
 pub fn format_response(resp: &Response) -> String {
     use std::fmt::Write as _;
+    // Exact responses report the resolved DP driver as their detail
+    // (`exact` for split — the historical value — `conv`, or
+    // `conv_fallback` when a conv request ran on split); every other
+    // source keeps its own detail string.
+    let detail = match resp.driver {
+        Some(d) if resp.source == PlanSource::Exact => d.detail(),
+        _ => resp.source.detail(),
+    };
     let mut line = format!(
         "OK cost={:.6e} card={:.6e} passes={} source={} source_detail={} cache={} micros={}",
         resp.cost,
         resp.card,
         resp.passes,
         resp.source.name(),
-        resp.source.detail(),
+        detail,
         resp.cache.name(),
         resp.elapsed.as_micros(),
     );
@@ -778,6 +798,43 @@ mod tests {
         assert_eq!(response_field(&resp2, "cost"), response_field(&resp, "cost"));
     }
 
+    /// A `driver=` override travels the whole wire path: conv requests
+    /// on a supporting model report `source_detail=conv`, on a
+    /// non-supporting model `conv_fallback`, and both cost exactly what
+    /// the default split answer costs. Cache entries are driver-scoped,
+    /// so the conv request after a default one is a miss, not a hit.
+    #[test]
+    fn driver_override_round_trips() {
+        let s = service();
+        let base = "OPTIMIZE cards=10,20,30,40 preds=0:1:0.1;1:2:0.2;2:3:0.05";
+        let default = handle_line(&s, base);
+        assert_eq!(response_field(&default, "source_detail"), Some("exact"));
+
+        let conv = handle_line(&s, &format!("{base} driver=conv"));
+        assert!(conv.starts_with("OK "), "{conv}");
+        assert_eq!(response_field(&conv, "source"), Some("exact"));
+        assert_eq!(response_field(&conv, "source_detail"), Some("conv"));
+        assert_eq!(response_field(&conv, "cache"), Some("miss"), "driver-scoped fingerprint");
+        assert_eq!(response_field(&conv, "cost"), response_field(&default, "cost"));
+
+        // Same override again: a hit that preserves the provenance.
+        let again = handle_line(&s, &format!("{base} driver=conv"));
+        assert_eq!(response_field(&again, "cache"), Some("hit"));
+        assert_eq!(response_field(&again, "source_detail"), Some("conv"));
+
+        // Sort-merge has a split-dependent κ'': conv must visibly fall
+        // back rather than silently pretend.
+        let fallback = handle_line(&s, &format!("{base} model=sm driver=conv"));
+        assert_eq!(response_field(&fallback, "source_detail"), Some("conv_fallback"));
+        let sm = handle_line(&s, &format!("{base} model=sm"));
+        assert_eq!(response_field(&fallback, "cost"), response_field(&sm, "cost"));
+
+        // An explicit split override is wire-identical to the default.
+        let split = handle_line(&s, &format!("{base} driver=split"));
+        assert_eq!(response_field(&split, "source_detail"), Some("exact"));
+        assert_eq!(response_field(&split, "cost"), response_field(&default, "cost"));
+    }
+
     #[test]
     fn optimize_error_paths() {
         let s = service();
@@ -789,6 +846,7 @@ mod tests {
             "OPTIMIZE cards=10,20 threshold=-1",
             "OPTIMIZE cards=10,20 threshold=1,2,3,4",
             "OPTIMIZE cards=10,20 frobs=1",
+            "OPTIMIZE cards=10,20 driver=quantum",
             "OPTIMIZE cards=10,20 preds=0:9:0.5",
         ] {
             let resp = handle_line(&s, bad);
@@ -1057,9 +1115,11 @@ mod tests {
         assert_eq!(response_field(&resp, "source"), Some("greedy_over_limit"));
         assert_eq!(response_field(&resp, "source_detail"), Some("over_limit"));
         assert_eq!(response_field(&resp, "cache"), Some("bypass"));
-        // Threshold schedules are an exact-path knob.
+        // Threshold schedules and driver overrides are exact-path knobs.
         let with_threshold = format!("{line} threshold=100");
         assert!(handle_line(&s, &with_threshold).starts_with("ERR "));
+        let with_driver = format!("{line} driver=conv");
+        assert!(handle_line(&s, &with_driver).starts_with("ERR "));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! *concurrency* of each query shape rather than its history.
 
 use crate::sync::lock;
-use blitz_core::{AosTable, HotColdTable, LayoutChoice, SoaTable, WaveTableLayout};
+use blitz_core::{AosTable, HotColdTable, LayoutChoice, PlanArena, SoaTable, WaveTableLayout};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
@@ -102,16 +102,27 @@ impl PoolSlot for HotColdTable {
 /// One shard's shelves: finished tables keyed by `(layout, n_rels)`.
 type Shelves = HashMap<(LayoutChoice, usize), Vec<AnyTable>>;
 
+/// Plan arenas kept on the free list. Arenas are tiny (tens of nodes)
+/// compared to tables, so the bound is generous: enough for every
+/// worker of a typical pool to hold one plus a shelf of spares.
+const ARENA_CAPACITY: usize = 32;
+
 /// The free list itself: shelves of finished tables keyed by
 /// `(layout, n_rels)`, each bounded to [`SHELF_CAPACITY`], spread over
-/// [`SHARD_COUNT`] hash-sharded locks.
+/// [`SHARD_COUNT`] hash-sharded locks — plus a single shelf of recycled
+/// [`PlanArena`]s (arenas are shape-independent: their backing storage
+/// grows to the largest plan seen and then serves any size).
 pub struct TablePool {
     shards: Vec<Mutex<Shelves>>,
+    arenas: Mutex<Vec<PlanArena>>,
 }
 
 impl Default for TablePool {
     fn default() -> TablePool {
-        TablePool { shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect() }
+        TablePool {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            arenas: Mutex::new(Vec::new()),
+        }
     }
 }
 
@@ -154,6 +165,29 @@ impl TablePool {
         if shelf.len() < SHELF_CAPACITY {
             shelf.push(table.wrap());
         }
+    }
+
+    /// A recycled plan arena, or a fresh empty one. Recycled arenas
+    /// come back cleared but with their backing storage warm, so
+    /// extraction into them is allocation-free once the service reaches
+    /// steady state (the `no_alloc` suite pins the core property).
+    pub fn take_arena(&self) -> PlanArena {
+        lock(&self.arenas).pop().unwrap_or_default()
+    }
+
+    /// Shelve a plan arena for reuse; cleared here so takers always see
+    /// an empty arena. Dropped when the shelf is full.
+    pub fn put_arena(&self, mut arena: PlanArena) {
+        arena.clear();
+        let mut arenas = lock(&self.arenas);
+        if arenas.len() < ARENA_CAPACITY {
+            arenas.push(arena);
+        }
+    }
+
+    /// Plan arenas currently shelved.
+    pub fn arenas_len(&self) -> usize {
+        lock(&self.arenas).len()
     }
 
     /// Total tables currently shelved, across all keys and shards.
@@ -248,5 +282,31 @@ mod tests {
             pool.put(t);
         }
         assert_eq!(pool.len(), SHELF_CAPACITY, "overflow beyond the cap is dropped");
+    }
+
+    #[test]
+    fn arena_shelf_recycles_cleared_but_warm() {
+        let pool = TablePool::default();
+        assert_eq!(pool.arenas_len(), 0);
+        let mut arena = pool.take_arena();
+        assert!(arena.is_empty());
+        arena.left_deep_vine(8);
+        let warmed = arena.capacity();
+        assert!(warmed >= 15);
+        pool.put_arena(arena);
+        assert_eq!(pool.arenas_len(), 1);
+        let arena = pool.take_arena();
+        assert!(arena.is_empty(), "recycled arenas come back cleared");
+        assert_eq!(arena.capacity(), warmed, "recycled arenas keep their storage");
+        assert_eq!(pool.arenas_len(), 0);
+    }
+
+    #[test]
+    fn arena_shelf_is_bounded() {
+        let pool = TablePool::default();
+        for _ in 0..ARENA_CAPACITY + 5 {
+            pool.put_arena(PlanArena::new());
+        }
+        assert_eq!(pool.arenas_len(), ARENA_CAPACITY);
     }
 }

@@ -18,10 +18,10 @@
 //!   must not call `.unwrap()` or `.expect(`; the request path degrades
 //!   with explicit errors (or a deliberate `panic!` with context), never
 //!   an anonymous unwrap.
-//! * **`numeric-truncation`** — the hot loops in `bitset.rs` and
-//!   `split.rs` must not narrow integers with bare `as` casts
-//!   (`as u8/u16/u32/i8/i16/i32`); audited narrowings go through named
-//!   helpers such as `RelSet::from_wave_bits` or the allowlist.
+//! * **`numeric-truncation`** — the hot loops in `bitset.rs`,
+//!   `split.rs` and `conv.rs` must not narrow integers with bare `as`
+//!   casts (`as u8/u16/u32/i8/i16/i32`); audited narrowings go through
+//!   named helpers such as `RelSet::from_wave_bits` or the allowlist.
 //! * **`deny-unsafe-op`** — every crate that contains `unsafe` code must
 //!   carry `#![deny(unsafe_op_in_unsafe_fn)]` in its crate root.
 //!
@@ -588,7 +588,10 @@ fn rule_request_path_unwrap(rel: &str, raw_lines: &[&str], san: &str) -> Vec<Fin
 const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
 fn rule_numeric_truncation(rel: &str, raw_lines: &[&str], san: &str) -> Vec<Finding> {
-    if !(rel.ends_with("crates/core/src/bitset.rs") || rel.ends_with("crates/core/src/split.rs")) {
+    if !(rel.ends_with("crates/core/src/bitset.rs")
+        || rel.ends_with("crates/core/src/split.rs")
+        || rel.ends_with("crates/core/src/conv.rs"))
+    {
         return Vec::new();
     }
     let cutoff = test_code_start(raw_lines);

@@ -3,7 +3,8 @@
 //! ```text
 //! blitzsplit optimize --cards 10,20,30,40 --pred 0:1:0.1 --pred 0:2:0.2 \
 //!                     [--model k0|sm|dnl|smdnl] [--threshold 1e9] [--threads N] \
-//!                     [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] [--dot]
+//!                     [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] \
+//!                     [--driver split|conv|auto] [--dot]
 //! blitzsplit optimize --ladder --cards ... [--pred i:j:sel]... [--budget-ms N] \
 //!                     [--refine-steps N] [--dp-window K] [--dp-rounds R] [--seed S]
 //! blitzsplit sql "SELECT * FROM sales s, customer c WHERE s.custkey = c.custkey"
@@ -11,6 +12,7 @@
 //! blitzsplit serve  [--addr 127.0.0.1:7878] [--frontend poll|threads] [--max-conns N] \
 //!                   [--workers N] [--cache N] [--max-rels N] [--threads N] \
 //!                   [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] \
+//!                   [--driver split|conv|auto] \
 //!                   [--ladder] [--budget-ms N] [--refine-steps N] [--dp-window K] \
 //!                   [--dp-rounds R] [--seed S]
 //! blitzsplit client --addr HOST:PORT --cards 10,20,30 [--pred i:j:sel]... [--model ...]
@@ -38,8 +40,8 @@ use blitzsplit::service::{
     ServiceConfig,
 };
 use blitzsplit::{
-    optimize_join_threshold_with, optimize_join_with, DiskNestedLoops, DriveOptions, JoinSpec,
-    Kappa0, KernelChoice, LayoutChoice, SmDnl, SortMerge, ThresholdSchedule,
+    optimize_join_threshold_with, optimize_join_with, DiskNestedLoops, DriveOptions, DriverChoice,
+    JoinSpec, Kappa0, KernelChoice, LayoutChoice, SmDnl, SortMerge, ThresholdSchedule,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -50,7 +52,8 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!("usage:");
     eprintln!("  blitzsplit optimize --cards C1,C2,... [--pred i:j:sel]... \\");
     eprintln!("             [--model k0|sm|dnl|smdnl] [--threshold T] [--threads N] \\");
-    eprintln!("             [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] [--dot]");
+    eprintln!("             [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] \\");
+    eprintln!("             [--driver split|conv|auto] [--dot]");
     eprintln!("  blitzsplit optimize --ladder --cards C1,C2,... [--pred i:j:sel]... \\");
     eprintln!("             [--model ...] [--budget-ms N] [--refine-steps N] \\");
     eprintln!("             [--dp-window K] [--dp-rounds R] [--seed S] [--max-rels N]");
@@ -60,7 +63,8 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!("  blitzsplit serve [--addr 127.0.0.1:7878] [--frontend poll|threads] \\");
     eprintln!("             [--max-conns N] [--workers N] [--cache N] \\");
     eprintln!("             [--max-rels N] [--threads N] [--layout aos|soa|hotcold] \\");
-    eprintln!("             [--kernel scalar|batched|simd] [--ladder] [--budget-ms N] \\");
+    eprintln!("             [--kernel scalar|batched|simd] [--driver split|conv|auto] \\");
+    eprintln!("             [--ladder] [--budget-ms N] \\");
     eprintln!("             [--refine-steps N] [--dp-window K] [--dp-rounds R] [--seed S]");
     eprintln!("  blitzsplit client --addr HOST:PORT (--metrics | --cards C1,C2,... \\");
     eprintln!("             [--pred i:j:sel]... [--model ...] [--deadline-ms N])");
@@ -323,6 +327,15 @@ fn main() -> ExitCode {
         Some(k) => drive_options.with_kernel(k),
         None => drive_options,
     };
+    let driver = match args.get("driver").map(DriverChoice::parse) {
+        None => None,
+        Some(Some(d)) => Some(d),
+        Some(None) => return fail("--driver must be one of split|conv|auto"),
+    };
+    let drive_options = match driver {
+        Some(d) => drive_options.with_driver(d),
+        None => drive_options,
+    };
 
     match cmd.as_str() {
         "optimize" => {
@@ -431,6 +444,9 @@ fn main() -> ExitCode {
             }
             if let Some(k) = kernel {
                 config.kernel = k;
+            }
+            if let Some(d) = driver {
+                config.driver = d;
             }
             if args.has("ladder") {
                 let lc = match parse_ladder_flags(&args) {

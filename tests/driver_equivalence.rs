@@ -1,0 +1,283 @@
+//! Driver equivalence: the convolution driver is a pure execution-
+//! strategy choice wherever it is allowed to run.
+//!
+//! The contract, layered by strength:
+//!
+//! * **Cost and cardinality columns are bit-identical** between the
+//!   split and conv drivers on every subset, under every layout, serial
+//!   and rank-wave parallel, through every threshold schedule. The conv
+//!   driver only runs where the cost model's candidate costs are
+//!   symmetric at the `f32` bit level (κ″ ≡ 0, today κ₀), so its halved
+//!   enumeration sees the exact same value multiset per row.
+//! * **`best_lhs` may differ** — conv visits each {lhs, rhs} pair once
+//!   through its anchored half-enumeration, so on cost ties it can
+//!   legitimately keep the complement or a different cost-equal split.
+//!   What it must still be: a *deterministic* choice (same spec, same
+//!   driver → same table, run after run, thread count after thread
+//!   count) whose extracted plan re-costs to the optimal cost bits.
+//! * **Conv requests on unsupported models fall back to split** and are
+//!   then bit-identical in *every* column, `best_lhs` included.
+//!
+//! Random catalogs drive the bulk of the coverage; the paper topologies
+//! and a tie-heavy uniform-cost Cartesian spec pin the brute-force
+//! oracle agreement and the per-driver tie-break stability.
+
+use blitzsplit::baselines::best_bushy;
+use blitzsplit::catalog::{Topology, Workload};
+use blitzsplit::core::{
+    optimize_join_threshold_into_with, AosTable, Counters, HotColdTable, RelSet, SoaTable,
+    TableLayout, WaveTableLayout,
+};
+use blitzsplit::{
+    optimize_join_with, CostModel, DiskNestedLoops, DriveOptions, DriverChoice, JoinSpec, Kappa0,
+    Plan, SmDnl, SortMerge, ThresholdSchedule,
+};
+use proptest::prelude::*;
+
+const TOPOLOGIES: [Topology; 4] =
+    [Topology::Chain, Topology::CyclePlus3, Topology::Star, Topology::Clique];
+
+/// What both drivers must agree on per row: cost bits and card bits.
+type CostBits = (u32, u64);
+
+/// Full per-row identity including the winning split, for fallback and
+/// determinism checks.
+type RowBits = (u32, u64, RelSet);
+
+struct Snapshot {
+    cost_rows: Vec<CostBits>,
+    full_rows: Vec<RowBits>,
+    passes: u32,
+    final_cap: u32,
+    plan: Plan,
+    cost: f32,
+}
+
+fn snapshot<L: WaveTableLayout + Send>(
+    spec: &JoinSpec,
+    schedule: ThresholdSchedule,
+    options: DriveOptions,
+) -> Snapshot {
+    let mut counters = Counters::default();
+    let (table, outcome) = optimize_join_threshold_into_with::<L, Kappa0, Counters, true>(
+        spec,
+        &Kappa0,
+        schedule,
+        options,
+        &mut counters,
+    );
+    let full_rows: Vec<RowBits> = (1u32..(1u32 << spec.n()))
+        .map(|bits| {
+            let s = RelSet::from_bits(bits);
+            (table.cost(s).to_bits(), table.card(s).to_bits(), table.best_lhs(s))
+        })
+        .collect();
+    Snapshot {
+        cost_rows: full_rows.iter().map(|&(c, k, _)| (c, k)).collect(),
+        full_rows,
+        passes: outcome.passes,
+        final_cap: outcome.final_cap.to_bits(),
+        plan: outcome.optimized.plan,
+        cost: outcome.optimized.cost,
+    }
+}
+
+/// The conv driver against the split reference: cost/card columns,
+/// pass count and final cap bit-equal everywhere; plans cost-equal and
+/// each optimal under a direct re-cost; conv's table deterministic
+/// across executions, layouts, and thread counts.
+fn check_drivers(spec: &JoinSpec, schedule: ThresholdSchedule) {
+    let split = snapshot::<AosTable>(
+        spec,
+        schedule,
+        DriveOptions::serial().with_driver(DriverChoice::Split),
+    );
+    let mut conv_reference: Option<Vec<RowBits>> = None;
+    for (label, base) in
+        [("serial", DriveOptions::serial()), ("threads=4", DriveOptions::parallel(4))]
+    {
+        let options = base.with_driver(DriverChoice::Conv);
+        let variants = [
+            ("aos", snapshot::<AosTable>(spec, schedule, options)),
+            ("soa", snapshot::<SoaTable>(spec, schedule, options)),
+            ("hotcold", snapshot::<HotColdTable>(spec, schedule, options)),
+        ];
+        for (name, conv) in variants {
+            let ctx = format!("conv {label} {name} n={}", spec.n());
+            assert_eq!(conv.cost_rows, split.cost_rows, "{ctx}: cost/card columns");
+            assert_eq!(conv.passes, split.passes, "{ctx}: passes");
+            assert_eq!(conv.final_cap, split.final_cap, "{ctx}: final cap");
+            assert_eq!(conv.cost.to_bits(), split.cost.to_bits(), "{ctx}: plan cost");
+            if conv.cost.is_finite() {
+                let (_, recost) = conv.plan.cost(spec, &Kappa0);
+                let tol = conv.cost.abs() * 1e-4 + 1e-4;
+                assert!(
+                    (recost - conv.cost).abs() <= tol,
+                    "{ctx}: plan recost {recost} vs table {}",
+                    conv.cost
+                );
+            }
+            // Tie-break stability: whatever split conv picked, it picks
+            // it in every run, every layout, every thread count.
+            match &conv_reference {
+                None => conv_reference = Some(conv.full_rows),
+                Some(reference) => {
+                    assert_eq!(&conv.full_rows, reference, "{ctx}: best_lhs not deterministic");
+                }
+            }
+        }
+    }
+}
+
+/// A random join problem of 2..=7 relations with random topology.
+fn arb_spec() -> impl Strategy<Value = JoinSpec> {
+    (2usize..=7)
+        .prop_flat_map(|n| {
+            let cards = proptest::collection::vec(1.0f64..1e4, n);
+            let edges = proptest::collection::vec(
+                ((0..n), (0..n), 1e-4f64..1.0),
+                0..=(n * (n - 1) / 2),
+            );
+            (cards, edges)
+        })
+        .prop_filter_map("valid spec", |(cards, edges)| {
+            let preds: Vec<(usize, usize, f64)> =
+                edges.into_iter().filter(|&(a, b, _)| a != b).collect();
+            JoinSpec::new(&cards, &preds).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn drivers_agree_on_random_catalogs(spec in arb_spec()) {
+        check_drivers(&spec, ThresholdSchedule::default());
+    }
+
+    #[test]
+    fn drivers_agree_under_tight_thresholds(spec in arb_spec(), exp in -2i32..6) {
+        // Tight caps exercise ∞-cost rows and multi-pass escalation: the
+        // conv driver must prune and escalate exactly like split.
+        check_drivers(&spec, ThresholdSchedule::new(10f32.powi(exp), 100.0, 4));
+    }
+}
+
+#[test]
+fn drivers_agree_on_paper_topologies() {
+    for topo in TOPOLOGIES {
+        let spec = Workload::new(8, topo, 100.0, 0.5).spec();
+        check_drivers(&spec, ThresholdSchedule::new(10.0, 1e3, 6));
+    }
+}
+
+/// Conv against ground truth, across the paper topologies and three
+/// cost models. On κ₀ the conv driver actually runs; on sort-merge and
+/// disk-nested-loops it transparently falls back to split — either way
+/// the answer must match the non-memoized brute-force oracle over all
+/// bushy trees.
+#[test]
+fn conv_matches_bruteforce_oracle() {
+    fn check<M: CostModel + Sync>(spec: &JoinSpec, model: &M) {
+        let (_, oracle) = best_bushy(spec, model, spec.all_rels());
+        let conv = optimize_join_with(
+            spec,
+            model,
+            DriveOptions::serial().with_driver(DriverChoice::Conv),
+        )
+        .unwrap();
+        let tol = oracle.abs() * 1e-4 + 1e-4;
+        assert!(
+            (conv.cost - oracle).abs() <= tol,
+            "{}: conv {} vs oracle {}",
+            model.name(),
+            conv.cost,
+            oracle
+        );
+        let (_, recost) = conv.plan.cost(spec, model);
+        let tol = conv.cost.abs() * 1e-4 + 1e-4;
+        assert!((recost - conv.cost).abs() <= tol, "plan recost {recost} vs {}", conv.cost);
+    }
+    for topo in TOPOLOGIES {
+        let spec = Workload::new(6, topo, 50.0, 0.4).spec();
+        check(&spec, &Kappa0);
+        check(&spec, &SortMerge);
+        check(&spec, &DiskNestedLoops::default());
+    }
+}
+
+/// A conv request on a model with split-dependent κ″ runs the split
+/// driver, and is then bit-identical to an explicit split request in
+/// *every* column — `best_lhs` included, since it is literally the same
+/// code path.
+#[test]
+fn conv_fallback_is_bit_identical_to_split() {
+    fn rows<M: CostModel + Sync>(spec: &JoinSpec, model: &M, driver: DriverChoice) -> Vec<RowBits> {
+        let mut counters = Counters::default();
+        let (table, _) = optimize_join_threshold_into_with::<AosTable, M, Counters, true>(
+            spec,
+            model,
+            ThresholdSchedule::default(),
+            DriveOptions::serial().with_driver(driver),
+            &mut counters,
+        );
+        (1u32..(1u32 << spec.n()))
+            .map(|bits| {
+                let s = RelSet::from_bits(bits);
+                (table.cost(s).to_bits(), table.card(s).to_bits(), table.best_lhs(s))
+            })
+            .collect()
+    }
+    fn check<M: CostModel + Sync>(spec: &JoinSpec, model: &M) {
+        assert!(!model.supports_conv(), "fallback test needs a non-conv model");
+        assert_eq!(
+            rows(spec, model, DriverChoice::Conv),
+            rows(spec, model, DriverChoice::Split),
+            "{}: conv fallback diverged from split",
+            model.name()
+        );
+    }
+    for topo in TOPOLOGIES {
+        let spec = Workload::new(7, topo, 100.0, 0.5).spec();
+        check(&spec, &SortMerge);
+        check(&spec, &DiskNestedLoops::default());
+        check(&spec, &SmDnl::default());
+    }
+}
+
+/// Uniform cardinalities make every split of every subset tie on cost.
+/// Split keeps the first split its subset-successor walk visits; conv
+/// keeps the first candidate of its anchored half-enumeration. Both
+/// policies must be *stable* — and the scalar/batched kernel boundary
+/// (exercised by sweeping the scalar wave floor) must not change what
+/// conv picks.
+#[test]
+fn tie_break_policy_is_stable_per_driver() {
+    let spec = JoinSpec::cartesian(&[10.0; 9]).unwrap();
+    check_drivers(&spec, ThresholdSchedule::default());
+    let reference = snapshot::<AosTable>(
+        &spec,
+        ThresholdSchedule::default(),
+        DriveOptions::serial().with_driver(DriverChoice::Conv),
+    );
+    for floor in [0u8, 4, 6, 255] {
+        let got = snapshot::<AosTable>(
+            &spec,
+            ThresholdSchedule::default(),
+            DriveOptions::serial().with_driver(DriverChoice::Conv).with_scalar_wave_floor(floor),
+        );
+        assert_eq!(
+            got.full_rows, reference.full_rows,
+            "scalar_wave_floor={floor}: conv tie-breaks must not depend on the kernel"
+        );
+        assert_eq!(got.plan.canonical(), reference.plan.canonical());
+    }
+}
+
+/// Costs that overflow the early caps (some overflow `f32` outright):
+/// conv's pruning must treat ∞ and NaN exactly like split's.
+#[test]
+fn drivers_agree_when_costs_overflow_the_cap() {
+    let spec = JoinSpec::cartesian(&[1e30, 1e30, 1e32, 1e28, 1e30]).unwrap();
+    check_drivers(&spec, ThresholdSchedule::new(1e3, 1e6, 2));
+}
