@@ -748,3 +748,83 @@ mod tests {
         (rows, counters)
     }
 }
+
+/// Seeded wave-discipline violations driven through [`RowEngine`]'s conv
+/// path: the shadow checker must catch the conv anchor walk's reads and
+/// final write exactly as it catches the split walk's (the split-driver
+/// twins live in `check.rs`). These prove the conv row fill is inside
+/// the instrumentation, not just the accessors it happens to share.
+#[cfg(all(test, blitz_check))]
+mod check_tests {
+    use super::*;
+    use crate::bitset::RelSet;
+    use crate::cost::Kappa0;
+    use crate::kernel::ResolvedKernel;
+    use crate::stats::NoStats;
+    use crate::table::{AosTable, SyncTable, TableLayout};
+
+    /// Conv engine with the scalar cascade pinned, so the seeded rows
+    /// exercise `find_best_split_conv` itself.
+    fn conv_engine() -> RowEngine {
+        RowEngine { kernel: ResolvedKernel::Scalar, driver: DriverChoice::Conv, scalar_wave_floor: 0 }
+    }
+
+    /// Conv fill of a popcount-3 row while wave 4 is in progress: the
+    /// anchor walk's reads are all of strictly earlier waves and pass,
+    /// but the finishing `set_cost` is a cross-wave write.
+    #[test]
+    #[should_panic(expected = "wave-discipline violation")]
+    fn conv_cross_wave_write_is_detected() {
+        let mut t = AosTable::with_rels(5);
+        let shared = SyncTable::from_mut(&mut t);
+        // SAFETY: single view on one thread; the seeded violation is the
+        // checker's to catch, not a real race.
+        let mut view = unsafe { shared.view() };
+        view.begin_wave(4, None);
+        conv_engine().run_row::<_, _, _, true>(
+            &mut view,
+            &Kappa0,
+            RelSet::from_bits(0b0111), // popcount 3 in wave 4
+            f32::INFINITY,
+            &mut NoStats,
+        );
+    }
+
+    /// Conv fill of a popcount-3 row while wave 2 is in progress: the
+    /// very first access, `card(s)`, reads a future-wave row.
+    #[test]
+    #[should_panic(expected = "later waves")]
+    fn conv_future_wave_read_is_detected() {
+        let mut t = AosTable::with_rels(5);
+        let shared = SyncTable::from_mut(&mut t);
+        // SAFETY: single view on one thread.
+        let mut view = unsafe { shared.view() };
+        view.begin_wave(2, None);
+        conv_engine().run_row::<_, _, _, true>(
+            &mut view,
+            &Kappa0,
+            RelSet::from_bits(0b0111), // popcount 3 in wave 2
+            f32::INFINITY,
+            &mut NoStats,
+        );
+    }
+
+    /// Conv fill of a row outside the worker's claimed chunk. The row's
+    /// card is written first under an unbounded wave claim (so the
+    /// walk's own-row `card(s)` read is legitimate), then the claim is
+    /// narrowed and the conv fill's finishing write strays outside it.
+    #[test]
+    #[should_panic(expected = "outside this worker's chunk")]
+    fn conv_out_of_chunk_write_is_detected() {
+        let mut t = AosTable::with_rels(6);
+        let shared = SyncTable::from_mut(&mut t);
+        // SAFETY: single view on one thread.
+        let mut view = unsafe { shared.view() };
+        let s = RelSet::from_bits(0b11_1000); // {R3,R4,R5}: last wave-3 row (rank 19)
+        view.begin_wave(3, None);
+        view.set_card(s, 100.0);
+        // Re-enter the same wave with a narrowed chunk claim [0, 4).
+        view.begin_wave(3, Some((0, 4)));
+        conv_engine().run_row::<_, _, _, true>(&mut view, &Kappa0, s, f32::INFINITY, &mut NoStats);
+    }
+}

@@ -414,7 +414,7 @@ pub(crate) unsafe fn gather_mask_avx2(
     // SAFETY: unaligned loads from properly sized local arrays.
     let lc = unsafe { _mm256_loadu_ps(lc8.as_ptr()) };
     let best_v = _mm256_set1_ps(best);
-    let first = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(lc, best_v)) as u32;
+    let first = lane_mask(_mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(lc, best_v)));
     if first == 0 {
         return 0;
     }
@@ -430,8 +430,18 @@ pub(crate) unsafe fn gather_mask_avx2(
         let survivors = _mm256_cmp_ps::<_CMP_LT_OQ>(op, best_v);
         _mm256_storeu_ps(lhs_cost.as_mut_ptr(), lc);
         _mm256_storeu_ps(oprnd.as_mut_ptr(), op);
-        first & _mm256_movemask_ps(survivors) as u32
+        first & lane_mask(_mm256_movemask_ps(survivors))
     }
+}
+
+/// Reinterpret a `movemask` result as a lane bitmask. The intrinsic
+/// returns `i32` with only the low 8 bits ever set, so the conversion
+/// is bit-preserving by construction; routing it through `to_ne_bytes`
+/// keeps the hot path free of bare narrowing `as` casts.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn lane_mask(movemask: i32) -> u32 {
+    u32::from_ne_bytes(movemask.to_ne_bytes())
 }
 
 /// NEON batch evaluation: the eight-lane batch is consumed as two

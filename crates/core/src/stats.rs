@@ -133,26 +133,34 @@ impl std::ops::AddAssign<&Counters> for Counters {
 }
 
 impl Counters {
+    /// Checked `usize → i32` exponent for the analytic `powi` bounds.
+    /// Relation counts are ≤ 64 in practice; a hypothetical overflow
+    /// saturates, and `powi(i32::MAX)` overflows to `f64::INFINITY`,
+    /// which is the right bound for an astronomically large `n` anyway.
+    fn powi_exp(n: usize) -> i32 {
+        i32::try_from(n).unwrap_or(i32::MAX)
+    }
+
     /// The analytic `3^n` bound on split-loop iterations (Section 3.3).
     pub fn bound_loop(n: usize) -> f64 {
-        3f64.powi(n as i32)
+        3f64.powi(Self::powi_exp(n))
     }
 
     /// The analytic expected count `(ln 2 / 2)·n·2^n` of conditional-body
     /// executions (Section 3.3).
     pub fn bound_cond(n: usize) -> f64 {
-        (std::f64::consts::LN_2 / 2.0) * n as f64 * 2f64.powi(n as i32)
+        (std::f64::consts::LN_2 / 2.0) * n as f64 * 2f64.powi(Self::powi_exp(n))
     }
 
     /// The `2^n` bound on per-subset straight-line work (Section 3.3).
     pub fn bound_subset(n: usize) -> f64 {
-        2f64.powi(n as i32)
+        2f64.powi(Self::powi_exp(n))
     }
 
     /// Left-deep `κ''` count bounds `((ln n)·2^n, (n/2)·2^n)` quoted in
     /// Section 6.2 (derivation omitted in the paper).
     pub fn bound_leftdeep(n: usize) -> (f64, f64) {
-        let p = 2f64.powi(n as i32);
+        let p = 2f64.powi(Self::powi_exp(n));
         ((n as f64).ln() * p, n as f64 / 2.0 * p)
     }
 

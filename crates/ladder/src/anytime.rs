@@ -232,16 +232,19 @@ pub fn goo_big<M: CostModel>(spec: &BigSpec, model: &M) -> (Plan, f32) {
         .collect();
     while plans.len() > 1 {
         let m = plans.len();
-        let mut best: Option<(usize, usize, f64)> = None;
+        // Seed with the first pair so the reduction is total; the strict
+        // `<` then preserves the exact first-wins tie-break (the seed
+        // pair's own re-evaluation compares equal and does not replace).
+        let mut best = (0usize, 1usize, cards[0] * cards[1] * span[0][1]);
         for i in 0..m {
             for j in i + 1..m {
                 let out = cards[i] * cards[j] * span[i][j];
-                if best.is_none_or(|(_, _, b)| out < b) {
-                    best = Some((i, j, out));
+                if out < best.2 {
+                    best = (i, j, out);
                 }
             }
         }
-        let (i, j, out) = best.expect("forest has at least two trees");
+        let (i, j, out) = best;
         // Capture the merged pair's span rows, then remove j before i
         // (j > i keeps i's index valid) from every parallel structure.
         let row_i = span[i].clone();
@@ -276,7 +279,9 @@ pub fn goo_big<M: CostModel>(spec: &BigSpec, model: &M) -> (Plan, f32) {
         plans.push(Plan::join(pi, pj));
         cards.push(out);
     }
-    let plan = plans.pop().expect("one tree remains");
+    // The merge loop leaves exactly one tree; degrade to a scan rather
+    // than unwrap if that invariant ever breaks.
+    let plan = plans.pop().unwrap_or_else(|| Plan::scan(0));
     let (_, cost) = spec.plan_cost(&plan, model);
     (plan, cost)
 }
@@ -298,11 +303,13 @@ pub fn linear_order(spec: &BigSpec) -> Vec<usize> {
     // Greedy fallback: start from the smallest relation, repeatedly
     // append the relation minimizing the next intermediate cardinality
     // (ties by index). `span[r]` tracks Π_span(joined, {r}) incrementally.
+    // `n >= 2` here (the `n <= 1` early return above), so the minimum
+    // exists; 0 is the natural fallback either way.
     let first = (0..n)
         .min_by(|&a, &b| {
             spec.card(a).partial_cmp(&spec.card(b)).unwrap_or(std::cmp::Ordering::Equal)
         })
-        .expect("spec has at least one relation");
+        .unwrap_or(0);
     let mut order = vec![first];
     let mut in_order = vec![false; n];
     in_order[first] = true;
@@ -324,7 +331,9 @@ pub fn linear_order(spec: &BigSpec) -> Vec<usize> {
                 best = Some((r, out));
             }
         }
-        let (r, out) = best.expect("some relation remains");
+        // `order.len() < n` guarantees an unplaced relation; if the
+        // invariant ever breaks, stop extending instead of panicking.
+        let Some((r, out)) = best else { break };
         order.push(r);
         in_order[r] = true;
         card = out;
@@ -390,16 +399,19 @@ fn block_dp_sweep<M: CostModel + Sync>(
     }
     // Greedy combination of block trees, as in GOO.
     while forest.len() > 1 {
-        let mut best: Option<(usize, usize, f64)> = None;
+        // Seeded with the first pair (the loop guard guarantees two
+        // trees); strict `<` keeps the exact first-wins tie-break.
+        let mut best =
+            (0usize, 1usize, forest[0].2 * forest[1].2 * spec.pi_span_bits(forest[0].1, forest[1].1));
         for i in 0..forest.len() {
             for j in i + 1..forest.len() {
                 let out = forest[i].2 * forest[j].2 * spec.pi_span_bits(forest[i].1, forest[j].1);
-                if best.is_none_or(|(_, _, b)| out < b) {
-                    best = Some((i, j, out));
+                if out < best.2 {
+                    best = (i, j, out);
                 }
             }
         }
-        let (i, j, out) = best.expect("at least two trees");
+        let (i, j, out) = best;
         let (pj, sj, _) = forest.swap_remove(j);
         let (pi, si, _) = forest.swap_remove(i);
         forest.push((Plan::join(pi, pj), si | sj, out));

@@ -203,7 +203,10 @@ impl BigSpec {
                 }
             }
         }
-        JoinSpec::new(&cards, &preds).expect("sub-problems of valid specs are valid")
+        // Documented `# Panics` contract above; keep the panic but name
+        // the rejected input instead of an anonymous expect.
+        JoinSpec::new(&cards, &preds)
+            .unwrap_or_else(|e| panic!("sub-problem of a valid BigSpec rejected: {e:?}"))
     }
 
     /// `Π_span(U, V)`: the selectivity product over predicates spanning

@@ -15,27 +15,50 @@
 //!   views only, so that no `&`/`&mut` to the shared table is ever live
 //!   across threads.
 //! * **`request-path-unwrap`** — non-test code in `crates/service/src`
-//!   must not call `.unwrap()` or `.expect(`; the request path degrades
-//!   with explicit errors (or a deliberate `panic!` with context), never
-//!   an anonymous unwrap.
-//! * **`numeric-truncation`** — the hot loops in `bitset.rs`,
-//!   `split.rs` and `conv.rs` must not narrow integers with bare `as`
-//!   casts (`as u8/u16/u32/i8/i16/i32`); audited narrowings go through
-//!   named helpers such as `RelSet::from_wave_bits` or the allowlist.
+//!   and `crates/ladder/src` must not call `.unwrap()` or `.expect(`;
+//!   the serving path degrades with explicit errors, poison recovery
+//!   (`service::sync`-style) or a deliberate `panic!` with context,
+//!   never an anonymous unwrap. Token-based, so calls split across
+//!   lines are still seen.
+//! * **`numeric-truncation`** — `crates/core` must not narrow integers
+//!   with bare `as` casts (`as u8/u16/u32/i8/i16/i32`); audited
+//!   narrowings go through named helpers such as
+//!   `RelSet::from_wave_bits` or the allowlist. Token-based, so casts
+//!   split across lines are still seen.
 //! * **`deny-unsafe-op`** — every crate that contains `unsafe` code must
 //!   carry `#![deny(unsafe_op_in_unsafe_fn)]` in its crate root.
+//! * **`stale-allowlist`** — an `allowlist.txt` entry that matches no
+//!   finding is itself a finding, so suppressions cannot outlive the
+//!   code they excused.
+//!
+//! On top of the lexical layer sits a semantic pass ([`semantic`],
+//! `cargo xtask analyze`): the sanitized text is lexed ([`lex`]) into
+//! tokens, structured into delimiter-matched token trees with item
+//! extraction ([`tree`]), and closed into a workspace call graph
+//! ([`graph`]). Three call-graph-backed rules run there:
+//! **`unsafe-provenance`** (raw pointers must not escape the audited
+//! modules through helper calls), **`lock-order`** (static
+//! lock-acquisition graph from `sync::lock` sites, closed over the call
+//! graph; cycles fail) and **`float-determinism`** (no `f32`/`f64`
+//! accumulation under nondeterministic iteration order). `cargo xtask
+//! lint` runs both layers; see the [`semantic`] module docs for rule
+//! semantics and known approximations.
 //!
 //! Audited exceptions live in `crates/xtask/allowlist.txt`, one per line:
 //! `rule|path-suffix|line-substring|reason`.
 //!
-//! The lints are deliberately lexical: a comment/string-aware sanitizer
-//! ([`sanitize`]) blanks out comment and literal contents (preserving
-//! line structure), and the rules then run on the residual code text.
-//! That keeps the whole tool `std`-only — no syn, no rustc internals —
-//! at the price of being tuned to this workspace's idioms, which is
-//! exactly the trade a repo-local xtask should make.
+//! Everything is `std`-only — no syn, no rustc internals — at the price
+//! of being tuned to this workspace's idioms, which is exactly the
+//! trade a repo-local xtask should make. A comment/string-aware
+//! sanitizer ([`sanitize`]) blanks out comment and literal contents
+//! (preserving line structure) before either layer runs.
 
 #![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod lex;
+pub mod semantic;
+pub mod tree;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -80,10 +103,22 @@ pub struct Report {
     pub suppressed: usize,
 }
 
+/// One audited exception.
+#[derive(Debug)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+    needle: String,
+    /// 1-based line in `allowlist.txt`, for stale-entry reporting.
+    line: usize,
+    /// The raw entry text, for stale-entry reporting.
+    raw: String,
+}
+
 /// An audited-exception list: `rule|path-suffix|line-substring|reason`.
 #[derive(Debug, Default)]
 pub struct Allowlist {
-    entries: Vec<(String, String, String, String)>,
+    entries: Vec<AllowEntry>,
 }
 
 impl Allowlist {
@@ -99,15 +134,16 @@ impl Allowlist {
             }
             let mut parts = line.splitn(4, '|');
             match (parts.next(), parts.next(), parts.next(), parts.next()) {
-                (Some(rule), Some(path), Some(needle), Some(reason))
+                (Some(rule), Some(path), Some(needle), Some(_reason))
                     if !rule.is_empty() && !path.is_empty() && !needle.is_empty() =>
                 {
-                    entries.push((
-                        rule.to_string(),
-                        path.to_string(),
-                        needle.to_string(),
-                        reason.to_string(),
-                    ));
+                    entries.push(AllowEntry {
+                        rule: rule.to_string(),
+                        path: path.to_string(),
+                        needle: needle.to_string(),
+                        line: i + 1,
+                        raw: line.to_string(),
+                    });
                 }
                 _ => {
                     return Err(format!(
@@ -120,11 +156,47 @@ impl Allowlist {
         Ok(Allowlist { entries })
     }
 
+    /// Index of the first entry covering this finding, if any.
+    fn match_entry(&self, f: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == f.rule
+                && f.file.ends_with(e.path.as_str())
+                && f.source_line.contains(e.needle.as_str())
+        })
+    }
+
     /// Does an entry cover this finding?
     pub fn permits(&self, f: &Finding) -> bool {
-        self.entries.iter().any(|(rule, path, needle, _)| {
-            rule == f.rule && f.file.ends_with(path.as_str()) && f.source_line.contains(needle.as_str())
-        })
+        self.match_entry(f).is_some()
+    }
+}
+
+/// Split findings into suppressed and surviving, then append one
+/// `stale-allowlist` finding per entry that matched nothing: a
+/// suppression must not outlive the code it excused.
+pub fn apply_allowlist(allowlist: &Allowlist, findings: Vec<Finding>, report: &mut Report) {
+    let mut hit = vec![false; allowlist.entries.len()];
+    for finding in findings {
+        match allowlist.match_entry(&finding) {
+            Some(i) => {
+                hit[i] = true;
+                report.suppressed += 1;
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    for (entry, hit) in allowlist.entries.iter().zip(hit) {
+        if !hit {
+            report.findings.push(Finding {
+                rule: "stale-allowlist",
+                file: "crates/xtask/allowlist.txt".to_string(),
+                line: entry.line,
+                message: "allowlist entry matches no current finding — delete it (or fix the \
+                          entry if the code it excuses moved)"
+                    .to_string(),
+                source_line: entry.raw.clone(),
+            });
+        }
     }
 }
 
@@ -375,14 +447,18 @@ fn matching_close(hay: &str, open: usize) -> Option<usize> {
     None
 }
 
-/// First line (0-based) at which test-only code begins (`#[cfg(test)]`
-/// or a `mod tests`), or the file length if there is none.
-fn test_code_start(raw_lines: &[&str]) -> usize {
+/// First line (0-based) at which test-only code begins (`#[cfg(test)]`,
+/// `#[cfg(all(test, …))]` or a `mod tests`), or the file length if
+/// there is none.
+pub(crate) fn test_code_start(raw_lines: &[&str]) -> usize {
     raw_lines
         .iter()
         .position(|l| {
             let t = l.trim_start();
-            t.starts_with("#[cfg(test)]") || t.starts_with("mod tests") || t.starts_with("pub mod tests")
+            t.starts_with("#[cfg(test)]")
+                || t.starts_with("#[cfg(all(test")
+                || t.starts_with("mod tests")
+                || t.starts_with("pub mod tests")
         })
         .unwrap_or(raw_lines.len())
 }
@@ -440,7 +516,7 @@ fn unsafe_impl_bodies(san: &str, sites: &[UnsafeSite]) -> Vec<(usize, usize)> {
 /// Is there a `SAFETY:`-style annotation for the construct on `line0`
 /// (0-based)? Checks the line itself (trailing comment) and the
 /// contiguous comment/attribute block immediately above.
-fn has_annotation(raw_lines: &[&str], line0: usize, needles: &[&str]) -> bool {
+pub(crate) fn has_annotation(raw_lines: &[&str], line0: usize, needles: &[&str]) -> bool {
     let hit = |l: &str| needles.iter().any(|n| l.contains(n));
     if raw_lines.get(line0).is_some_and(|l| hit(l)) {
         return true;
@@ -556,27 +632,40 @@ fn rule_whole_table_borrow(rel: &str, raw_lines: &[&str], san: &str, starts: &[u
 // Rule: request-path-unwrap
 // ---------------------------------------------------------------------------
 
-fn rule_request_path_unwrap(rel: &str, raw_lines: &[&str], san: &str) -> Vec<Finding> {
-    if !rel.contains("crates/service/src/") {
+/// Token-based so that calls split across lines (`.\n    unwrap()`) are
+/// still seen — the lexical predecessor matched per line and missed
+/// them.
+fn rule_request_path_unwrap(f: &tree::FileTokens) -> Vec<Finding> {
+    if !(f.rel.contains("crates/service/src/") || f.rel.contains("crates/ladder/src/")) {
         return Vec::new();
     }
-    let cutoff = test_code_start(raw_lines);
     let mut findings = Vec::new();
-    for (i, line) in san.lines().enumerate().take(cutoff) {
-        for needle in [".unwrap()", ".expect("] {
-            if line.contains(needle) {
-                findings.push(Finding {
-                    rule: "request-path-unwrap",
-                    file: rel.to_string(),
-                    line: i + 1,
-                    message: format!(
-                        "`{needle}` on the service request path — handle the error or use an \
-                         explicit `panic!` with context"
-                    ),
-                    source_line: raw_lines.get(i).unwrap_or(&"").to_string(),
-                });
-            }
+    for j in 0..f.toks.len() {
+        if !f.toks[j].is(".") {
+            continue;
         }
+        let Some(name) = f.toks.get(j + 1) else { continue };
+        if !(name.is("unwrap") || name.is("expect")) || !f.toks.get(j + 2).is_some_and(|t| t.is("(")) {
+            continue;
+        }
+        if f.is_test_line(name.line) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "request-path-unwrap",
+            file: f.rel.clone(),
+            line: name.line,
+            message: format!(
+                "`.{}(` on the serving path — handle the error, recover from poison \
+                 (`service::sync`-style) or use an explicit `panic!` with context",
+                name.text
+            ),
+            source_line: f
+                .raw_lines
+                .get(name.line.saturating_sub(1))
+                .cloned()
+                .unwrap_or_default(),
+        });
     }
     findings
 }
@@ -587,31 +676,36 @@ fn rule_request_path_unwrap(rel: &str, raw_lines: &[&str], san: &str) -> Vec<Fin
 
 const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
-fn rule_numeric_truncation(rel: &str, raw_lines: &[&str], san: &str) -> Vec<Finding> {
-    if !(rel.ends_with("crates/core/src/bitset.rs")
-        || rel.ends_with("crates/core/src/split.rs")
-        || rel.ends_with("crates/core/src/conv.rs"))
-    {
+/// Token-based so that casts split across lines (`x as\n    u32`) are
+/// still seen; scope is all of `crates/core`.
+fn rule_numeric_truncation(f: &tree::FileTokens) -> Vec<Finding> {
+    if !f.rel.contains("crates/core/src/") {
         return Vec::new();
     }
-    let cutoff = test_code_start(raw_lines);
     let mut findings = Vec::new();
-    for (i, line) in san.lines().enumerate().take(cutoff) {
-        for at in word_offsets(line, "as") {
-            let Some(ty) = next_token(line, at + 2) else { continue };
-            if NARROW_TYPES.contains(&ty) {
-                findings.push(Finding {
-                    rule: "numeric-truncation",
-                    file: rel.to_string(),
-                    line: i + 1,
-                    message: format!(
-                        "narrowing `as {ty}` cast in a hot-loop file — use a named audited \
-                         helper (e.g. `RelSet::from_wave_bits`) or the allowlist"
-                    ),
-                    source_line: raw_lines.get(i).unwrap_or(&"").to_string(),
-                });
-            }
+    for j in 0..f.toks.len() {
+        if !f.toks[j].is("as") {
+            continue;
         }
+        let Some(ty) = f.toks.get(j + 1) else { continue };
+        if !NARROW_TYPES.contains(&ty.text.as_str()) || f.is_test_line(f.toks[j].line) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "numeric-truncation",
+            file: f.rel.clone(),
+            line: f.toks[j].line,
+            message: format!(
+                "narrowing `as {}` cast in crates/core — use a named audited helper \
+                 (e.g. `RelSet::from_wave_bits`) or the allowlist",
+                ty.text
+            ),
+            source_line: f
+                .raw_lines
+                .get(f.toks[j].line.saturating_sub(1))
+                .cloned()
+                .unwrap_or_default(),
+        });
     }
     findings
 }
@@ -670,11 +764,21 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
     let san = sanitize(src);
     let raw_lines: Vec<&str> = src.lines().collect();
     let starts = line_starts(&san);
+    let f = tree::FileTokens::parse(rel, src);
     let mut findings = rule_safety_comment(rel, &raw_lines, &san, &starts);
     findings.extend(rule_whole_table_borrow(rel, &raw_lines, &san, &starts));
-    findings.extend(rule_request_path_unwrap(rel, &raw_lines, &san));
-    findings.extend(rule_numeric_truncation(rel, &raw_lines, &san));
+    findings.extend(rule_request_path_unwrap(&f));
+    findings.extend(rule_numeric_truncation(&f));
     findings
+}
+
+/// Run the semantic (call-graph) rules over in-memory `(rel, src)`
+/// sources. This is the entry point the self-tests drive with fixture
+/// files; `run_lints`/`run_analyze` feed it the real workspace.
+pub fn analyze_sources(files: &[(String, String)]) -> (Vec<Finding>, semantic::Summary) {
+    let parsed: Vec<tree::FileTokens> =
+        files.iter().map(|(rel, src)| tree::FileTokens::parse(rel, src)).collect();
+    semantic::analyze(&parsed)
 }
 
 /// Walk up from `start` to the directory whose `Cargo.toml` declares
@@ -719,13 +823,7 @@ fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Run every lint over the workspace rooted at `root`, applying the
-/// allowlist at `crates/xtask/allowlist.txt` if present.
-pub fn run_lints(root: &Path) -> Result<Report, String> {
-    let allowlist = match std::fs::read_to_string(root.join("crates/xtask/allowlist.txt")) {
-        Ok(text) => Allowlist::parse(&text)?,
-        Err(_) => Allowlist::default(),
-    };
+fn load_workspace(root: &Path) -> Result<Vec<(String, String, String)>, String> {
     let paths = collect_rs_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
     let mut files = Vec::with_capacity(paths.len());
     for path in &paths {
@@ -739,13 +837,50 @@ pub fn run_lints(root: &Path) -> Result<Report, String> {
         let san = sanitize(&src);
         files.push((rel, src, san));
     }
+    Ok(files)
+}
+
+fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    match std::fs::read_to_string(root.join("crates/xtask/allowlist.txt")) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Ok(Allowlist::default()),
+    }
+}
+
+/// Run every lint — lexical and semantic — over the workspace rooted at
+/// `root`, applying the allowlist at `crates/xtask/allowlist.txt` if
+/// present (with stale-entry detection).
+pub fn run_lints(root: &Path) -> Result<Report, String> {
+    let allowlist = load_allowlist(root)?;
+    let files = load_workspace(root)?;
     let mut report = Report { files_scanned: files.len(), ..Report::default() };
     let mut all = Vec::new();
     for (rel, src, _) in &files {
         all.extend(lint_source(rel, src));
     }
     all.extend(rule_deny_unsafe_op(&files));
-    for finding in all {
+    let sources: Vec<(String, String)> =
+        files.iter().map(|(rel, src, _)| (rel.clone(), src.clone())).collect();
+    let (semantic_findings, _summary) = analyze_sources(&sources);
+    all.extend(semantic_findings);
+    apply_allowlist(&allowlist, all, &mut report);
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Run only the semantic rules over the workspace, returning the
+/// allowlist-filtered findings plus the call-graph summary. Stale
+/// allowlist entries are *not* reported here — lexical-rule entries
+/// legitimately match nothing in a semantic-only run; `run_lints` owns
+/// that check.
+pub fn run_analyze(root: &Path) -> Result<(Report, semantic::Summary), String> {
+    let allowlist = load_allowlist(root)?;
+    let files = load_workspace(root)?;
+    let sources: Vec<(String, String)> =
+        files.iter().map(|(rel, src, _)| (rel.clone(), src.clone())).collect();
+    let (findings, summary) = analyze_sources(&sources);
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    for finding in findings {
         if allowlist.permits(&finding) {
             report.suppressed += 1;
         } else {
@@ -753,5 +888,5 @@ pub fn run_lints(root: &Path) -> Result<Report, String> {
         }
     }
     report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+    Ok((report, summary))
 }

@@ -1,0 +1,575 @@
+//! Token-tree layer: delimiter matching and item extraction.
+//!
+//! A [`FileTokens`] is one sanitized source file as a flat token vector
+//! plus the two structural maps every semantic rule needs: `partner`
+//! (for each `(`/`[`/`{` the index of its matching closer, and back) and
+//! `brace_close` (for each token, the `}` closing its innermost brace
+//! group). The flat-vector-plus-maps shape *is* the token tree — child
+//! groups are the ranges between partners — and keeps rule code as
+//! plain index arithmetic instead of recursion.
+//!
+//! On top of that, [`extract_items`] recognizes the item kinds the
+//! rules consume: `fn` (with modifiers, signature range, body range and
+//! enclosing `mod`/`impl` path), `impl` (self-type, for qualified fn
+//! names), `struct` names, and `use` declarations (leaf name → full
+//! path, used to sharpen call resolution).
+
+use crate::lex::{lex, Tok, TokKind};
+use crate::sanitize;
+
+/// Sentinel for "no partner" / "top level".
+pub const NONE: usize = usize::MAX;
+
+/// One sanitized, tokenized source file with structural maps.
+pub struct FileTokens {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// `partner[i]`: matching delimiter index for `( ) [ ] { }`, both
+    /// directions; [`NONE`] for non-delimiters and unbalanced ones.
+    pub partner: Vec<usize>,
+    /// `brace_close[i]`: index of the `}` closing the innermost `{}`
+    /// group containing token `i`; [`NONE`] at top level.
+    pub brace_close: Vec<usize>,
+    /// Raw (unsanitized) source lines, for annotations and reporting.
+    pub raw_lines: Vec<String>,
+    /// 0-based first line of test-only code (`#[cfg(test)]`-style), or
+    /// the line count if there is none.
+    pub test_cutoff: usize,
+}
+
+impl FileTokens {
+    /// Sanitize, lex and structure one source file.
+    pub fn parse(rel: &str, src: &str) -> FileTokens {
+        let san = sanitize(src);
+        let toks = lex(&san);
+        let raw_lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let refs: Vec<&str> = raw_lines.iter().map(String::as_str).collect();
+        let test_cutoff = crate::test_code_start(&refs);
+        let mut partner = vec![NONE; toks.len()];
+        let mut brace_close = vec![NONE; toks.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            match t.text.as_str() {
+                "(" | "[" | "{" => stack.push(i),
+                ")" | "]" | "}" => {
+                    // Pop to the nearest matching opener; mismatched
+                    // closers (macro-mangled code) just stay unpaired.
+                    let want = match t.text.as_str() {
+                        ")" => "(",
+                        "]" => "[",
+                        _ => "{",
+                    };
+                    if let Some(pos) = stack.iter().rposition(|&o| toks[o].is(want)) {
+                        let open = stack[pos];
+                        stack.truncate(pos);
+                        partner[open] = i;
+                        partner[i] = open;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Innermost enclosing brace group, by a second stack pass.
+        let mut braces: Vec<usize> = Vec::new();
+        for i in 0..toks.len() {
+            if toks[i].is("}") && braces.last().is_some_and(|&o| partner[o] == i) {
+                braces.pop();
+            }
+            brace_close[i] = braces.last().map_or(NONE, |&o| partner[o]);
+            if toks[i].is("{") && partner[i] != NONE {
+                braces.push(i);
+            }
+        }
+        FileTokens { rel: rel.to_string(), toks, partner, brace_close, raw_lines, test_cutoff }
+    }
+
+    /// Exclusive token index where the statement containing `from` ends:
+    /// at a depth-0 `;`, after a depth-0 `{}` group closes (loop bodies,
+    /// `match` tails), or at the `}`/`)` that ends the enclosing group.
+    pub fn stmt_end(&self, from: usize) -> usize {
+        let mut depth = 0i64;
+        let mut j = from;
+        while j < self.toks.len() {
+            match self.toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        return j;
+                    }
+                    depth -= 1;
+                }
+                "}" => {
+                    if depth == 0 {
+                        return j;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                ";" if depth == 0 => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Is 1-based source line `line` inside test-only code?
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line.saturating_sub(1) >= self.test_cutoff
+            || self.rel.starts_with("tests/")
+            || self.rel.contains("/tests/")
+            || self.rel.starts_with("benches/")
+            || self.rel.contains("/benches/")
+    }
+}
+
+/// One extracted `fn` item.
+pub struct FnItem {
+    /// Bare name.
+    pub name: String,
+    /// `Type::name` when defined inside an `impl`, else the bare name.
+    pub qual: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range of the signature: `(name_tok + 1, body open or `;`)`,
+    /// end exclusive.
+    pub sig: (usize, usize),
+    /// Body token range `(open `{`, close `}`)`, both inclusive; `None`
+    /// for declarations (trait methods, `extern` blocks).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Signature mentions a raw pointer (`*const` / `*mut`).
+    pub raw_ptr_sig: bool,
+    /// Module path: file-derived segments plus inline `mod` nesting.
+    pub mod_path: Vec<String>,
+    /// Defined inside test-only code.
+    pub is_test: bool,
+}
+
+/// One `use` declaration leaf: `name` resolves to `path` segments.
+pub struct UseItem {
+    /// The name the importing file sees (alias under `use … as alias`).
+    pub name: String,
+    /// Full path segments, `crate`/`super`/`self` already substituted
+    /// against the importing file's module path.
+    pub path: Vec<String>,
+}
+
+/// Items extracted from one file.
+pub struct Items {
+    /// Every `fn`, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `use` leaf (globs skipped).
+    pub uses: Vec<UseItem>,
+    /// Struct names, for the analyze summary.
+    pub structs: Vec<String>,
+    /// Number of `impl` blocks.
+    pub impls: usize,
+}
+
+/// Module path segments a file contributes: `crates/core/src/split.rs`
+/// → `["core", "split"]`, `crates/service/src/net/sys.rs` →
+/// `["service", "net", "sys"]`, `src/lib.rs` → `["blitzsplit"]`.
+pub fn file_mod_path(rel: &str) -> Vec<String> {
+    let stem = rel.strip_suffix(".rs").unwrap_or(rel);
+    let segs: Vec<&str> = stem.split('/').collect();
+    let mut out: Vec<String> = if segs.first() == Some(&"crates") && segs.len() >= 2 {
+        std::iter::once(segs[1])
+            .chain(segs.iter().skip(2).copied().filter(|s| *s != "src"))
+            .map(str::to_string)
+            .collect()
+    } else {
+        std::iter::once("blitzsplit")
+            .chain(segs.iter().copied().filter(|s| *s != "src"))
+            .map(str::to_string)
+            .collect()
+    };
+    while out.last().is_some_and(|s| s == "lib" || s == "main" || s == "mod") {
+        out.pop();
+    }
+    out
+}
+
+/// Fn modifiers that may sit between an attribute and the `fn` keyword.
+const FN_MODIFIERS: [&str; 8] =
+    ["pub", "unsafe", "const", "async", "extern", "default", "crate", "in"];
+
+/// Extract the items of one file.
+pub fn extract_items(f: &FileTokens) -> Items {
+    let file_path = file_mod_path(&f.rel);
+    let mut fns = Vec::new();
+    let mut uses = Vec::new();
+    let mut structs = Vec::new();
+    let mut impls = 0usize;
+    // (name, close token) stacks for inline `mod` and `impl` nesting.
+    let mut mod_stack: Vec<(String, usize)> = Vec::new();
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        mod_stack.retain(|&(_, close)| i <= close);
+        impl_stack.retain(|&(_, close)| i <= close);
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "mod" => {
+                if let (Some(name), Some(open)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if name.kind == TokKind::Ident && open.is("{") && f.partner[i + 2] != NONE {
+                        mod_stack.push((name.text.clone(), f.partner[i + 2]));
+                    }
+                }
+            }
+            "impl" => {
+                // Self type: last depth-0 ident before the body, reset
+                // at `for` (so `impl Trait for Type` yields `Type`).
+                let mut ty = String::new();
+                let mut angle = 0i64;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    let u = &toks[j];
+                    match u.text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle = (angle - 1).max(0),
+                        "{" | ";" if angle == 0 => break,
+                        "where" if angle == 0 => break,
+                        "for" if angle == 0 => ty.clear(),
+                        _ if u.kind == TokKind::Ident && angle == 0 => ty = u.text.clone(),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is("{") && f.partner[j] != NONE {
+                    impls += 1;
+                    impl_stack.push((ty, f.partner[j]));
+                }
+            }
+            "struct" => {
+                if let Some(name) = toks.get(i + 1) {
+                    if name.kind == TokKind::Ident {
+                        structs.push(name.text.clone());
+                    }
+                }
+            }
+            "use" => {
+                collect_use(f, i, &file_path, &mut uses);
+            }
+            "fn" => {
+                let Some(name) = toks.get(i + 1) else { continue };
+                if name.kind != TokKind::Ident {
+                    continue; // `fn(i32) -> i32` pointer type, not an item
+                }
+                // Modifier scan-back for `unsafe`.
+                let mut is_unsafe = false;
+                let mut j = i;
+                while j > 0 {
+                    j -= 1;
+                    let u = &toks[j];
+                    if u.is(")") && f.partner[j] != NONE {
+                        j = f.partner[j]; // skip `pub(crate)`-style groups
+                    } else if u.kind == TokKind::Ident
+                        && FN_MODIFIERS.contains(&u.text.as_str())
+                    {
+                        is_unsafe |= u.is("unsafe");
+                    } else {
+                        break;
+                    }
+                }
+                // Signature: to the body `{` or a declaration's `;` at
+                // delimiter depth 0.
+                let mut depth = 0i64;
+                let mut k = i + 2;
+                let mut sig_end = toks.len();
+                let mut body = None;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
+                            sig_end = k;
+                            if f.partner[k] != NONE {
+                                body = Some((k, f.partner[k]));
+                            }
+                            break;
+                        }
+                        ";" if depth == 0 => {
+                            sig_end = k;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let sig = (i + 2, sig_end);
+                let raw_ptr_sig = (sig.0..sig.1).any(|j| {
+                    toks[j].is("*")
+                        && toks.get(j + 1).is_some_and(|n| n.is("const") || n.is("mut"))
+                });
+                let mut mod_path = file_path.clone();
+                mod_path.extend(mod_stack.iter().map(|(n, _)| n.clone()));
+                let qual = match impl_stack.last() {
+                    Some((ty, _)) if !ty.is_empty() => format!("{ty}::{}", name.text),
+                    _ => name.text.clone(),
+                };
+                fns.push(FnItem {
+                    name: name.text.clone(),
+                    qual,
+                    fn_tok: i,
+                    sig,
+                    body,
+                    line: t.line,
+                    is_unsafe,
+                    raw_ptr_sig,
+                    mod_path,
+                    is_test: f.is_test_line(t.line),
+                });
+            }
+            _ => {}
+        }
+    }
+    Items { fns, uses, structs, impls }
+}
+
+/// Expand one `use` declaration into leaf items, recursing into brace
+/// groups. Globs (`*`) are skipped; `as` renames record the alias.
+fn collect_use(f: &FileTokens, use_tok: usize, file_path: &[String], out: &mut Vec<UseItem>) {
+    fn walk(
+        f: &FileTokens,
+        mut j: usize,
+        end: usize,
+        prefix: &[String],
+        file_path: &[String],
+        out: &mut Vec<UseItem>,
+    ) {
+        let mut path = prefix.to_vec();
+        while j < end {
+            let t = &f.toks[j];
+            match t.text.as_str() {
+                "::" | "," => {
+                    if t.is(",") {
+                        path = prefix.to_vec();
+                    }
+                    j += 1;
+                }
+                "{" => {
+                    let close = f.partner[j];
+                    if close == NONE || close > end {
+                        return;
+                    }
+                    walk(f, j + 1, close, &path, file_path, out);
+                    j = close + 1;
+                }
+                "as" => {
+                    if let Some(alias) = f.toks.get(j + 1) {
+                        if alias.kind == TokKind::Ident {
+                            out.push(UseItem { name: alias.text.clone(), path: path.clone() });
+                        }
+                    }
+                    // Drop the un-aliased leaf recorded below by
+                    // resetting; skip past the alias.
+                    if let Some(last) = path.last().cloned() {
+                        out.retain(|u| !(u.name == last && u.path == path));
+                    }
+                    j += 2;
+                }
+                "*" => {
+                    j += 1; // glob: no leaf names to record
+                }
+                _ if t.kind == TokKind::Ident => {
+                    // Substitute crate/super/self against the file path.
+                    if path.is_empty() && t.is("crate") {
+                        path.extend(file_path.first().cloned());
+                    } else if path.is_empty() && t.is("self") {
+                        path.extend(file_path.iter().cloned());
+                    } else if t.is("super") {
+                        if path.is_empty() {
+                            path.extend(file_path.iter().cloned());
+                        }
+                        path.pop();
+                    } else {
+                        path.push(t.text.clone());
+                        // A leaf unless `::`/`as` continues the path.
+                        let next = f.toks.get(j + 1).map(|n| n.text.clone());
+                        if j + 1 >= end
+                            || !matches!(next.as_deref(), Some("::") | Some("as"))
+                        {
+                            out.push(UseItem {
+                                name: t.text.clone(),
+                                path: path.clone(),
+                            });
+                            path = prefix.to_vec();
+                        }
+                    }
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+    }
+    // The declaration runs to the `;` at depth 0.
+    let end = f.stmt_end(use_tok + 1).min(f.toks.len());
+    let end = if end > 0 && f.toks.get(end - 1).is_some_and(|t| t.is(";")) { end - 1 } else { end };
+    walk(f, use_tok + 1, end, &[], file_path, out);
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name (the ident directly before the `(`).
+    pub name: String,
+    /// Token index of that ident.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// `.name(…)` method-call form.
+    pub method: bool,
+    /// Method call whose receiver chain starts at `self`.
+    pub self_rooted: bool,
+    /// Path segments for free calls (`sync::lock` → `["sync","lock"]`);
+    /// just the name for methods.
+    pub path: Vec<String>,
+}
+
+/// Names that look like calls but never are (or that we deliberately
+/// never resolve — `drop` is `std::mem::drop` in every real use; the
+/// implicit `Drop::drop` a static pass could confuse it with is not
+/// called by name at all).
+const NON_CALLS: [&str; 17] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "break", "continue",
+    "fn", "let", "else", "unsafe", "use", "drop",
+];
+
+/// Call sites in the token range `[range.0, range.1)`.
+pub fn calls_in(f: &FileTokens, range: (usize, usize)) -> Vec<CallSite> {
+    let toks = &f.toks;
+    let mut out = Vec::new();
+    for j in range.0..range.1.min(toks.len()) {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident || NON_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !toks.get(j + 1).is_some_and(|n| n.is("(")) {
+            continue;
+        }
+        let prev = j.checked_sub(1).map(|p| toks[p].text.as_str());
+        if prev == Some("fn") {
+            continue; // definition, not a call
+        }
+        let method = prev == Some(".");
+        let mut self_rooted = false;
+        let mut path = vec![t.text.clone()];
+        if method {
+            // Walk the postfix receiver chain back to its root.
+            let mut k = j - 1; // the `.`
+            while k > 0 {
+                k -= 1;
+                match toks[k].text.as_str() {
+                    ")" | "]" if f.partner[k] != NONE => k = f.partner[k],
+                    "." => {}
+                    _ if toks[k].kind == TokKind::Ident || toks[k].kind == TokKind::Num => {
+                        if k == 0 || !toks[k - 1].is(".") {
+                            self_rooted = toks[k].is("self");
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        } else {
+            // Collect the `a::b::name` path backwards.
+            let mut k = j;
+            while k >= 2 && toks[k - 1].is("::") && toks[k - 2].kind == TokKind::Ident {
+                path.insert(0, toks[k - 2].text.clone());
+                k -= 2;
+            }
+        }
+        out.push(CallSite { name: t.text.clone(), tok: j, line: t.line, method, self_rooted, path });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partner_and_brace_maps() {
+        let f = FileTokens::parse("x.rs", "fn a() { if x { y(); } }");
+        let open = f.toks.iter().position(|t| t.is("{")).unwrap();
+        assert_eq!(f.toks[f.partner[open]].text, "}");
+        assert_eq!(f.partner[f.partner[open]], open);
+    }
+
+    #[test]
+    fn fn_extraction_sees_modifiers_and_pointers() {
+        let src = "pub(crate) unsafe fn window(p: *const f32) -> *mut f32 { p as *mut f32 }\n\
+                   fn plain(x: u32) -> u32 { x }\n";
+        let f = FileTokens::parse("crates/core/src/x.rs", src);
+        let items = extract_items(&f);
+        assert_eq!(items.fns.len(), 2);
+        assert!(items.fns[0].is_unsafe && items.fns[0].raw_ptr_sig);
+        assert!(!items.fns[1].is_unsafe && !items.fns[1].raw_ptr_sig);
+        assert_eq!(items.fns[0].mod_path, ["core", "x"]);
+    }
+
+    #[test]
+    fn impl_and_mod_attribution() {
+        let src = "mod inner { impl Foo { fn go(&self) {} } impl Bar for Baz { fn stop() {} } }";
+        let f = FileTokens::parse("crates/core/src/x.rs", src);
+        let items = extract_items(&f);
+        let quals: Vec<&str> = items.fns.iter().map(|i| i.qual.as_str()).collect();
+        assert_eq!(quals, ["Foo::go", "Baz::stop"]);
+        assert_eq!(items.fns[0].mod_path, ["core", "x", "inner"]);
+    }
+
+    #[test]
+    fn use_extraction_expands_braces_and_substitutes_crate() {
+        let src = "use crate::sync::lock;\nuse std::collections::{HashMap, HashSet};\n\
+                   use crate::cache::Slot as CacheSlot;\n";
+        let f = FileTokens::parse("crates/service/src/tables.rs", src);
+        let items = extract_items(&f);
+        let find = |n: &str| items.uses.iter().find(|u| u.name == n).map(|u| u.path.clone());
+        assert_eq!(find("lock"), Some(vec!["service".into(), "sync".into(), "lock".into()]));
+        assert_eq!(
+            find("HashMap"),
+            Some(vec!["std".into(), "collections".into(), "HashMap".into()])
+        );
+        assert_eq!(
+            find("CacheSlot"),
+            Some(vec!["service".into(), "cache".into(), "Slot".into()])
+        );
+    }
+
+    #[test]
+    fn call_sites_classify_method_free_and_path() {
+        let src = "fn f(&self) { self.shard(1).pop(); sync::lock(&x); go(); m!(); }";
+        let f = FileTokens::parse("x.rs", src);
+        let calls = calls_in(&f, (0, f.toks.len()));
+        let by_name =
+            |n: &str| calls.iter().find(|c| c.name == n).unwrap_or_else(|| panic!("{n}"));
+        assert!(by_name("shard").method && by_name("shard").self_rooted);
+        assert!(by_name("pop").method && by_name("pop").self_rooted);
+        assert!(!by_name("lock").method);
+        assert_eq!(by_name("lock").path, ["sync", "lock"]);
+        assert!(!by_name("go").method);
+        assert!(!calls.iter().any(|c| c.name == "m"), "macro call must not count");
+    }
+
+    #[test]
+    fn stmt_end_covers_loop_bodies_and_semicolons() {
+        let f = FileTokens::parse("x.rs", "let a = b(c); for x in m { y += 1.0; } tail()");
+        let let_tok = 0;
+        let end = f.stmt_end(let_tok);
+        assert!(f.toks[end - 1].is(";"));
+        let for_tok = f.toks.iter().position(|t| t.is("for")).unwrap();
+        let end = f.stmt_end(for_tok);
+        assert!(f.toks[end - 1].is("}"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded violations for the float-determinism rule: f64 accumulation
+//! under HashMap iteration (loop and chained reduction forms) and a
+//! float-accumulating thread-merge outside `Stats::absorb`. Analyzed
+//! under a `crates/core/src/` path by the self-tests.
+
+use std::collections::HashMap;
+
+pub struct Partial {
+    total: f64,
+}
+
+/// Order-dependent sum over hash iteration: the classic violation.
+pub fn loop_sum(m: &HashMap<u64, f64>) -> f64 {
+    let mut sum = 0.0;
+    for v in m.values() {
+        sum += *v;
+    }
+    sum
+}
+
+/// The chained form of the same bug.
+pub fn chained_sum(m: &HashMap<u64, f64>) -> f64 {
+    m.values().copied().sum::<f64>()
+}
+
+impl Partial {
+    /// A thread-merge accumulating floats outside `Stats::absorb`.
+    pub fn absorb(&mut self, other: &Partial) {
+        self.total += other.total;
+    }
+}

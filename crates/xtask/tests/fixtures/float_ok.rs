@@ -1,0 +1,23 @@
+//! Accept fixture for the float-determinism rule: float reductions over
+//! deterministic-order containers, and integer accumulation under hash
+//! iteration — none of which void the bit-identity contract.
+
+use std::collections::HashMap;
+
+/// Vec iteration order is deterministic; float accumulation is fine.
+pub fn vec_sum(v: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for x in v {
+        sum += *x;
+    }
+    sum
+}
+
+/// Integer accumulation under hash iteration is order-independent.
+pub fn count(m: &HashMap<u64, u64>) -> u64 {
+    let mut n = 0u64;
+    for v in m.values() {
+        n += *v;
+    }
+    n
+}

@@ -1,0 +1,32 @@
+//! Seeded violation: two mutexes acquired in opposite orders, one leg
+//! nested directly and the other through a helper call — the cycle is
+//! only visible after closing the acquisition graph over the call
+//! graph. Analyzed under a `crates/service/src/` path by the self-tests.
+
+use crate::sync;
+use std::sync::Mutex;
+
+pub struct Shard {
+    jobs: Mutex<Vec<u64>>,
+    slots: Mutex<Vec<u64>>,
+}
+
+impl Shard {
+    /// jobs → slots, both acquisitions directly nested.
+    pub fn forward(&self) -> usize {
+        let jobs = sync::lock(&self.jobs);
+        let slots = sync::lock(&self.slots);
+        jobs.len() + slots.len()
+    }
+
+    /// slots → (helper) → jobs: the second acquisition hides behind a
+    /// self-rooted call, so only the call-graph closure can see it.
+    pub fn backward(&self) -> usize {
+        let slots = sync::lock(&self.slots);
+        slots.len() + self.touch_jobs()
+    }
+
+    fn touch_jobs(&self) -> usize {
+        sync::lock(&self.jobs).len()
+    }
+}

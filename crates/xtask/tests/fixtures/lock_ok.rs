@@ -1,0 +1,37 @@
+//! Accept fixture for the lock-order rule: the same two mutexes and the
+//! same helper indirection as `lock_cycle.rs`, but every nested
+//! acquisition follows the one global order jobs → slots, so the closed
+//! acquisition graph is acyclic.
+
+use crate::sync;
+use std::sync::Mutex;
+
+pub struct Shard {
+    jobs: Mutex<Vec<u64>>,
+    slots: Mutex<Vec<u64>>,
+}
+
+impl Shard {
+    pub fn forward(&self) -> usize {
+        let jobs = sync::lock(&self.jobs);
+        let slots = sync::lock(&self.slots);
+        jobs.len() + slots.len()
+    }
+
+    /// Same helper indirection, same global order: jobs first.
+    pub fn also_forward(&self) -> usize {
+        let jobs = sync::lock(&self.jobs);
+        jobs.len() + self.touch_slots()
+    }
+
+    fn touch_slots(&self) -> usize {
+        sync::lock(&self.slots).len()
+    }
+
+    /// Sequential (non-nested) opposite-order acquisitions are fine:
+    /// the first guard is a temporary, dropped before the second.
+    pub fn sequential(&self) -> usize {
+        let n = sync::lock(&self.slots).len();
+        n + sync::lock(&self.jobs).len()
+    }
+}

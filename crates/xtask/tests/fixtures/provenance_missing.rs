@@ -1,0 +1,20 @@
+//! Seeded violations for the unsafe-provenance rule: a raw-pointer
+//! signature and an `unsafe fn` outside the audited modules with no
+//! audit trail, plus an untrailed caller that lets the pointer escape.
+//! Analyzed under a non-audited `crates/core/src/` path by the
+//! self-tests.
+
+/// Launders a slice into a raw pointer with no safety contract.
+pub fn raw_window(buf: &mut [f32]) -> *mut f32 {
+    buf.as_mut_ptr()
+}
+
+pub unsafe fn poke(p: *mut f32) {
+    unsafe { *p = 0.0 };
+}
+
+/// Calls a pointer-bearing function with no SAFETY trail in the body.
+pub fn helper(buf: &mut [f32]) {
+    let p = raw_window(buf);
+    let _ = p;
+}

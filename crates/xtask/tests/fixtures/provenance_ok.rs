@@ -1,0 +1,26 @@
+//! Accept fixture for the unsafe-provenance rule: the same shapes as
+//! `provenance_missing.rs`, each carrying the audit trail the rule
+//! requires.
+
+/// Window into the wave buffer.
+///
+/// # Safety
+/// The returned pointer is valid for `buf.len()` writes and must not
+/// outlive `buf`'s borrow.
+pub fn raw_window(buf: &mut [f32]) -> *mut f32 {
+    buf.as_mut_ptr()
+}
+
+/// # Safety
+/// `p` must point at a live, exclusively-borrowed `f32`.
+pub unsafe fn poke(p: *mut f32) {
+    // SAFETY: caller contract above.
+    unsafe { *p = 0.0 };
+}
+
+pub fn helper(buf: &mut [f32]) {
+    // SAFETY: `p` is derived from `buf` above and used within the
+    // borrow; the audited contract of `raw_window` holds.
+    let p = raw_window(buf);
+    let _ = p;
+}

@@ -16,8 +16,8 @@ use blitzsplit::core::{
     optimize_join_into_with, AosTable, HotColdTable, NoStats, SoaTable,
 };
 use blitzsplit::{
-    optimize_join_threshold_with, CostModel, DriveOptions, JoinSpec, Kappa0, SortMerge,
-    ThresholdSchedule, WaveSchedule,
+    optimize_join_threshold_with, CostModel, DriveOptions, DriverChoice, JoinSpec, Kappa0,
+    SortMerge, ThresholdSchedule, WaveSchedule,
 };
 
 fn drive<L: blitzsplit::core::WaveTableLayout + Send, M: CostModel + Sync>(
@@ -42,6 +42,27 @@ fn parallel_drivers_pass_shadow_checking() {
                 let opts = DriveOptions::parallel(threads).with_schedule(schedule);
                 drive::<AosTable, _>(&spec, &Kappa0, opts);
                 drive::<SoaTable, _>(&spec, &SortMerge, opts);
+                drive::<HotColdTable, _>(&spec, &Kappa0, opts);
+            }
+        }
+    }
+}
+
+/// The conv driver's anchored walk reads the same strict-subset rows in
+/// a different pattern than the split walk; it must uphold the same
+/// wave discipline under both schedules. (Its seeded-violation twins
+/// live in `crates/core/src/conv.rs`.)
+#[test]
+fn conv_driver_passes_shadow_checking() {
+    for topo in [Topology::Chain, Topology::Star, Topology::Clique] {
+        let spec = Workload::new(8, topo, 100.0, 0.5).spec();
+        for threads in [2usize, 4] {
+            for schedule in [WaveSchedule::Chunked, WaveSchedule::RoundRobin] {
+                let opts = DriveOptions::parallel(threads)
+                    .with_schedule(schedule)
+                    .with_driver(DriverChoice::Conv);
+                drive::<AosTable, _>(&spec, &Kappa0, opts);
+                drive::<SoaTable, _>(&spec, &Kappa0, opts);
                 drive::<HotColdTable, _>(&spec, &Kappa0, opts);
             }
         }
