@@ -18,6 +18,14 @@
 //!   configuration, kept as the ablation baseline every other
 //!   configuration's speedup is reported against.
 //!
+//! After the κ0 matrix, a **per-model convolution section** times the
+//! conv driver against the subset-split driver (serial, hot/cold ×
+//! SIMD) for every shipped cost model — κ0 rides conv natively, the
+//! three κ″ models through the canonical-orientation path — at the
+//! largest `n` of the sweep. Each pair is verified cost- and
+//! cardinality-bit-identical before timing; the artifact gains a
+//! `model_groups` array carrying the per-model speedups.
+//!
 //! Before any configuration is timed, its optimizer output is verified
 //! cost-bit-, cardinality-bit-, and plan-identical to the serial
 //! `AosTable` reference; a divergence aborts the run. Convolution-driver
@@ -52,8 +60,9 @@ use blitz_bench::timing::{env_usize, time_avg, TimingConfig};
 use blitz_bench::Table;
 use blitz_catalog::{Topology, Workload};
 use blitz_core::{
-    optimize_join_into_with, optimize_join_with, AosTable, Counters, DriveOptions, DriverChoice,
-    JoinSpec, Kappa0, KernelChoice, LayoutChoice, Optimized, TableLayout, WaveSchedule,
+    optimize_join_into_with, optimize_join_with, AosTable, CostModel, Counters, DiskNestedLoops,
+    DriveOptions, DriverChoice, JoinSpec, Kappa0, KernelChoice, LayoutChoice, Optimized, SmDnl,
+    SortMerge, TableLayout, WaveSchedule,
 };
 use std::time::Duration;
 
@@ -241,6 +250,83 @@ fn check_group(committed: &Json, topo: Topology, n: usize, reference: &Reference
         }
     }
     problems
+}
+
+/// One row of the per-model convolution section: times the conv driver
+/// against the subset-split driver for `model` on one workload point
+/// (serial, hot/cold layout, SIMD kernel), after verifying the two
+/// produce bit-identical cost and cardinality. Pushes a table row and
+/// returns the JSON record.
+fn conv_model_row<M: CostModel + Sync>(
+    model: &M,
+    spec: &JoinSpec,
+    topo: Topology,
+    n: usize,
+    cfg: TimingConfig,
+    rounds: usize,
+    table: &mut Table,
+) -> Json {
+    let split_opts = DriveOptions::serial()
+        .with_layout(LayoutChoice::HotCold)
+        .with_kernel(KernelChoice::Simd)
+        .with_driver(DriverChoice::Split);
+    let conv_opts = split_opts.with_driver(DriverChoice::Conv);
+    assert!(
+        model.conv_support().allows_conv(),
+        "{}: every shipped model is expected to ride the conv driver",
+        model.name()
+    );
+    let split = optimize_join_with(spec, model, split_opts).unwrap();
+    let conv = optimize_join_with(spec, model, conv_opts).unwrap();
+    assert_eq!(
+        conv.cost.to_bits(),
+        split.cost.to_bits(),
+        "{} conv cost diverged from split at {}/{n}",
+        model.name(),
+        topo.name()
+    );
+    assert_eq!(
+        conv.card.to_bits(),
+        split.card.to_bits(),
+        "{} conv cardinality diverged from split at {}/{n}",
+        model.name(),
+        topo.name()
+    );
+
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..rounds {
+        for (i, opts) in [split_opts, conv_opts].into_iter().enumerate() {
+            let t = time_avg(
+                || {
+                    let _ = optimize_join_with(spec, model, opts).unwrap();
+                },
+                cfg,
+            );
+            best[i] = best[i].min(t.as_secs_f64());
+        }
+    }
+    let (split_secs, conv_secs) = (best[0], best[1]);
+    let speedup = split_secs / conv_secs;
+    table.row(vec![
+        model.name().to_string(),
+        model.conv_support().name().to_string(),
+        fmt_secs(split_secs),
+        fmt_secs(conv_secs),
+        format!("{speedup:.2}x"),
+    ]);
+    Json::obj(vec![
+        ("model", Json::str(model.name())),
+        ("conv_support", Json::str(model.conv_support().name())),
+        ("topology", Json::str(topo.name())),
+        ("n", Json::Num(n as f64)),
+        ("mode", Json::str("serial")),
+        ("layout", Json::str(LayoutChoice::HotCold.name())),
+        ("kernel", Json::str(KernelChoice::Simd.name())),
+        ("split_ns", Json::Num(split_secs * 1e9)),
+        ("conv_ns", Json::Num(conv_secs * 1e9)),
+        ("conv_speedup_vs_split", Json::Num(speedup)),
+        ("verified", Json::Bool(true)),
+    ])
 }
 
 fn main() {
@@ -461,6 +547,37 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Per-model convolution section: every shipped cost model rides the
+    // conv driver (κ0 natively, the κ″ models through the canonical-
+    // orientation path), timed against the subset-split driver on the
+    // same layout/kernel at the largest n of the sweep.
+    println!("-- per-model conv vs split (serial/hotcold/simd, n={max_n})");
+    let mut model_groups = Vec::new();
+    for topo in Topology::ALL {
+        let spec = Workload::new(max_n, topo, 100.0, 0.5).spec();
+        let mut table = Table::new(["model", "conv support", "split", "conv", "conv vs split"]);
+        let mut rows = Vec::new();
+        rows.push(conv_model_row(&Kappa0, &spec, topo, max_n, cfg, rounds, &mut table));
+        rows.push(conv_model_row(&SortMerge, &spec, topo, max_n, cfg, rounds, &mut table));
+        rows.push(conv_model_row(
+            &DiskNestedLoops::default(),
+            &spec,
+            topo,
+            max_n,
+            cfg,
+            rounds,
+            &mut table,
+        ));
+        rows.push(conv_model_row(&SmDnl::default(), &spec, topo, max_n, cfg, rounds, &mut table));
+        println!("-- {} n={max_n}", topo.name());
+        println!("{}", table.render());
+        model_groups.push(Json::obj(vec![
+            ("topology", Json::str(topo.name())),
+            ("n", Json::Num(max_n as f64)),
+            ("models", Json::Arr(rows)),
+        ]));
+    }
+
     let doc = Json::obj(vec![
         ("bench", Json::str("hotpath")),
         ("model", Json::str("kappa0")),
@@ -477,6 +594,7 @@ fn main() {
         ),
         ("verified", Json::Bool(true)),
         ("groups", Json::Arr(groups)),
+        ("model_groups", Json::Arr(model_groups)),
     ]);
     std::fs::write(&out_path, doc.render()).expect("write benchmark JSON");
     println!("wrote {out_path}");

@@ -25,15 +25,31 @@
 //!
 //! # Exactness boundary
 //!
-//! The halving is exact precisely when the candidate cost is symmetric
-//! in `{L, R}` down to f32 bit level — i.e. when `κ'' ≡ 0`, so the
-//! candidate's cost is the single commutative addition
-//! `cost[L] + cost[R]` (κ0 / C_out-shaped models; see
-//! [`CostModel::supports_conv`]). Models with a split-dependent `κ''`
-//! (even a mathematically symmetric one: a three-term f32 sum is not
-//! associative, so the two orientations can round differently) report
-//! `supports_conv() == false` and [`RowEngine::resolve`] transparently
-//! falls back to the split driver.
+//! The halving is exact when the candidate cost assigns both
+//! orientations of an unordered partition the same f32 bits. Each model
+//! declares how it reaches that bar via
+//! [`CostModel::CONV_SUPPORT`](crate::cost::ConvSupport):
+//!
+//! * **Native** (κ0): `κ'' ≡ 0`, so a candidate's cost is the single
+//!   commutative addition `cost[L] + cost[R]` — exact with no help.
+//! * **Canonical** (κ_sm, κ_dnl, min(κ_sm, κ_dnl)): `κ''` is nonzero,
+//!   but every κ'' call site — the split walk, the batched re-judge and
+//!   this driver's anchored walk — presents the operands in a
+//!   *canonical order*: the operand containing `min S` is always `L`
+//!   (the anchored walk satisfies this by construction, since its left
+//!   operand always contains the anchor `{min S}`; the split walk swaps
+//!   when its `lhs` lacks the lowest relation). Both orientations then
+//!   execute the same float expression on identically ordered operands
+//!   and round to the same bits, so the halving is exact by
+//!   construction. The canonical-split reference — split enumeration
+//!   with canonically ordered κ'' operands — is the common ground truth
+//!   both drivers are bit-equal to; for the shipped models it is also
+//!   bit-equal to the historical un-normalized split output, because
+//!   their κ'' happen to be bitwise symmetric (IEEE `+`/`*`/`min`
+//!   commute exactly — pinned by a cost-model unit test).
+//! * **Fallback** (the default for models that declare nothing):
+//!   `Conv`/`Auto` transparently degrade to the split driver via
+//!   [`RowEngine::resolve`], and κ'' sees raw walk order.
 //!
 //! On a supported model the resulting **cost and cardinality columns are
 //! bit-identical** to the split driver's: both drivers take the f32
@@ -57,9 +73,11 @@
 //! `driver=`): `Split` is the reference enumeration, `Conv` uses this
 //! driver wherever the model supports it (falling back otherwise), and
 //! `Auto` picks Conv only when the model supports it *and* the relation
-//! count is at least [`CONV_AUTO_MIN_RELS`] — below the measured
-//! crossover the split loop's smaller per-row constant wins (see
-//! EXPERIMENTS.md). Resolution happens once per drive in
+//! count is at least the crossover — [`CONV_AUTO_MIN_RELS`] by default,
+//! or a measured-on-this-host value when a calibration profile is in
+//! force ([`crate::calibrate`], [`DriveOptions::conv_min_rels`]) —
+//! below the crossover the split loop's smaller per-row constant wins
+//! (see EXPERIMENTS.md). Resolution happens once per drive in
 //! [`RowEngine::resolve`]; the row path dispatches on a `Copy` token.
 //!
 //! [`RowEngine`] also owns the per-wave scalar-vs-batched kernel
@@ -72,12 +90,12 @@
 //! the floor is pure scheduling; it is ablated in the hotpath bench.
 
 use crate::bitset::RelSet;
-use crate::cost::CostModel;
+use crate::cost::{ConvSupport, CostModel};
 #[cfg(target_arch = "aarch64")]
 use crate::kernel::gather_mask_neon;
 #[cfg(target_arch = "x86_64")]
-use crate::kernel::gather_mask_avx2;
-use crate::kernel::{find_best_split_with, gather_mask_portable, ResolvedKernel, LANES};
+use crate::kernel::{gather_mask_avx2, gather_mask_avx512};
+use crate::kernel::{find_best_split_with, gather_mask_portable, ResolvedKernel, LANES, LANES_WIDE};
 use crate::split::DriveOptions;
 use crate::stats::Stats;
 use crate::table::TableLayout;
@@ -102,8 +120,9 @@ pub const DEFAULT_SCALAR_WAVE_FLOOR: u8 = 4;
 /// Runtime name for the DP driver used to fill each table row,
 /// selectable per [`crate::DriveOptions`] (env `BLITZ_TEST_DRIVER`, CLI
 /// `--driver`, service config). On models where the convolution
-/// reduction is exact ([`CostModel::supports_conv`]) the drivers are
-/// cost-bit-identical; elsewhere `Conv`/`Auto` silently run `Split`.
+/// reduction is exact ([`CostModel::CONV_SUPPORT`] of `Native` or
+/// `Canonical`) the drivers are cost-bit-identical; elsewhere
+/// `Conv`/`Auto` silently run `Split`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum DriverChoice {
     /// The Vance–Maier split enumeration of [`crate::split`]: every
@@ -143,22 +162,25 @@ impl DriverChoice {
         }
     }
 
-    /// Resolve the user-facing choice against a model's capability and
-    /// the problem size, once per drive. Never returns `Auto`; `Conv`
-    /// on an unsupporting model degrades to `Split` (the documented
-    /// transparent fallback), so requesting `Conv` is always safe.
-    pub fn resolve(self, supports_conv: bool, n: usize) -> DriverChoice {
+    /// Resolve the user-facing choice against a model's capability, the
+    /// problem size and the effective `Auto` crossover
+    /// ([`DriveOptions::conv_min_rels`] — [`CONV_AUTO_MIN_RELS`] unless
+    /// a calibration profile retuned it), once per drive. Never returns
+    /// `Auto`; `Conv` on a [`ConvSupport::Fallback`] model degrades to
+    /// `Split` (the documented transparent fallback), so requesting
+    /// `Conv` is always safe.
+    pub fn resolve(self, support: ConvSupport, n: usize, min_rels: usize) -> DriverChoice {
         match self {
             DriverChoice::Split => DriverChoice::Split,
             DriverChoice::Conv => {
-                if supports_conv {
+                if support.allows_conv() {
                     DriverChoice::Conv
                 } else {
                     DriverChoice::Split
                 }
             }
             DriverChoice::Auto => {
-                if supports_conv && n >= CONV_AUTO_MIN_RELS {
+                if support.allows_conv() && n >= min_rels {
                     DriverChoice::Conv
                 } else {
                     DriverChoice::Split
@@ -192,10 +214,10 @@ pub(crate) struct RowEngine {
 impl RowEngine {
     /// Resolve a full [`DriveOptions`] policy against the model and
     /// problem size.
-    pub(crate) fn resolve<M: CostModel>(options: DriveOptions, model: &M, n: usize) -> RowEngine {
+    pub(crate) fn resolve<M: CostModel>(options: DriveOptions, _model: &M, n: usize) -> RowEngine {
         RowEngine {
             kernel: options.kernel.resolve(),
-            driver: options.driver.resolve(model.supports_conv(), n),
+            driver: options.driver.resolve(M::CONV_SUPPORT, n, options.conv_min_rels),
             scalar_wave_floor: options.scalar_wave_floor,
         }
     }
@@ -340,6 +362,12 @@ pub(crate) fn find_best_split_conv<L, M, St, const PRUNE: bool>(
                 if oprnd_cost < best {
                     let dpnd_cost = if M::HAS_DEP {
                         stats.kappa_dep();
+                        // The anchored walk is canonical by construction
+                        // (`lhs ⊇ {min s}`), so passing `(lhs, rhs)`
+                        // as-is IS the lowest-relation-first order the
+                        // `Canonical` exactness argument requires — no
+                        // swap test needed here, unlike the split walk's
+                        // `kappa_dep_oriented`.
                         oprnd_cost
                             + model.kappa_dep(
                                 out_card,
@@ -361,6 +389,7 @@ pub(crate) fn find_best_split_conv<L, M, St, const PRUNE: bool>(
         } else {
             let oprnd_cost = table.cost(lhs) + table.cost(rhs);
             stats.kappa_dep();
+            // Anchored ⇒ canonical operand order, as in the pruned arm.
             let dpnd_cost = oprnd_cost
                 + model.kappa_dep(
                     out_card,
@@ -439,9 +468,10 @@ fn find_best_split_conv_batched<L, M, St, const PRUNE: bool>(
 
     let mut best = f32::INFINITY;
     let mut best_lhs = RelSet::EMPTY;
-    let mut lhs_buf = [RelSet::EMPTY; LANES];
-    let mut lhs_cost = [0.0f32; LANES];
-    let mut oprnd = [0.0f32; LANES];
+    let mut lhs_buf = [RelSet::EMPTY; LANES_WIDE];
+    let mut lhs_cost = [0.0f32; LANES_WIDE];
+    let mut oprnd = [0.0f32; LANES_WIDE];
+    let lanes = kernel.lanes();
 
     let anchor = s.lowest_singleton();
     let rest = s - anchor;
@@ -453,7 +483,7 @@ fn find_best_split_conv_batched<L, M, St, const PRUNE: bool>(
     let mut done = false;
     while !done {
         let mut len = 0usize;
-        while len < LANES && !done {
+        while len < lanes && !done {
             stats.loop_iter();
             lhs_buf[len] = anchor | sub;
             len += 1;
@@ -467,19 +497,34 @@ fn find_best_split_conv_batched<L, M, St, const PRUNE: bool>(
 
         let mask = match (kernel, base) {
             #[cfg(target_arch = "x86_64")]
+            (ResolvedKernel::Avx512, Some(base)) if len == LANES_WIDE => {
+                // SAFETY: `Avx512` is only resolved after
+                // `is_x86_feature_detected!("avx512f")`, and `base`
+                // covers every gathered index per the `cost_base`
+                // contract (all lanes hold nonempty strict subsets of
+                // `s`).
+                unsafe { gather_mask_avx512(base, s, &lhs_buf, best, &mut lhs_cost, &mut oprnd) }
+            }
+            #[cfg(target_arch = "x86_64")]
             (ResolvedKernel::Avx2, Some(base)) if len == LANES => {
+                let lhs8 = lhs_buf.first_chunk::<LANES>().unwrap();
+                let lc8 = lhs_cost.first_chunk_mut::<LANES>().unwrap();
+                let op8 = oprnd.first_chunk_mut::<LANES>().unwrap();
                 // SAFETY: `Avx2` is only resolved after
                 // `is_x86_feature_detected!("avx2")`, and `base` covers
                 // every gathered index per the `cost_base` contract
                 // (all lanes hold nonempty strict subsets of `s`).
-                unsafe { gather_mask_avx2(base, s, &lhs_buf, best, &mut lhs_cost, &mut oprnd) }
+                unsafe { gather_mask_avx2(base, s, lhs8, best, lc8, op8) }
             }
             #[cfg(target_arch = "aarch64")]
             (ResolvedKernel::Neon, Some(base)) if len == LANES => {
+                let lhs8 = lhs_buf.first_chunk::<LANES>().unwrap();
+                let lc8 = lhs_cost.first_chunk_mut::<LANES>().unwrap();
+                let op8 = oprnd.first_chunk_mut::<LANES>().unwrap();
                 // SAFETY: NEON is baseline on aarch64, and `base` covers
                 // every gathered index per the `cost_base` contract
                 // (all lanes hold nonempty strict subsets of `s`).
-                unsafe { gather_mask_neon(base, s, &lhs_buf, best, &mut lhs_cost, &mut oprnd) }
+                unsafe { gather_mask_neon(base, s, lhs8, best, lc8, op8) }
             }
             _ => gather_mask_portable(table, s, &lhs_buf, len, best, &mut lhs_cost, &mut oprnd),
         };
@@ -501,6 +546,9 @@ fn find_best_split_conv_batched<L, M, St, const PRUNE: bool>(
                     let dpnd_cost = if M::HAS_DEP {
                         stats.kappa_dep();
                         let rhs = s - cand;
+                        // Every batched candidate is `anchor ∪ sub`, so
+                        // `(cand, rhs)` is already the canonical
+                        // lowest-relation-first order.
                         oprnd_cost
                             + model.kappa_dep(
                                 out_card,
@@ -552,26 +600,40 @@ mod tests {
 
     #[test]
     fn resolution_respects_capability_and_crossover() {
+        use crate::cost::ConvSupport::{Canonical, Fallback, Native};
+        let d = CONV_AUTO_MIN_RELS;
         // Explicit choices: Split always sticks; Conv sticks iff the
-        // model supports it.
-        for n in [2, CONV_AUTO_MIN_RELS, 20] {
-            assert_eq!(DriverChoice::Split.resolve(true, n), DriverChoice::Split);
-            assert_eq!(DriverChoice::Split.resolve(false, n), DriverChoice::Split);
-            assert_eq!(DriverChoice::Conv.resolve(true, n), DriverChoice::Conv);
-            assert_eq!(DriverChoice::Conv.resolve(false, n), DriverChoice::Split);
+        // model's support tier allows the halving at all.
+        for n in [2, d, 20] {
+            for support in [Native, Canonical] {
+                assert_eq!(DriverChoice::Split.resolve(support, n, d), DriverChoice::Split);
+                assert_eq!(DriverChoice::Conv.resolve(support, n, d), DriverChoice::Conv);
+            }
+            assert_eq!(DriverChoice::Split.resolve(Fallback, n, d), DriverChoice::Split);
+            assert_eq!(DriverChoice::Conv.resolve(Fallback, n, d), DriverChoice::Split);
         }
-        // Auto: conv only above the crossover, and only when supported.
-        assert_eq!(DriverChoice::Auto.resolve(true, CONV_AUTO_MIN_RELS - 1), DriverChoice::Split);
-        assert_eq!(DriverChoice::Auto.resolve(true, CONV_AUTO_MIN_RELS), DriverChoice::Conv);
-        assert_eq!(DriverChoice::Auto.resolve(false, CONV_AUTO_MIN_RELS + 4), DriverChoice::Split);
+        // Auto: conv only at/above the crossover, and only when allowed.
+        assert_eq!(DriverChoice::Auto.resolve(Native, d - 1, d), DriverChoice::Split);
+        assert_eq!(DriverChoice::Auto.resolve(Native, d, d), DriverChoice::Conv);
+        assert_eq!(DriverChoice::Auto.resolve(Canonical, d, d), DriverChoice::Conv);
+        assert_eq!(DriverChoice::Auto.resolve(Fallback, d + 4, d), DriverChoice::Split);
+        // A calibrated crossover moves the Auto boundary, nothing else.
+        assert_eq!(DriverChoice::Auto.resolve(Canonical, 3, 2), DriverChoice::Conv);
+        assert_eq!(DriverChoice::Auto.resolve(Canonical, 3, 9), DriverChoice::Split);
+        assert_eq!(DriverChoice::Conv.resolve(Canonical, 3, 9), DriverChoice::Conv);
     }
 
     #[test]
     fn capability_probe_matches_kappa_dep_shape() {
-        assert!(Kappa0.supports_conv());
-        assert!(!SortMerge.supports_conv());
-        assert!(!DiskNestedLoops::default().supports_conv());
-        assert!(!SmDnl::default().supports_conv());
+        use crate::cost::ConvSupport;
+        // All four shipped models now run the halved enumeration — κ0
+        // natively, the κ″ carriers through canonical operand ordering.
+        assert_eq!(Kappa0.conv_support(), ConvSupport::Native);
+        assert_eq!(SortMerge.conv_support(), ConvSupport::Canonical);
+        assert_eq!(DiskNestedLoops::default().conv_support(), ConvSupport::Canonical);
+        assert_eq!(SmDnl::default().conv_support(), ConvSupport::Canonical);
+        assert!(Kappa0.conv_support().allows_conv());
+        assert!(SortMerge.conv_support().allows_conv());
     }
 
     /// The anchored walk must visit exactly `2^(k−1) − 1` candidates

@@ -25,6 +25,75 @@
 //! Costs are carried as `f32`, exactly as in the paper (Section 6.3):
 //! plans whose cost overflows single precision become `+∞` and are
 //! rejected for free by the best-so-far comparison.
+//!
+//! # Convolution capability
+//!
+//! The layered-convolution driver ([`crate::DriverChoice::Conv`])
+//! evaluates each unordered split `{L, R}` once instead of both ordered
+//! orientations; [`ConvSupport`] is the per-model declaration of whether
+//! that halving is exact, and at what price. See its variant docs for the
+//! exactness argument each tier rests on.
+
+/// How a cost model relates to the convolution driver's orientation
+/// halving — the per-model capability consulted once per drive by
+/// [`crate::DriverChoice`] resolution.
+///
+/// The halved enumeration anchors every candidate on the lowest relation
+/// of the set, so it only ever evaluates the orientation whose left
+/// operand contains `min S`. The declaration here states under which
+/// discipline that single evaluation reproduces the split reference's
+/// f32 bits for *both* orientations:
+///
+/// * [`Native`](ConvSupport::Native) — the candidate cost is symmetric
+///   in `{L, R}` down to f32 bit level with **no help needed**: `κ'' ≡ 0`
+///   (the candidate's cost is the single commutative addition
+///   `cost[L] + cost[R]`), so every driver already sees one value per
+///   unordered partition.
+/// * [`Canonical`](ConvSupport::Canonical) — `κ''` is nonzero but
+///   **orientation-invariant once operands are presented in a canonical
+///   order**: every κ'' call site (split and conv, scalar and batched)
+///   normalizes the operand pair to lowest-relation-first — the operand
+///   containing `min S` is passed as `L` — before calling
+///   [`CostModel::kappa_dep`]. Both orientations of an unordered
+///   partition then execute the *same* float expression on the *same*
+///   operand order and round to the same f32 bits, so the halving is
+///   exact by construction rather than by algebraic accident. (For the
+///   three shipped κ″ models the canonicalization is belt-and-braces:
+///   their κ″ are already bitwise symmetric — IEEE-754 `+`, `*`, `min`
+///   commute exactly — so the swap is also a no-op on the output bits of
+///   the historical un-normalized split reference.)
+/// * [`Fallback`](ConvSupport::Fallback) — no bit-exactness argument is
+///   made; `Conv`/`Auto` transparently degrade to the split driver and
+///   κ'' sees operands in raw walk order, exactly as before.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ConvSupport {
+    /// κ'' ≡ 0 (or intrinsically bit-symmetric): conv is exact as-is.
+    Native,
+    /// κ'' is exact under canonical (lowest-relation-first) operand
+    /// ordering, which every κ'' call site enforces for this model.
+    Canonical,
+    /// No exactness argument: conv requests degrade to split. The
+    /// default, so third-party models are never silently halved.
+    #[default]
+    Fallback,
+}
+
+impl ConvSupport {
+    /// Stable lower-case name (`native` / `canonical` / `fallback`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ConvSupport::Native => "native",
+            ConvSupport::Canonical => "canonical",
+            ConvSupport::Fallback => "fallback",
+        }
+    }
+
+    /// Whether the convolution driver may run at all for this model.
+    #[inline]
+    pub fn allows_conv(self) -> bool {
+        !matches!(self, ConvSupport::Fallback)
+    }
+}
 
 /// A cost model `κ = κ' + κ''` for dyadic joins / Cartesian products.
 ///
@@ -41,6 +110,14 @@ pub trait CostModel {
     /// Whether [`CostModel::aux`] produces a meaningful memoized value.
     /// When `false`, table layouts may skip storing the aux column.
     const HAS_AUX: bool;
+
+    /// Relationship to the convolution driver's orientation halving —
+    /// see [`ConvSupport`]. An associated const so the per-candidate
+    /// canonicalization branch at the κ'' call sites folds away at
+    /// monomorphization for `Native`/`Fallback` models. Defaults to
+    /// `Fallback`: a model must *opt in* with a documented bit-exactness
+    /// argument before the halved enumeration may run on it.
+    const CONV_SUPPORT: ConvSupport = ConvSupport::Fallback;
 
     /// Split-independent component `κ'(R_out)`.
     fn kappa_ind(&self, out_card: f64) -> f32;
@@ -61,23 +138,16 @@ pub trait CostModel {
         0.0
     }
 
-    /// Whether the layered-convolution driver ([`crate::DriverChoice::Conv`])
-    /// is exact for this model.
-    ///
-    /// The convolution driver evaluates each unordered split `{L, R}`
-    /// once (anchored on the lowest relation of the set) instead of both
-    /// ordered orientations. That halving is exact precisely when the
-    /// candidate cost is a *symmetric* function of the two operands down
-    /// to f32 bit level — i.e. when `κ'' ≡ 0`, so a candidate's cost is
-    /// the single commutative addition `cost(L) + cost(R)` (κ0 /
-    /// C_out-shaped models). Models with a split-dependent `κ''` return
-    /// `false` and transparently fall back to the split driver.
+    /// Instance-side view of [`CostModel::CONV_SUPPORT`], convenient
+    /// where only a `&M` is in hand (tests, capability probes).
     #[inline]
-    fn supports_conv(&self) -> bool {
-        false
+    fn conv_support(&self) -> ConvSupport {
+        Self::CONV_SUPPORT
     }
 
-    /// Human-readable model name, used by the benchmark harness.
+    /// Human-readable model name, used by the benchmark harness and as
+    /// the per-model key in calibration profiles
+    /// ([`crate::calibrate::CalibrationProfile`]).
     fn name(&self) -> &'static str;
 
     /// Full cost `κ = κ' + κ''` of a single join, convenient for plan
@@ -99,6 +169,11 @@ pub struct Kappa0;
 impl CostModel for Kappa0 {
     const HAS_DEP: bool = false;
     const HAS_AUX: bool = false;
+    // κ0'' ≡ 0: a candidate's cost is the commutative f32 addition
+    // `cost(L) + cost(R)`, so the anchored half-enumeration of the
+    // convolution driver sees the exact same value multiset with no
+    // operand normalization at all.
+    const CONV_SUPPORT: ConvSupport = ConvSupport::Native;
 
     #[inline]
     fn kappa_ind(&self, out_card: f64) -> f32 {
@@ -108,14 +183,6 @@ impl CostModel for Kappa0 {
     #[inline]
     fn kappa_dep(&self, _out: f64, _lhs: f64, _rhs: f64, _la: f32, _ra: f32) -> f32 {
         0.0
-    }
-
-    #[inline]
-    fn supports_conv(&self) -> bool {
-        // κ0'' ≡ 0: a candidate's cost is the commutative f32 addition
-        // `cost(L) + cost(R)`, so the anchored half-enumeration of the
-        // convolution driver sees the exact same value multiset.
-        true
     }
 
     fn name(&self) -> &'static str {
@@ -147,6 +214,15 @@ pub struct SortMerge;
 impl CostModel for SortMerge {
     const HAS_DEP: bool = true;
     const HAS_AUX: bool = true;
+    // Exactness argument: κ_sm'' = lhs_aux + rhs_aux is one IEEE-754 f32
+    // addition, and IEEE addition commutes *exactly* (same sum bits for
+    // `a + b` and `b + a`) — so the value is orientation-invariant even
+    // before canonicalization. Declaring `Canonical` (not `Native`)
+    // routes every κ'' call through the lowest-relation-first operand
+    // order anyway, making the invariance structural: it no longer
+    // depends on an algebraic property a future edit to `kappa_dep`
+    // could silently lose.
+    const CONV_SUPPORT: ConvSupport = ConvSupport::Canonical;
 
     #[inline]
     fn kappa_ind(&self, _out_card: f64) -> f32 {
@@ -209,6 +285,15 @@ impl DiskNestedLoops {
 impl CostModel for DiskNestedLoops {
     const HAS_DEP: bool = true;
     const HAS_AUX: bool = false;
+    // Exactness argument: κ_dnl'' evaluates entirely in f64 —
+    // `lhs*rhs/(K²(M−1)) + min(lhs,rhs)/K` — with one final rounding to
+    // f32. IEEE `*` and `min` commute exactly and the `+` operands
+    // (`lhs*rhs/…` and `min/K`) are themselves orientation-invariant, so
+    // both orientations compute bit-identical f64 values and round to
+    // the same f32. As with [`SortMerge`], `Canonical` makes the
+    // invariance structural: operands reach this function
+    // lowest-relation-first regardless of walk orientation.
+    const CONV_SUPPORT: ConvSupport = ConvSupport::Canonical;
 
     #[inline]
     fn kappa_ind(&self, out_card: f64) -> f32 {
@@ -262,6 +347,12 @@ impl SmDnl {
 impl CostModel for SmDnl {
     const HAS_DEP: bool = true;
     const HAS_AUX: bool = true;
+    // Exactness argument: κ'' = min(κ_sm'', κ_dnl''), and both arms are
+    // orientation-invariant at the bit level (see [`SortMerge`] and
+    // [`DiskNestedLoops`]); `f32::min` of two bit-equal pairs is
+    // bit-equal. `Canonical` again makes the argument structural rather
+    // than algebraic.
+    const CONV_SUPPORT: ConvSupport = ConvSupport::Canonical;
 
     #[inline]
     fn kappa_ind(&self, _out_card: f64) -> f32 {
@@ -385,6 +476,76 @@ mod tests {
             assert_eq!(algo, JoinAlgorithm::SortMerge);
         } else if dnl_cost < sm_cost {
             assert_eq!(algo, JoinAlgorithm::DiskNestedLoops);
+        }
+    }
+
+    #[test]
+    fn conv_support_matches_kappa_dep_shape() {
+        assert_eq!(Kappa0::CONV_SUPPORT, ConvSupport::Native);
+        assert_eq!(SortMerge::CONV_SUPPORT, ConvSupport::Canonical);
+        assert_eq!(DiskNestedLoops::CONV_SUPPORT, ConvSupport::Canonical);
+        assert_eq!(SmDnl::CONV_SUPPORT, ConvSupport::Canonical);
+        assert_eq!(Kappa0.conv_support(), ConvSupport::Native);
+        assert!(ConvSupport::Native.allows_conv());
+        assert!(ConvSupport::Canonical.allows_conv());
+        assert!(!ConvSupport::Fallback.allows_conv());
+        // Opt-in is the default: a model that says nothing falls back.
+        struct Mute;
+        impl CostModel for Mute {
+            const HAS_DEP: bool = true;
+            const HAS_AUX: bool = false;
+            fn kappa_ind(&self, _o: f64) -> f32 {
+                0.0
+            }
+            fn kappa_dep(&self, _o: f64, l: f64, r: f64, _la: f32, _ra: f32) -> f32 {
+                (2.0 * l + r) as f32
+            }
+            fn name(&self) -> &'static str {
+                "mute"
+            }
+        }
+        assert_eq!(Mute::CONV_SUPPORT, ConvSupport::Fallback);
+        for s in [ConvSupport::Native, ConvSupport::Canonical, ConvSupport::Fallback] {
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    /// The documented bit-exactness argument for the `Canonical` models:
+    /// κ'' must be orientation-invariant *at the f32 bit level* across a
+    /// wide sweep of operand magnitudes (subnormal-adjacent through
+    /// overflow-adjacent), since the canonical-split reference equals
+    /// the historical un-normalized split output only if the swap is a
+    /// value no-op.
+    #[test]
+    fn canonical_models_have_bitwise_symmetric_kappa_dep() {
+        let cards = [
+            0.25, 1.0, 3.0, 10.0, 1e3, 12_345.678, 1e10, 1e30, 1e38, 3.4e38, 1e60,
+        ];
+        let sm = SortMerge;
+        let dnl = DiskNestedLoops::default();
+        let both = SmDnl::default();
+        for &o in &cards {
+            for &l in &cards {
+                for &r in &cards {
+                    let (la, ra) = (sm.aux(l), sm.aux(r));
+                    assert_eq!(
+                        sm.kappa_dep(o, l, r, la, ra).to_bits(),
+                        sm.kappa_dep(o, r, l, ra, la).to_bits(),
+                        "sm κ'' orientation-variant at ({o},{l},{r})"
+                    );
+                    assert_eq!(
+                        dnl.kappa_dep(o, l, r, 0.0, 0.0).to_bits(),
+                        dnl.kappa_dep(o, r, l, 0.0, 0.0).to_bits(),
+                        "dnl κ'' orientation-variant at ({o},{l},{r})"
+                    );
+                    let (ba, bb) = (both.aux(l), both.aux(r));
+                    assert_eq!(
+                        both.kappa_dep(o, l, r, ba, bb).to_bits(),
+                        both.kappa_dep(o, r, l, bb, ba).to_bits(),
+                        "smdnl κ'' orientation-variant at ({o},{l},{r})"
+                    );
+                }
+            }
         }
     }
 

@@ -41,6 +41,7 @@
 #![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod bitset;
+pub mod calibrate;
 pub mod cartesian;
 #[cfg(any(blitz_check, debug_assertions))]
 mod check;
@@ -62,8 +63,9 @@ pub use cartesian::{
     optimize_products, optimize_products_into, optimize_products_into_with,
     optimize_products_with, Optimized,
 };
+pub use calibrate::{calibrate, host_profile, CalibrateOptions, CalibrationProfile, PROFILE_ENV};
 pub use conv::{DriverChoice, CONV_AUTO_MIN_RELS, DEFAULT_SCALAR_WAVE_FLOOR};
-pub use cost::{CostModel, DiskNestedLoops, JoinAlgorithm, Kappa0, SmDnl, SortMerge};
+pub use cost::{ConvSupport, CostModel, DiskNestedLoops, JoinAlgorithm, Kappa0, SmDnl, SortMerge};
 pub use hyper::{optimize_hyper, optimize_hyper_into, HyperSpec};
 pub use join::{optimize_join, optimize_join_into, optimize_join_into_with, optimize_join_with};
 pub use kernel::KernelChoice;

@@ -19,8 +19,8 @@
 //! and the `PRUNE` switch (the ablation benches compile both variants).
 
 use crate::bitset::RelSet;
-use crate::conv::{RowEngine, DriverChoice, DEFAULT_SCALAR_WAVE_FLOOR};
-use crate::cost::CostModel;
+use crate::conv::{RowEngine, DriverChoice, CONV_AUTO_MIN_RELS, DEFAULT_SCALAR_WAVE_FLOOR};
+use crate::cost::{ConvSupport, CostModel};
 use crate::kernel::KernelChoice;
 use crate::stats::Stats;
 use crate::table::{LayoutChoice, SyncTable, SyncTableView, TableLayout, WaveTableLayout};
@@ -93,10 +93,17 @@ pub struct DriveOptions {
     pub kernel: KernelChoice,
     /// DP driver filling each row: the reference split enumeration, the
     /// anchored layered-convolution driver, or an automatic pick.
-    /// Resolved against the cost model's [`CostModel::supports_conv`]
-    /// capability once per drive; on supported models the drivers are
-    /// cost-bit-identical (see [`crate::conv`]).
+    /// Resolved against the cost model's [`CostModel::CONV_SUPPORT`]
+    /// capability once per drive; on `Native`/`Canonical` models the
+    /// drivers are cost-bit-identical (see [`crate::conv`]).
     pub driver: DriverChoice,
+    /// Relation count at which [`DriverChoice::Auto`] switches from the
+    /// split driver to the convolution driver (on models whose
+    /// [`CostModel::CONV_SUPPORT`] allows it). Compiled default is
+    /// [`CONV_AUTO_MIN_RELS`]; [`DriveOptions::default`] replaces it
+    /// with the measured crossover from the host calibration profile
+    /// when one is loaded (see [`crate::calibrate`]).
+    pub conv_min_rels: usize,
     /// Popcount below which rows run the scalar cascade regardless of
     /// [`DriveOptions::kernel`]: small waves cannot fill a batch, so
     /// batching them is pure overhead. Kernels are bit-identical, so
@@ -105,7 +112,8 @@ pub struct DriveOptions {
 }
 
 impl DriveOptions {
-    /// Explicit serial execution, ignoring any environment override.
+    /// Explicit serial execution, ignoring any environment override and
+    /// any loaded calibration profile (compiled constants throughout).
     pub fn serial() -> DriveOptions {
         DriveOptions {
             parallelism: 1,
@@ -113,6 +121,7 @@ impl DriveOptions {
             schedule: WaveSchedule::default(),
             kernel: KernelChoice::default(),
             driver: DriverChoice::default(),
+            conv_min_rels: CONV_AUTO_MIN_RELS,
             scalar_wave_floor: DEFAULT_SCALAR_WAVE_FLOOR,
         }
     }
@@ -125,6 +134,7 @@ impl DriveOptions {
             schedule: WaveSchedule::default(),
             kernel: KernelChoice::default(),
             driver: DriverChoice::default(),
+            conv_min_rels: CONV_AUTO_MIN_RELS,
             scalar_wave_floor: DEFAULT_SCALAR_WAVE_FLOOR,
         }
     }
@@ -149,6 +159,11 @@ impl DriveOptions {
         DriveOptions { driver, ..self }
     }
 
+    /// This policy with a different `Auto` driver crossover.
+    pub fn with_conv_min_rels(self, conv_min_rels: usize) -> DriveOptions {
+        DriveOptions { conv_min_rels, ..self }
+    }
+
     /// This policy with a different scalar wave floor (`0` disables).
     pub fn with_scalar_wave_floor(self, scalar_wave_floor: u8) -> DriveOptions {
         DriveOptions { scalar_wave_floor, ..self }
@@ -166,10 +181,17 @@ impl DriveOptions {
 
 impl Default for DriveOptions {
     fn default() -> DriveOptions {
-        static ENV: std::sync::OnceLock<(usize, LayoutChoice, KernelChoice, DriverChoice)> =
-            std::sync::OnceLock::new();
-        let (parallelism, layout, kernel, driver) = *ENV.get_or_init(|| {
-            let threads = std::env::var("BLITZ_TEST_THREADS")
+        // Resolved once per process. Precedence per knob: explicit
+        // `BLITZ_TEST_*` environment override > measured host profile
+        // (`BLITZ_PROFILE`, see [`crate::calibrate`]) > compiled
+        // constant. The profile carries only the knobs the calibrator
+        // measures (kernel, scalar wave floor, `Auto` crossover);
+        // layout, schedule, driver and thread count keep their compiled
+        // defaults unless the environment says otherwise.
+        static ENV: std::sync::OnceLock<DriveOptions> = std::sync::OnceLock::new();
+        *ENV.get_or_init(|| {
+            let profile = crate::calibrate::host_profile();
+            let parallelism = std::env::var("BLITZ_TEST_THREADS")
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
                 .unwrap_or(1);
@@ -180,22 +202,65 @@ impl Default for DriveOptions {
             let kernel = std::env::var("BLITZ_TEST_KERNEL")
                 .ok()
                 .and_then(|v| KernelChoice::parse(&v))
+                .or_else(|| profile.and_then(|p| p.kernel))
                 .unwrap_or_default();
             let driver = std::env::var("BLITZ_TEST_DRIVER")
                 .ok()
                 .and_then(|v| DriverChoice::parse(&v))
                 .unwrap_or_default();
-            (threads, layout, kernel, driver)
-        });
-        DriveOptions {
-            parallelism,
-            layout,
-            schedule: WaveSchedule::default(),
-            kernel,
-            driver,
-            scalar_wave_floor: DEFAULT_SCALAR_WAVE_FLOOR,
-        }
+            let conv_min_rels = profile
+                .and_then(|p| p.conv_min_rels)
+                .unwrap_or(CONV_AUTO_MIN_RELS);
+            let scalar_wave_floor = profile
+                .and_then(|p| p.scalar_wave_floor)
+                .unwrap_or(DEFAULT_SCALAR_WAVE_FLOOR);
+            DriveOptions {
+                parallelism,
+                layout,
+                schedule: WaveSchedule::default(),
+                kernel,
+                driver,
+                conv_min_rels,
+                scalar_wave_floor,
+            }
+        })
     }
+}
+
+/// Evaluate `κ''(S_out; lhs, rhs)` with the operand pair in *canonical*
+/// orientation — the operand containing `min(S)` first — for models that
+/// declared [`ConvSupport::Canonical`].
+///
+/// The convolution driver's anchored walk (`lhs = {min S} ∪ sub`)
+/// produces exactly this orientation by construction, so normalizing the
+/// split walk here makes every driver quote κ'' on the *same* operand
+/// order: both orientations of an unordered partition round to the same
+/// `f32` bits structurally, not by algebraic accident. The branch on the
+/// associated `const` folds at monomorphization — `Native` models (κ''
+/// absent or intrinsically symmetric) and `Fallback` models (no
+/// exactness claim; raw walk order is the documented historical
+/// behavior) pass their operands straight through.
+#[inline(always)]
+pub(crate) fn kappa_dep_oriented<L, M>(
+    table: &L,
+    model: &M,
+    out_card: f64,
+    s: RelSet,
+    lhs: RelSet,
+    rhs: RelSet,
+) -> f32
+where
+    L: TableLayout,
+    M: CostModel,
+{
+    let (l, r) = if matches!(M::CONV_SUPPORT, ConvSupport::Canonical)
+        && lhs.is_disjoint(s.lowest_singleton())
+    {
+        (rhs, lhs)
+    } else {
+        (lhs, rhs)
+    };
+    model.kappa_dep(out_card, table.card(l), table.card(r), table.aux(l), table.aux(r))
 }
 
 /// Fill in the `cost` and `best_lhs` fields of the table row for `s` by
@@ -280,14 +345,7 @@ pub(crate) fn find_best_split<L, M, St, const PRUNE: bool>(
                 if oprnd_cost < best {
                     let dpnd_cost = if M::HAS_DEP {
                         stats.kappa_dep();
-                        oprnd_cost
-                            + model.kappa_dep(
-                                out_card,
-                                table.card(lhs),
-                                table.card(rhs),
-                                table.aux(lhs),
-                                table.aux(rhs),
-                            )
+                        oprnd_cost + kappa_dep_oriented(table, model, out_card, s, lhs, rhs)
                     } else {
                         oprnd_cost
                     };
@@ -303,14 +361,7 @@ pub(crate) fn find_best_split<L, M, St, const PRUNE: bool>(
             // iteration, exactly as in the Figure 1 pseudo-code.
             let oprnd_cost = table.cost(lhs) + table.cost(rhs);
             stats.kappa_dep();
-            let dpnd_cost = oprnd_cost
-                + model.kappa_dep(
-                    out_card,
-                    table.card(lhs),
-                    table.card(rhs),
-                    table.aux(lhs),
-                    table.aux(rhs),
-                );
+            let dpnd_cost = oprnd_cost + kappa_dep_oriented(table, model, out_card, s, lhs, rhs);
             if dpnd_cost < best {
                 stats.cond_hit();
                 best = dpnd_cost;
@@ -730,16 +781,19 @@ mod tests {
             .with_schedule(WaveSchedule::RoundRobin)
             .with_kernel(KernelChoice::Simd)
             .with_driver(DriverChoice::Conv)
+            .with_conv_min_rels(9)
             .with_scalar_wave_floor(0);
         assert_eq!(o.parallelism, 4);
         assert_eq!(o.layout, LayoutChoice::HotCold);
         assert_eq!(o.schedule, WaveSchedule::RoundRobin);
         assert_eq!(o.kernel, KernelChoice::Simd);
         assert_eq!(o.driver, DriverChoice::Conv);
+        assert_eq!(o.conv_min_rels, 9);
         assert_eq!(o.scalar_wave_floor, 0);
         assert_eq!(DriveOptions::serial().effective_parallelism(), 1);
         assert_eq!(DriveOptions::serial().kernel, KernelChoice::Scalar);
         assert_eq!(DriveOptions::serial().driver, DriverChoice::Split);
+        assert_eq!(DriveOptions::serial().conv_min_rels, CONV_AUTO_MIN_RELS);
         assert_eq!(DriveOptions::serial().scalar_wave_floor, DEFAULT_SCALAR_WAVE_FLOOR);
         for s in [WaveSchedule::Chunked, WaveSchedule::RoundRobin] {
             assert_eq!(WaveSchedule::parse(s.name()), Some(s));

@@ -45,9 +45,10 @@ pub use tables::{AnyTable, PoolSlot, TablePool};
 use blitz_baselines::goo;
 use blitz_catalog::CanonicalQuery;
 use blitz_core::{
-    optimize_join_threshold_arena_with, AosTable, CostModel, Counters, DiskNestedLoops,
-    DriveOptions, DriverChoice, HotColdTable, JoinSpec, Kappa0, KernelChoice, LayoutChoice, Plan,
-    SmDnl, SoaTable, SortMerge, ThresholdSchedule, MAX_TABLE_RELS,
+    optimize_join_threshold_arena_with, AosTable, CalibrationProfile, ConvSupport, CostModel,
+    Counters, DiskNestedLoops, DriveOptions, DriverChoice, HotColdTable, JoinSpec, Kappa0,
+    KernelChoice, LayoutChoice, Plan, SmDnl, SoaTable, SortMerge, ThresholdSchedule,
+    MAX_TABLE_RELS,
 };
 use blitz_ladder::{goo_big, optimize_ladder};
 use std::sync::atomic::Ordering::Relaxed;
@@ -90,6 +91,34 @@ impl ModelId {
             "dnl" => Some(ModelId::DiskNestedLoops),
             "smdnl" => Some(ModelId::SmDnl),
             _ => None,
+        }
+    }
+
+    /// The [`CostModel::name`] of the model this id dispatches to — the
+    /// key under which a [`CalibrationProfile`] stores its per-model
+    /// `Auto` crossover. Distinct from the short wire id ([`name`]
+    /// says `sm`, the cost model says `kappa_sm`).
+    ///
+    /// [`name`]: ModelId::name
+    pub fn cost_model_name(&self) -> &'static str {
+        match self {
+            ModelId::Kappa0 => Kappa0.name(),
+            ModelId::SortMerge => SortMerge.name(),
+            ModelId::DiskNestedLoops => DiskNestedLoops::default().name(),
+            ModelId::SmDnl => SmDnl::default().name(),
+        }
+    }
+
+    /// The conv capability of the model this id dispatches to — the
+    /// same `M::CONV_SUPPORT` the exact path sees after static
+    /// dispatch, surfaced here so the service can resolve the driver
+    /// disposition *before* monomorphization (cache key time).
+    pub fn conv_support(&self) -> ConvSupport {
+        match self {
+            ModelId::Kappa0 => Kappa0::CONV_SUPPORT,
+            ModelId::SortMerge => SortMerge::CONV_SUPPORT,
+            ModelId::DiskNestedLoops => DiskNestedLoops::CONV_SUPPORT,
+            ModelId::SmDnl => SmDnl::CONV_SUPPORT,
         }
     }
 }
@@ -172,11 +201,18 @@ impl PlanSource {
 pub enum ExactDriver {
     /// The O(3^n) subset-split driver.
     Split,
-    /// The layered-convolution driver.
+    /// The layered-convolution driver on a model whose κ″ is natively
+    /// orientation-free ([`ConvSupport::Native`]).
     Conv,
+    /// The layered-convolution driver on a model that opted into the
+    /// canonical-orientation reduction ([`ConvSupport::Canonical`]):
+    /// same driver, κ″ evaluated on the lowest-relation-first operand
+    /// order. Distinct on the wire so a measured regression can be
+    /// attributed to the orientation discipline, not the driver.
+    ConvCanonical,
     /// The request asked for [`DriverChoice::Conv`] but the cost model
-    /// does not support the convolution reduction, so the split driver
-    /// ran instead. Distinct from [`ExactDriver::Split`] so the silent
+    /// declines the convolution reduction, so the split driver ran
+    /// instead. Distinct from [`ExactDriver::Split`] so the silent
     /// fallback is visible on the wire (`source_detail=conv_fallback`).
     ConvFallback,
 }
@@ -189,7 +225,87 @@ impl ExactDriver {
         match self {
             ExactDriver::Split => "exact",
             ExactDriver::Conv => "conv",
+            ExactDriver::ConvCanonical => "conv_canonical",
             ExactDriver::ConvFallback => "conv_fallback",
+        }
+    }
+
+    /// Whether the convolution driver actually ran (either conv
+    /// variant). This is the predicate the `driver_conv` metric counts.
+    pub fn is_conv(&self) -> bool {
+        matches!(self, ExactDriver::Conv | ExactDriver::ConvCanonical)
+    }
+}
+
+/// The service-boundary resolution of a request's DP-driver choice for
+/// one `(model, n, options)` triple. Every driver-dependent artifact —
+/// the cache fingerprint tag *and* the wire provenance — derives from
+/// this one value, so the two can never drift apart (they used to be
+/// assembled independently at the cache-key and exact-runner sites,
+/// which is exactly how a new provenance variant could ship without a
+/// matching cache namespace).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DriverDisposition {
+    model: ModelId,
+    /// The driver in effect, after any per-request override.
+    requested: DriverChoice,
+    /// Whether the request brought its own override (which gets its own
+    /// fingerprint namespace — see [`Request::driver`]).
+    overridden: bool,
+    /// What actually runs, resolved exactly as the core resolves it.
+    resolved: DriverChoice,
+    support: ConvSupport,
+}
+
+impl DriverDisposition {
+    /// Resolve against the options the optimization will run under.
+    /// `options.driver` must already include any per-request override;
+    /// the resolution mirrors the core's `RowEngine::resolve` (same
+    /// support, size, and crossover inputs), which `run_exact` asserts
+    /// in debug builds.
+    pub fn new(
+        model: ModelId,
+        overridden: bool,
+        options: &DriveOptions,
+        n: usize,
+    ) -> DriverDisposition {
+        let support = model.conv_support();
+        DriverDisposition {
+            model,
+            requested: options.driver,
+            overridden,
+            resolved: options.driver.resolve(support, n, options.conv_min_rels),
+            support,
+        }
+    }
+
+    /// The model tag the query fingerprint is keyed by. Overridden
+    /// requests get their own `+driver=` namespace so a `driver=conv`
+    /// answer (with conv provenance) is never served from a
+    /// split-cached entry, and vice versa.
+    pub fn fingerprint_tag(&self) -> std::borrow::Cow<'static, str> {
+        if self.overridden {
+            std::borrow::Cow::Owned(format!(
+                "{}+driver={}",
+                self.model.name(),
+                self.requested.name()
+            ))
+        } else {
+            std::borrow::Cow::Borrowed(self.model.name())
+        }
+    }
+
+    /// The provenance an exact response reports (`source_detail=`).
+    pub fn exact_driver(&self) -> ExactDriver {
+        if self.resolved == DriverChoice::Conv {
+            match self.support {
+                ConvSupport::Canonical => ExactDriver::ConvCanonical,
+                _ => ExactDriver::Conv,
+            }
+        } else if self.requested == DriverChoice::Conv {
+            ExactDriver::ConvFallback
+        } else {
+            ExactDriver::Split
         }
     }
 }
@@ -419,6 +535,15 @@ pub struct ServiceConfig {
     /// this), so this is purely a perf knob; requests can still override
     /// it per query via [`Request::driver`].
     pub driver: DriverChoice,
+    /// A measured host calibration profile (from `blitzsplit
+    /// calibrate`, loaded at startup via `serve --profile`). When set,
+    /// its measured kernel, scalar-wave floor, and per-model `Auto`
+    /// crossovers replace the compiled-constant defaults on the exact
+    /// path; [`layout`](ServiceConfig::layout) and
+    /// [`driver`](ServiceConfig::driver) stay config-driven, and
+    /// per-request [`Request::driver`] overrides still win. `None`
+    /// keeps the compiled constants.
+    pub profile: Option<CalibrationProfile>,
     /// Anytime-ladder settings for queries over
     /// [`max_exact_rels`](ServiceConfig::max_exact_rels). `None` (the
     /// default, preserving prior behavior) degrades such queries to the
@@ -480,6 +605,7 @@ impl Default for ServiceConfig {
             layout: LayoutChoice::HotCold,
             kernel: KernelChoice::Simd,
             driver: DriverChoice::Auto,
+            profile: None,
             ladder: None,
         }
     }
@@ -546,17 +672,23 @@ impl OptimizerService {
     /// serial (`parallelism == 1`) — and every query below
     /// `parallel_min_rels` — must stay serial even when the process-wide
     /// `BLITZ_TEST_THREADS` override (honored by
-    /// [`DriveOptions::default`]) is set.
-    fn drive_options(&self, n: usize) -> DriveOptions {
+    /// [`DriveOptions::default`]) is set. A loaded
+    /// [`profile`](ServiceConfig::profile) overlays its measured
+    /// kernel, wave floor, and the *model's own* `Auto` crossover last.
+    fn drive_options(&self, n: usize, model: ModelId) -> DriveOptions {
         let options = if n >= self.config.parallel_min_rels && self.config.parallelism != 1 {
             DriveOptions::parallel(self.config.parallelism)
         } else {
             DriveOptions::serial()
         };
-        options
+        let options = options
             .with_layout(self.config.layout)
             .with_kernel(self.config.kernel)
-            .with_driver(self.config.driver)
+            .with_driver(self.config.driver);
+        match &self.config.profile {
+            Some(profile) => profile.apply(options, model.cost_model_name()),
+            None => options,
+        }
     }
 
     /// Optimize one request. Never fails: every degraded path returns a
@@ -580,17 +712,17 @@ impl OptimizerService {
         }
 
         let schedule = req.schedule.unwrap_or(self.config.default_schedule);
-        // Driver overrides change nothing about optimal cost, but they
-        // do change the provenance a response reports, so overridden
-        // requests get their own fingerprint namespace rather than
-        // sharing cache entries with default-driver traffic.
-        let canon = match req.driver {
-            None => CanonicalQuery::new(&req.spec, req.model.name(), Some(&schedule)),
-            Some(d) => {
-                let tag = format!("{}+driver={}", req.model.name(), d.name());
-                CanonicalQuery::new(&req.spec, &tag, Some(&schedule))
-            }
-        };
+        // One disposition drives both the cache namespace and the
+        // provenance the job will report — deriving them from separate
+        // sites is how the two once could drift.
+        let mut options = self.drive_options(req.spec.n(), req.model);
+        if let Some(d) = req.driver {
+            options = options.with_driver(d);
+        }
+        let disposition =
+            DriverDisposition::new(req.model, req.driver.is_some(), &options, req.spec.n());
+        let canon =
+            CanonicalQuery::new(&req.spec, &disposition.fingerprint_tag(), Some(&schedule));
 
         match self.cache.lookup_or_reserve(canon.fingerprint()) {
             Lookup::Hit(cp) => {
@@ -604,7 +736,7 @@ impl OptimizerService {
             Lookup::Reserved(reservation) => {
                 self.metrics.cache_misses.fetch_add(1, Relaxed);
                 let slot = reservation.slot();
-                let job = self.make_job(req, &canon, schedule, reservation);
+                let job = self.make_job(req, &canon, schedule, options, &disposition, reservation);
                 if self.pool.submit(job).is_err() {
                     // Queue full: drop the job (waking any waiters
                     // empty-handed via the reservation's Drop) and
@@ -750,6 +882,8 @@ impl OptimizerService {
         req: &Request,
         canon: &CanonicalQuery,
         schedule: ThresholdSchedule,
+        options: DriveOptions,
+        disposition: &DriverDisposition,
         reservation: Reservation,
     ) -> pool::Job {
         let spec = req.spec.clone();
@@ -757,14 +891,11 @@ impl OptimizerService {
         let canon = canon.clone();
         let metrics = Arc::clone(&self.metrics);
         let tables = Arc::clone(&self.tables);
-        let mut options = self.drive_options(spec.n());
-        if let Some(d) = req.driver {
-            options = options.with_driver(d);
-        }
+        let driver = disposition.exact_driver();
         Box::new(move || {
             let started = Instant::now();
-            let (plan, cost, card, passes, counters, driver) =
-                run_exact(&spec, model, schedule, options, &tables, &metrics);
+            let (plan, cost, card, passes, counters) =
+                run_exact(&spec, model, schedule, options, driver, &tables, &metrics);
             metrics.record_optimization(&counters, passes, started.elapsed());
             reservation.fulfill_cached(ComputedPlan {
                 plan: canon.to_canonical(&plan),
@@ -865,33 +996,32 @@ fn run_exact(
     model: ModelId,
     schedule: ThresholdSchedule,
     options: DriveOptions,
+    driver: ExactDriver,
     tables: &TablePool,
     metrics: &Metrics,
-) -> (Plan, f32, f64, u32, Counters, ExactDriver) {
+) -> (Plan, f32, f64, u32, Counters) {
     fn go<L: PoolSlot, M: CostModel + Sync>(
         spec: &JoinSpec,
         model: &M,
         schedule: ThresholdSchedule,
         options: DriveOptions,
+        driver: ExactDriver,
         tables: &TablePool,
         metrics: &Metrics,
-    ) -> (Plan, f32, f64, u32, Counters, ExactDriver) {
-        // Resolve the driver exactly as the core will, so provenance
-        // and metrics report what actually runs. A Conv *request*
-        // falling back (unsupported model) is flagged distinctly; Auto
-        // resolving to Split is just Split.
-        let resolved = options.driver.resolve(model.supports_conv(), spec.n());
-        let driver = if resolved == DriverChoice::Conv {
-            metrics.driver_conv.fetch_add(1, Relaxed);
-            ExactDriver::Conv
-        } else {
-            metrics.driver_split.fetch_add(1, Relaxed);
-            if options.driver == DriverChoice::Conv {
-                ExactDriver::ConvFallback
-            } else {
-                ExactDriver::Split
-            }
-        };
+    ) -> (Plan, f32, f64, u32, Counters) {
+        // The disposition was resolved once at the service boundary
+        // ([`DriverDisposition`]); here — with the concrete model in
+        // hand — assert it matches what the core itself will resolve
+        // from the same inputs before trusting it for metrics.
+        debug_assert_eq!(
+            options.driver.resolve(model.conv_support(), spec.n(), options.conv_min_rels)
+                == DriverChoice::Conv,
+            driver.is_conv(),
+            "service disposition disagrees with core driver resolution"
+        );
+        let driver_counter =
+            if driver.is_conv() { &metrics.driver_conv } else { &metrics.driver_split };
+        driver_counter.fetch_add(1, Relaxed);
         let (mut table, recycled) = tables.take::<L>(spec.n());
         let counter =
             if recycled { &metrics.table_pool_hits } else { &metrics.table_pool_misses };
@@ -908,7 +1038,7 @@ fn run_exact(
         let plan = arena.to_plan(out.root);
         tables.put(table);
         tables.put_arena(arena);
-        (plan, out.cost, out.card, out.passes, counters, driver)
+        (plan, out.cost, out.card, out.passes, counters)
     }
     // Static double dispatch: model × layout, all monomorphized. Every
     // combination is bit-identical in results; the layout only moves
@@ -918,24 +1048,31 @@ fn run_exact(
         model: &M,
         schedule: ThresholdSchedule,
         options: DriveOptions,
+        driver: ExactDriver,
         tables: &TablePool,
         metrics: &Metrics,
-    ) -> (Plan, f32, f64, u32, Counters, ExactDriver) {
+    ) -> (Plan, f32, f64, u32, Counters) {
         match options.layout {
-            LayoutChoice::Aos => go::<AosTable, M>(spec, model, schedule, options, tables, metrics),
-            LayoutChoice::Soa => go::<SoaTable, M>(spec, model, schedule, options, tables, metrics),
+            LayoutChoice::Aos => {
+                go::<AosTable, M>(spec, model, schedule, options, driver, tables, metrics)
+            }
+            LayoutChoice::Soa => {
+                go::<SoaTable, M>(spec, model, schedule, options, driver, tables, metrics)
+            }
             LayoutChoice::HotCold => {
-                go::<HotColdTable, M>(spec, model, schedule, options, tables, metrics)
+                go::<HotColdTable, M>(spec, model, schedule, options, driver, tables, metrics)
             }
         }
     }
     match model {
-        ModelId::Kappa0 => by_layout(spec, &Kappa0, schedule, options, tables, metrics),
-        ModelId::SortMerge => by_layout(spec, &SortMerge, schedule, options, tables, metrics),
+        ModelId::Kappa0 => by_layout(spec, &Kappa0, schedule, options, driver, tables, metrics),
+        ModelId::SortMerge => by_layout(spec, &SortMerge, schedule, options, driver, tables, metrics),
         ModelId::DiskNestedLoops => {
-            by_layout(spec, &DiskNestedLoops::default(), schedule, options, tables, metrics)
+            by_layout(spec, &DiskNestedLoops::default(), schedule, options, driver, tables, metrics)
         }
-        ModelId::SmDnl => by_layout(spec, &SmDnl::default(), schedule, options, tables, metrics),
+        ModelId::SmDnl => {
+            by_layout(spec, &SmDnl::default(), schedule, options, driver, tables, metrics)
+        }
     }
 }
 
@@ -988,6 +1125,147 @@ mod tests {
         assert_eq!(ModelId::parse("nope"), None);
     }
 
+    /// The service's pre-dispatch capability probe must agree with the
+    /// concrete models the exact path monomorphizes over — this is the
+    /// contract `DriverDisposition` (and the cache key derived from it)
+    /// rests on.
+    #[test]
+    fn model_id_capabilities_match_the_dispatched_models() {
+        assert_eq!(ModelId::Kappa0.conv_support(), Kappa0.conv_support());
+        assert_eq!(ModelId::SortMerge.conv_support(), SortMerge.conv_support());
+        assert_eq!(
+            ModelId::DiskNestedLoops.conv_support(),
+            DiskNestedLoops::default().conv_support()
+        );
+        assert_eq!(ModelId::SmDnl.conv_support(), SmDnl::default().conv_support());
+        assert_eq!(ModelId::Kappa0.cost_model_name(), "kappa0");
+        assert_eq!(ModelId::SortMerge.cost_model_name(), "kappa_sm");
+        assert_eq!(ModelId::DiskNestedLoops.cost_model_name(), "kappa_dnl");
+        assert_eq!(ModelId::SmDnl.cost_model_name(), "min(kappa_sm,kappa_dnl)");
+    }
+
+    /// One disposition value yields both the cache tag and the wire
+    /// provenance, for every (model capability × request) combination.
+    #[test]
+    fn driver_disposition_derives_tag_and_provenance_together() {
+        let at = |model: ModelId, driver: Option<DriverChoice>, n: usize| {
+            // Mirror the service default (`ServiceConfig::driver: Auto`)
+            // and then the per-request override, as `optimize` does.
+            let mut options = DriveOptions::serial().with_driver(DriverChoice::Auto);
+            if let Some(d) = driver {
+                options = options.with_driver(d);
+            }
+            DriverDisposition::new(model, driver.is_some(), &options, n)
+        };
+
+        // Auto on a Native model: conv above the crossover, split below.
+        let big = at(ModelId::Kappa0, None, 16);
+        assert_eq!(big.exact_driver(), ExactDriver::Conv);
+        assert_eq!(big.fingerprint_tag(), "k0");
+        let small = at(ModelId::Kappa0, None, 3);
+        assert_eq!(small.exact_driver(), ExactDriver::Split);
+
+        // Auto on a Canonical model reports the canonical variant —
+        // conv runs natively, no fallback.
+        let sm = at(ModelId::SortMerge, None, 16);
+        assert_eq!(sm.exact_driver(), ExactDriver::ConvCanonical);
+        assert!(sm.exact_driver().is_conv());
+        assert_eq!(sm.exact_driver().detail(), "conv_canonical");
+        assert_eq!(sm.fingerprint_tag(), "sm");
+
+        // A forced-conv request is namespaced and keeps its provenance
+        // even below the Auto crossover.
+        let forced = at(ModelId::SmDnl, Some(DriverChoice::Conv), 3);
+        assert_eq!(forced.exact_driver(), ExactDriver::ConvCanonical);
+        assert_eq!(forced.fingerprint_tag(), "smdnl+driver=conv");
+
+        // Forced split is namespaced too and reports plain `exact`.
+        let split = at(ModelId::SortMerge, Some(DriverChoice::Split), 16);
+        assert_eq!(split.exact_driver(), ExactDriver::Split);
+        assert_eq!(split.exact_driver().detail(), "exact");
+        assert_eq!(split.fingerprint_tag(), "sm+driver=split");
+    }
+
+    /// A loaded calibration profile rewires the exact path's measured
+    /// knobs per model: the profiled crossover decides whether `Auto`
+    /// picks conv for that model, without touching other models.
+    #[test]
+    fn service_profile_overrides_auto_crossover_per_model() {
+        let profile = CalibrationProfile {
+            kernel: None,
+            scalar_wave_floor: Some(2),
+            conv_min_rels: Some(4),
+            per_model: vec![("kappa_sm".to_string(), 30)],
+        };
+        let service = OptimizerService::new(ServiceConfig {
+            workers: 1,
+            profile: Some(profile),
+            ..Default::default()
+        });
+        // kappa_sm's measured crossover (30) keeps Auto on split at
+        // n=8; the profile default (4) pushes every other model to
+        // conv at the same size.
+        let sm = service.drive_options(8, ModelId::SortMerge);
+        assert_eq!(sm.conv_min_rels, 30);
+        assert_eq!(sm.scalar_wave_floor, 2);
+        assert_eq!(
+            DriverDisposition::new(ModelId::SortMerge, false, &sm, 8).exact_driver(),
+            ExactDriver::Split
+        );
+        let k0 = service.drive_options(8, ModelId::Kappa0);
+        assert_eq!(k0.conv_min_rels, 4);
+        assert_eq!(
+            DriverDisposition::new(ModelId::Kappa0, false, &k0, 8).exact_driver(),
+            ExactDriver::Conv
+        );
+        // End to end: the sm request must actually answer exactly (and
+        // report split provenance) under the profiled crossover.
+        let cards: Vec<f64> = (0..8).map(|i| 10.0 + i as f64).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..7).map(|i| (i, i + 1, 0.01)).collect();
+        let spec = JoinSpec::new(&cards, &edges).unwrap();
+        let resp = service
+            .optimize(&Request { model: ModelId::SortMerge, ..Request::new(spec) });
+        assert_eq!(resp.source, PlanSource::Exact);
+        assert_eq!(resp.driver, Some(ExactDriver::Split));
+    }
+
+    /// With the canonical-orientation reduction every shipped model
+    /// takes the conv path at size: a κ″ model answers with
+    /// `conv_canonical` provenance and the `driver_conv` metric counts
+    /// it — no silent split fallback left in the fleet.
+    #[test]
+    fn canonical_models_take_conv_at_size() {
+        let n = 12;
+        let cards: Vec<f64> = (0..n).map(|i| 10.0 + i as f64).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 0.02)).collect();
+        let spec = JoinSpec::new(&cards, &edges).unwrap();
+        let service = OptimizerService::new(ServiceConfig { workers: 1, ..Default::default() });
+        for model in [ModelId::SortMerge, ModelId::DiskNestedLoops, ModelId::SmDnl] {
+            let resp = service.optimize(&Request { model, ..Request::new(spec.clone()) });
+            assert_eq!(resp.source, PlanSource::Exact);
+            assert_eq!(
+                resp.driver,
+                Some(ExactDriver::ConvCanonical),
+                "{model} must ride conv canonically at n={n}"
+            );
+            // Conv plans are cost-optimal even when tie-breaks differ
+            // from split: re-cost against the split reference.
+            let direct = blitz_core::optimize_join_threshold_with(
+                &spec,
+                &SortMerge,
+                ThresholdSchedule::default(),
+                DriveOptions::serial().with_driver(DriverChoice::Split),
+            )
+            .unwrap();
+            if model == ModelId::SortMerge {
+                assert_eq!(resp.cost, direct.optimized.cost);
+            }
+        }
+        let snap = service.snapshot();
+        assert_eq!(snap.driver_conv, 3, "all three κ″ models must count as conv runs");
+        assert_eq!(snap.driver_split, 0);
+    }
+
     #[test]
     fn service_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
@@ -1029,7 +1307,7 @@ mod tests {
             parallelism: 2,
             ..Default::default()
         });
-        assert!(service.drive_options(n).effective_parallelism() >= 2);
+        assert!(service.drive_options(n, ModelId::Kappa0).effective_parallelism() >= 2);
         let resp = service.optimize(&Request::new(spec.clone()));
         assert_eq!(resp.source, PlanSource::Exact);
         assert_eq!(resp.driver, Some(ExactDriver::Conv), "Auto must pick conv at n=16 on κ₀");

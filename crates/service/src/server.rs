@@ -698,6 +698,19 @@ pub fn format_optimize_request(
     model: ModelId,
     deadline: Option<Duration>,
 ) -> String {
+    format_optimize_request_with_driver(cards, preds, model, deadline, None)
+}
+
+/// As [`format_optimize_request`], plus an explicit per-request DP
+/// driver override — serialized as the wire's `driver=` key, which the
+/// server folds into the plan-cache fingerprint.
+pub fn format_optimize_request_with_driver(
+    cards: &[f64],
+    preds: &[(usize, usize, f64)],
+    model: ModelId,
+    deadline: Option<Duration>,
+    driver: Option<DriverChoice>,
+) -> String {
     use std::fmt::Write as _;
     let mut line = String::from("OPTIMIZE cards=");
     for (i, c) in cards.iter().enumerate() {
@@ -718,6 +731,9 @@ pub fn format_optimize_request(
     let _ = write!(line, " model={}", model.name());
     if let Some(d) = deadline {
         let _ = write!(line, " deadline_ms={}", d.as_millis());
+    }
+    if let Some(d) = driver {
+        let _ = write!(line, " driver={}", d.name());
     }
     line
 }
@@ -799,10 +815,11 @@ mod tests {
     }
 
     /// A `driver=` override travels the whole wire path: conv requests
-    /// on a supporting model report `source_detail=conv`, on a
-    /// non-supporting model `conv_fallback`, and both cost exactly what
-    /// the default split answer costs. Cache entries are driver-scoped,
-    /// so the conv request after a default one is a miss, not a hit.
+    /// on a natively-supporting model report `source_detail=conv`, on a
+    /// canonical-orientation model `conv_canonical`, and both cost
+    /// exactly what the default split answer costs. Cache entries are
+    /// driver-scoped, so the conv request after a default one is a
+    /// miss, not a hit.
     #[test]
     fn driver_override_round_trips() {
         let s = service();
@@ -822,12 +839,13 @@ mod tests {
         assert_eq!(response_field(&again, "cache"), Some("hit"));
         assert_eq!(response_field(&again, "source_detail"), Some("conv"));
 
-        // Sort-merge has a split-dependent κ'': conv must visibly fall
-        // back rather than silently pretend.
-        let fallback = handle_line(&s, &format!("{base} model=sm driver=conv"));
-        assert_eq!(response_field(&fallback, "source_detail"), Some("conv_fallback"));
+        // Sort-merge has a split-dependent κ'' evaluated on the
+        // canonical operand orientation: conv runs (no more fallback)
+        // and says so distinctly on the wire.
+        let canonical = handle_line(&s, &format!("{base} model=sm driver=conv"));
+        assert_eq!(response_field(&canonical, "source_detail"), Some("conv_canonical"));
         let sm = handle_line(&s, &format!("{base} model=sm"));
-        assert_eq!(response_field(&fallback, "cost"), response_field(&sm, "cost"));
+        assert_eq!(response_field(&canonical, "cost"), response_field(&sm, "cost"));
 
         // An explicit split override is wire-identical to the default.
         let split = handle_line(&s, &format!("{base} driver=split"));
@@ -1096,6 +1114,20 @@ mod tests {
         assert_eq!(req.spec.n(), 2);
         assert_eq!(req.model, ModelId::SortMerge);
         assert_eq!(req.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(req.driver, None, "no driver= key means no override");
+
+        let line = format_optimize_request_with_driver(
+            &[10.0, 20.0],
+            &[(0, 1, 0.5)],
+            ModelId::SortMerge,
+            None,
+            Some(DriverChoice::Conv),
+        );
+        let req = match parse_optimize(line.strip_prefix("OPTIMIZE ").unwrap()).unwrap() {
+            WireRequest::Small(req) => req,
+            WireRequest::Big(req) => panic!("2-relation request parsed as big: {req:?}"),
+        };
+        assert_eq!(req.driver, Some(DriverChoice::Conv));
     }
 
     /// A request over `MAX_RELS` relations parses to the big path and

@@ -9,13 +9,15 @@
 //!                     [--refine-steps N] [--dp-window K] [--dp-rounds R] [--seed S]
 //! blitzsplit sql "SELECT * FROM sales s, customer c WHERE s.custkey = c.custkey"
 //! blitzsplit workload --topology chain|cycle3|star|clique --n 15 --mu 100 --var 0.5 [--time]
+//! blitzsplit calibrate [--out blitz-profile.txt] [--max-rels N] [--reps R]
 //! blitzsplit serve  [--addr 127.0.0.1:7878] [--frontend poll|threads] [--max-conns N] \
 //!                   [--workers N] [--cache N] [--max-rels N] [--threads N] \
 //!                   [--layout aos|soa|hotcold] [--kernel scalar|batched|simd] \
-//!                   [--driver split|conv|auto] \
+//!                   [--driver split|conv|auto] [--profile PATH] \
 //!                   [--ladder] [--budget-ms N] [--refine-steps N] [--dp-window K] \
 //!                   [--dp-rounds R] [--seed S]
-//! blitzsplit client --addr HOST:PORT --cards 10,20,30 [--pred i:j:sel]... [--model ...]
+//! blitzsplit client --addr HOST:PORT --cards 10,20,30 [--pred i:j:sel]... [--model ...] \
+//!                   [--deadline-ms N] [--driver split|conv|auto]
 //! blitzsplit client --addr HOST:PORT --metrics
 //! ```
 //!
@@ -29,12 +31,19 @@
 //! control, metrics — with `--ladder`, over-limit queries are served by
 //! the ladder instead of degrading to greedy) on a TCP line protocol —
 //! the readiness-loop frontend by default, thread-per-connection with
-//! `--frontend threads` — and `client` talks to it.
+//! `--frontend threads` — and `client` talks to it. `calibrate` runs a
+//! short measured profile of this host (fastest kernel, scalar-wave
+//! floor, per-model conv crossovers) and writes it to a text file that
+//! `serve --profile` (or the `BLITZ_PROFILE` env var, for the library
+//! defaults) consumes, replacing the compiled-constant tuning knobs
+//! with measured ones.
 
 use blitzsplit::catalog::{demo_retail_catalog, parse_query, Topology, Workload};
-use blitzsplit::core::{CostModel, MAX_RELS};
+use blitzsplit::core::{
+    calibrate, CalibrateOptions, CalibrationProfile, CostModel, MAX_RELS, PROFILE_ENV,
+};
 use blitzsplit::ladder::{optimize_ladder, BigSpec, LadderConfig};
-use blitzsplit::service::server::{format_optimize_request, response_field};
+use blitzsplit::service::server::{format_optimize_request_with_driver, response_field};
 use blitzsplit::service::{
     Client, Frontend, LadderSettings, ModelId, OptimizerService, Server, ServerOptions,
     ServiceConfig,
@@ -60,14 +69,16 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!("  blitzsplit sql \"SELECT ...\" [--model ...] [--dot]");
     eprintln!("  blitzsplit workload --topology chain|cycle3|star|clique \\");
     eprintln!("             --n N [--mu M] [--var V] [--model ...] [--threads N] [--time]");
+    eprintln!("  blitzsplit calibrate [--out blitz-profile.txt] [--max-rels N] [--reps R]");
     eprintln!("  blitzsplit serve [--addr 127.0.0.1:7878] [--frontend poll|threads] \\");
     eprintln!("             [--max-conns N] [--workers N] [--cache N] \\");
     eprintln!("             [--max-rels N] [--threads N] [--layout aos|soa|hotcold] \\");
     eprintln!("             [--kernel scalar|batched|simd] [--driver split|conv|auto] \\");
-    eprintln!("             [--ladder] [--budget-ms N] \\");
+    eprintln!("             [--profile PATH] [--ladder] [--budget-ms N] \\");
     eprintln!("             [--refine-steps N] [--dp-window K] [--dp-rounds R] [--seed S]");
     eprintln!("  blitzsplit client --addr HOST:PORT (--metrics | --cards C1,C2,... \\");
-    eprintln!("             [--pred i:j:sel]... [--model ...] [--deadline-ms N])");
+    eprintln!("             [--pred i:j:sel]... [--model ...] [--deadline-ms N] \\");
+    eprintln!("             [--driver split|conv|auto])");
     ExitCode::FAILURE
 }
 
@@ -412,6 +423,38 @@ fn main() -> ExitCode {
             }
             with_model(&model, &spec, threshold, drive_options, dot).unwrap_or_else(|e| fail(&e))
         }
+        "calibrate" => {
+            let mut opts = CalibrateOptions::default();
+            if let Some(m) = args.get("max-rels") {
+                match m.parse::<usize>() {
+                    Ok(m) if m >= 4 => opts.max_rels = m,
+                    _ => return fail("--max-rels must be an integer ≥ 4"),
+                }
+            }
+            if let Some(r) = args.get("reps") {
+                match r.parse::<usize>() {
+                    Ok(r) if r >= 1 => opts.reps = r,
+                    _ => return fail("--reps must be a positive integer"),
+                }
+            }
+            let out = args.get("out").unwrap_or("blitz-profile.txt").to_string();
+            eprintln!(
+                "calibrating (timing synthetic cliques up to n={}, {} rep{})...",
+                opts.max_rels.clamp(8, 18),
+                opts.reps,
+                if opts.reps == 1 { "" } else { "s" }
+            );
+            let profile = calibrate(&opts);
+            print!("{}", profile.render());
+            if let Err(e) = profile.save(std::path::Path::new(&out)) {
+                return fail(&e);
+            }
+            eprintln!();
+            eprintln!("wrote {out}");
+            eprintln!("use it with `blitzsplit serve --profile {out}`");
+            eprintln!("or export {PROFILE_ENV}={out} for the library defaults");
+            ExitCode::SUCCESS
+        }
         "serve" => {
             let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
             let mut config = ServiceConfig::default();
@@ -447,6 +490,12 @@ fn main() -> ExitCode {
             }
             if let Some(d) = driver {
                 config.driver = d;
+            }
+            if let Some(p) = args.get("profile") {
+                match CalibrationProfile::load(std::path::Path::new(p)) {
+                    Ok(profile) => config.profile = Some(profile),
+                    Err(e) => return fail(&format!("--profile: {e}")),
+                }
             }
             if args.has("ladder") {
                 let lc = match parse_ladder_flags(&args) {
@@ -526,7 +575,7 @@ fn main() -> ExitCode {
                 Some(Ok(ms)) => Some(std::time::Duration::from_millis(ms)),
                 Some(Err(_)) => return fail("--deadline-ms must be an integer"),
             };
-            let line = format_optimize_request(&cards, &preds, model_id, deadline);
+            let line = format_optimize_request_with_driver(&cards, &preds, model_id, deadline, driver);
             let resp = match client.request(&line) {
                 Ok(r) => r,
                 Err(e) => return fail(&format!("request failed: {e}")),

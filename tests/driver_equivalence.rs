@@ -5,28 +5,33 @@
 //!
 //! * **Cost and cardinality columns are bit-identical** between the
 //!   split and conv drivers on every subset, under every layout, serial
-//!   and rank-wave parallel, through every threshold schedule. The conv
-//!   driver only runs where the cost model's candidate costs are
-//!   symmetric at the `f32` bit level (κ″ ≡ 0, today κ₀), so its halved
-//!   enumeration sees the exact same value multiset per row.
+//!   and rank-wave parallel, through every threshold schedule — for
+//!   *every shipped model*. κ₀ is `Native` (κ″ ≡ 0, the candidate cost
+//!   is a commutative `f32` addition); the three κ″ models are
+//!   `Canonical`: both drivers evaluate κ″ on the lowest-relation-first
+//!   operand orientation, so the halved enumeration sees the exact same
+//!   value multiset per row as the full split walk.
 //! * **`best_lhs` may differ** — conv visits each {lhs, rhs} pair once
 //!   through its anchored half-enumeration, so on cost ties it can
 //!   legitimately keep the complement or a different cost-equal split.
 //!   What it must still be: a *deterministic* choice (same spec, same
 //!   driver → same table, run after run, thread count after thread
 //!   count) whose extracted plan re-costs to the optimal cost bits.
-//! * **Conv requests on unsupported models fall back to split** and are
-//!   then bit-identical in *every* column, `best_lhs` included.
+//! * **Conv requests on `Fallback` models run split** and are then
+//!   bit-identical to an explicit split request in *every* column. No
+//!   shipped model falls back any more, so the guard is pinned with a
+//!   deliberately orientation-asymmetric model defined here.
 //!
 //! Random catalogs drive the bulk of the coverage; the paper topologies
-//! and a tie-heavy uniform-cost Cartesian spec pin the brute-force
-//! oracle agreement and the per-driver tie-break stability.
+//! and tie-heavy uniform-cost Cartesian specs (where *both* operand
+//! orientations of every partition tie) pin the brute-force oracle
+//! agreement and the per-driver tie-break stability.
 
 use blitzsplit::baselines::best_bushy;
 use blitzsplit::catalog::{Topology, Workload};
 use blitzsplit::core::{
-    optimize_join_threshold_into_with, AosTable, Counters, HotColdTable, RelSet, SoaTable,
-    TableLayout, WaveTableLayout,
+    optimize_join_threshold_into_with, AosTable, ConvSupport, Counters, HotColdTable, RelSet,
+    SoaTable, TableLayout, WaveTableLayout,
 };
 use blitzsplit::{
     optimize_join_with, CostModel, DiskNestedLoops, DriveOptions, DriverChoice, JoinSpec, Kappa0,
@@ -53,15 +58,16 @@ struct Snapshot {
     cost: f32,
 }
 
-fn snapshot<L: WaveTableLayout + Send>(
+fn snapshot<L: WaveTableLayout + Send, M: CostModel + Sync>(
     spec: &JoinSpec,
+    model: &M,
     schedule: ThresholdSchedule,
     options: DriveOptions,
 ) -> Snapshot {
     let mut counters = Counters::default();
-    let (table, outcome) = optimize_join_threshold_into_with::<L, Kappa0, Counters, true>(
+    let (table, outcome) = optimize_join_threshold_into_with::<L, M, Counters, true>(
         spec,
-        &Kappa0,
+        model,
         schedule,
         options,
         &mut counters,
@@ -82,13 +88,14 @@ fn snapshot<L: WaveTableLayout + Send>(
     }
 }
 
-/// The conv driver against the split reference: cost/card columns,
-/// pass count and final cap bit-equal everywhere; plans cost-equal and
-/// each optimal under a direct re-cost; conv's table deterministic
-/// across executions, layouts, and thread counts.
-fn check_drivers(spec: &JoinSpec, schedule: ThresholdSchedule) {
-    let split = snapshot::<AosTable>(
+/// The conv driver against the split reference under one model:
+/// cost/card columns, pass count and final cap bit-equal everywhere;
+/// plans cost-equal and each optimal under a direct re-cost; conv's
+/// table deterministic across executions, layouts, and thread counts.
+fn check_drivers<M: CostModel + Sync>(spec: &JoinSpec, model: &M, schedule: ThresholdSchedule) {
+    let split = snapshot::<AosTable, M>(
         spec,
+        model,
         schedule,
         DriveOptions::serial().with_driver(DriverChoice::Split),
     );
@@ -98,18 +105,18 @@ fn check_drivers(spec: &JoinSpec, schedule: ThresholdSchedule) {
     {
         let options = base.with_driver(DriverChoice::Conv);
         let variants = [
-            ("aos", snapshot::<AosTable>(spec, schedule, options)),
-            ("soa", snapshot::<SoaTable>(spec, schedule, options)),
-            ("hotcold", snapshot::<HotColdTable>(spec, schedule, options)),
+            ("aos", snapshot::<AosTable, M>(spec, model, schedule, options)),
+            ("soa", snapshot::<SoaTable, M>(spec, model, schedule, options)),
+            ("hotcold", snapshot::<HotColdTable, M>(spec, model, schedule, options)),
         ];
         for (name, conv) in variants {
-            let ctx = format!("conv {label} {name} n={}", spec.n());
+            let ctx = format!("{} conv {label} {name} n={}", model.name(), spec.n());
             assert_eq!(conv.cost_rows, split.cost_rows, "{ctx}: cost/card columns");
             assert_eq!(conv.passes, split.passes, "{ctx}: passes");
             assert_eq!(conv.final_cap, split.final_cap, "{ctx}: final cap");
             assert_eq!(conv.cost.to_bits(), split.cost.to_bits(), "{ctx}: plan cost");
             if conv.cost.is_finite() {
-                let (_, recost) = conv.plan.cost(spec, &Kappa0);
+                let (_, recost) = conv.plan.cost(spec, model);
                 let tol = conv.cost.abs() * 1e-4 + 1e-4;
                 assert!(
                     (recost - conv.cost).abs() <= tol,
@@ -127,6 +134,15 @@ fn check_drivers(spec: &JoinSpec, schedule: ThresholdSchedule) {
             }
         }
     }
+}
+
+/// [`check_drivers`] across every shipped model: the κ₀ `Native` path
+/// and all three `Canonical` κ″ models ride the same contract.
+fn check_all_models(spec: &JoinSpec, schedule: ThresholdSchedule) {
+    check_drivers(spec, &Kappa0, schedule);
+    check_drivers(spec, &SortMerge, schedule);
+    check_drivers(spec, &DiskNestedLoops::default(), schedule);
+    check_drivers(spec, &SmDnl::default(), schedule);
 }
 
 /// A random join problem of 2..=7 relations with random topology.
@@ -152,14 +168,14 @@ proptest! {
 
     #[test]
     fn drivers_agree_on_random_catalogs(spec in arb_spec()) {
-        check_drivers(&spec, ThresholdSchedule::default());
+        check_all_models(&spec, ThresholdSchedule::default());
     }
 
     #[test]
     fn drivers_agree_under_tight_thresholds(spec in arb_spec(), exp in -2i32..6) {
         // Tight caps exercise ∞-cost rows and multi-pass escalation: the
         // conv driver must prune and escalate exactly like split.
-        check_drivers(&spec, ThresholdSchedule::new(10f32.powi(exp), 100.0, 4));
+        check_all_models(&spec, ThresholdSchedule::new(10f32.powi(exp), 100.0, 4));
     }
 }
 
@@ -167,18 +183,23 @@ proptest! {
 fn drivers_agree_on_paper_topologies() {
     for topo in TOPOLOGIES {
         let spec = Workload::new(8, topo, 100.0, 0.5).spec();
-        check_drivers(&spec, ThresholdSchedule::new(10.0, 1e3, 6));
+        check_all_models(&spec, ThresholdSchedule::new(10.0, 1e3, 6));
     }
 }
 
-/// Conv against ground truth, across the paper topologies and three
-/// cost models. On κ₀ the conv driver actually runs; on sort-merge and
-/// disk-nested-loops it transparently falls back to split — either way
-/// the answer must match the non-memoized brute-force oracle over all
+/// Conv against ground truth, across the paper topologies and all four
+/// shipped cost models. The conv driver genuinely runs on every one of
+/// them now (κ₀ natively, the κ″ models canonically) — either way the
+/// answer must match the non-memoized brute-force oracle over all
 /// bushy trees.
 #[test]
 fn conv_matches_bruteforce_oracle() {
     fn check<M: CostModel + Sync>(spec: &JoinSpec, model: &M) {
+        assert!(
+            model.conv_support().allows_conv(),
+            "{}: oracle leg expects a conv-capable model",
+            model.name()
+        );
         let (_, oracle) = best_bushy(spec, model, spec.all_rels());
         let conv = optimize_join_with(
             spec,
@@ -203,13 +224,39 @@ fn conv_matches_bruteforce_oracle() {
         check(&spec, &Kappa0);
         check(&spec, &SortMerge);
         check(&spec, &DiskNestedLoops::default());
+        check(&spec, &SmDnl::default());
     }
 }
 
-/// A conv request on a model with split-dependent κ″ runs the split
-/// driver, and is then bit-identical to an explicit split request in
-/// *every* column — `best_lhs` included, since it is literally the same
-/// code path.
+/// A deliberately orientation-*asymmetric* κ″ — `2|L| + |R|` — for
+/// which the conv halving would be wrong. It keeps the default
+/// [`ConvSupport::Fallback`], standing in for any third-party model
+/// that has not opted in.
+#[derive(Copy, Clone, Default)]
+struct LopsidedLoops;
+
+impl CostModel for LopsidedLoops {
+    const HAS_DEP: bool = true;
+    const HAS_AUX: bool = false;
+
+    fn kappa_ind(&self, out_card: f64) -> f32 {
+        out_card as f32
+    }
+
+    fn kappa_dep(&self, _out: f64, lhs: f64, rhs: f64, _la: f32, _ra: f32) -> f32 {
+        (2.0 * lhs + rhs) as f32
+    }
+
+    fn name(&self) -> &'static str {
+        "lopsided"
+    }
+}
+
+/// A conv request on a model that never opted into the reduction runs
+/// the split driver, and is then bit-identical to an explicit split
+/// request in *every* column — `best_lhs` included, since it is
+/// literally the same code path. No shipped model declines any more, so
+/// the guard is exercised with [`LopsidedLoops`].
 #[test]
 fn conv_fallback_is_bit_identical_to_split() {
     fn rows<M: CostModel + Sync>(spec: &JoinSpec, model: &M, driver: DriverChoice) -> Vec<RowBits> {
@@ -228,20 +275,30 @@ fn conv_fallback_is_bit_identical_to_split() {
             })
             .collect()
     }
-    fn check<M: CostModel + Sync>(spec: &JoinSpec, model: &M) {
-        assert!(!model.supports_conv(), "fallback test needs a non-conv model");
+    let model = LopsidedLoops;
+    assert_eq!(
+        model.conv_support(),
+        ConvSupport::Fallback,
+        "a model without an exactness argument must default to Fallback"
+    );
+    for topo in TOPOLOGIES {
+        let spec = Workload::new(7, topo, 100.0, 0.5).spec();
         assert_eq!(
-            rows(spec, model, DriverChoice::Conv),
-            rows(spec, model, DriverChoice::Split),
+            rows(&spec, &model, DriverChoice::Conv),
+            rows(&spec, &model, DriverChoice::Split),
             "{}: conv fallback diverged from split",
             model.name()
         );
     }
-    for topo in TOPOLOGIES {
-        let spec = Workload::new(7, topo, 100.0, 0.5).spec();
-        check(&spec, &SortMerge);
-        check(&spec, &DiskNestedLoops::default());
-        check(&spec, &SmDnl::default());
+    // And the shipped models all opted in — the fleet has no silent
+    // split degradation left.
+    assert_eq!(Kappa0.conv_support(), ConvSupport::Native);
+    for support in [
+        SortMerge.conv_support(),
+        DiskNestedLoops::default().conv_support(),
+        SmDnl::default().conv_support(),
+    ] {
+        assert_eq!(support, ConvSupport::Canonical);
     }
 }
 
@@ -254,15 +311,17 @@ fn conv_fallback_is_bit_identical_to_split() {
 #[test]
 fn tie_break_policy_is_stable_per_driver() {
     let spec = JoinSpec::cartesian(&[10.0; 9]).unwrap();
-    check_drivers(&spec, ThresholdSchedule::default());
-    let reference = snapshot::<AosTable>(
+    check_drivers(&spec, &Kappa0, ThresholdSchedule::default());
+    let reference = snapshot::<AosTable, Kappa0>(
         &spec,
+        &Kappa0,
         ThresholdSchedule::default(),
         DriveOptions::serial().with_driver(DriverChoice::Conv),
     );
     for floor in [0u8, 4, 6, 255] {
-        let got = snapshot::<AosTable>(
+        let got = snapshot::<AosTable, Kappa0>(
             &spec,
+            &Kappa0,
             ThresholdSchedule::default(),
             DriveOptions::serial().with_driver(DriverChoice::Conv).with_scalar_wave_floor(floor),
         );
@@ -274,10 +333,44 @@ fn tie_break_policy_is_stable_per_driver() {
     }
 }
 
+/// The canonical-orientation analogue of the tie spec: on a uniform
+/// Cartesian problem *both operand orientations* of every unordered
+/// partition cost the same, so the κ″ orientation normalization decides
+/// nothing on values — it must also not perturb tie-breaks or columns.
+/// Every Canonical model goes through the full driver contract on it,
+/// and the kernel boundary sweep must leave conv's choices alone.
+#[test]
+fn cross_orientation_ties_are_stable_on_canonical_models() {
+    let spec = JoinSpec::cartesian(&[10.0; 9]).unwrap();
+    let schedule = ThresholdSchedule::default();
+    check_drivers(&spec, &SortMerge, schedule);
+    check_drivers(&spec, &DiskNestedLoops::default(), schedule);
+    check_drivers(&spec, &SmDnl::default(), schedule);
+    let reference = snapshot::<AosTable, SortMerge>(
+        &spec,
+        &SortMerge,
+        schedule,
+        DriveOptions::serial().with_driver(DriverChoice::Conv),
+    );
+    for floor in [0u8, 4, 6, 255] {
+        let got = snapshot::<AosTable, SortMerge>(
+            &spec,
+            &SortMerge,
+            schedule,
+            DriveOptions::serial().with_driver(DriverChoice::Conv).with_scalar_wave_floor(floor),
+        );
+        assert_eq!(
+            got.full_rows, reference.full_rows,
+            "scalar_wave_floor={floor}: canonical-κ″ tie-breaks must not depend on the kernel"
+        );
+        assert_eq!(got.plan.canonical(), reference.plan.canonical());
+    }
+}
+
 /// Costs that overflow the early caps (some overflow `f32` outright):
 /// conv's pruning must treat ∞ and NaN exactly like split's.
 #[test]
 fn drivers_agree_when_costs_overflow_the_cap() {
     let spec = JoinSpec::cartesian(&[1e30, 1e30, 1e32, 1e28, 1e30]).unwrap();
-    check_drivers(&spec, ThresholdSchedule::new(1e3, 1e6, 2));
+    check_all_models(&spec, ThresholdSchedule::new(1e3, 1e6, 2));
 }
